@@ -1,0 +1,413 @@
+(* coopcheck: command-line front end for the cooperability toolkit.
+
+   Subcommands:
+     run      - execute a program under a scheduler and print its output
+     trace    - execute and dump the event trace
+     check    - run the cooperability checker (races + violations)
+     infer    - infer the yield set and report annotation metrics
+     atomize  - run the Atomizer-style atomicity baseline
+     explore  - enumerate behaviours preemptively vs cooperatively
+     list     - list built-in workloads
+     dump     - disassemble the compiled bytecode *)
+
+open Cmdliner
+open Coop_runtime
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* A program argument is either a path to a .coop file or the name of a
+   built-in workload (optionally at non-default parameters). *)
+let load ~threads ~size spec =
+  if Sys.file_exists spec then Coop_lang.Compile.source (read_file spec)
+  else begin
+    match Coop_workloads.Registry.find spec with
+    | Some e -> Coop_workloads.Registry.program_of ?threads ?size e
+    | None ->
+        Printf.eprintf
+          "coopcheck: %s is neither a file nor a built-in workload\n\
+           (built-ins: %s)\n"
+          spec
+          (String.concat ", " Coop_workloads.Registry.names);
+        exit 2
+  end
+
+let scheduler_of = function
+  | "cooperative" -> Sched.cooperative ()
+  | "sequential" -> Sched.sequential
+  | s -> (
+      match String.index_opt s ':' with
+      | Some i -> (
+          let kind = String.sub s 0 i in
+          let arg = String.sub s (i + 1) (String.length s - i - 1) in
+          match (kind, int_of_string_opt arg) with
+          | "random", Some seed -> Sched.random ~seed ()
+          | "rr", Some quantum -> Sched.round_robin ~quantum ()
+          | _ ->
+              Printf.eprintf "coopcheck: unknown scheduler %s\n" s;
+              exit 2)
+      | None -> (
+          match s with
+          | "random" -> Sched.random ~seed:42 ()
+          | "rr" -> Sched.round_robin ~quantum:5 ()
+          | _ ->
+              Printf.eprintf "coopcheck: unknown scheduler %s\n" s;
+              exit 2))
+
+(* Common arguments *)
+
+let prog_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"PROGRAM" ~doc:"A .coop file or a built-in workload name.")
+
+let threads_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "t"; "threads" ] ~docv:"N" ~doc:"Worker threads (built-ins only).")
+
+let size_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "s"; "size" ] ~docv:"N" ~doc:"Problem size (built-ins only).")
+
+let sched_arg =
+  Arg.(
+    value & opt string "random:42"
+    & info [ "sched" ] ~docv:"SCHED"
+        ~doc:
+          "Scheduler: random[:seed], rr[:quantum], cooperative, sequential.")
+
+let max_steps_arg =
+  Arg.(
+    value & opt int 10_000_000
+    & info [ "max-steps" ] ~docv:"N" ~doc:"Step budget before giving up.")
+
+let run_outcome ~sched ~max_steps ?(yields = Coop_trace.Loc.Set.empty) prog =
+  Runner.run ~yields ~max_steps ~sched:(scheduler_of sched)
+    ~sink:Coop_trace.Trace.Sink.ignore prog
+
+(* --- run --------------------------------------------------------------- *)
+
+let run_cmd =
+  let action spec threads size sched max_steps =
+    let prog = load ~threads ~size spec in
+    let o = run_outcome ~sched ~max_steps prog in
+    List.iter (fun v -> Printf.printf "%d\n" v) (Vm.output o.Runner.final);
+    List.iter
+      (fun (tid, msg) -> Printf.printf "thread %d faulted: %s\n" tid msg)
+      (Vm.failures o.Runner.final);
+    Format.printf "[%a in %d steps]@." Runner.pp_termination
+      o.Runner.termination o.Runner.steps
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute a program and print its output.")
+    Term.(const action $ prog_arg $ threads_arg $ size_arg $ sched_arg
+          $ max_steps_arg)
+
+(* --- trace ------------------------------------------------------------- *)
+
+let trace_cmd =
+  let action spec threads size sched max_steps limit save timeline =
+    let prog = load ~threads ~size spec in
+    let _, trace =
+      Runner.record ~max_steps ~sched:(scheduler_of sched) prog
+    in
+    (match save with
+    | Some path ->
+        Coop_trace.Serialize.save path trace;
+        Format.printf "saved %d events to %s@." (Coop_trace.Trace.length trace)
+          path
+    | None ->
+        if timeline then
+          print_string
+            (Coop_trace.Timeline.render_filtered
+               ?max_events:limit
+               ~keep:(fun e ->
+                 match e.Coop_trace.Event.op with
+                 | Coop_trace.Event.Enter _ | Coop_trace.Event.Exit _ -> false
+                 | _ -> true)
+               trace)
+        else begin
+          let n = Coop_trace.Trace.length trace in
+          let shown = match limit with Some l -> min l n | None -> n in
+          for i = 0 to shown - 1 do
+            Format.printf "%6d %a@." i Coop_trace.Event.pp
+              (Coop_trace.Trace.get trace i)
+          done;
+          if shown < n then Format.printf "... (%d more events)@." (n - shown)
+        end)
+  in
+  let limit_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~docv:"N" ~doc:"Print only the first N events.")
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:"Write the trace to FILE (reload with check --trace).")
+  in
+  let timeline_arg =
+    Arg.(
+      value & flag
+      & info [ "timeline" ] ~doc:"Render per-thread swim lanes instead of a flat list.")
+  in
+  Cmd.v (Cmd.info "trace" ~doc:"Execute and dump the event trace.")
+    Term.(const action $ prog_arg $ threads_arg $ size_arg $ sched_arg
+          $ max_steps_arg $ limit_arg $ save_arg $ timeline_arg)
+
+(* --- check ------------------------------------------------------------- *)
+
+let check_cmd =
+  let action spec threads size sched max_steps from_trace =
+    let trace =
+      match from_trace with
+      | Some path -> Coop_trace.Serialize.load path
+      | None ->
+          let prog = load ~threads ~size spec in
+          snd (Runner.record ~max_steps ~sched:(scheduler_of sched) prog)
+    in
+    let r = Coop_core.Cooperability.check trace in
+    Format.printf "events: %d@." r.Coop_core.Cooperability.events;
+    Format.printf "races: %d on %d variable(s)@."
+      (List.length r.Coop_core.Cooperability.races)
+      (Coop_trace.Event.Var_set.cardinal r.Coop_core.Cooperability.racy);
+    List.iter
+      (fun race -> Format.printf "  %a@." Coop_race.Report.pp race)
+      r.Coop_core.Cooperability.races;
+    let vs = r.Coop_core.Cooperability.violations in
+    Format.printf "cooperability violations: %d at %d location(s)@."
+      (List.length vs)
+      (Coop_trace.Loc.Set.cardinal (Coop_core.Cooperability.violation_locs vs));
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun (v : Coop_core.Automaton.violation) ->
+        if not (Hashtbl.mem seen v.Coop_core.Automaton.loc) then begin
+          Hashtbl.add seen v.Coop_core.Automaton.loc ();
+          Format.printf "  %a@." Coop_core.Automaton.pp_violation v
+        end)
+      vs;
+    let dl = Coop_core.Deadlock.analyze trace in
+    if dl.Coop_core.Deadlock.cycles <> [] then begin
+      Format.printf "potential deadlocks (lock-order cycles):@.";
+      List.iter
+        (fun c -> Format.printf "  %a@." Coop_core.Deadlock.pp_cycle c)
+        dl.Coop_core.Deadlock.cycles
+    end;
+    if vs = [] && dl.Coop_core.Deadlock.cycles = [] then
+      Format.printf "program trace is COOPERABLE (and lock-order acyclic)@."
+    else if vs = [] then Format.printf "program trace is cooperable, but see deadlock warnings@."
+    else exit 1
+  in
+  let from_trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Analyze a trace saved with `trace --save` instead of running \
+             the program (which is then ignored).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Race + cooperability check of one execution. Exits 1 on violations.")
+    Term.(const action $ prog_arg $ threads_arg $ size_arg $ sched_arg
+          $ max_steps_arg $ from_trace_arg)
+
+(* --- infer ------------------------------------------------------------- *)
+
+let infer_cmd =
+  let action spec threads size max_steps =
+    let prog = load ~threads ~size spec in
+    let inf = Coop_core.Infer.infer ~max_steps prog in
+    Format.printf "initial violations: %d@."
+      inf.Coop_core.Infer.initial_violations;
+    Format.printf "inference rounds: %d@." inf.Coop_core.Infer.rounds;
+    Format.printf "inferred yields: %d@."
+      (Coop_trace.Loc.Set.cardinal inf.Coop_core.Infer.yields);
+    Coop_trace.Loc.Set.iter
+      (fun l ->
+        let f = (Vm.program (Vm.init prog)).Coop_lang.Bytecode.funcs.(l.Coop_trace.Loc.func) in
+        Format.printf "  yield before %s line %d (%a)@."
+          f.Coop_lang.Bytecode.name l.Coop_trace.Loc.line Coop_trace.Loc.pp l)
+      inf.Coop_core.Infer.yields;
+    let _, trace =
+      Runner.record ~yields:inf.Coop_core.Infer.yields ~max_steps
+        ~sched:(Sched.random ~seed:17 ()) prog
+    in
+    let m =
+      Coop_core.Metrics.compute prog ~inferred:inf.Coop_core.Infer.yields ~trace
+    in
+    Format.printf "%a@." Coop_core.Metrics.pp m
+  in
+  Cmd.v
+    (Cmd.info "infer" ~doc:"Infer the yield set and report annotation metrics.")
+    Term.(const action $ prog_arg $ threads_arg $ size_arg $ max_steps_arg)
+
+(* --- atomize ------------------------------------------------------------ *)
+
+let atomize_cmd =
+  let action spec threads size sched max_steps =
+    let prog = load ~threads ~size spec in
+    let _, trace =
+      Runner.record ~max_steps ~sched:(scheduler_of sched) prog
+    in
+    let r = Coop_atomicity.Atomizer.check trace in
+    Format.printf "transactions: %d, violated: %d@."
+      r.Coop_atomicity.Atomizer.activations
+      r.Coop_atomicity.Atomizer.violated_activations;
+    Format.printf "atomicity warnings: %d in %d function(s)@."
+      (List.length r.Coop_atomicity.Atomizer.warnings)
+      (List.length r.Coop_atomicity.Atomizer.flagged_functions);
+    let shown = ref 0 in
+    List.iter
+      (fun w ->
+        if !shown < 20 then begin
+          incr shown;
+          Format.printf "  %a@." Coop_atomicity.Atomizer.pp_warning w
+        end)
+      r.Coop_atomicity.Atomizer.warnings;
+    let c = Coop_atomicity.Conflict.check trace in
+    Format.printf
+      "conflict graph: %d transactions, %d edges, serializable=%b@."
+      c.Coop_atomicity.Conflict.transactions c.Coop_atomicity.Conflict.edges
+      (not c.Coop_atomicity.Conflict.cyclic)
+  in
+  Cmd.v
+    (Cmd.info "atomize" ~doc:"Atomicity baseline (Atomizer + conflict graph).")
+    Term.(const action $ prog_arg $ threads_arg $ size_arg $ sched_arg
+          $ max_steps_arg)
+
+(* --- explore ------------------------------------------------------------ *)
+
+let explore_cmd =
+  let action spec threads size max_states with_inferred use_dpor =
+    let prog = load ~threads ~size spec in
+    let yields =
+      if with_inferred then (Coop_core.Infer.infer prog).Coop_core.Infer.yields
+      else Coop_trace.Loc.Set.empty
+    in
+    if use_dpor then begin
+      let r = Dpor.run ~yields ~max_executions:max_states prog in
+      Format.printf "dpor: %d executions, %d transitions, complete=%b@."
+        r.Dpor.executions r.Dpor.steps r.Dpor.complete;
+      Behavior.Set.iter
+        (fun b -> Format.printf "  %a@." Behavior.pp b)
+        r.Dpor.behaviors
+    end
+    else begin
+      let v = Coop_core.Equivalence.compare ~yields ~max_states prog in
+      Format.printf "%a@." Coop_core.Equivalence.pp v;
+      Behavior.Set.iter
+        (fun b -> Format.printf "  preemptive:  %a@." Behavior.pp b)
+        v.Coop_core.Equivalence.preemptive.Explore.behaviors;
+      Behavior.Set.iter
+        (fun b -> Format.printf "  cooperative: %a@." Behavior.pp b)
+        v.Coop_core.Equivalence.cooperative.Explore.behaviors
+    end
+  in
+  let max_states_arg =
+    Arg.(
+      value & opt int 200_000
+      & info [ "max-states" ] ~docv:"N" ~doc:"State budget for exploration.")
+  in
+  let with_inferred_arg =
+    Arg.(
+      value & flag
+      & info [ "with-inferred-yields" ]
+          ~doc:"Infer yields first and explore with them injected.")
+  in
+  let dpor_arg =
+    Arg.(
+      value & flag
+      & info [ "dpor" ]
+          ~doc:
+            "Use stateless sleep-set DPOR instead of the stateful DFS \
+             (preemptive behaviours only; terminating programs only).")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Enumerate behaviours under preemptive vs cooperative scheduling.")
+    Term.(const action $ prog_arg $ threads_arg $ size_arg $ max_states_arg
+          $ with_inferred_arg $ dpor_arg)
+
+(* --- static ------------------------------------------------------------- *)
+
+let static_cmd =
+  let action spec threads size =
+    let prog = load ~threads ~size spec in
+    let r = Coop_static.Check.infer prog in
+    Format.printf "static may-racy regions: %d@."
+      (List.length r.Coop_static.Check.races.Coop_static.Races.racy);
+    List.iter
+      (fun region ->
+        Format.printf "  %a@." (Coop_static.Races.pp_region prog) region)
+      r.Coop_static.Check.races.Coop_static.Races.racy;
+    Format.printf "shared lock groups: %s@."
+      (String.concat ", "
+         (List.map
+            (fun g -> prog.Coop_lang.Bytecode.lock_names.(g))
+            r.Coop_static.Check.races.Coop_static.Races.shared_groups));
+    Format.printf "static violations: %d@."
+      (List.length r.Coop_static.Check.violations);
+    Format.printf "static yields: %d (in %d rounds)@."
+      (Coop_trace.Loc.Set.cardinal r.Coop_static.Check.yields)
+      r.Coop_static.Check.rounds;
+    Coop_trace.Loc.Set.iter
+      (fun l ->
+        Format.printf "  yield before %s line %d (%a)@."
+          prog.Coop_lang.Bytecode.funcs.(l.Coop_trace.Loc.func)
+            .Coop_lang.Bytecode.name l.Coop_trace.Loc.line Coop_trace.Loc.pp l)
+      r.Coop_static.Check.yields
+  in
+  Cmd.v
+    (Cmd.info "static"
+       ~doc:
+         "Purely static cooperability analysis (no execution): abstract \
+          lockset dataflow, may-race regions, static yield inference.")
+    Term.(const action $ prog_arg $ threads_arg $ size_arg)
+
+(* --- list / dump -------------------------------------------------------- *)
+
+let list_cmd =
+  let action () =
+    List.iter
+      (fun (e : Coop_workloads.Registry.entry) ->
+        Printf.printf "%-12s (threads=%d, size=%d)  %s\n"
+          e.Coop_workloads.Registry.name
+          e.Coop_workloads.Registry.default_threads
+          e.Coop_workloads.Registry.default_size
+          e.Coop_workloads.Registry.description)
+      Coop_workloads.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List built-in workloads.")
+    Term.(const action $ const ())
+
+let dump_cmd =
+  let action spec threads size =
+    let prog = load ~threads ~size spec in
+    print_string (Coop_lang.Bytecode.disassemble prog)
+  in
+  Cmd.v (Cmd.info "dump" ~doc:"Disassemble the compiled bytecode.")
+    Term.(const action $ prog_arg $ threads_arg $ size_arg)
+
+let () =
+  let info =
+    Cmd.info "coopcheck" ~version:"1.0.0"
+      ~doc:"Cooperative reasoning for preemptive execution"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; trace_cmd; check_cmd; infer_cmd; atomize_cmd; explore_cmd;
+            static_cmd; list_cmd; dump_cmd ]))

@@ -1,0 +1,1 @@
+examples/dining_philosophers.ml: Array Bytecode Compile Coop_core Coop_lang Coop_runtime Coop_trace Coop_workloads Explore Format Infer List Option Registry Runner Sched String Vm

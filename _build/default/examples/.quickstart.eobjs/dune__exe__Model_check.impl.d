@@ -1,0 +1,1 @@
+examples/model_check.ml: Behavior Compile Coop_lang Coop_runtime Coop_trace Coop_workloads Dpor Explore Format Micro Runner Sched Vm

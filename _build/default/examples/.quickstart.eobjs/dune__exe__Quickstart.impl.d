@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytecode Compile Coop_core Coop_lang Coop_runtime Coop_trace Cooperability Format List Printf Runner Sched String Vm

@@ -1,0 +1,1 @@
+examples/replay_reduction.ml: Behavior Compile Coop_core Coop_lang Coop_runtime Coop_trace Coop_workloads Equivalence Explore Infer List Micro Printf

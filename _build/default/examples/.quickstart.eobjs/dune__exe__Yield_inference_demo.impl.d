@@ -1,0 +1,1 @@
+examples/yield_inference_demo.ml: Coop_core Coop_runtime Coop_workloads Infer List Metrics Printf Registry Runner Sched

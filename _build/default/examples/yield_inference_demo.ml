@@ -1,0 +1,35 @@
+(* Yield inference across the whole benchmark suite:
+
+     dune exec examples/yield_inference_demo.exe
+
+   For each workload: how many yield annotations does cooperative reasoning
+   actually require, and how much of the code stays yield-free? This is the
+   paper's headline measurement, reproduced as a library walk-through. *)
+
+open Coop_runtime
+open Coop_core
+open Coop_workloads
+
+let () =
+  Printf.printf "%-12s %8s %8s %8s %12s %12s\n" "workload" "viol." "yields"
+    "rounds" "yield-free" "density/kev";
+  List.iter
+    (fun (e : Registry.entry) ->
+      let prog = Registry.program_of e in
+      let inf = Infer.infer prog in
+      let _, trace =
+        Runner.record ~yields:inf.Infer.yields
+          ~sched:(Sched.random ~seed:5 ()) prog
+      in
+      let m = Metrics.compute prog ~inferred:inf.Infer.yields ~trace in
+      Printf.printf "%-12s %8d %8d %8d %11.0f%% %12.2f\n" e.Registry.name
+        inf.Infer.initial_violations
+        m.Metrics.total_yields inf.Infer.rounds m.Metrics.pct_yield_free
+        m.Metrics.yields_per_kevent)
+    Registry.all;
+  print_newline ();
+  print_endline
+    "Reading: thousands of raw violations collapse into a handful of yield";
+  print_endline
+    "annotations per program, and most functions need none at all -- the";
+  print_endline "paper's central claim about the cost of cooperative reasoning."

@@ -1,0 +1,1 @@
+lib/atomicity/atomizer.ml: Coop_core Coop_race Coop_trace Event Format Hashtbl Int List Loc Trace

@@ -1,0 +1,1 @@
+lib/atomicity/atomizer.mli: Coop_core Coop_trace Event Format Loc Trace

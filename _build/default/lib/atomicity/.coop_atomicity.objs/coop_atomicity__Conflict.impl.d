@@ -1,0 +1,1 @@
+lib/atomicity/conflict.ml: Array Coop_trace Event Hashtbl List Set Trace

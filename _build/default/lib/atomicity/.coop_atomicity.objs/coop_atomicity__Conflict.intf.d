@@ -1,0 +1,1 @@
+lib/atomicity/conflict.mli: Coop_trace

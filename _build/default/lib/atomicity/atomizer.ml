@@ -1,0 +1,116 @@
+open Coop_trace
+module Mover = Coop_core.Mover
+
+type txn_id =
+  | Func of int
+  | Block of Loc.t
+
+type warning = {
+  tid : int;
+  txn : txn_id;
+  loc : Loc.t;
+  op : Event.op;
+  mover : Mover.t;
+}
+
+type result = {
+  warnings : warning list;
+  flagged_functions : int list;
+  activations : int;
+  violated_activations : int;
+}
+
+type phase =
+  | Pre
+  | Post
+
+type txn = {
+  id : txn_id;
+  mutable phase : phase;
+  mutable violated : bool;
+}
+
+let check_with_racy ?(local_locks = fun _ -> false) ~racy trace =
+  let stacks : (int, txn list ref) Hashtbl.t = Hashtbl.create 8 in
+  let warnings = ref [] in
+  let activations = ref 0 in
+  let violated = ref 0 in
+  let stack_of tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.add stacks tid s;
+        s
+  in
+  let push tid id =
+    incr activations;
+    let s = stack_of tid in
+    s := { id; phase = Pre; violated = false } :: !s
+  in
+  let pop tid =
+    let s = stack_of tid in
+    match !s with
+    | t :: rest ->
+        if t.violated then incr violated;
+        s := rest
+    | [] -> ()
+  in
+  let feed tid loc op m =
+    let s = stack_of tid in
+    List.iter
+      (fun t ->
+        match (t.phase, m) with
+        | Pre, (Mover.Right | Mover.Both) -> ()
+        | Pre, (Mover.Non | Mover.Left) -> t.phase <- Post
+        | Post, (Mover.Left | Mover.Both) -> ()
+        | Post, ((Mover.Right | Mover.Non) as m) ->
+            if not t.violated then begin
+              t.violated <- true;
+              warnings := { tid; txn = t.id; loc; op; mover = m } :: !warnings
+            end)
+      !s
+  in
+  Trace.iter
+    (fun (e : Event.t) ->
+      match e.op with
+      | Event.Enter f -> push e.tid (Func f)
+      | Event.Exit _ -> pop e.tid
+      | Event.Atomic_begin -> push e.tid (Block e.loc)
+      | Event.Atomic_end -> pop e.tid
+      | Event.Yield -> ()  (* not a transaction boundary for atomicity *)
+      | op -> (
+          match Mover.classify ~local_locks ~racy op with
+          | None -> ()
+          | Some m -> feed e.tid e.loc op m))
+    trace;
+  (* Close transactions still open at the end of the trace. *)
+  Hashtbl.iter
+    (fun _ s -> List.iter (fun t -> if t.violated then incr violated) !s)
+    stacks;
+  let warnings = List.rev !warnings in
+  let flagged =
+    List.fold_left
+      (fun acc w -> match w.txn with Func f -> f :: acc | Block _ -> acc)
+      [] warnings
+    |> List.sort_uniq Int.compare
+  in
+  {
+    warnings;
+    flagged_functions = flagged;
+    activations = !activations;
+    violated_activations = !violated;
+  }
+
+let check trace =
+  let racy = Coop_race.Fasttrack.racy_vars_of_trace trace in
+  let local_locks = Coop_core.Cooperability.local_locks_of trace in
+  check_with_racy ~local_locks ~racy trace
+
+let pp_txn ppf = function
+  | Func f -> Format.fprintf ppf "fn#%d" f
+  | Block l -> Format.fprintf ppf "atomic@%a" Loc.pp l
+
+let pp_warning ppf w =
+  Format.fprintf ppf "t%d: %a is not atomic: %a at %a (%a in post-commit)"
+    w.tid pp_txn w.txn Event.pp_op w.op Loc.pp w.loc Mover.pp w.mover

@@ -1,0 +1,50 @@
+(** Atomizer-style atomicity checking — the baseline the paper compares
+    against.
+
+    Atomicity demands that every function body (and every explicit [atomic]
+    block) is a single reducible transaction: [(R|B)* (N|L) (L|B)*] over its
+    whole extent, with no reset points. Cooperability generalizes this by
+    letting the programmer split a function into several transactions with
+    [yield] — so atomicity reports a superset of warnings, and the gap
+    between the two counts is the paper's headline comparison (Figure 3 /
+    Table 2).
+
+    Transactions nest: every event is charged to all open transactions of
+    its thread, and a violation in any of them flags that transaction. Each
+    activation is flagged at most once; warnings are also aggregated per
+    function. [yield] events are deliberately ignored — atomicity has no
+    notion of a scheduling point inside a transaction. *)
+
+open Coop_trace
+
+(** What a transaction is. *)
+type txn_id =
+  | Func of int  (** A function activation, by function index. *)
+  | Block of Loc.t  (** An [atomic { .. }] block, by its begin location. *)
+
+type warning = {
+  tid : int;
+  txn : txn_id;  (** The transaction that cannot be reduced. *)
+  loc : Loc.t;  (** The operation that broke the pattern. *)
+  op : Event.op;
+  mover : Coop_core.Mover.t;
+}
+
+type result = {
+  warnings : warning list;  (** One per violated activation, in order. *)
+  flagged_functions : int list;  (** Distinct function indices flagged. *)
+  activations : int;  (** Transactions observed (functions + blocks). *)
+  violated_activations : int;  (** How many of them were flagged. *)
+}
+
+val check : Trace.t -> result
+(** Two-pass check: FastTrack racy set, then the nested-transaction
+    automaton. Thread-local locks are both-movers, as in the cooperability
+    checker, so the two analyses compare like for like. *)
+
+val check_with_racy :
+  ?local_locks:(int -> bool) -> racy:Event.Var_set.t -> Trace.t -> result
+(** Same with a precomputed racy set and local-lock predicate. *)
+
+val pp_warning : Format.formatter -> warning -> unit
+(** Human-readable warning. *)

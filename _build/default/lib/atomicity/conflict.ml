@@ -1,0 +1,127 @@
+open Coop_trace
+
+type result = {
+  transactions : int;
+  edges : int;
+  cyclic : bool;
+  cycle_witness : int list;
+}
+
+module Edge_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type var_state = {
+  mutable last_writer : int;  (* txn id, -1 when none *)
+  mutable readers : int list;  (* txns reading since last write *)
+}
+
+let check trace =
+  let next_txn = ref 0 in
+  let fresh () =
+    let n = !next_txn in
+    incr next_txn;
+    n
+  in
+  (* Per-thread: call depth and current top-level transaction. *)
+  let depth : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let current : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let last_txn_of_thread : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let edges = ref Edge_set.empty in
+  let add_edge a b = if a <> b && a >= 0 then edges := Edge_set.add (a, b) !edges in
+  let vars : (Event.var, var_state) Hashtbl.t = Hashtbl.create 64 in
+  let var_of v =
+    match Hashtbl.find_opt vars v with
+    | Some s -> s
+    | None ->
+        let s = { last_writer = -1; readers = [] } in
+        Hashtbl.add vars v s;
+        s
+  in
+  let txn_of tid =
+    match Hashtbl.find_opt current tid with
+    | Some t -> t
+    | None ->
+        (* Events outside any activation get a unary transaction. *)
+        let t = fresh () in
+        (match Hashtbl.find_opt last_txn_of_thread tid with
+        | Some p -> add_edge p t
+        | None -> ());
+        Hashtbl.replace last_txn_of_thread tid t;
+        t
+  in
+  Trace.iter
+    (fun (e : Event.t) ->
+      let tid = e.tid in
+      let d = match Hashtbl.find_opt depth tid with Some d -> d | None -> 0 in
+      match e.op with
+      | Event.Enter _ ->
+          if d = 0 then begin
+            let t = fresh () in
+            (match Hashtbl.find_opt last_txn_of_thread tid with
+            | Some p -> add_edge p t
+            | None -> ());
+            Hashtbl.replace last_txn_of_thread tid t;
+            Hashtbl.replace current tid t
+          end;
+          Hashtbl.replace depth tid (d + 1)
+      | Event.Exit _ ->
+          Hashtbl.replace depth tid (max 0 (d - 1));
+          if d - 1 <= 0 then Hashtbl.remove current tid
+      | Event.Read v ->
+          let t = txn_of tid in
+          let s = var_of v in
+          if s.last_writer >= 0 then add_edge s.last_writer t;
+          if not (List.mem t s.readers) then s.readers <- t :: s.readers
+      | Event.Write v ->
+          let t = txn_of tid in
+          let s = var_of v in
+          if s.last_writer >= 0 then add_edge s.last_writer t;
+          List.iter (fun r -> add_edge r t) s.readers;
+          s.last_writer <- t;
+          s.readers <- []
+      | Event.Acquire _ | Event.Release _ | Event.Fork _ | Event.Join _
+      | Event.Yield | Event.Atomic_begin | Event.Atomic_end | Event.Out _ ->
+          ())
+    trace;
+  let n = !next_txn in
+  (* Cycle detection: iterative DFS with colors. *)
+  let succs = Array.make (max n 1) [] in
+  Edge_set.iter (fun (a, b) -> succs.(a) <- b :: succs.(a)) !edges;
+  let color = Array.make (max n 1) 0 in
+  (* 0 white, 1 gray, 2 black *)
+  let cycle = ref [] in
+  let rec dfs path v =
+    if !cycle = [] then begin
+      color.(v) <- 1;
+      List.iter
+        (fun w ->
+          if !cycle = [] then begin
+            if color.(w) = 1 then begin
+              (* Back edge to [w]: the cycle is the DFS-path suffix from
+                 [w] down to [v]. *)
+              let chain = List.rev (v :: path) in
+              let rec drop = function
+                | x :: _ as l when x = w -> l
+                | _ :: rest -> drop rest
+                | [] -> [ w ]
+              in
+              cycle := drop chain
+            end
+            else if color.(w) = 0 then dfs (v :: path) w
+          end)
+        succs.(v);
+      if !cycle = [] then color.(v) <- 2
+    end
+  in
+  for v = 0 to n - 1 do
+    if color.(v) = 0 && !cycle = [] then dfs [] v
+  done;
+  {
+    transactions = n;
+    edges = Edge_set.cardinal !edges;
+    cyclic = !cycle <> [];
+    cycle_witness = !cycle;
+  }

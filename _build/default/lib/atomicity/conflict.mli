@@ -1,0 +1,17 @@
+(** Conflict-graph serializability over top-level function activations
+    (a Velodrome-style second baseline).
+
+    Each top-level (depth-1) function activation of a thread is a
+    transaction node. Conflicting accesses between transactions of
+    different threads, plus per-thread program order, induce edges; a cycle
+    means the execution is not conflict-serializable. *)
+
+type result = {
+  transactions : int;  (** Nodes in the graph. *)
+  edges : int;  (** Distinct directed edges. *)
+  cyclic : bool;  (** Whether a cycle exists. *)
+  cycle_witness : int list;  (** Node ids on one cycle, empty if acyclic. *)
+}
+
+val check : Coop_trace.Trace.t -> result
+(** Build the conflict graph of a recorded trace and search for cycles. *)

@@ -1,0 +1,1 @@
+lib/core/automaton.ml: Coop_trace Event Format Hashtbl List Loc Mover

@@ -1,0 +1,1 @@
+lib/core/automaton.mli: Coop_trace Event Format Loc Mover

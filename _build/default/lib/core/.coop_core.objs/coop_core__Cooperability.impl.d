@@ -1,0 +1,1 @@
+lib/core/cooperability.ml: Automaton Coop_race Coop_trace Event Hashtbl List Loc Trace

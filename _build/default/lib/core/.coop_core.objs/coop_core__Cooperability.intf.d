@@ -1,0 +1,1 @@
+lib/core/cooperability.mli: Automaton Coop_race Coop_trace Event Loc Trace

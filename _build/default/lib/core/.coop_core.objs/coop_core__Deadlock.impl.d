@@ -1,0 +1,1 @@
+lib/core/deadlock.ml: Coop_trace Event Format Hashtbl Int List Loc Map Set Trace

@@ -1,0 +1,1 @@
+lib/core/deadlock.mli: Coop_trace Format Loc Trace

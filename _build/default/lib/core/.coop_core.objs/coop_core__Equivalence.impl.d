@@ -1,0 +1,1 @@
+lib/core/equivalence.ml: Behavior Coop_runtime Explore Format

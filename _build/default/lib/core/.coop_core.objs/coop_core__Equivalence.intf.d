@@ -1,0 +1,1 @@
+lib/core/equivalence.mli: Coop_lang Coop_runtime Coop_trace Explore Format Loc

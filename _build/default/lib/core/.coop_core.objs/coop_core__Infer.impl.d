@@ -1,0 +1,1 @@
+lib/core/infer.ml: Coop_runtime Coop_trace Cooperability List Loc Runner Sched Trace

@@ -1,0 +1,1 @@
+lib/core/infer.mli: Coop_lang Coop_runtime Coop_trace Loc Sched

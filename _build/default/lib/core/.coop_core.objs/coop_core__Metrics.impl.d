@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Array Bytecode Coop_lang Coop_trace Event Format Loc Trace

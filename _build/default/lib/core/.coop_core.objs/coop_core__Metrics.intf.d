@@ -1,0 +1,1 @@
+lib/core/metrics.mli: Coop_lang Coop_trace Format Loc Trace

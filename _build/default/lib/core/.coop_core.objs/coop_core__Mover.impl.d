@@ -1,0 +1,1 @@
+lib/core/mover.ml: Coop_trace Event Format

@@ -1,0 +1,1 @@
+lib/core/mover.mli: Coop_trace Event Format

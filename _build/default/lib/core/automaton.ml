@@ -1,0 +1,57 @@
+open Coop_trace
+
+type phase =
+  | Pre
+  | Post
+
+type violation = {
+  tid : int;
+  loc : Loc.t;
+  op : Event.op;
+  mover : Mover.t;
+}
+
+type t = {
+  phases : (int, phase) Hashtbl.t;
+  mutable violations : violation list;  (* reversed *)
+}
+
+let create () = { phases = Hashtbl.create 8; violations = [] }
+
+let phase t tid =
+  match Hashtbl.find_opt t.phases tid with Some p -> p | None -> Pre
+
+let set t tid p = Hashtbl.replace t.phases tid p
+
+let step ?local_locks t ~racy (e : Event.t) =
+  match e.op with
+  | Event.Yield ->
+      set t e.tid Pre;
+      None
+  | op -> (
+      match Mover.classify ?local_locks ~racy op with
+      | None -> None
+      | Some m -> (
+          match (phase t e.tid, m) with
+          | Pre, (Mover.Right | Mover.Both) -> None
+          | Pre, (Mover.Non | Mover.Left) ->
+              (* The commit point of this transaction. *)
+              set t e.tid Post;
+              None
+          | Post, (Mover.Left | Mover.Both) -> None
+          | Post, ((Mover.Right | Mover.Non) as m) ->
+              (* Irreducible: a yield is missing right before this
+                 operation. Reset as if it had been there. *)
+              let v = { tid = e.tid; loc = e.loc; op; mover = m } in
+              t.violations <- v :: t.violations;
+              (match m with
+              | Mover.Right -> set t e.tid Pre
+              | Mover.Non -> set t e.tid Post
+              | _ -> assert false);
+              Some v))
+
+let violations t = List.rev t.violations
+
+let pp_violation ppf v =
+  Format.fprintf ppf "t%d needs a yield before %a at %a (%a in post-commit)"
+    v.tid Event.pp_op v.op Loc.pp v.loc Mover.pp v.mover

@@ -1,0 +1,57 @@
+(** The per-thread transaction automaton.
+
+    Between two yields, a thread's operations must form a reducible
+    transaction: a prefix of right/both movers, at most one non mover (the
+    commit point), then a suffix of left/both movers —
+    [(R|B)* (N | L) (L|B)*] in regular-expression form. The automaton tracks
+    each thread's phase:
+
+    - {b Pre} (pre-commit): still accumulating right/both movers;
+    - {b Post} (post-commit): a non mover or left mover has occurred; only
+      left/both movers may follow until the next yield.
+
+    A right or non mover in the Post phase is a {b cooperability violation}:
+    the preemptive execution at this point cannot be reduced to a
+    cooperative one, and a yield annotation is needed before the offending
+    operation. After reporting, the automaton resets to Pre — exactly as if
+    the missing yield had been present — so one run reports every missing
+    yield location. *)
+
+open Coop_trace
+
+type phase =
+  | Pre  (** Accumulating right movers. *)
+  | Post  (** After the commit point. *)
+
+type violation = {
+  tid : int;  (** Offending thread. *)
+  loc : Loc.t;  (** Location needing a yield before it. *)
+  op : Event.op;  (** The offending operation. *)
+  mover : Mover.t;  (** Its mover class ([Right] or [Non]). *)
+}
+
+type t
+(** Mutable automaton state for all threads. *)
+
+val create : unit -> t
+(** All threads start in [Pre]. *)
+
+val phase : t -> int -> phase
+(** Current phase of a thread (Pre if never seen). *)
+
+val step :
+  ?local_locks:(int -> bool) ->
+  t ->
+  racy:Event.Var_set.t ->
+  Event.t ->
+  violation option
+(** Advance by one event. Returns the violation this event causes, if any.
+    [Yield] resets the thread to [Pre]. [local_locks] is forwarded to
+    {!Mover.classify}. *)
+
+val violations : t -> violation list
+(** All violations so far, in order. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+(** Human-readable description, e.g.
+    ["t2 needs a yield before wr(g0) at f1:pc7(line 12) (non-mover in post-commit)"]. *)

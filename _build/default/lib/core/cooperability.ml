@@ -1,0 +1,61 @@
+open Coop_trace
+
+type result = {
+  violations : Automaton.violation list;
+  races : Coop_race.Report.t list;
+  racy : Event.Var_set.t;
+  events : int;
+}
+
+let check_with_racy ?local_locks ~racy trace =
+  let a = Automaton.create () in
+  Trace.iter (fun e -> ignore (Automaton.step ?local_locks a ~racy e)) trace;
+  Automaton.violations a
+
+(* A lock is thread-local when at most one thread ever acquires it. *)
+let local_locks_of trace =
+  let owners = Hashtbl.create 8 in
+  Trace.iter
+    (fun (e : Event.t) ->
+      match e.op with
+      | Event.Acquire l | Event.Release l -> (
+          match Hashtbl.find_opt owners l with
+          | None -> Hashtbl.add owners l (Some e.tid)
+          | Some (Some t) when t = e.tid -> ()
+          | Some (Some _) -> Hashtbl.replace owners l None
+          | Some None -> ())
+      | _ -> ())
+    trace;
+  fun l -> match Hashtbl.find_opt owners l with Some (Some _) -> true | _ -> false
+
+let check trace =
+  let ft = Coop_race.Fasttrack.create () in
+  Trace.iter (fun e -> ignore (Coop_race.Fasttrack.handle ft e)) trace;
+  let races = Coop_race.Fasttrack.races ft in
+  let racy = Coop_race.Fasttrack.racy_vars ft in
+  let local_locks = local_locks_of trace in
+  let violations = check_with_racy ~local_locks ~racy trace in
+  { violations; races; racy; events = Trace.length trace }
+
+let violation_locs vs =
+  List.fold_left
+    (fun s (v : Automaton.violation) -> Loc.Set.add v.Automaton.loc s)
+    Loc.Set.empty vs
+
+let cooperable r = r.violations = []
+
+let online () =
+  let buffered = Trace.create () in
+  let ft = Coop_race.Fasttrack.create () in
+  let sink e =
+    Trace.add buffered e;
+    ignore (Coop_race.Fasttrack.handle ft e)
+  in
+  let finish () =
+    let races = Coop_race.Fasttrack.races ft in
+    let racy = Coop_race.Fasttrack.racy_vars ft in
+    let local_locks = local_locks_of buffered in
+    let violations = check_with_racy ~local_locks ~racy buffered in
+    { violations; races; racy; events = Trace.length buffered }
+  in
+  (sink, finish)

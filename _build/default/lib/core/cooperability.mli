@@ -1,0 +1,53 @@
+(** The cooperability checker: the paper's primary contribution.
+
+    A recorded (or streamed) trace is checked in two passes:
+
+    + a FastTrack race-detection pass computes the set of racy variables —
+      the accesses that are non movers;
+    + the per-thread transaction automaton replays the trace, checking that
+      every inter-yield segment matches the reducible pattern
+      [(R|B)* (N|L) (L|B)*].
+
+    A trace with no violations witnesses that this execution is reducible:
+    it is behaviourally equivalent to a cooperative execution of the same
+    program. Violations name the exact locations where yields are
+    missing. *)
+
+open Coop_trace
+
+type result = {
+  violations : Automaton.violation list;  (** In program order. *)
+  races : Coop_race.Report.t list;  (** From the race pass. *)
+  racy : Event.Var_set.t;  (** Racy variables (non-mover accesses). *)
+  events : int;  (** Trace length. *)
+}
+
+val check : Trace.t -> result
+(** Full two-pass check of a recorded trace. Locks only ever acquired by a
+    single thread in the trace are classified as both-movers (the
+    thread-local-lock refinement). *)
+
+val local_locks_of : Trace.t -> int -> bool
+(** [local_locks_of tr] is the predicate of locks acquired by at most one
+    thread over the whole trace. *)
+
+val check_with_racy :
+  ?local_locks:(int -> bool) ->
+  racy:Event.Var_set.t ->
+  Trace.t ->
+  Automaton.violation list
+(** Automaton pass only, with a given racy set (used when the racy set is
+    already known, e.g. across inference rounds). [local_locks] defaults to
+    treating every lock as shared. *)
+
+val violation_locs : Automaton.violation list -> Loc.Set.t
+(** Distinct locations named by violations — the candidate yield points. *)
+
+val cooperable : result -> bool
+(** No violations. *)
+
+val online : unit -> Trace.Sink.t * (unit -> result)
+(** An online variant: a sink to attach to a running program and a function
+    to finish the analysis. Events are buffered internally because the racy
+    set is only complete at the end of the run (the classic two-phase
+    structure of dynamic reduction checkers). *)

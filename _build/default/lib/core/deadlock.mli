@@ -1,0 +1,37 @@
+(** Goodlock-style deadlock prediction from a single trace.
+
+    The reduction theorem assumes deadlock-freedom: acquire is only a right
+    mover if the program cannot deadlock. This analysis closes that gap. It
+    builds the lock-order graph — an edge [a -> b] whenever some thread
+    acquires [b] while holding [a] — and reports cycles involving two or
+    more threads as potential deadlocks, even when the observed run happened
+    to complete. Together with the cooperability checker it restores the
+    theorem's precondition: cooperable + lock-order-acyclic programs really
+    do have cooperative-equivalent behaviour. *)
+
+open Coop_trace
+
+type edge = {
+  from_lock : int;  (** The lock already held. *)
+  to_lock : int;  (** The lock being acquired. *)
+  tid : int;  (** A thread that exhibited the edge. *)
+  loc : Loc.t;  (** Where the inner acquire happened. *)
+}
+
+type result = {
+  edges : edge list;  (** Distinct lock-order edges, in first-seen order. *)
+  cycles : int list list;
+      (** Lock cycles involving edges from at least two distinct threads;
+          each cycle lists the locks on it. Empty means no potential
+          deadlock. *)
+}
+
+val analyze : Trace.t -> result
+(** Build the lock-order graph of a trace and enumerate its simple cycles
+    (deduplicated up to rotation). *)
+
+val deadlock_free : result -> bool
+(** No multi-thread cycles. *)
+
+val pp_cycle : Format.formatter -> int list -> unit
+(** Renders as ["l0 -> l1 -> l0"]. *)

@@ -1,0 +1,37 @@
+open Coop_runtime
+
+type verdict = {
+  preemptive : Explore.result;
+  cooperative : Explore.result;
+  equal : bool;
+  preemptive_subset : bool;
+}
+
+let compare ?yields ?max_states prog =
+  let preemptive = Explore.run ?yields ?max_states Explore.Preemptive prog in
+  let cooperative = Explore.run ?yields ?max_states Explore.Cooperative prog in
+  let complete = preemptive.Explore.complete && cooperative.Explore.complete in
+  {
+    preemptive;
+    cooperative;
+    equal =
+      complete
+      && Behavior.Set.equal preemptive.Explore.behaviors
+           cooperative.Explore.behaviors;
+    preemptive_subset =
+      complete
+      && Behavior.Set.subset preemptive.Explore.behaviors
+           cooperative.Explore.behaviors;
+  }
+
+let pp ppf v =
+  Format.fprintf ppf
+    "preemptive: %d behaviors/%d states%s, cooperative: %d behaviors/%d \
+     states%s, equal=%b, pre⊆coop=%b"
+    (Behavior.Set.cardinal v.preemptive.Explore.behaviors)
+    v.preemptive.Explore.states
+    (if v.preemptive.Explore.complete then "" else " (incomplete)")
+    (Behavior.Set.cardinal v.cooperative.Explore.behaviors)
+    v.cooperative.Explore.states
+    (if v.cooperative.Explore.complete then "" else " (incomplete)")
+    v.equal v.preemptive_subset

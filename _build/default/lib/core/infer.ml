@@ -1,0 +1,64 @@
+open Coop_trace
+open Coop_runtime
+
+type result = {
+  yields : Loc.Set.t;
+  rounds : int;
+  initial_violations : int;
+  final_check_violations : int;
+  events_analyzed : int;
+}
+
+let default_portfolio () =
+  [
+    Sched.random ~seed:11 ();
+    Sched.random ~seed:23 ();
+    Sched.random ~seed:47 ();
+    Sched.random ~seed:101 ();
+    Sched.random ~seed:991 ();
+    Sched.round_robin ~quantum:1 ();
+    Sched.round_robin ~quantum:3 ();
+    Sched.round_robin ~quantum:17 ();
+    Sched.pct ~seed:7 ~depth:3 ~change_span:5_000 ();
+    Sched.pct ~seed:77 ~depth:5 ~change_span:5_000 ();
+  ]
+
+(* One portfolio pass: run every scheduler with the current yields and
+   collect all violations. *)
+let portfolio_pass ~portfolio ~max_steps ~yields prog =
+  let violations = ref [] in
+  let events = ref 0 in
+  List.iter
+    (fun sched ->
+      let _, trace = Runner.record ~yields ?max_steps ~sched prog in
+      events := !events + Trace.length trace;
+      let r = Cooperability.check trace in
+      violations := List.rev_append r.Cooperability.violations !violations)
+    (portfolio ());
+  (List.rev !violations, !events)
+
+let infer ?(max_rounds = 20) ?(portfolio = default_portfolio) ?max_steps
+    ?(base_yields = Loc.Set.empty) prog =
+  let events_total = ref 0 in
+  let rec loop yields round initial =
+    let violations, events = portfolio_pass ~portfolio ~max_steps ~yields prog in
+    events_total := !events_total + events;
+    let initial =
+      match initial with None -> Some (List.length violations) | some -> some
+    in
+    let new_locs =
+      Loc.Set.diff (Cooperability.violation_locs violations) yields
+    in
+    if Loc.Set.is_empty new_locs || round >= max_rounds then begin
+      let final_check_violations = List.length violations in
+      {
+        yields = Loc.Set.diff yields base_yields;
+        rounds = round;
+        initial_violations = (match initial with Some n -> n | None -> 0);
+        final_check_violations;
+        events_analyzed = !events_total;
+      }
+    end
+    else loop (Loc.Set.union yields new_locs) (round + 1) initial
+  in
+  loop base_yields 1 None

@@ -1,0 +1,42 @@
+(** Yield inference: measuring the annotation burden.
+
+    The paper's headline result is that cooperability needs very few yield
+    annotations. We measure this by inferring them: run the program under a
+    portfolio of adversarial schedules, insert a (virtual) yield at every
+    violation location, and repeat until no schedule in the portfolio
+    produces a new violation. Yields are injected into the VM by location,
+    so no recompilation is needed.
+
+    The inferred set is a fixpoint for the schedules explored; like any
+    dynamic analysis (including the paper's) it under-approximates rare
+    schedules, which is why the portfolio mixes random seeds with extreme
+    round-robin quanta. *)
+
+open Coop_trace
+open Coop_runtime
+
+type result = {
+  yields : Loc.Set.t;  (** Inferred yield locations. *)
+  rounds : int;  (** Inference iterations until fixpoint. *)
+  initial_violations : int;
+      (** Violations observed on the first round (no inferred yields yet) —
+          the "warnings" count a checker without inference would report. *)
+  final_check_violations : int;
+      (** Violations on a fresh portfolio after fixpoint; 0 when the
+          inferred set is stable. *)
+  events_analyzed : int;  (** Total events across all analysed runs. *)
+}
+
+val default_portfolio : unit -> Sched.t list
+(** Five random seeds, round-robin with quanta 1, 3 and 17, and two PCT
+    schedulers (depths 3 and 5). Fresh scheduler instances on every call. *)
+
+val infer :
+  ?max_rounds:int ->
+  ?portfolio:(unit -> Sched.t list) ->
+  ?max_steps:int ->
+  ?base_yields:Loc.Set.t ->
+  Coop_lang.Bytecode.program ->
+  result
+(** [infer prog] runs the inference loop (at most [max_rounds], default 20).
+    [base_yields] seeds the yield set (default empty). *)

@@ -1,0 +1,28 @@
+open Coop_trace
+
+type t =
+  | Right
+  | Left
+  | Both
+  | Non
+
+let classify ?(local_locks = fun _ -> false) ~racy (op : Event.op) =
+  match op with
+  | Event.Read v | Event.Write v ->
+      if Event.Var_set.mem v racy then Some Non else Some Both
+  | Event.Acquire l -> if local_locks l then Some Both else Some Right
+  | Event.Release l -> if local_locks l then Some Both else Some Left
+  | Event.Fork _ -> Some Right
+  | Event.Join _ -> Some Left
+  | Event.Out _ -> Some Both
+  | Event.Yield | Event.Enter _ | Event.Exit _ | Event.Atomic_begin
+  | Event.Atomic_end ->
+      None
+
+let to_string = function
+  | Right -> "right-mover"
+  | Left -> "left-mover"
+  | Both -> "both-mover"
+  | Non -> "non-mover"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

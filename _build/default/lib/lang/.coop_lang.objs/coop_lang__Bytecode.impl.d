@@ -1,0 +1,1 @@
+lib/lang/bytecode.ml: Array Ast Buffer Coop_trace Format Pretty Printf

@@ -1,0 +1,1 @@
+lib/lang/bytecode.mli: Ast Coop_trace Format

@@ -1,0 +1,1 @@
+lib/lang/resolve.ml: Array Ast Hashtbl List Printf String

@@ -1,0 +1,137 @@
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+
+type unop =
+  | Neg
+  | Not
+
+type expr =
+  | Int of int
+  | Bool of bool
+  | Var of string
+  | Index of string * expr
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Call of string * expr list
+  | Spawn of string * expr list
+
+type lock_ref = { lock : string; index : expr option }
+
+type stmt_kind =
+  | Local of string * expr
+  | Assign of string * expr
+  | Store of string * expr * expr
+  | If of expr * block * block
+  | While of expr * block
+  | Sync of lock_ref * block
+  | Atomic of block
+  | Yield
+  | Acquire_stmt of lock_ref
+  | Release_stmt of lock_ref
+  | Wait_stmt of lock_ref
+  | Notify_stmt of lock_ref * bool
+  | Join_stmt of expr
+  | Print of expr
+  | Assert of expr
+  | Return of expr option
+  | Expr_stmt of expr
+  | Block of block
+
+and stmt = { kind : stmt_kind; line : int }
+
+and block = stmt list
+
+type func = { fname : string; params : string list; body : block; fline : int }
+
+type decl =
+  | Gvar of string * int
+  | Garray of string * int
+  | Glock of string * int
+
+type program = { decls : decl list; funcs : func list }
+
+let stmt ?(line = 0) kind = { kind; line }
+
+let rec equal_expr a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Bool x, Bool y -> x = y
+  | Var x, Var y -> String.equal x y
+  | Index (x, i), Index (y, j) -> String.equal x y && equal_expr i j
+  | Unary (o1, e1), Unary (o2, e2) -> o1 = o2 && equal_expr e1 e2
+  | Binary (o1, a1, b1), Binary (o2, a2, b2) ->
+      o1 = o2 && equal_expr a1 a2 && equal_expr b1 b2
+  | Call (f, xs), Call (g, ys) | Spawn (f, xs), Spawn (g, ys) ->
+      String.equal f g
+      && List.length xs = List.length ys
+      && List.for_all2 equal_expr xs ys
+  | _ -> false
+
+let equal_lock_ref a b =
+  String.equal a.lock b.lock
+  &&
+  match (a.index, b.index) with
+  | None, None -> true
+  | Some i, Some j -> equal_expr i j
+  | _ -> false
+
+let rec equal_stmt a b =
+  match (a.kind, b.kind) with
+  | Local (x, e), Local (y, f) | Assign (x, e), Assign (y, f) ->
+      String.equal x y && equal_expr e f
+  | Store (x, i, e), Store (y, j, f) ->
+      String.equal x y && equal_expr i j && equal_expr e f
+  | If (c, t, e), If (d, u, f) ->
+      equal_expr c d && equal_block t u && equal_block e f
+  | While (c, b1), While (d, b2) -> equal_expr c d && equal_block b1 b2
+  | Sync (l, b1), Sync (m, b2) -> equal_lock_ref l m && equal_block b1 b2
+  | Atomic b1, Atomic b2 | Block b1, Block b2 -> equal_block b1 b2
+  | Yield, Yield -> true
+  | Acquire_stmt l, Acquire_stmt m
+  | Release_stmt l, Release_stmt m
+  | Wait_stmt l, Wait_stmt m ->
+      equal_lock_ref l m
+  | Notify_stmt (l, a), Notify_stmt (m, b) -> equal_lock_ref l m && a = b
+  | Join_stmt e, Join_stmt f
+  | Print e, Print f
+  | Assert e, Assert f
+  | Expr_stmt e, Expr_stmt f ->
+      equal_expr e f
+  | Return None, Return None -> true
+  | Return (Some e), Return (Some f) -> equal_expr e f
+  | _ -> false
+
+and equal_block a b =
+  List.length a = List.length b && List.for_all2 equal_stmt a b
+
+let equal_func a b =
+  String.equal a.fname b.fname
+  && List.length a.params = List.length b.params
+  && List.for_all2 String.equal a.params b.params
+  && equal_block a.body b.body
+
+let equal_decl a b =
+  match (a, b) with
+  | Gvar (x, i), Gvar (y, j)
+  | Garray (x, i), Garray (y, j)
+  | Glock (x, i), Glock (y, j) ->
+      String.equal x y && i = j
+  | _ -> false
+
+let equal_program a b =
+  List.length a.decls = List.length b.decls
+  && List.for_all2 equal_decl a.decls b.decls
+  && List.length a.funcs = List.length b.funcs
+  && List.for_all2 equal_func a.funcs b.funcs

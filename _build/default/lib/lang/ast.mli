@@ -1,0 +1,114 @@
+(** Abstract syntax of CoopLang.
+
+    CoopLang is the small concurrent imperative language the benchmarks are
+    written in. It provides exactly the features the paper's analysis needs
+    to observe: shared global scalars and arrays, locks with structured
+    [sync] blocks, [spawn]/[join] threading, explicit [yield] annotations,
+    and [atomic] blocks (used only by the atomicity baseline).
+
+    Values are machine integers; booleans are represented as 0/1. The
+    logical operators [&&] and [||] are strict (both operands evaluate) —
+    this keeps the bytecode's interleaving semantics simple and does not
+    matter for any benchmark. *)
+
+(** Binary operators, in C-like precedence. *)
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** Truncating; division by zero is a runtime fault. *)
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And  (** Strict logical and: nonzero/nonzero. *)
+  | Or  (** Strict logical or. *)
+
+(** Unary operators. *)
+type unop =
+  | Neg
+  | Not
+
+(** Expressions. *)
+type expr =
+  | Int of int  (** Integer literal. *)
+  | Bool of bool  (** [true]/[false] literal. *)
+  | Var of string  (** Local or global scalar read. *)
+  | Index of string * expr  (** Array element read [a[e]]. *)
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Call of string * expr list  (** Function call, yields its return value. *)
+  | Spawn of string * expr list
+      (** Thread creation; evaluates to the child's thread id. *)
+
+(** A reference to a lock: either a scalar lock or an element of a lock
+    array. *)
+type lock_ref = {
+  lock : string;  (** Declared lock name. *)
+  index : expr option;  (** Element selector for lock arrays. *)
+}
+
+(** Statement payloads. *)
+type stmt_kind =
+  | Local of string * expr  (** [var x = e;] — a new thread-local slot. *)
+  | Assign of string * expr  (** [x = e;] — local or global. *)
+  | Store of string * expr * expr  (** [a[i] = e;]. *)
+  | If of expr * block * block  (** [if (e) { .. } else { .. }]. *)
+  | While of expr * block  (** [while (e) { .. }]. *)
+  | Sync of lock_ref * block  (** [sync (m) { .. }] — acquire/release. *)
+  | Atomic of block  (** [atomic { .. }] — atomicity-spec marker. *)
+  | Yield  (** [yield;] — a cooperative scheduling point. *)
+  | Acquire_stmt of lock_ref  (** [acquire(m);] — unstructured locking. *)
+  | Release_stmt of lock_ref  (** [release(m);]. *)
+  | Wait_stmt of lock_ref
+      (** [wait(m);] — must hold [m]: releases it, parks on its condition,
+          and reacquires after a notify. A yield point, as in the paper. *)
+  | Notify_stmt of lock_ref * bool
+      (** [notify(m);] / [notifyall(m);] — must hold [m]; wakes one / all
+          waiters. The [bool] is true for notifyall. *)
+  | Join_stmt of expr  (** [join e;] — wait for a thread id. *)
+  | Print of expr  (** [print(e);] — observable output. *)
+  | Assert of expr  (** [assert(e);] — fault when zero. *)
+  | Return of expr option  (** [return;] or [return e;]. *)
+  | Expr_stmt of expr  (** Call or spawn for effect. *)
+  | Block of block  (** Nested scope. *)
+
+and stmt = {
+  kind : stmt_kind;
+  line : int;  (** 1-based source line, for diagnostics and reports. *)
+}
+
+and block = stmt list
+
+(** A function definition. All functions return an integer (0 implicitly). *)
+type func = {
+  fname : string;
+  params : string list;
+  body : block;
+  fline : int;
+}
+
+(** Top-level declarations. *)
+type decl =
+  | Gvar of string * int  (** [var x = k;] — shared scalar, constant init. *)
+  | Garray of string * int  (** [array a[N];] — shared, zero-initialized. *)
+  | Glock of string * int  (** [lock m;] (count 1) or [lock m[N];]. *)
+
+(** A whole program. Execution starts at the zero-argument function
+    [main]. *)
+type program = {
+  decls : decl list;
+  funcs : func list;
+}
+
+val stmt : ?line:int -> stmt_kind -> stmt
+(** Statement constructor with a default line of 0. *)
+
+val equal_expr : expr -> expr -> bool
+(** Structural equality (used by parser round-trip tests). *)
+
+val equal_program : program -> program -> bool
+(** Structural equality ignoring line numbers. *)

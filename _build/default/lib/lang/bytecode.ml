@@ -1,0 +1,101 @@
+type instr =
+  | Const of int
+  | Load_global of int
+  | Store_global of int
+  | Load_local of int
+  | Store_local of int
+  | Load_elem of int
+  | Store_elem of int
+  | Array_len of int
+  | Binop of Ast.binop
+  | Unop of Ast.unop
+  | Jump of int
+  | Jump_if_zero of int
+  | Acquire
+  | Release
+  | Wait
+  | Notify of bool
+  | Yield_instr
+  | Atomic_begin
+  | Atomic_end
+  | Spawn of int * int
+  | Join
+  | Call of int * int
+  | Ret
+  | Print
+  | Assert
+  | Pop
+  | Halt
+
+type func = {
+  name : string;
+  arity : int;
+  n_locals : int;
+  code : instr array;
+  lines : int array;
+}
+
+type program = {
+  funcs : func array;
+  main : int;
+  n_globals : int;
+  global_init : int array;
+  global_names : string array;
+  array_sizes : int array;
+  array_names : string array;
+  n_locks : int;
+  lock_names : string array;
+}
+
+let loc prog ~func ~pc =
+  let f = prog.funcs.(func) in
+  let line = if pc >= 0 && pc < Array.length f.lines then f.lines.(pc) else 0 in
+  Coop_trace.Loc.make ~func ~pc ~line
+
+let pp_instr ppf = function
+  | Const n -> Format.fprintf ppf "const %d" n
+  | Load_global g -> Format.fprintf ppf "load_g %d" g
+  | Store_global g -> Format.fprintf ppf "store_g %d" g
+  | Load_local l -> Format.fprintf ppf "load_l %d" l
+  | Store_local l -> Format.fprintf ppf "store_l %d" l
+  | Load_elem a -> Format.fprintf ppf "load_e a%d" a
+  | Store_elem a -> Format.fprintf ppf "store_e a%d" a
+  | Array_len a -> Format.fprintf ppf "len a%d" a
+  | Binop op -> Format.fprintf ppf "binop %s" (Pretty.binop op)
+  | Unop op -> Format.fprintf ppf "unop %s" (Pretty.unop op)
+  | Jump t -> Format.fprintf ppf "jump %d" t
+  | Jump_if_zero t -> Format.fprintf ppf "jz %d" t
+  | Acquire -> Format.pp_print_string ppf "acquire"
+  | Release -> Format.pp_print_string ppf "release"
+  | Wait -> Format.pp_print_string ppf "wait"
+  | Notify all -> Format.pp_print_string ppf (if all then "notifyall" else "notify")
+  | Yield_instr -> Format.pp_print_string ppf "yield"
+  | Atomic_begin -> Format.pp_print_string ppf "atomic_begin"
+  | Atomic_end -> Format.pp_print_string ppf "atomic_end"
+  | Spawn (f, n) -> Format.fprintf ppf "spawn f%d/%d" f n
+  | Join -> Format.pp_print_string ppf "join"
+  | Call (f, n) -> Format.fprintf ppf "call f%d/%d" f n
+  | Ret -> Format.pp_print_string ppf "ret"
+  | Print -> Format.pp_print_string ppf "print"
+  | Assert -> Format.pp_print_string ppf "assert"
+  | Pop -> Format.pp_print_string ppf "pop"
+  | Halt -> Format.pp_print_string ppf "halt"
+
+let disassemble prog =
+  let buf = Buffer.create 1024 in
+  Array.iteri
+    (fun fi f ->
+      Buffer.add_string buf
+        (Printf.sprintf "fn %s (f%d, arity %d, locals %d):\n" f.name fi f.arity
+           f.n_locals);
+      Array.iteri
+        (fun pc ins ->
+          Buffer.add_string buf
+            (Format.asprintf "  %4d: %a   ; line %d\n" pc pp_instr ins
+               f.lines.(pc)))
+        f.code)
+    prog.funcs;
+  Buffer.contents buf
+
+let code_size prog =
+  Array.fold_left (fun n f -> n + Array.length f.code) 0 prog.funcs

@@ -1,0 +1,17 @@
+(** Compiler from CoopLang AST to {!Bytecode}.
+
+    Single pass per function with backpatched jump targets. Local slots are
+    allocated monotonically (no reuse), so every [var] and every compiler
+    temporary gets a distinct slot; shadowing follows lexical scope. *)
+
+exception Error of string
+(** Raised on internal consistency errors (resolution is expected to have
+    been run first and catches all user-level errors). *)
+
+val program : Ast.program -> Bytecode.program
+(** Compile a resolved-checkable program. Runs {!Resolve.program} internally
+    and therefore raises {!Resolve.Error} on static errors. *)
+
+val source : string -> Bytecode.program
+(** [source src] parses, resolves and compiles. Raises {!Lexer.Error},
+    {!Parser.Error}, {!Resolve.Error} accordingly. *)

@@ -1,0 +1,85 @@
+exception Error of string * int
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let tokens = ref [] in
+  let emit tok = tokens := (tok, !line) :: !tokens in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      let start_line = !line in
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && peek 1 = Some '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then raise (Error ("unterminated comment", start_line))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      emit (Token.INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do incr i done;
+      let word = String.sub src start (!i - start) in
+      match Token.keyword_of_string word with
+      | Some kw -> emit kw
+      | None -> emit (Token.IDENT word)
+    end
+    else begin
+      let two tok = emit tok; i := !i + 2 in
+      let one tok = emit tok; incr i in
+      match (c, peek 1) with
+      | '<', Some '=' -> two Token.LE
+      | '>', Some '=' -> two Token.GE
+      | '=', Some '=' -> two Token.EQEQ
+      | '!', Some '=' -> two Token.NE
+      | '&', Some '&' -> two Token.ANDAND
+      | '|', Some '|' -> two Token.OROR
+      | '(', _ -> one Token.LPAREN
+      | ')', _ -> one Token.RPAREN
+      | '{', _ -> one Token.LBRACE
+      | '}', _ -> one Token.RBRACE
+      | '[', _ -> one Token.LBRACKET
+      | ']', _ -> one Token.RBRACKET
+      | ',', _ -> one Token.COMMA
+      | ';', _ -> one Token.SEMI
+      | '=', _ -> one Token.ASSIGN
+      | '+', _ -> one Token.PLUS
+      | '-', _ -> one Token.MINUS
+      | '*', _ -> one Token.STAR
+      | '/', _ -> one Token.SLASH
+      | '%', _ -> one Token.PERCENT
+      | '<', _ -> one Token.LT
+      | '>', _ -> one Token.GT
+      | '!', _ -> one Token.BANG
+      | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, !line))
+    end
+  done;
+  emit Token.EOF;
+  List.rev !tokens

@@ -1,0 +1,12 @@
+(** Hand-written lexer for CoopLang.
+
+    Supports [//] line comments and [/* .. */] block comments (non-nesting),
+    decimal integer literals, and the operators listed in {!Token}. *)
+
+exception Error of string * int
+(** [(message, line)] — raised on an unrecognized character or an unterminated
+    comment. *)
+
+val tokenize : string -> (Token.t * int) list
+(** [tokenize src] is the token stream with 1-based line numbers, ending with
+    a single [EOF] token. *)

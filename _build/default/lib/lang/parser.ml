@@ -1,0 +1,385 @@
+exception Error of string * int
+
+type state = {
+  toks : (Token.t * int) array;
+  mutable pos : int;
+}
+
+let current st = fst st.toks.(st.pos)
+
+let line st = snd st.toks.(st.pos)
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let fail st msg =
+  raise (Error (Printf.sprintf "%s (found %s)" msg (Token.to_string (current st)), line st))
+
+let expect st tok what =
+  if current st = tok then advance st
+  else fail st (Printf.sprintf "expected %s after %s" (Token.to_string tok) what)
+
+let ident st what =
+  match current st with
+  | Token.IDENT s ->
+      advance st;
+      s
+  | _ -> fail st (Printf.sprintf "expected identifier in %s" what)
+
+let int_lit st what =
+  match current st with
+  | Token.INT n ->
+      advance st;
+      n
+  | Token.MINUS -> (
+      advance st;
+      match current st with
+      | Token.INT n ->
+          advance st;
+          -n
+      | _ -> fail st (Printf.sprintf "expected integer in %s" what))
+  | _ -> fail st (Printf.sprintf "expected integer in %s" what)
+
+(* --- Expressions: precedence climbing --------------------------------- *)
+
+let binop_of_token = function
+  | Token.OROR -> Some (Ast.Or, 1)
+  | Token.ANDAND -> Some (Ast.And, 2)
+  | Token.EQEQ -> Some (Ast.Eq, 3)
+  | Token.NE -> Some (Ast.Ne, 3)
+  | Token.LT -> Some (Ast.Lt, 4)
+  | Token.LE -> Some (Ast.Le, 4)
+  | Token.GT -> Some (Ast.Gt, 4)
+  | Token.GE -> Some (Ast.Ge, 4)
+  | Token.PLUS -> Some (Ast.Add, 5)
+  | Token.MINUS -> Some (Ast.Sub, 5)
+  | Token.STAR -> Some (Ast.Mul, 6)
+  | Token.SLASH -> Some (Ast.Div, 6)
+  | Token.PERCENT -> Some (Ast.Mod, 6)
+  | _ -> None
+
+let rec parse_expr st = parse_binary st 1
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match binop_of_token (current st) with
+    | Some (op, prec) when prec >= min_prec ->
+        advance st;
+        let rhs = parse_binary st (prec + 1) in
+        lhs := Ast.Binary (op, !lhs, rhs)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match current st with
+  | Token.MINUS ->
+      advance st;
+      Ast.Unary (Ast.Neg, parse_unary st)
+  | Token.BANG ->
+      advance st;
+      Ast.Unary (Ast.Not, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_args st =
+  expect st Token.LPAREN "call";
+  if current st = Token.RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec loop acc =
+      let e = parse_expr st in
+      match current st with
+      | Token.COMMA ->
+          advance st;
+          loop (e :: acc)
+      | Token.RPAREN ->
+          advance st;
+          List.rev (e :: acc)
+      | _ -> fail st "expected , or ) in argument list"
+    in
+    loop []
+  end
+
+and parse_primary st =
+  match current st with
+  | Token.INT n ->
+      advance st;
+      Ast.Int n
+  | Token.KW_TRUE ->
+      advance st;
+      Ast.Bool true
+  | Token.KW_FALSE ->
+      advance st;
+      Ast.Bool false
+  | Token.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.RPAREN "parenthesized expression";
+      e
+  | Token.KW_SPAWN ->
+      advance st;
+      let f = ident st "spawn" in
+      let args = parse_args st in
+      Ast.Spawn (f, args)
+  | Token.IDENT name -> (
+      advance st;
+      match current st with
+      | Token.LPAREN -> Ast.Call (name, parse_args st)
+      | Token.LBRACKET ->
+          advance st;
+          let idx = parse_expr st in
+          expect st Token.RBRACKET "array index";
+          Ast.Index (name, idx)
+      | _ -> Ast.Var name)
+  | _ -> fail st "expected expression"
+
+(* --- Statements -------------------------------------------------------- *)
+
+let parse_lock_ref st =
+  let name = ident st "lock reference" in
+  if current st = Token.LBRACKET then begin
+    advance st;
+    let idx = parse_expr st in
+    expect st Token.RBRACKET "lock index";
+    { Ast.lock = name; index = Some idx }
+  end
+  else { Ast.lock = name; index = None }
+
+let rec parse_block st =
+  expect st Token.LBRACE "block";
+  let rec loop acc =
+    if current st = Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+and parse_stmt st =
+  let ln = line st in
+  let mk kind = Ast.stmt ~line:ln kind in
+  match current st with
+  | Token.KW_VAR ->
+      advance st;
+      let name = ident st "var declaration" in
+      expect st Token.ASSIGN "var name";
+      let e = parse_expr st in
+      expect st Token.SEMI "var declaration";
+      mk (Ast.Local (name, e))
+  | Token.KW_IF ->
+      advance st;
+      expect st Token.LPAREN "if";
+      let cond = parse_expr st in
+      expect st Token.RPAREN "if condition";
+      let then_ = parse_block st in
+      let else_ =
+        if current st = Token.KW_ELSE then begin
+          advance st;
+          if current st = Token.KW_IF then [ parse_stmt st ]
+          else parse_block st
+        end
+        else []
+      in
+      mk (Ast.If (cond, then_, else_))
+  | Token.KW_WHILE ->
+      advance st;
+      expect st Token.LPAREN "while";
+      let cond = parse_expr st in
+      expect st Token.RPAREN "while condition";
+      mk (Ast.While (cond, parse_block st))
+  | Token.KW_SYNC ->
+      advance st;
+      expect st Token.LPAREN "sync";
+      let l = parse_lock_ref st in
+      expect st Token.RPAREN "sync lock";
+      mk (Ast.Sync (l, parse_block st))
+  | Token.KW_ATOMIC ->
+      advance st;
+      mk (Ast.Atomic (parse_block st))
+  | Token.KW_YIELD ->
+      advance st;
+      expect st Token.SEMI "yield";
+      mk Ast.Yield
+  | Token.KW_ACQUIRE ->
+      advance st;
+      expect st Token.LPAREN "acquire";
+      let l = parse_lock_ref st in
+      expect st Token.RPAREN "acquire lock";
+      expect st Token.SEMI "acquire";
+      mk (Ast.Acquire_stmt l)
+  | Token.KW_RELEASE ->
+      advance st;
+      expect st Token.LPAREN "release";
+      let l = parse_lock_ref st in
+      expect st Token.RPAREN "release lock";
+      expect st Token.SEMI "release";
+      mk (Ast.Release_stmt l)
+  | Token.KW_WAIT ->
+      advance st;
+      expect st Token.LPAREN "wait";
+      let l = parse_lock_ref st in
+      expect st Token.RPAREN "wait lock";
+      expect st Token.SEMI "wait";
+      mk (Ast.Wait_stmt l)
+  | Token.KW_NOTIFY | Token.KW_NOTIFYALL ->
+      let all = current st = Token.KW_NOTIFYALL in
+      advance st;
+      expect st Token.LPAREN "notify";
+      let l = parse_lock_ref st in
+      expect st Token.RPAREN "notify lock";
+      expect st Token.SEMI "notify";
+      mk (Ast.Notify_stmt (l, all))
+  | Token.KW_JOIN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.SEMI "join";
+      mk (Ast.Join_stmt e)
+  | Token.KW_PRINT ->
+      advance st;
+      expect st Token.LPAREN "print";
+      let e = parse_expr st in
+      expect st Token.RPAREN "print argument";
+      expect st Token.SEMI "print";
+      mk (Ast.Print e)
+  | Token.KW_ASSERT ->
+      advance st;
+      expect st Token.LPAREN "assert";
+      let e = parse_expr st in
+      expect st Token.RPAREN "assert argument";
+      expect st Token.SEMI "assert";
+      mk (Ast.Assert e)
+  | Token.KW_RETURN ->
+      advance st;
+      if current st = Token.SEMI then begin
+        advance st;
+        mk (Ast.Return None)
+      end
+      else begin
+        let e = parse_expr st in
+        expect st Token.SEMI "return";
+        mk (Ast.Return (Some e))
+      end
+  | Token.KW_SPAWN ->
+      advance st;
+      let f = ident st "spawn" in
+      let args = parse_args st in
+      expect st Token.SEMI "spawn";
+      mk (Ast.Expr_stmt (Ast.Spawn (f, args)))
+  | Token.LBRACE -> mk (Ast.Block (parse_block st))
+  | Token.IDENT name -> (
+      advance st;
+      match current st with
+      | Token.ASSIGN ->
+          advance st;
+          let e = parse_expr st in
+          expect st Token.SEMI "assignment";
+          mk (Ast.Assign (name, e))
+      | Token.LBRACKET ->
+          advance st;
+          let idx = parse_expr st in
+          expect st Token.RBRACKET "array index";
+          expect st Token.ASSIGN "array store";
+          let e = parse_expr st in
+          expect st Token.SEMI "array store";
+          mk (Ast.Store (name, idx, e))
+      | Token.LPAREN ->
+          let args = parse_args st in
+          expect st Token.SEMI "call statement";
+          mk (Ast.Expr_stmt (Ast.Call (name, args)))
+      | _ -> fail st "expected =, [ or ( after identifier")
+  | _ -> fail st "expected statement"
+
+(* --- Top level --------------------------------------------------------- *)
+
+let parse_decl st =
+  match current st with
+  | Token.KW_VAR ->
+      advance st;
+      let name = ident st "global var" in
+      let init =
+        if current st = Token.ASSIGN then begin
+          advance st;
+          int_lit st "global initializer"
+        end
+        else 0
+      in
+      expect st Token.SEMI "global var";
+      Some (Ast.Gvar (name, init))
+  | Token.KW_ARRAY ->
+      advance st;
+      let name = ident st "array declaration" in
+      expect st Token.LBRACKET "array name";
+      let size = int_lit st "array size" in
+      expect st Token.RBRACKET "array size";
+      expect st Token.SEMI "array declaration";
+      Some (Ast.Garray (name, size))
+  | Token.KW_LOCK ->
+      advance st;
+      let name = ident st "lock declaration" in
+      let count =
+        if current st = Token.LBRACKET then begin
+          advance st;
+          let c = int_lit st "lock count" in
+          expect st Token.RBRACKET "lock count";
+          c
+        end
+        else 1
+      in
+      expect st Token.SEMI "lock declaration";
+      Some (Ast.Glock (name, count))
+  | _ -> None
+
+let parse_func st =
+  let ln = line st in
+  expect st Token.KW_FN "top level";
+  let name = ident st "function definition" in
+  expect st Token.LPAREN "function name";
+  let params =
+    if current st = Token.RPAREN then begin
+      advance st;
+      []
+    end
+    else begin
+      let rec loop acc =
+        let p = ident st "parameter list" in
+        match current st with
+        | Token.COMMA ->
+            advance st;
+            loop (p :: acc)
+        | Token.RPAREN ->
+            advance st;
+            List.rev (p :: acc)
+        | _ -> fail st "expected , or ) in parameter list"
+      in
+      loop []
+    end
+  in
+  { Ast.fname = name; params; body = parse_block st; fline = ln }
+
+let program src =
+  let st = { toks = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  let decls = ref [] in
+  let funcs = ref [] in
+  let rec loop () =
+    if current st = Token.EOF then ()
+    else begin
+      (match parse_decl st with
+      | Some d -> decls := d :: !decls
+      | None ->
+          if current st = Token.KW_FN then funcs := parse_func st :: !funcs
+          else fail st "expected declaration or function");
+      loop ()
+    end
+  in
+  loop ();
+  { Ast.decls = List.rev !decls; funcs = List.rev !funcs }
+
+let expr src =
+  let st = { toks = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  let e = parse_expr st in
+  if current st <> Token.EOF then fail st "trailing tokens after expression";
+  e

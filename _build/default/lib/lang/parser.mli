@@ -1,0 +1,12 @@
+(** Recursive-descent parser for CoopLang.
+
+    See {!Ast} for the language and the grammar summary in the README. *)
+
+exception Error of string * int
+(** [(message, line)] — raised on a syntax error. *)
+
+val program : string -> Ast.program
+(** [program src] parses a whole compilation unit. *)
+
+val expr : string -> Ast.expr
+(** [expr src] parses a single expression (used in tests). *)

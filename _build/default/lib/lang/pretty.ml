@@ -1,0 +1,93 @@
+let binop = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.Eq -> "=="
+  | Ast.Ne -> "!="
+  | Ast.And -> "&&"
+  | Ast.Or -> "||"
+
+let unop = function Ast.Neg -> "-" | Ast.Not -> "!"
+
+(* Fully parenthesized output: trivially correct with respect to precedence
+   and easy to test by round-trip. *)
+let rec expr = function
+  | Ast.Int n -> if n < 0 then Printf.sprintf "(%d)" n else string_of_int n
+  | Ast.Bool true -> "true"
+  | Ast.Bool false -> "false"
+  | Ast.Var x -> x
+  | Ast.Index (a, i) -> Printf.sprintf "%s[%s]" a (expr i)
+  | Ast.Unary (op, e) -> Printf.sprintf "(%s%s)" (unop op) (expr e)
+  | Ast.Binary (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr a) (binop op) (expr b)
+  | Ast.Call (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr args))
+  | Ast.Spawn (f, args) ->
+      Printf.sprintf "spawn %s(%s)" f (String.concat ", " (List.map expr args))
+
+let lock_ref (l : Ast.lock_ref) =
+  match l.index with
+  | None -> l.lock
+  | Some i -> Printf.sprintf "%s[%s]" l.lock (expr i)
+
+let rec stmt ?(indent = 0) (s : Ast.stmt) =
+  let pad = String.make (2 * indent) ' ' in
+  match s.kind with
+  | Ast.Local (x, e) -> Printf.sprintf "%svar %s = %s;" pad x (expr e)
+  | Ast.Assign (x, e) -> Printf.sprintf "%s%s = %s;" pad x (expr e)
+  | Ast.Store (a, i, e) ->
+      Printf.sprintf "%s%s[%s] = %s;" pad a (expr i) (expr e)
+  | Ast.If (c, t, []) ->
+      Printf.sprintf "%sif (%s) %s" pad (expr c) (block ~indent t)
+  | Ast.If (c, t, e) ->
+      Printf.sprintf "%sif (%s) %s else %s" pad (expr c) (block ~indent t)
+        (block ~indent e)
+  | Ast.While (c, b) ->
+      Printf.sprintf "%swhile (%s) %s" pad (expr c) (block ~indent b)
+  | Ast.Sync (l, b) ->
+      Printf.sprintf "%ssync (%s) %s" pad (lock_ref l) (block ~indent b)
+  | Ast.Atomic b -> Printf.sprintf "%satomic %s" pad (block ~indent b)
+  | Ast.Yield -> pad ^ "yield;"
+  | Ast.Acquire_stmt l -> Printf.sprintf "%sacquire(%s);" pad (lock_ref l)
+  | Ast.Release_stmt l -> Printf.sprintf "%srelease(%s);" pad (lock_ref l)
+  | Ast.Wait_stmt l -> Printf.sprintf "%swait(%s);" pad (lock_ref l)
+  | Ast.Notify_stmt (l, all) ->
+      Printf.sprintf "%s%s(%s);" pad (if all then "notifyall" else "notify")
+        (lock_ref l)
+  | Ast.Join_stmt e -> Printf.sprintf "%sjoin %s;" pad (expr e)
+  | Ast.Print e -> Printf.sprintf "%sprint(%s);" pad (expr e)
+  | Ast.Assert e -> Printf.sprintf "%sassert(%s);" pad (expr e)
+  | Ast.Return None -> pad ^ "return;"
+  | Ast.Return (Some e) -> Printf.sprintf "%sreturn %s;" pad (expr e)
+  | Ast.Expr_stmt e -> Printf.sprintf "%s%s;" pad (expr e)
+  | Ast.Block b -> pad ^ block ~indent b
+
+and block ~indent stmts =
+  let pad = String.make (2 * indent) ' ' in
+  let body =
+    List.map (fun s -> stmt ~indent:(indent + 1) s) stmts |> String.concat "\n"
+  in
+  if stmts = [] then "{ }" else Printf.sprintf "{\n%s\n%s}" body pad
+
+let decl = function
+  | Ast.Gvar (x, 0) -> Printf.sprintf "var %s;" x
+  | Ast.Gvar (x, n) -> Printf.sprintf "var %s = %d;" x n
+  | Ast.Garray (a, n) -> Printf.sprintf "array %s[%d];" a n
+  | Ast.Glock (l, 1) -> Printf.sprintf "lock %s;" l
+  | Ast.Glock (l, n) -> Printf.sprintf "lock %s[%d];" l n
+
+let func (f : Ast.func) =
+  Printf.sprintf "fn %s(%s) %s" f.fname
+    (String.concat ", " f.params)
+    (block ~indent:0 f.body)
+
+let program (p : Ast.program) =
+  let decls = List.map decl p.decls in
+  let funcs = List.map func p.funcs in
+  String.concat "\n" (decls @ [ "" ] @ funcs) ^ "\n"

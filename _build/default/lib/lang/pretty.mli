@@ -1,0 +1,20 @@
+(** Pretty-printer from AST back to concrete CoopLang syntax.
+
+    The printer is exercised by a round-trip property: for arbitrary
+    generated programs, [Parser.program (Pretty.program p)] is structurally
+    equal to [p]. *)
+
+val binop : Ast.binop -> string
+(** Surface spelling of a binary operator. *)
+
+val unop : Ast.unop -> string
+(** Surface spelling of a unary operator. *)
+
+val expr : Ast.expr -> string
+(** Fully parenthesized rendering of an expression. *)
+
+val stmt : ?indent:int -> Ast.stmt -> string
+(** One statement (possibly multi-line), indented by [indent] levels. *)
+
+val program : Ast.program -> string
+(** A whole compilation unit, re-parsable by {!Parser.program}. *)

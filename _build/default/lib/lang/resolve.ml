@@ -1,0 +1,206 @@
+exception Error of string
+
+type env = {
+  n_globals : int;
+  global_names : string array;
+  global_init : int array;
+  array_names : string array;
+  array_sizes : int array;
+  lock_names : string array;
+  lock_bases : int array;
+  lock_counts : int array;
+  n_locks : int;
+  func_names : string array;
+  func_arity : int array;
+  main : int;
+}
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let index_of names name =
+  let n = Array.length names in
+  let rec go i =
+    if i >= n then None
+    else if String.equal names.(i) name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let global_slot env name = index_of env.global_names name
+
+let array_id env name = index_of env.array_names name
+
+let lock_group env name = index_of env.lock_names name
+
+let func_index env name = index_of env.func_names name
+
+(* Check that [return] does not occur under sync/atomic (it would skip the
+   release / unbalance the atomic markers), and that locals are defined
+   before use with correct shadowing. Expression-level name checking happens
+   here too so errors carry source lines. *)
+let check_func env (f : Ast.func) =
+  let rec check_expr locals line (e : Ast.expr) =
+    match e with
+    | Ast.Int _ | Ast.Bool _ -> ()
+    | Ast.Var x ->
+        if not (List.mem x locals) && global_slot env x = None then
+          err "line %d: unknown variable %s in %s" line x f.fname
+    | Ast.Index (a, i) ->
+        if array_id env a = None then
+          err "line %d: unknown array %s in %s" line a f.fname;
+        check_expr locals line i
+    | Ast.Unary (_, e) -> check_expr locals line e
+    | Ast.Binary (_, a, b) ->
+        check_expr locals line a;
+        check_expr locals line b
+    | Ast.Call (g, args) | Ast.Spawn (g, args) -> (
+        List.iter (check_expr locals line) args;
+        match func_index env g with
+        | None -> err "line %d: unknown function %s in %s" line g f.fname
+        | Some i ->
+            if env.func_arity.(i) <> List.length args then
+              err "line %d: %s expects %d argument(s), got %d" line g
+                env.func_arity.(i) (List.length args))
+  in
+  let check_lock_ref locals line (l : Ast.lock_ref) =
+    (match lock_group env l.lock with
+    | None -> err "line %d: unknown lock %s in %s" line l.lock f.fname
+    | Some g -> (
+        match l.index with
+        | None ->
+            if env.lock_counts.(g) <> 1 then
+              err "line %d: lock array %s needs an index" line l.lock
+        | Some i -> check_expr locals line i));
+    ()
+  in
+  let rec check_block locals ~in_sync stmts =
+    match stmts with
+    | [] -> locals
+    | (s : Ast.stmt) :: rest ->
+        let locals =
+          match s.kind with
+          | Ast.Local (x, e) ->
+              check_expr locals s.line e;
+              x :: locals
+          | Ast.Assign (x, e) ->
+              if not (List.mem x locals) && global_slot env x = None then
+                err "line %d: unknown variable %s in %s" s.line x f.fname;
+              check_expr locals s.line e;
+              locals
+          | Ast.Store (a, i, e) ->
+              if array_id env a = None then
+                err "line %d: unknown array %s in %s" s.line a f.fname;
+              check_expr locals s.line i;
+              check_expr locals s.line e;
+              locals
+          | Ast.If (c, t, e) ->
+              check_expr locals s.line c;
+              ignore (check_block locals ~in_sync t);
+              ignore (check_block locals ~in_sync e);
+              locals
+          | Ast.While (c, b) ->
+              check_expr locals s.line c;
+              ignore (check_block locals ~in_sync b);
+              locals
+          | Ast.Sync (l, b) ->
+              check_lock_ref locals s.line l;
+              ignore (check_block locals ~in_sync:true b);
+              locals
+          | Ast.Atomic b ->
+              ignore (check_block locals ~in_sync:true b);
+              locals
+          | Ast.Yield -> locals
+          | Ast.Acquire_stmt l | Ast.Release_stmt l | Ast.Wait_stmt l
+          | Ast.Notify_stmt (l, _) ->
+              check_lock_ref locals s.line l;
+              locals
+          | Ast.Join_stmt e | Ast.Print e | Ast.Assert e | Ast.Expr_stmt e ->
+              check_expr locals s.line e;
+              locals
+          | Ast.Return eo ->
+              if in_sync then
+                err "line %d: return inside sync/atomic block in %s" s.line
+                  f.fname;
+              (match eo with
+              | None -> ()
+              | Some e -> check_expr locals s.line e);
+              locals
+          | Ast.Block b ->
+              ignore (check_block locals ~in_sync b);
+              locals
+        in
+        check_block locals ~in_sync rest
+  in
+  ignore (check_block f.params ~in_sync:false f.body)
+
+let program (p : Ast.program) =
+  let gvars = ref [] and arrays = ref [] and locks = ref [] in
+  List.iter
+    (fun d ->
+      match d with
+      | Ast.Gvar (x, init) -> gvars := (x, init) :: !gvars
+      | Ast.Garray (a, size) ->
+          if size <= 0 then err "array %s has non-positive size %d" a size;
+          arrays := (a, size) :: !arrays
+      | Ast.Glock (l, count) ->
+          if count <= 0 then err "lock %s has non-positive count %d" l count;
+          locks := (l, count) :: !locks)
+    p.decls;
+  let gvars = List.rev !gvars in
+  let arrays = List.rev !arrays in
+  let locks = List.rev !locks in
+  let check_dups what names =
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun n ->
+        if Hashtbl.mem seen n then err "duplicate %s declaration: %s" what n;
+        Hashtbl.add seen n ())
+      names
+  in
+  check_dups "global" (List.map fst gvars);
+  check_dups "array" (List.map fst arrays);
+  check_dups "lock" (List.map fst locks);
+  check_dups "function" (List.map (fun (f : Ast.func) -> f.fname) p.funcs);
+  List.iter
+    (fun (f : Ast.func) -> check_dups ("parameter of " ^ f.fname) f.params)
+    p.funcs;
+  let lock_names = Array.of_list (List.map fst locks) in
+  let lock_counts = Array.of_list (List.map snd locks) in
+  let lock_bases = Array.make (Array.length lock_counts) 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun i c ->
+      lock_bases.(i) <- !total;
+      total := !total + c)
+    lock_counts;
+  let func_names =
+    Array.of_list (List.map (fun (f : Ast.func) -> f.fname) p.funcs)
+  in
+  let func_arity =
+    Array.of_list (List.map (fun (f : Ast.func) -> List.length f.params) p.funcs)
+  in
+  let main =
+    match index_of func_names "main" with
+    | Some i ->
+        if func_arity.(i) <> 0 then err "main must take no parameters";
+        i
+    | None -> err "program has no main function"
+  in
+  let env =
+    {
+      n_globals = List.length gvars;
+      global_names = Array.of_list (List.map fst gvars);
+      global_init = Array.of_list (List.map snd gvars);
+      array_names = Array.of_list (List.map fst arrays);
+      array_sizes = Array.of_list (List.map snd arrays);
+      lock_names;
+      lock_bases;
+      lock_counts;
+      n_locks = !total;
+      func_names;
+      func_arity;
+      main;
+    }
+  in
+  List.iter (check_func env) p.funcs;
+  env

@@ -1,0 +1,42 @@
+(** Name resolution and static checks for CoopLang programs.
+
+    Resolution assigns dense slots/ids to globals, arrays, locks and
+    functions, and rejects ill-formed programs before compilation: duplicate
+    declarations, unknown names, arity mismatches, a missing zero-argument
+    [main], non-positive array or lock sizes, and [return] inside [sync] or
+    [atomic] blocks (which would bypass the release). *)
+
+exception Error of string
+(** Raised with a human-readable message on any static error. *)
+
+type env = {
+  n_globals : int;  (** Number of global scalar slots. *)
+  global_names : string array;  (** Slot -> name. *)
+  global_init : int array;  (** Slot -> initial value. *)
+  array_names : string array;  (** Array id -> name. *)
+  array_sizes : int array;  (** Array id -> declared size. *)
+  lock_names : string array;
+      (** Lock group -> name. Groups with count > 1 occupy a contiguous
+          range of handles. *)
+  lock_bases : int array;  (** Lock group -> first handle. *)
+  lock_counts : int array;  (** Lock group -> number of handles. *)
+  n_locks : int;  (** Total number of lock handles. *)
+  func_names : string array;  (** Function index -> name. *)
+  func_arity : int array;  (** Function index -> parameter count. *)
+  main : int;  (** Index of [main]. *)
+}
+
+val global_slot : env -> string -> int option
+(** Slot of a global scalar, if declared. *)
+
+val array_id : env -> string -> int option
+(** Id of an array, if declared. *)
+
+val lock_group : env -> string -> int option
+(** Group index of a lock, if declared. *)
+
+val func_index : env -> string -> int option
+(** Index of a function, if defined. *)
+
+val program : Ast.program -> env
+(** Resolve and check a program. Raises {!Error} on any violation. *)

@@ -1,0 +1,124 @@
+type t =
+  | INT of int
+  | IDENT of string
+  | KW_VAR
+  | KW_ARRAY
+  | KW_LOCK
+  | KW_FN
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_SYNC
+  | KW_ATOMIC
+  | KW_YIELD
+  | KW_WAIT
+  | KW_NOTIFY
+  | KW_NOTIFYALL
+  | KW_ACQUIRE
+  | KW_RELEASE
+  | KW_SPAWN
+  | KW_JOIN
+  | KW_PRINT
+  | KW_ASSERT
+  | KW_RETURN
+  | KW_TRUE
+  | KW_FALSE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+let keyword_of_string = function
+  | "var" -> Some KW_VAR
+  | "array" -> Some KW_ARRAY
+  | "lock" -> Some KW_LOCK
+  | "fn" -> Some KW_FN
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "sync" -> Some KW_SYNC
+  | "atomic" -> Some KW_ATOMIC
+  | "yield" -> Some KW_YIELD
+  | "wait" -> Some KW_WAIT
+  | "notify" -> Some KW_NOTIFY
+  | "notifyall" -> Some KW_NOTIFYALL
+  | "acquire" -> Some KW_ACQUIRE
+  | "release" -> Some KW_RELEASE
+  | "spawn" -> Some KW_SPAWN
+  | "join" -> Some KW_JOIN
+  | "print" -> Some KW_PRINT
+  | "assert" -> Some KW_ASSERT
+  | "return" -> Some KW_RETURN
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | _ -> None
+
+let to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | KW_VAR -> "var"
+  | KW_ARRAY -> "array"
+  | KW_LOCK -> "lock"
+  | KW_FN -> "fn"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_SYNC -> "sync"
+  | KW_ATOMIC -> "atomic"
+  | KW_YIELD -> "yield"
+  | KW_WAIT -> "wait"
+  | KW_NOTIFY -> "notify"
+  | KW_NOTIFYALL -> "notifyall"
+  | KW_ACQUIRE -> "acquire"
+  | KW_RELEASE -> "release"
+  | KW_SPAWN -> "spawn"
+  | KW_JOIN -> "join"
+  | KW_PRINT -> "print"
+  | KW_ASSERT -> "assert"
+  | KW_RETURN -> "return"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | ASSIGN -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQEQ -> "=="
+  | NE -> "!="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | BANG -> "!"
+  | EOF -> "<eof>"

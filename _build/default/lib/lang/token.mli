@@ -1,0 +1,57 @@
+(** Lexical tokens of CoopLang. *)
+
+type t =
+  | INT of int
+  | IDENT of string
+  | KW_VAR
+  | KW_ARRAY
+  | KW_LOCK
+  | KW_FN
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_SYNC
+  | KW_ATOMIC
+  | KW_YIELD
+  | KW_WAIT
+  | KW_NOTIFY
+  | KW_NOTIFYALL
+  | KW_ACQUIRE
+  | KW_RELEASE
+  | KW_SPAWN
+  | KW_JOIN
+  | KW_PRINT
+  | KW_ASSERT
+  | KW_RETURN
+  | KW_TRUE
+  | KW_FALSE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+val keyword_of_string : string -> t option
+(** Recognizes reserved words. *)
+
+val to_string : t -> string
+(** Surface rendering of a token, for error messages. *)

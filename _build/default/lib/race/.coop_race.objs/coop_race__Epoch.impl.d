@@ -1,0 +1,1 @@
+lib/race/epoch.ml: Format Int Vclock

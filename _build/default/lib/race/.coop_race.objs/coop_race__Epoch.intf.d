@@ -1,0 +1,1 @@
+lib/race/epoch.mli: Format Vclock

@@ -1,0 +1,1 @@
+lib/race/fasttrack.ml: Array Coop_trace Epoch Event Hashtbl List Report Trace Vclock

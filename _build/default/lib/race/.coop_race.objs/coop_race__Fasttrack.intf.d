@@ -1,0 +1,1 @@
+lib/race/fasttrack.mli: Coop_trace Event Report Trace

@@ -1,0 +1,1 @@
+lib/race/lockset.ml: Coop_trace Event Hashtbl Int List Loc Report Set Trace

@@ -1,0 +1,1 @@
+lib/race/lockset.mli: Coop_trace Event Report Trace

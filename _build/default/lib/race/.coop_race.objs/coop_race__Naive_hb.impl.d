@@ -1,0 +1,1 @@
+lib/race/naive_hb.ml: Array Coop_trace Event Hashtbl List Trace Vclock

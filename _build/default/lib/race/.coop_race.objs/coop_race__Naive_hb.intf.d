@@ -1,0 +1,1 @@
+lib/race/naive_hb.mli: Coop_trace Event Trace Vclock

@@ -1,0 +1,1 @@
+lib/race/report.ml: Coop_trace Event Format List Loc

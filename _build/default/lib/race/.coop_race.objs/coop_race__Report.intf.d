@@ -1,0 +1,1 @@
+lib/race/report.mli: Coop_trace Format

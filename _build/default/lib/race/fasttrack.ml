@@ -1,0 +1,177 @@
+open Coop_trace
+
+(* Per-variable access metadata. Reads start as an epoch and are promoted to
+   a full vector clock when concurrent reads are observed, exactly as in the
+   FastTrack paper. *)
+type read_state =
+  | Repoch of Epoch.t
+  | Rvc of Vclock.t
+
+type var_state = {
+  mutable w : Epoch.t;
+  mutable r : read_state;
+}
+
+type t = {
+  mutable clocks : Vclock.t array;  (* indexed by tid, grown on demand *)
+  locks : (int, Vclock.t) Hashtbl.t;
+  vars : (Event.var, var_state) Hashtbl.t;
+  mutable reports : Report.t list;  (* reversed *)
+}
+
+let create () =
+  { clocks = Array.make 8 Vclock.empty; locks = Hashtbl.create 16;
+    vars = Hashtbl.create 64; reports = [] }
+
+let ensure_tid t tid =
+  let n = Array.length t.clocks in
+  if tid >= n then begin
+    let bigger = Array.make (max (tid + 1) (2 * n)) Vclock.empty in
+    Array.blit t.clocks 0 bigger 0 n;
+    t.clocks <- bigger
+  end;
+  (* A thread's clock starts with its own component at 1. *)
+  if Vclock.get t.clocks.(tid) tid = 0 then
+    t.clocks.(tid) <- Vclock.set t.clocks.(tid) tid 1
+
+let clock_of t tid =
+  ensure_tid t tid;
+  t.clocks.(tid)
+
+let var_state t v =
+  match Hashtbl.find_opt t.vars v with
+  | Some s -> s
+  | None ->
+      let s = { w = Epoch.bottom; r = Repoch Epoch.bottom } in
+      Hashtbl.add t.vars v s;
+      s
+
+let lock_clock t l =
+  match Hashtbl.find_opt t.locks l with Some c -> c | None -> Vclock.empty
+
+let report t r = t.reports <- r :: t.reports
+
+let read_leq rs c =
+  match rs with Repoch e -> Epoch.leq e c | Rvc rc -> Vclock.leq rc c
+
+let on_read t tid loc v =
+  let c = clock_of t tid in
+  let s = var_state t v in
+  let mine = Epoch.of_thread tid c in
+  let same_epoch =
+    match s.r with Repoch e -> Epoch.equal e mine | Rvc _ -> false
+  in
+  if same_epoch then []
+  else begin
+    let races =
+      if Epoch.leq s.w c then []
+      else
+        [ { Report.var = v; kind = Report.Write_read;
+            first_tid = Epoch.tid s.w; second_tid = tid; second_loc = loc } ]
+    in
+    (match s.r with
+    | Repoch e ->
+        if Epoch.leq e c then s.r <- Repoch mine
+        else begin
+          (* Concurrent reads: promote to a read vector. *)
+          let rc = Vclock.set Vclock.empty (Epoch.tid e) (Epoch.clock e) in
+          s.r <- Rvc (Vclock.set rc tid (Vclock.get c tid))
+        end
+    | Rvc rc -> s.r <- Rvc (Vclock.set rc tid (Vclock.get c tid)));
+    List.iter (report t) races;
+    races
+  end
+
+let on_write t tid loc v =
+  let c = clock_of t tid in
+  let s = var_state t v in
+  let mine = Epoch.of_thread tid c in
+  if Epoch.equal s.w mine then []
+  else begin
+    let races = ref [] in
+    if not (Epoch.leq s.w c) then
+      races :=
+        { Report.var = v; kind = Report.Write_write;
+          first_tid = Epoch.tid s.w; second_tid = tid; second_loc = loc }
+        :: !races;
+    (match s.r with
+    | Repoch e ->
+        if not (Epoch.leq e c) then
+          races :=
+            { Report.var = v; kind = Report.Read_write;
+              first_tid = Epoch.tid e; second_tid = tid; second_loc = loc }
+            :: !races
+    | Rvc rc ->
+        if not (Vclock.leq rc c) then begin
+          (* Find one concurrent reader for the report. *)
+          let offender =
+            List.find_opt (fun (u, n) -> n > Vclock.get c u) (Vclock.to_list rc)
+          in
+          let first_tid = match offender with Some (u, _) -> u | None -> -1 in
+          races :=
+            { Report.var = v; kind = Report.Read_write; first_tid;
+              second_tid = tid; second_loc = loc }
+            :: !races
+        end);
+    s.w <- mine;
+    s.r <- Repoch Epoch.bottom;
+    let races = List.rev !races in
+    List.iter (report t) races;
+    races
+  end
+
+let on_acquire t tid l =
+  ensure_tid t tid;
+  t.clocks.(tid) <- Vclock.join t.clocks.(tid) (lock_clock t l);
+  []
+
+let on_release t tid l =
+  ensure_tid t tid;
+  Hashtbl.replace t.locks l t.clocks.(tid);
+  t.clocks.(tid) <- Vclock.tick t.clocks.(tid) tid;
+  []
+
+let on_fork t tid child =
+  ensure_tid t tid;
+  ensure_tid t child;
+  t.clocks.(child) <- Vclock.join t.clocks.(child) t.clocks.(tid);
+  t.clocks.(tid) <- Vclock.tick t.clocks.(tid) tid;
+  []
+
+let on_join t tid child =
+  ensure_tid t tid;
+  ensure_tid t child;
+  t.clocks.(tid) <- Vclock.join t.clocks.(tid) t.clocks.(child);
+  t.clocks.(child) <- Vclock.tick t.clocks.(child) child;
+  []
+
+let handle t (e : Event.t) =
+  match e.op with
+  | Event.Read v -> on_read t e.tid e.loc v
+  | Event.Write v -> on_write t e.tid e.loc v
+  | Event.Acquire l -> on_acquire t e.tid l
+  | Event.Release l -> on_release t e.tid l
+  | Event.Fork u -> on_fork t e.tid u
+  | Event.Join u -> on_join t e.tid u
+  | Event.Yield | Event.Enter _ | Event.Exit _ | Event.Atomic_begin
+  | Event.Atomic_end | Event.Out _ ->
+      []
+
+let races t = List.rev t.reports
+
+let racy_vars t = Report.racy_vars t.reports
+
+let sink t : Trace.Sink.t = fun e -> ignore (handle t e)
+
+let run trace =
+  let t = create () in
+  Trace.iter (fun e -> ignore (handle t e)) trace;
+  races t
+
+let racy_vars_of_trace trace =
+  let t = create () in
+  Trace.iter (fun e -> ignore (handle t e)) trace;
+  racy_vars t
+
+(* Silence an unused-value warning for the exported helper. *)
+let _ = read_leq

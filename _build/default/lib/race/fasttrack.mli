@@ -1,0 +1,36 @@
+(** FastTrack-style happens-before race detection.
+
+    This is the substrate of the cooperability analysis: the mover
+    classification needs to know which accesses race. The implementation
+    follows the classic FastTrack design — one vector clock per thread and
+    per lock, and per-variable adaptive read metadata (a single epoch in the
+    common thread-local case, a full read vector when reads are genuinely
+    shared). The detector continues past races ("continue-after-race"), so a
+    single run yields the complete set of racy variables. *)
+
+open Coop_trace
+
+type t
+(** Mutable detector state. *)
+
+val create : unit -> t
+(** Fresh state: every thread clock starts at [<t:1>]. *)
+
+val handle : t -> Event.t -> Report.t list
+(** [handle t e] advances the detector by one event and returns the races
+    that [e] exposes (empty for non-access events and race-free accesses). *)
+
+val races : t -> Report.t list
+(** All races reported so far, in detection order. *)
+
+val racy_vars : t -> Event.Var_set.t
+(** Variables involved in at least one reported race so far. *)
+
+val sink : t -> Trace.Sink.t
+(** An event sink that feeds the detector (reports accumulate in [t]). *)
+
+val run : Trace.t -> Report.t list
+(** Run a fresh detector over a recorded trace. *)
+
+val racy_vars_of_trace : Trace.t -> Event.Var_set.t
+(** Convenience: the racy variables of a recorded trace. *)

@@ -1,0 +1,125 @@
+open Coop_trace
+
+module Iset = Set.Make (Int)
+
+type var_state =
+  | Virgin
+  | Exclusive of int
+  | Shared
+  | Shared_modified
+
+type var_info = {
+  mutable state : var_state;
+  mutable candidates : Iset.t;
+  mutable have_candidates : bool;
+      (* false until the first access initializes the set; an explicit flag
+         avoids conflating "all locks" with "no locks". *)
+  mutable written : bool;  (* any write so far, by any thread *)
+  mutable warned : bool;
+}
+
+type t = {
+  held : (int, Iset.t) Hashtbl.t;  (* tid -> locks currently held *)
+  vars : (Event.var, var_info) Hashtbl.t;
+  mutable reports : Report.t list;  (* reversed *)
+}
+
+let create () =
+  { held = Hashtbl.create 8; vars = Hashtbl.create 64; reports = [] }
+
+let held_by t tid =
+  match Hashtbl.find_opt t.held tid with Some s -> s | None -> Iset.empty
+
+let info_of t v =
+  match Hashtbl.find_opt t.vars v with
+  | Some i -> i
+  | None ->
+      let i =
+        { state = Virgin; candidates = Iset.empty; have_candidates = false;
+          written = false; warned = false }
+      in
+      Hashtbl.add t.vars v i;
+      i
+
+let warn t tid v kind =
+  let i = info_of t v in
+  if i.warned then []
+  else begin
+    i.warned <- true;
+    let r =
+      { Report.var = v; kind; first_tid = -1; second_tid = tid;
+        second_loc = Loc.none }
+    in
+    t.reports <- r :: t.reports;
+    [ r ]
+  end
+
+(* Refine the candidate set with the lockset of the current access. Unlike
+   textbook Eraser we refine during the Exclusive phase too, so the first
+   thread's (possibly lock-free) accesses are not forgotten when the
+   variable becomes shared — this keeps the detector a strict
+   over-approximation of happens-before racy-ness (property-tested against
+   FastTrack). *)
+let refine i locks =
+  if i.have_candidates then i.candidates <- Iset.inter i.candidates locks
+  else begin
+    i.have_candidates <- true;
+    i.candidates <- locks
+  end
+
+let access t tid loc v ~is_write =
+  ignore loc;
+  let i = info_of t v in
+  let locks = held_by t tid in
+  refine i locks;
+  if is_write then i.written <- true;
+  match i.state with
+  | Virgin ->
+      i.state <- Exclusive tid;
+      []
+  | Exclusive owner when owner = tid -> []
+  | Exclusive _ | Shared | Shared_modified ->
+      i.state <-
+        (if is_write || i.state = Shared_modified then Shared_modified
+         else Shared);
+      if i.written && Iset.is_empty i.candidates then
+        warn t tid v
+          (if is_write then Report.Write_write else Report.Write_read)
+      else []
+
+let handle t (e : Event.t) =
+  match e.op with
+  | Event.Read v -> access t e.tid e.loc v ~is_write:false
+  | Event.Write v -> access t e.tid e.loc v ~is_write:true
+  | Event.Acquire l ->
+      Hashtbl.replace t.held e.tid (Iset.add l (held_by t e.tid));
+      []
+  | Event.Release l ->
+      Hashtbl.replace t.held e.tid (Iset.remove l (held_by t e.tid));
+      []
+  | Event.Fork _ | Event.Join _ | Event.Yield | Event.Enter _ | Event.Exit _
+  | Event.Atomic_begin | Event.Atomic_end | Event.Out _ ->
+      []
+
+let state_of t v =
+  match Hashtbl.find_opt t.vars v with Some i -> i.state | None -> Virgin
+
+let candidate_locks t v =
+  match Hashtbl.find_opt t.vars v with
+  | Some i -> (
+      match i.state with
+      | Virgin | Exclusive _ -> None
+      | Shared | Shared_modified -> Some (Iset.elements i.candidates))
+  | None -> None
+
+let racy_vars t = Report.racy_vars t.reports
+
+let run trace =
+  let t = create () in
+  Trace.iter (fun e -> ignore (handle t e)) trace;
+  List.rev t.reports
+
+let racy_vars_of_trace trace =
+  let t = create () in
+  Trace.iter (fun e -> ignore (handle t e)) trace;
+  racy_vars t

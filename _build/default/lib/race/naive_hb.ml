@@ -1,0 +1,90 @@
+open Coop_trace
+
+(* Pass 1: replay the synchronization state machine, recording each event's
+   thread clock at execution time. *)
+let event_clocks trace =
+  let clocks = Hashtbl.create 8 in
+  let locks = Hashtbl.create 8 in
+  let clock_of tid =
+    match Hashtbl.find_opt clocks tid with
+    | Some c -> c
+    | None ->
+        let c = Vclock.set Vclock.empty tid 1 in
+        Hashtbl.replace clocks tid c;
+        c
+  in
+  let out = Array.make (Trace.length trace) Vclock.empty in
+  Trace.iteri
+    (fun i (e : Event.t) ->
+      let c = clock_of e.tid in
+      out.(i) <- c;
+      match e.op with
+      | Event.Acquire l ->
+          let lc =
+            match Hashtbl.find_opt locks l with
+            | Some lc -> lc
+            | None -> Vclock.empty
+          in
+          Hashtbl.replace clocks e.tid (Vclock.join c lc);
+          out.(i) <- Hashtbl.find clocks e.tid
+      | Event.Release l ->
+          Hashtbl.replace locks l c;
+          Hashtbl.replace clocks e.tid (Vclock.tick c e.tid)
+      | Event.Fork u ->
+          let cu = clock_of u in
+          Hashtbl.replace clocks u (Vclock.join cu c);
+          Hashtbl.replace clocks e.tid (Vclock.tick c e.tid)
+      | Event.Join u ->
+          let cu = clock_of u in
+          Hashtbl.replace clocks e.tid (Vclock.join c cu)
+      | Event.Read _ | Event.Write _ | Event.Yield | Event.Enter _
+      | Event.Exit _ | Event.Atomic_begin | Event.Atomic_end | Event.Out _ ->
+          ())
+    trace;
+  out
+
+let happens_before trace i j =
+  if i >= j then invalid_arg "Naive_hb.happens_before: need i < j";
+  let ei = Trace.get trace i and ej = Trace.get trace j in
+  if ei.Event.tid = ej.Event.tid then true
+  else begin
+    let clocks = event_clocks trace in
+    (* Event i happens-before j iff thread i's component at time of i is
+       visible in j's clock. *)
+    Vclock.get clocks.(i) ei.Event.tid <= Vclock.get clocks.(j) ei.Event.tid
+  end
+
+let accesses trace =
+  let acc = ref [] in
+  Trace.iteri
+    (fun i (e : Event.t) ->
+      match e.op with
+      | Event.Read v -> acc := (i, e.tid, v, false) :: !acc
+      | Event.Write v -> acc := (i, e.tid, v, true) :: !acc
+      | _ -> ())
+    trace;
+  List.rev !acc
+
+let race_pairs trace =
+  let clocks = event_clocks trace in
+  let accs = Array.of_list (accesses trace) in
+  let hb i ti j = Vclock.get clocks.(i) ti <= Vclock.get clocks.(j) ti in
+  let pairs = ref [] in
+  let n = Array.length accs in
+  for a = 0 to n - 1 do
+    let i, ti, vi, wi = accs.(a) in
+    for b = a + 1 to n - 1 do
+      let j, tj, vj, wj = accs.(b) in
+      if ti <> tj && Event.equal_var vi vj && (wi || wj) && not (hb i ti j)
+      then pairs := (i, j) :: !pairs
+    done
+  done;
+  List.rev !pairs
+
+let racy_vars trace =
+  List.fold_left
+    (fun s (i, _) ->
+      match (Trace.get trace i).Event.op with
+      | Event.Read v | Event.Write v -> Event.Var_set.add v s
+      | _ -> s)
+    Event.Var_set.empty (race_pairs trace)

@@ -1,0 +1,25 @@
+(** A naive O(n²) happens-before race detector.
+
+    Used exclusively as a test oracle for {!Fasttrack}: it computes a full
+    vector clock for every event and compares all conflicting access pairs
+    directly. Property tests check that both detectors agree on the set of
+    racy variables for arbitrary feasible traces. *)
+
+open Coop_trace
+
+val event_clocks : Trace.t -> Vclock.t array
+(** [event_clocks tr] is the vector clock of each event's thread at the
+    moment the event executed (same synchronization model as FastTrack:
+    locks, fork, join). *)
+
+val happens_before : Trace.t -> int -> int -> bool
+(** [happens_before tr i j] for [i < j] decides whether event [i]
+    happens-before event [j] (program order and synchronization order,
+    transitively). *)
+
+val racy_vars : Trace.t -> Event.Var_set.t
+(** Variables with at least one pair of concurrent conflicting accesses. *)
+
+val race_pairs : Trace.t -> (int * int) list
+(** All index pairs [(i, j)], [i < j], of concurrent conflicting accesses to
+    the same variable. Quadratic; use on small traces only. *)

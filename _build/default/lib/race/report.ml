@@ -1,0 +1,26 @@
+open Coop_trace
+
+type kind =
+  | Write_write
+  | Read_write
+  | Write_read
+
+type t = {
+  var : Event.var;
+  kind : kind;
+  first_tid : int;
+  second_tid : int;
+  second_loc : Loc.t;
+}
+
+let pp_kind ppf = function
+  | Write_write -> Format.pp_print_string ppf "write-write"
+  | Read_write -> Format.pp_print_string ppf "read-write"
+  | Write_read -> Format.pp_print_string ppf "write-read"
+
+let pp ppf r =
+  Format.fprintf ppf "%a race on %a between t%d and t%d at %a" pp_kind r.kind
+    Event.pp_var r.var r.first_tid r.second_tid Loc.pp r.second_loc
+
+let racy_vars rs =
+  List.fold_left (fun s r -> Event.Var_set.add r.var s) Event.Var_set.empty rs

@@ -1,0 +1,33 @@
+module M = Map.Make (Int)
+
+(* Invariant: no explicit zero entries are stored, so structural map equality
+   coincides with clock equality. *)
+type t = int M.t
+
+let empty = M.empty
+
+let get c t = match M.find_opt t c with Some n -> n | None -> 0
+
+let set c t n = if n = 0 then M.remove t c else M.add t n c
+
+let tick c t = M.add t (get c t + 1) c
+
+let join a b = M.union (fun _ x y -> Some (max x y)) a b
+
+let leq a b = M.for_all (fun t n -> n <= get b t) a
+
+let equal = M.equal Int.equal
+
+let compare = M.compare Int.compare
+
+let of_list l = List.fold_left (fun c (t, n) -> set c t n) empty l
+
+let to_list c = M.bindings c
+
+let pp ppf c =
+  let bindings = to_list c in
+  Format.fprintf ppf "<%a>"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (t, n) -> Format.fprintf ppf "%d:%d" t n))
+    bindings

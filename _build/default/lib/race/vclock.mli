@@ -1,0 +1,43 @@
+(** Vector clocks.
+
+    A vector clock maps thread ids to logical times. Clocks are persistent:
+    every operation returns a new clock, which keeps the FastTrack detector
+    simple to snapshot and to test. Missing entries read as 0, so clocks over
+    different thread populations compare naturally. *)
+
+type t
+(** A persistent vector clock. *)
+
+val empty : t
+(** The all-zeros clock. *)
+
+val get : t -> int -> int
+(** [get c t] is thread [t]'s component (0 when absent). *)
+
+val set : t -> int -> int -> t
+(** [set c t n] replaces thread [t]'s component with [n]. *)
+
+val tick : t -> int -> t
+(** [tick c t] increments thread [t]'s component. *)
+
+val join : t -> t -> t
+(** Pointwise maximum. *)
+
+val leq : t -> t -> bool
+(** [leq a b] iff [a] is pointwise <= [b]; this is the happens-before
+    order between the times the clocks represent. *)
+
+val equal : t -> t -> bool
+(** Pointwise equality (ignoring explicit zeros). *)
+
+val compare : t -> t -> int
+(** An arbitrary total order consistent with {!equal}, for use in maps. *)
+
+val of_list : (int * int) list -> t
+(** Build from [(tid, time)] pairs; later pairs win. *)
+
+val to_list : t -> (int * int) list
+(** Non-zero bindings, ascending by thread id. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as ["<0:3, 2:1>"]. *)

@@ -1,0 +1,1 @@
+lib/runtime/behavior.ml: Bool Coop_lang Format Int List Printf Set String Vm

@@ -1,0 +1,1 @@
+lib/runtime/behavior.mli: Format Set Vm

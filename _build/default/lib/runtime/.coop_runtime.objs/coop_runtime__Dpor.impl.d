@@ -1,0 +1,1 @@
+lib/runtime/dpor.ml: Array Behavior Bytecode Coop_lang Coop_trace Event Int List Loc Set Vm

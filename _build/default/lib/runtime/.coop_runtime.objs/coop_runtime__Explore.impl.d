@@ -1,0 +1,1 @@
+lib/runtime/explore.ml: Behavior Bytecode Coop_lang Coop_trace Hashtbl List Loc Trace Vm

@@ -1,0 +1,1 @@
+lib/runtime/explore.mli: Behavior Coop_lang Coop_trace Loc

@@ -1,0 +1,1 @@
+lib/runtime/runner.ml: Behavior Coop_trace Format Loc Sched Trace Vm

@@ -1,0 +1,1 @@
+lib/runtime/runner.mli: Behavior Coop_lang Coop_trace Format Loc Sched Trace Vm

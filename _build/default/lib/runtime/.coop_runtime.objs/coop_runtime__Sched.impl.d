@@ -1,0 +1,1 @@
+lib/runtime/sched.ml: Array Coop_util Hashtbl Int List Printf Vm

@@ -1,0 +1,1 @@
+lib/runtime/vm.ml: Array Ast Buffer Bytecode Coop_lang Coop_trace Event Int List Loc Map Printf Seq

@@ -1,0 +1,1 @@
+lib/runtime/vm.mli: Bytecode Coop_lang Coop_trace Loc Trace

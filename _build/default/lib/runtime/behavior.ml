@@ -1,0 +1,44 @@
+type t = {
+  output : int list;
+  globals : int list;
+  fault_count : int;
+  deadlocked : bool;
+}
+
+let of_state st =
+  let prog = Vm.program st in
+  let n = prog.Coop_lang.Bytecode.n_globals in
+  let globals = List.init n (fun i -> Vm.global_value st i) in
+  {
+    output = Vm.output st;
+    globals;
+    fault_count = List.length (Vm.failures st);
+    deadlocked = Vm.deadlocked st;
+  }
+
+let compare a b =
+  let c = compare a.output b.output in
+  if c <> 0 then c
+  else begin
+    let c = compare a.globals b.globals in
+    if c <> 0 then c
+    else begin
+      let c = Int.compare a.fault_count b.fault_count in
+      if c <> 0 then c else Bool.compare a.deadlocked b.deadlocked
+    end
+  end
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  Format.fprintf ppf "out=[%s] globals=[%s]%s%s"
+    (String.concat ";" (List.map string_of_int t.output))
+    (String.concat ";" (List.map string_of_int t.globals))
+    (if t.fault_count > 0 then Printf.sprintf " faults=%d" t.fault_count else "")
+    (if t.deadlocked then " DEADLOCK" else "")
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,29 @@
+(** Observable behaviours.
+
+    The reduction theorem is stated over behaviours: a preemptive execution
+    is equivalent to a cooperative one when they are indistinguishable to an
+    observer. We take the standard observables — the sequence of [print]
+    outputs, the final global store, whether any thread faulted, and whether
+    the run deadlocked. *)
+
+type t = {
+  output : int list;  (** [print] values in order. *)
+  globals : int list;  (** Final value of every global slot, by slot. *)
+  fault_count : int;  (** Number of faulted threads. *)
+  deadlocked : bool;  (** True when the run ended in a deadlock. *)
+}
+
+val of_state : Vm.state -> t
+(** Project a final machine state to its behaviour. *)
+
+val compare : t -> t -> int
+(** Total order for sets. *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact one-line rendering. *)
+
+module Set : Set.S with type elt = t
+(** Behaviour sets, as produced by the schedule explorer. *)

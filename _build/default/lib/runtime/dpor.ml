@@ -1,0 +1,220 @@
+open Coop_trace
+open Coop_lang
+module Iset = Set.Make (Int)
+
+type result = {
+  behaviors : Behavior.Set.t;
+  executions : int;
+  steps : int;
+  complete : bool;
+}
+
+(* The object a transition touches, for the dependency relation. *)
+type obj =
+  | Ovar of Event.var
+  | Olock of int
+  | Othread of int  (* fork/join of, or park-on-join for, this thread *)
+  | Oout  (* print: globally ordered because output order is observable *)
+  | Onone
+
+type step_info = {
+  tid : int;
+  obj : obj;
+  is_write : bool;
+}
+
+let dependent a b =
+  if a.tid = b.tid then false  (* program order needs no backtracking *)
+  else begin
+    match (a.obj, b.obj) with
+    | Ovar v, Ovar w ->
+        Event.equal_var v w && (a.is_write || b.is_write)
+    | Olock l, Olock m -> l = m
+    | Oout, Oout -> true
+    | Othread t, _ -> t = b.tid
+    | _, Othread t -> t = a.tid
+    | _ -> false
+  end
+
+let is_visible = function
+  | Bytecode.Load_global _ | Bytecode.Store_global _ | Bytecode.Load_elem _
+  | Bytecode.Store_elem _ | Bytecode.Acquire | Bytecode.Release
+  | Bytecode.Wait | Bytecode.Notify _ | Bytecode.Yield_instr
+  | Bytecode.Spawn _ | Bytecode.Join | Bytecode.Print ->
+      true
+  | _ -> false
+
+(* Execute one transition of [tid]: the invisible prefix, then one visible
+   instruction (or a park). Returns the new state and the step summary, or
+   [None] when the invisible-prefix budget runs out. The visible operation
+   is recovered from the event the step emits. *)
+let exec_transition ~yields ~max_segment st tid =
+  let captured = ref Onone in
+  let wrote = ref false in
+  let sink (e : Event.t) =
+    match e.op with
+    | Event.Read v -> captured := Ovar v
+    | Event.Write v ->
+        captured := Ovar v;
+        wrote := true
+    | Event.Acquire l | Event.Release l -> captured := Olock l
+    | Event.Fork t | Event.Join t -> captured := Othread t
+    | Event.Out _ -> captured := Oout
+    | Event.Yield -> ()  (* leaves a Wait's Release capture in place *)
+    | Event.Enter _ | Event.Exit _ | Event.Atomic_begin | Event.Atomic_end ->
+        ()
+  in
+  let rec go st fuel =
+    if fuel = 0 then None
+    else if
+      match Vm.thread_status st tid with Vm.Reacquiring _ -> true | _ -> false
+    then begin
+      (* Monitor reacquire: a visible lock transition of its own. *)
+      let st' = Vm.step ~yields st tid ~sink in
+      Some (st', { tid; obj = !captured; is_write = false })
+    end
+    else begin
+      match Vm.peek_instr st tid with
+      | None -> Some (st, { tid; obj = Onone; is_write = false })
+      | Some (instr, loc) ->
+          let injected = Loc.Set.mem loc yields in
+          if is_visible instr || injected then begin
+            let st' = Vm.step ~yields st tid ~sink in
+            let obj =
+              match Vm.thread_status st' tid with
+              | Vm.Blocked_on_lock h | Vm.Waiting h | Vm.Reacquiring h ->
+                  Olock h  (* parked or waiting: depends on the monitor *)
+              | Vm.Blocked_on_join u -> Othread u
+              | _ -> !captured
+            in
+            Some (st', { tid; obj; is_write = !wrote })
+          end
+          else begin
+            let st' = Vm.step ~yields st tid ~sink in
+            match Vm.thread_status st' tid with
+            | Vm.Finished | Vm.Faulted _ ->
+                Some (st', { tid; obj = Onone; is_write = false })
+            | _ -> go st' (fuel - 1)
+          end
+    end
+  in
+  go st max_segment
+
+type frame = {
+  state : Vm.state;  (* state before the choice at this depth *)
+  enabled : Iset.t;
+  mutable backtrack : Iset.t;
+  mutable tried : Iset.t;
+  mutable taken : step_info option;  (* the step executed from this frame *)
+  mutable sleep : (int * step_info) list;
+      (* threads whose next transition was fully explored in a sibling
+         subtree; skipped here, woken by dependent steps (sleep sets) *)
+}
+
+let run ?(yields = Loc.Set.empty) ?(max_executions = 50_000)
+    ?(max_depth = 10_000) ?(max_segment = 100_000) prog =
+  let behaviors = ref Behavior.Set.empty in
+  let executions = ref 0 in
+  let steps = ref 0 in
+  let complete = ref true in
+  let record st =
+    incr executions;
+    behaviors := Behavior.Set.add (Behavior.of_state st) !behaviors
+  in
+  (* The execution stack; index 0 is the initial state. *)
+  let stack : frame array ref = ref [||] in
+  let depth = ref 0 in
+  let push frame =
+    if !depth >= Array.length !stack then begin
+      let bigger =
+        Array.make (max 64 (2 * Array.length !stack)) frame
+      in
+      Array.blit !stack 0 bigger 0 (Array.length !stack);
+      stack := bigger
+    end;
+    !stack.(!depth) <- frame;
+    incr depth
+  in
+  let make_frame ?(sleep = []) st =
+    let enabled = Iset.of_list (Vm.runnable st) in
+    (* Prefer a first choice that is not asleep. *)
+    let awake =
+      Iset.filter (fun p -> not (List.mem_assoc p sleep)) enabled
+    in
+    let backtrack =
+      match Iset.min_elt_opt (if Iset.is_empty awake then enabled else awake) with
+      | Some p -> Iset.singleton p
+      | None -> Iset.empty
+    in
+    { state = st; enabled; backtrack; tried = Iset.empty; taken = None; sleep }
+  in
+  (* After taking step [info] at depth d (from frame d), add backtrack
+     points at the last earlier frame whose taken step is dependent. *)
+  let add_backtracks info upto =
+    let rec find i =
+      if i < 0 then ()
+      else begin
+        match !stack.(i).taken with
+        | Some prior when dependent prior info ->
+            let fr = !stack.(i) in
+            if Iset.mem info.tid fr.enabled then
+              fr.backtrack <- Iset.add info.tid fr.backtrack
+            else fr.backtrack <- Iset.union fr.backtrack fr.enabled
+        | _ -> find (i - 1)
+      end
+    in
+    find upto
+  in
+  let rec explore () =
+    if !executions >= max_executions then complete := false
+    else begin
+      let fr = !stack.(!depth - 1) in
+      if Iset.is_empty fr.enabled then record fr.state
+      else if !depth > max_depth then complete := false
+      else begin
+        let continue_ = ref true in
+        while !continue_ do
+          match Iset.min_elt_opt (Iset.diff fr.backtrack fr.tried) with
+          | None -> continue_ := false
+          | Some p when List.mem_assoc p fr.sleep ->
+              (* Asleep: this transition's subtree was covered in a sibling
+                 and nothing dependent has happened since. *)
+              fr.tried <- Iset.add p fr.tried
+          | Some p -> (
+              fr.tried <- Iset.add p fr.tried;
+              match
+                exec_transition ~yields ~max_segment fr.state p
+              with
+              | None -> complete := false
+              | Some (st', info) ->
+                  incr steps;
+                  fr.taken <- Some info;
+                  add_backtracks info (!depth - 2);
+                  let child_sleep =
+                    List.filter
+                      (fun (_, i) -> not (dependent i info))
+                      fr.sleep
+                  in
+                  push (make_frame ~sleep:child_sleep st');
+                  explore ();
+                  decr depth;
+                  fr.sleep <- (p, info) :: fr.sleep;
+                  if !executions >= max_executions then begin
+                    (* Budget exhausted mid-frame: the remaining backtrack
+                       choices stay unexplored. *)
+                    if not (Iset.is_empty (Iset.diff fr.backtrack fr.tried))
+                    then complete := false;
+                    continue_ := false
+                  end)
+        done
+      end
+    end
+  in
+  push (make_frame (Vm.init prog));
+  explore ();
+  {
+    behaviors = !behaviors;
+    executions = !executions;
+    steps = !steps;
+    complete = !complete;
+  }

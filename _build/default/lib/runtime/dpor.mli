@@ -1,0 +1,49 @@
+(** Stateless dynamic partial-order reduction (Flanagan-Godefroid 2005).
+
+    An alternative to {!Explore}'s stateful DFS: executions are replayed
+    from the initial state and backtrack points are added lazily, only where
+    a step is {e dependent} on an earlier step of another thread
+    (conflicting access, same-lock operation, fork/join of that thread).
+    Independent steps are never reordered, so the number of explored
+    executions tracks the number of Mazurkiewicz traces instead of the
+    number of interleavings.
+
+    Transitions are taken at {!Explore.Visible_only} granularity: one
+    visible operation (plus its invisible prefix) per step. A scheduling
+    attempt that parks on a lock counts as a transition dependent on that
+    lock, which keeps blocking sound.
+
+    The implementation uses the textbook sound backtrack rule: when step
+    [s_n] of thread [p] is dependent with an earlier step [s_i], add [p] to
+    [backtrack(i)] if [p] was enabled there, otherwise add every thread
+    enabled at [i]. No sleep sets — some redundant executions are explored,
+    but the behaviour set is exact, which the test suite checks against
+    {!Explore}.
+
+    Being stateless (no memoization), DPOR only terminates on programs all
+    of whose executions terminate; programs with yield-based spin loops have
+    unfair infinite executions and will exhaust [max_depth] (reported as
+    incomplete). The stateful {!Explore} handles those instead — the two
+    explorers are complementary, which is why both exist. *)
+
+open Coop_trace
+
+type result = {
+  behaviors : Behavior.Set.t;  (** All behaviours of maximal executions. *)
+  executions : int;  (** Maximal executions explored. *)
+  steps : int;  (** Total transitions taken (including replays). *)
+  complete : bool;  (** False when a budget was exhausted. *)
+}
+
+val run :
+  ?yields:Loc.Set.t ->
+  ?max_executions:int ->
+  ?max_depth:int ->
+  ?max_segment:int ->
+  Coop_lang.Bytecode.program ->
+  result
+(** [run prog] explores the program's preemptive behaviours.
+    [max_executions] (default 50_000) bounds explored executions,
+    [max_depth] (default 10_000) bounds transitions per execution,
+    [max_segment] (default 100_000) bounds each transition's invisible
+    prefix. *)

@@ -1,0 +1,139 @@
+open Coop_trace
+open Coop_lang
+
+type mode =
+  | Preemptive
+  | Cooperative
+
+type granularity =
+  | Every_instruction
+  | Visible_only
+
+type result = {
+  behaviors : Behavior.Set.t;
+  complete : bool;
+  states : int;
+  deadlocks : int;
+}
+
+let is_visible = function
+  | Bytecode.Load_global _ | Bytecode.Store_global _ | Bytecode.Load_elem _
+  | Bytecode.Store_elem _ | Bytecode.Acquire | Bytecode.Release
+  | Bytecode.Wait | Bytecode.Notify _ | Bytecode.Yield_instr
+  | Bytecode.Spawn _ | Bytecode.Join | Bytecode.Print ->
+      true
+  | Bytecode.Const _ | Bytecode.Load_local _ | Bytecode.Store_local _
+  | Bytecode.Array_len _ | Bytecode.Binop _ | Bytecode.Unop _ | Bytecode.Jump _
+  | Bytecode.Jump_if_zero _ | Bytecode.Atomic_begin | Bytecode.Atomic_end
+  | Bytecode.Call _ | Bytecode.Ret | Bytecode.Assert | Bytecode.Pop
+  | Bytecode.Halt ->
+      false
+
+(* The next instruction of [tid], when it has a frame. *)
+let next_instr st tid =
+  match Vm.thread_status st tid with
+  | Vm.Finished | Vm.Faulted _ -> None
+  | _ -> Vm.peek_instr st tid
+
+(* One scheduling decision in preemptive mode: execute [tid]'s invisible
+   prefix eagerly, then one visible instruction (or park). Returns [None]
+   when the segment budget is exhausted. *)
+let macro_step ~yields ~max_segment st tid =
+  let sink = Trace.Sink.ignore in
+  let rec go st fuel =
+    if fuel = 0 then None
+    else if
+      match Vm.thread_status st tid with Vm.Reacquiring _ -> true | _ -> false
+    then
+      (* A monitor reacquire is itself a visible transition. *)
+      Some (Vm.step ~yields st tid ~sink)
+    else begin
+      match next_instr st tid with
+      | None -> Some st
+      | Some (instr, loc) ->
+          let injected = Loc.Set.mem loc yields in
+          if is_visible instr || injected then begin
+            (* Execute the visible instruction (or its injected yield) and
+               stop; if the thread parks instead, the state still changed. *)
+            let st' = Vm.step ~yields st tid ~sink in
+            Some st'
+          end
+          else begin
+            let st' = Vm.step ~yields st tid ~sink in
+            match Vm.thread_status st' tid with
+            | Vm.Finished | Vm.Faulted _ -> Some st'
+            | _ -> go st' (fuel - 1)
+          end
+    end
+  in
+  go st max_segment
+
+(* One scheduling decision in cooperative mode: run [tid] until it yields,
+   blocks, faults or finishes. *)
+let coop_segment ~yields ~max_segment st tid =
+  let sink = Trace.Sink.ignore in
+  let rec go st fuel =
+    if fuel = 0 then None
+    else begin
+      let st' = Vm.step ~yields st tid ~sink in
+      if Vm.last_step_yielded st' then Some st'
+      else begin
+        match Vm.thread_status st' tid with
+        | Vm.Finished | Vm.Faulted _ -> Some st'
+        | Vm.Blocked_on_lock _ | Vm.Blocked_on_join _ | Vm.Waiting _
+        | Vm.Reacquiring _ ->
+            Some st'
+        | Vm.Runnable -> go st' (fuel - 1)
+      end
+    end
+  in
+  go st max_segment
+
+(* One scheduling decision at instruction granularity: a single step. *)
+let single_step ~yields st tid =
+  Some (Vm.step ~yields st tid ~sink:Trace.Sink.ignore)
+
+let run ?(yields = Loc.Set.empty) ?(max_states = 200_000)
+    ?(max_segment = 100_000) ?(granularity = Visible_only) mode prog =
+  let seen = Hashtbl.create 1024 in
+  let behaviors = ref Behavior.Set.empty in
+  let complete = ref true in
+  let states = ref 0 in
+  let deadlocks = ref 0 in
+  let segment =
+    match (mode, granularity) with
+    | Preemptive, Visible_only -> macro_step ~yields ~max_segment
+    | Preemptive, Every_instruction -> single_step ~yields
+    | Cooperative, _ -> coop_segment ~yields ~max_segment
+  in
+  let rec visit st =
+    if !states >= max_states then complete := false
+    else begin
+      let k = Vm.key st in
+      if not (Hashtbl.mem seen k) then begin
+        Hashtbl.add seen k ();
+        incr states;
+        match Vm.runnable st with
+        | [] ->
+            if Vm.deadlocked st then incr deadlocks;
+            behaviors := Behavior.Set.add (Behavior.of_state st) !behaviors
+        | runnable ->
+            List.iter
+              (fun tid ->
+                match segment st tid with
+                | Some st' -> visit st'
+                | None -> complete := false)
+              runnable
+      end
+    end
+  in
+  visit (Vm.init prog);
+  {
+    behaviors = !behaviors;
+    complete = !complete;
+    states = !states;
+    deadlocks = !deadlocks;
+  }
+
+let behaviors_equal a b =
+  a.complete && b.complete && Behavior.Set.equal a.behaviors b.behaviors

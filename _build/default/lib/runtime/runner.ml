@@ -1,0 +1,47 @@
+open Coop_trace
+
+type termination =
+  | Completed
+  | Deadlock
+  | Step_limit
+
+type outcome = {
+  final : Vm.state;
+  termination : termination;
+  steps : int;
+}
+
+let run ?(yields = Loc.Set.empty) ?(max_steps = 10_000_000) ~sched ~sink prog =
+  let rec loop st last steps =
+    if steps >= max_steps then
+      { final = st; termination = Step_limit; steps }
+    else begin
+      match Vm.runnable st with
+      | [] ->
+          let termination = if Vm.all_quiescent st then Completed else Deadlock in
+          { final = st; termination; steps }
+      | runnable ->
+          let ctx =
+            { Sched.state = st; runnable; last;
+              last_yielded = Vm.last_step_yielded st }
+          in
+          let tid = sched.Sched.pick ctx in
+          let st = Vm.step ~yields st tid ~sink in
+          loop st (Some tid) (steps + 1)
+    end
+  in
+  loop (Vm.init prog) None 0
+
+let record ?yields ?max_steps ~sched prog =
+  let trace = Trace.create () in
+  let outcome =
+    run ?yields ?max_steps ~sched ~sink:(Trace.Sink.recording trace) prog
+  in
+  (outcome, trace)
+
+let behavior_of outcome = Behavior.of_state outcome.final
+
+let pp_termination ppf = function
+  | Completed -> Format.pp_print_string ppf "completed"
+  | Deadlock -> Format.pp_print_string ppf "deadlock"
+  | Step_limit -> Format.pp_print_string ppf "step-limit"

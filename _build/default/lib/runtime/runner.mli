@@ -1,0 +1,45 @@
+(** Driving a program to completion under a scheduler.
+
+    This is the "RoadRunner" of the reproduction: it executes the program,
+    streams every event to the given sink (race detector, cooperability
+    automaton, a recording trace, or nothing at all for baseline timing),
+    and reports how the run ended. *)
+
+open Coop_trace
+
+(** How a run terminated. *)
+type termination =
+  | Completed  (** Every thread finished or faulted. *)
+  | Deadlock  (** Some thread is blocked forever. *)
+  | Step_limit  (** The step budget ran out. *)
+
+type outcome = {
+  final : Vm.state;  (** The last machine state. *)
+  termination : termination;
+  steps : int;  (** Instructions executed. *)
+}
+
+val run :
+  ?yields:Loc.Set.t ->
+  ?max_steps:int ->
+  sched:Sched.t ->
+  sink:Trace.Sink.t ->
+  Coop_lang.Bytecode.program ->
+  outcome
+(** [run ?yields ?max_steps ~sched ~sink prog] executes [prog] from its
+    initial state. [yields] injects extra yield points (see {!Vm.step}).
+    [max_steps] defaults to 10 million. *)
+
+val record :
+  ?yields:Loc.Set.t ->
+  ?max_steps:int ->
+  sched:Sched.t ->
+  Coop_lang.Bytecode.program ->
+  outcome * Trace.t
+(** Like {!run} with a recording sink; returns the trace. *)
+
+val behavior_of : outcome -> Behavior.t
+(** The observable behaviour of an outcome. *)
+
+val pp_termination : Format.formatter -> termination -> unit
+(** "completed", "deadlock" or "step-limit". *)

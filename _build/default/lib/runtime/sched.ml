@@ -1,0 +1,128 @@
+type context = {
+  state : Vm.state;
+  runnable : int list;
+  last : int option;
+  last_yielded : bool;
+}
+
+type t = {
+  name : string;
+  pick : context -> int;
+}
+
+let lowest = function
+  | [] -> invalid_arg "Sched: empty runnable list"
+  | t :: _ -> t
+
+(* First runnable tid strictly greater than [cur], wrapping. *)
+let next_after cur runnable =
+  match List.find_opt (fun t -> t > cur) runnable with
+  | Some t -> t
+  | None -> lowest runnable
+
+let round_robin ~quantum () =
+  if quantum <= 0 then invalid_arg "Sched.round_robin: quantum must be positive";
+  let used = ref 0 in
+  let pick ctx =
+    match ctx.last with
+    | Some cur when List.mem cur ctx.runnable && !used < quantum ->
+        incr used;
+        cur
+    | Some cur ->
+        used := 1;
+        next_after cur ctx.runnable
+    | None ->
+        used := 1;
+        lowest ctx.runnable
+  in
+  { name = Printf.sprintf "round-robin(q=%d)" quantum; pick }
+
+let random ~seed () =
+  let rng = Coop_util.Rng.create seed in
+  let pick ctx =
+    let arr = Array.of_list ctx.runnable in
+    Coop_util.Rng.pick rng arr
+  in
+  { name = Printf.sprintf "random(seed=%d)" seed; pick }
+
+let cooperative () =
+  let pick ctx =
+    match ctx.last with
+    | Some cur when List.mem cur ctx.runnable && not ctx.last_yielded -> cur
+    | Some cur -> next_after cur ctx.runnable
+    | None -> lowest ctx.runnable
+  in
+  { name = "cooperative"; pick }
+
+let sequential = { name = "sequential"; pick = (fun ctx -> lowest ctx.runnable) }
+
+let pct ~seed ~depth ~change_span () =
+  if depth < 1 then invalid_arg "Sched.pct: depth must be >= 1";
+  let rng = Coop_util.Rng.create seed in
+  (* Distinct initial priorities, all above the demotion range [0, depth). *)
+  let priorities : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let next_initial = ref depth in
+  let priority_of tid =
+    match Hashtbl.find_opt priorities tid with
+    | Some p -> p
+    | None ->
+        (* Insert at a random rank among the existing initial priorities by
+           drawing a fresh value; collisions resolved by tid for
+           determinism. *)
+        let p = !next_initial + Coop_util.Rng.int rng 1000 in
+        incr next_initial;
+        Hashtbl.add priorities tid p;
+        p
+  in
+  let change_points =
+    List.init (depth - 1) (fun _ -> Coop_util.Rng.int rng (max 1 change_span))
+    |> List.sort_uniq Int.compare
+  in
+  let remaining = ref change_points in
+  let next_demotion = ref 0 in
+  let step = ref 0 in
+  let pick ctx =
+    (* Demote the thread that ran the previous step when we crossed a
+       change point. *)
+    (match (ctx.last, !remaining) with
+    | Some cur, cp :: rest when !step > cp ->
+        remaining := rest;
+        Hashtbl.replace priorities cur !next_demotion;
+        incr next_demotion
+    | _ -> ());
+    incr step;
+    let best =
+      List.fold_left
+        (fun acc tid ->
+          let p = priority_of tid in
+          match acc with
+          | Some (_, bp) when bp >= p -> acc
+          | _ -> Some (tid, p))
+        None ctx.runnable
+    in
+    match best with Some (tid, _) -> tid | None -> lowest ctx.runnable
+  in
+  { name = Printf.sprintf "pct(seed=%d,d=%d)" seed depth; pick }
+
+let recorded inner =
+  let log = ref [] in
+  let pick ctx =
+    let t = inner.pick ctx in
+    log := t :: !log;
+    t
+  in
+  ((fun () -> List.rev !log), { name = inner.name ^ "+recorded"; pick })
+
+let pinned decisions =
+  let rest = ref decisions in
+  let pick ctx =
+    match !rest with
+    | d :: tl when List.mem d ctx.runnable ->
+        rest := tl;
+        d
+    | _ :: tl ->
+        rest := tl;
+        lowest ctx.runnable
+    | [] -> lowest ctx.runnable
+  in
+  { name = "pinned"; pick }

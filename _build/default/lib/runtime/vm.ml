@@ -1,0 +1,583 @@
+open Coop_trace
+open Coop_lang
+module Imap = Map.Make (Int)
+
+type status =
+  | Runnable
+  | Blocked_on_lock of int
+  | Blocked_on_join of int
+  | Waiting of int
+  | Reacquiring of int
+  | Finished
+  | Faulted of string
+
+type frame = {
+  func : int;
+  pc : int;
+  locals : int Imap.t;
+  stack : int list;
+}
+
+type thread = {
+  frames : frame list;
+  status : status;
+  entered : bool;  (* Enter event for the root frame already emitted *)
+  pending_yield : bool;  (* injected yield at current pc already emitted *)
+  wait_depth : int;  (* reentrancy depth to restore after a wait *)
+}
+
+type state = {
+  prog : Bytecode.program;
+  globals : int Imap.t;
+  arrays : int Imap.t Imap.t;  (* array id -> index -> value *)
+  locks : (int * int) Imap.t;  (* handle -> (owner, depth) *)
+  conditions : int list Imap.t;  (* handle -> waiting tids, FIFO *)
+  threads : thread Imap.t;
+  next_tid : int;
+  output_rev : int list;
+  failures_rev : (int * string) list;
+  steps : int;
+  last_yielded : bool;
+}
+
+exception Fault of string
+
+let init prog =
+  let globals =
+    Array.to_seqi prog.Bytecode.global_init
+    |> Seq.fold_left (fun m (i, v) -> Imap.add i v m) Imap.empty
+  in
+  let main_frame =
+    { func = prog.Bytecode.main; pc = 0; locals = Imap.empty; stack = [] }
+  in
+  let t0 =
+    { frames = [ main_frame ]; status = Runnable; entered = false;
+      pending_yield = false; wait_depth = 0 }
+  in
+  {
+    prog;
+    globals;
+    arrays = Imap.empty;
+    locks = Imap.empty;
+    conditions = Imap.empty;
+    threads = Imap.singleton 0 t0;
+    next_tid = 1;
+    output_rev = [];
+    failures_rev = [];
+    steps = 0;
+    last_yielded = false;
+  }
+
+let program st = st.prog
+
+let thread_status st tid =
+  match Imap.find_opt tid st.threads with
+  | Some t -> t.status
+  | None -> raise Not_found
+
+let thread_ids st = Imap.bindings st.threads |> List.map fst
+
+let lock_free_for st tid handle =
+  match Imap.find_opt handle st.locks with
+  | None -> true
+  | Some (owner, _) -> owner = tid
+
+let join_target_done st target =
+  match Imap.find_opt target st.threads with
+  | None -> false
+  | Some t -> ( match t.status with Finished | Faulted _ -> true | _ -> false)
+
+let can_run st tid (t : thread) =
+  match t.status with
+  | Runnable -> true
+  | Blocked_on_lock h | Reacquiring h -> lock_free_for st tid h
+  | Blocked_on_join u -> join_target_done st u
+  | Waiting _ -> false
+  | Finished | Faulted _ -> false
+
+let runnable st =
+  Imap.fold (fun tid t acc -> if can_run st tid t then tid :: acc else acc)
+    st.threads []
+  |> List.rev
+
+let all_quiescent st =
+  Imap.for_all
+    (fun _ t ->
+      match t.status with Finished | Faulted _ -> true | _ -> false)
+    st.threads
+
+let deadlocked st = runnable st = [] && not (all_quiescent st)
+
+let global_value st slot =
+  match Imap.find_opt slot st.globals with Some v -> v | None -> 0
+
+let output st = List.rev st.output_rev
+
+let failures st = List.rev st.failures_rev
+
+let steps_taken st = st.steps
+
+let last_step_yielded st = st.last_yielded
+
+let peek_instr st tid =
+  match Imap.find_opt tid st.threads with
+  | None -> None
+  | Some t -> (
+      match t.frames with
+      | [] -> None
+      | frame :: _ ->
+          let f = st.prog.Bytecode.funcs.(frame.func) in
+          if frame.pc < 0 || frame.pc >= Array.length f.code then None
+          else
+            Some
+              ( f.code.(frame.pc),
+                Bytecode.loc st.prog ~func:frame.func ~pc:frame.pc ))
+
+(* --- Arithmetic -------------------------------------------------------- *)
+
+let apply_binop op a b =
+  let bool_ v = if v then 1 else 0 in
+  match op with
+  | Ast.Add -> a + b
+  | Ast.Sub -> a - b
+  | Ast.Mul -> a * b
+  | Ast.Div -> if b = 0 then raise (Fault "division by zero") else a / b
+  | Ast.Mod -> if b = 0 then raise (Fault "modulo by zero") else a mod b
+  | Ast.Lt -> bool_ (a < b)
+  | Ast.Le -> bool_ (a <= b)
+  | Ast.Gt -> bool_ (a > b)
+  | Ast.Ge -> bool_ (a >= b)
+  | Ast.Eq -> bool_ (a = b)
+  | Ast.Ne -> bool_ (a <> b)
+  | Ast.And -> bool_ (a <> 0 && b <> 0)
+  | Ast.Or -> bool_ (a <> 0 || b <> 0)
+
+let apply_unop op a =
+  match op with Ast.Neg -> -a | Ast.Not -> if a = 0 then 1 else 0
+
+(* --- Stepping ---------------------------------------------------------- *)
+
+let pop = function
+  | v :: rest -> (v, rest)
+  | [] -> raise (Fault "operand stack underflow")
+
+let pop2 = function
+  | b :: a :: rest -> (a, b, rest)
+  | _ -> raise (Fault "operand stack underflow")
+
+let set_thread st tid t = { st with threads = Imap.add tid t st.threads }
+
+let check_array st aid idx =
+  let n = Array.length st.prog.Bytecode.array_sizes in
+  if aid < 0 || aid >= n then raise (Fault "invalid array id");
+  let size = st.prog.Bytecode.array_sizes.(aid) in
+  if idx < 0 || idx >= size then
+    raise
+      (Fault
+         (Printf.sprintf "array index %d out of bounds for %s[%d]" idx
+            st.prog.Bytecode.array_names.(aid) size))
+
+let array_get st aid idx =
+  match Imap.find_opt aid st.arrays with
+  | None -> 0
+  | Some m -> ( match Imap.find_opt idx m with Some v -> v | None -> 0)
+
+let array_set st aid idx v =
+  let m = match Imap.find_opt aid st.arrays with Some m -> m | None -> Imap.empty in
+  { st with arrays = Imap.add aid (Imap.add idx v m) st.arrays }
+
+let check_lock st handle =
+  if handle < 0 || handle >= st.prog.Bytecode.n_locks then
+    raise (Fault (Printf.sprintf "invalid lock handle %d" handle))
+
+(* Execute one instruction of [tid]. Precondition: the thread can run. *)
+let step ?(yields = Loc.Set.empty) st tid ~sink =
+  let t =
+    match Imap.find_opt tid st.threads with
+    | Some t -> t
+    | None -> invalid_arg "Vm.step: unknown thread"
+  in
+  if not (can_run st tid t) then invalid_arg "Vm.step: thread cannot run";
+  let frame, outer_frames =
+    match t.frames with
+    | f :: rest -> (f, rest)
+    | [] -> invalid_arg "Vm.step: thread has no frame"
+  in
+  let code = st.prog.Bytecode.funcs.(frame.func).code in
+  let loc = Bytecode.loc st.prog ~func:frame.func ~pc:frame.pc in
+  let st = { st with steps = st.steps + 1; last_yielded = false } in
+  let emit _st op = sink (Event.make ~tid ~op ~loc) in
+  (* Root-frame Enter event, once per thread. *)
+  let st, t =
+    if t.entered then (st, t)
+    else begin
+      emit st (Event.Enter frame.func);
+      (st, { t with entered = true })
+    end
+  in
+  (* A woken waiter's next step reacquires its monitor at the saved
+     reentrancy depth; no instruction executes this step. *)
+  match t.status with
+  | Reacquiring handle ->
+      emit st (Event.Acquire handle);
+      let st =
+        { st with locks = Imap.add handle (tid, max 1 t.wait_depth) st.locks }
+      in
+      set_thread st tid { t with status = Runnable; wait_depth = 0 }
+  | _ ->
+  (* Injected yield: its own scheduling point, before the instruction. *)
+  if Loc.Set.mem loc yields && not t.pending_yield then begin
+    emit st Event.Yield;
+    let t = { t with pending_yield = true; status = Runnable } in
+    { (set_thread st tid t) with last_yielded = true }
+  end
+  else begin
+    let t = { t with pending_yield = false } in
+    let advance ?(d = 1) frame = { frame with pc = frame.pc + d } in
+    let finish_with st t = set_thread st tid t in
+    try
+      match code.(frame.pc) with
+      | Bytecode.Const n ->
+          let frame = advance { frame with stack = n :: frame.stack } in
+          finish_with st { t with frames = frame :: outer_frames; status = Runnable }
+      | Bytecode.Load_global g ->
+          emit st (Event.Read (Event.Global g));
+          let v = global_value st g in
+          let frame = advance { frame with stack = v :: frame.stack } in
+          finish_with st { t with frames = frame :: outer_frames; status = Runnable }
+      | Bytecode.Store_global g ->
+          let v, stack = pop frame.stack in
+          emit st (Event.Write (Event.Global g));
+          let st = { st with globals = Imap.add g v st.globals } in
+          let frame = advance { frame with stack } in
+          finish_with st { t with frames = frame :: outer_frames; status = Runnable }
+      | Bytecode.Load_local l ->
+          let v = match Imap.find_opt l frame.locals with Some v -> v | None -> 0 in
+          let frame = advance { frame with stack = v :: frame.stack } in
+          finish_with st { t with frames = frame :: outer_frames; status = Runnable }
+      | Bytecode.Store_local l ->
+          let v, stack = pop frame.stack in
+          let frame = advance { frame with stack; locals = Imap.add l v frame.locals } in
+          finish_with st { t with frames = frame :: outer_frames; status = Runnable }
+      | Bytecode.Load_elem aid ->
+          let idx, stack = pop frame.stack in
+          check_array st aid idx;
+          emit st (Event.Read (Event.Cell (aid, idx)));
+          let v = array_get st aid idx in
+          let frame = advance { frame with stack = v :: stack } in
+          finish_with st { t with frames = frame :: outer_frames; status = Runnable }
+      | Bytecode.Store_elem aid ->
+          let idx, v, stack = pop2 frame.stack in
+          check_array st aid idx;
+          emit st (Event.Write (Event.Cell (aid, idx)));
+          let st = array_set st aid idx v in
+          let frame = advance { frame with stack } in
+          finish_with st { t with frames = frame :: outer_frames; status = Runnable }
+      | Bytecode.Array_len aid ->
+          if aid < 0 || aid >= Array.length st.prog.Bytecode.array_sizes then
+            raise (Fault "invalid array id");
+          let v = st.prog.Bytecode.array_sizes.(aid) in
+          let frame = advance { frame with stack = v :: frame.stack } in
+          finish_with st { t with frames = frame :: outer_frames; status = Runnable }
+      | Bytecode.Binop op ->
+          let a, b, stack = pop2 frame.stack in
+          let v = apply_binop op a b in
+          let frame = advance { frame with stack = v :: stack } in
+          finish_with st { t with frames = frame :: outer_frames; status = Runnable }
+      | Bytecode.Unop op ->
+          let a, stack = pop frame.stack in
+          let v = apply_unop op a in
+          let frame = advance { frame with stack = v :: stack } in
+          finish_with st { t with frames = frame :: outer_frames; status = Runnable }
+      | Bytecode.Jump target ->
+          let frame = { frame with pc = target } in
+          finish_with st { t with frames = frame :: outer_frames; status = Runnable }
+      | Bytecode.Jump_if_zero target ->
+          let v, stack = pop frame.stack in
+          let frame =
+            if v = 0 then { frame with pc = target; stack }
+            else advance { frame with stack }
+          in
+          finish_with st { t with frames = frame :: outer_frames; status = Runnable }
+      | Bytecode.Acquire -> (
+          let handle =
+            match frame.stack with
+            | h :: _ -> h
+            | [] -> raise (Fault "operand stack underflow")
+          in
+          check_lock st handle;
+          match Imap.find_opt handle st.locks with
+          | Some (owner, depth) when owner = tid ->
+              (* Reentrant acquire: no event. *)
+              let st = { st with locks = Imap.add handle (tid, depth + 1) st.locks } in
+              let _, stack = pop frame.stack in
+              let frame = advance { frame with stack } in
+              finish_with st { t with frames = frame :: outer_frames; status = Runnable }
+          | Some _ ->
+              (* Held by someone else: park without consuming the handle. *)
+              finish_with st { t with status = Blocked_on_lock handle }
+          | None ->
+              emit st (Event.Acquire handle);
+              let st = { st with locks = Imap.add handle (tid, 1) st.locks } in
+              let _, stack = pop frame.stack in
+              let frame = advance { frame with stack } in
+              finish_with st { t with frames = frame :: outer_frames; status = Runnable })
+      | Bytecode.Release -> (
+          let handle, stack = pop frame.stack in
+          check_lock st handle;
+          match Imap.find_opt handle st.locks with
+          | Some (owner, depth) when owner = tid ->
+              let st =
+                if depth = 1 then begin
+                  emit st (Event.Release handle);
+                  { st with locks = Imap.remove handle st.locks }
+                end
+                else { st with locks = Imap.add handle (tid, depth - 1) st.locks }
+              in
+              let frame = advance { frame with stack } in
+              finish_with st { t with frames = frame :: outer_frames; status = Runnable }
+          | _ ->
+              raise
+                (Fault
+                   (Printf.sprintf "release of lock %s not held"
+                      st.prog.Bytecode.lock_names.(handle))))
+      | Bytecode.Wait -> (
+          let handle, stack = pop frame.stack in
+          check_lock st handle;
+          match Imap.find_opt handle st.locks with
+          | Some (owner, depth) when owner = tid ->
+              (* Release the monitor fully and park on its condition. The
+                 event encoding is Release;Yield now and Acquire at resume,
+                 which makes wait a scheduling point for the cooperative
+                 semantics and gives the analyses the right happens-before
+                 edges with no new event kinds. *)
+              emit st (Event.Release handle);
+              emit st Event.Yield;
+              let queue =
+                match Imap.find_opt handle st.conditions with
+                | Some q -> q
+                | None -> []
+              in
+              let st =
+                { st with
+                  locks = Imap.remove handle st.locks;
+                  conditions = Imap.add handle (queue @ [ tid ]) st.conditions }
+              in
+              let frame = advance { frame with stack } in
+              let st =
+                finish_with st
+                  { t with frames = frame :: outer_frames;
+                    status = Waiting handle; wait_depth = depth }
+              in
+              { st with last_yielded = true }
+          | _ ->
+              raise
+                (Fault
+                   (Printf.sprintf "wait on lock %s not held"
+                      st.prog.Bytecode.lock_names.(handle))))
+      | Bytecode.Notify all -> (
+          let handle, stack = pop frame.stack in
+          check_lock st handle;
+          match Imap.find_opt handle st.locks with
+          | Some (owner, _) when owner = tid ->
+              let waiters =
+                match Imap.find_opt handle st.conditions with
+                | Some q -> q
+                | None -> []
+              in
+              let woken, remaining =
+                if all then (waiters, [])
+                else begin
+                  match waiters with
+                  | [] -> ([], [])
+                  | w :: rest -> ([ w ], rest)
+                end
+              in
+              let st =
+                { st with conditions = Imap.add handle remaining st.conditions }
+              in
+              let st =
+                List.fold_left
+                  (fun st w ->
+                    match Imap.find_opt w st.threads with
+                    | Some wt -> set_thread st w { wt with status = Reacquiring handle }
+                    | None -> st)
+                  st woken
+              in
+              let frame = advance { frame with stack } in
+              finish_with st { t with frames = frame :: outer_frames; status = Runnable }
+          | _ ->
+              raise
+                (Fault
+                   (Printf.sprintf "notify on lock %s not held"
+                      st.prog.Bytecode.lock_names.(handle))))
+      | Bytecode.Yield_instr ->
+          emit st Event.Yield;
+          let frame = advance frame in
+          let st = finish_with st { t with frames = frame :: outer_frames; status = Runnable } in
+          { st with last_yielded = true }
+      | Bytecode.Atomic_begin ->
+          emit st Event.Atomic_begin;
+          let frame = advance frame in
+          finish_with st { t with frames = frame :: outer_frames; status = Runnable }
+      | Bytecode.Atomic_end ->
+          emit st Event.Atomic_end;
+          let frame = advance frame in
+          finish_with st { t with frames = frame :: outer_frames; status = Runnable }
+      | Bytecode.Spawn (fi, nargs) ->
+          let rec take n stack acc =
+            if n = 0 then (acc, stack)
+            else
+              match stack with
+              | v :: rest -> take (n - 1) rest (v :: acc)
+              | [] -> raise (Fault "operand stack underflow")
+          in
+          let args, stack = take nargs frame.stack [] in
+          let child = st.next_tid in
+          emit st (Event.Fork child);
+          let locals =
+            List.fold_left
+              (fun (i, m) v -> (i + 1, Imap.add i v m))
+              (0, Imap.empty) args
+            |> snd
+          in
+          let child_frame = { func = fi; pc = 0; locals; stack = [] } in
+          let child_thread =
+            { frames = [ child_frame ]; status = Runnable; entered = false;
+              pending_yield = false; wait_depth = 0 }
+          in
+          let st =
+            { st with
+              threads = Imap.add child child_thread st.threads;
+              next_tid = child + 1 }
+          in
+          let frame = advance { frame with stack = child :: stack } in
+          finish_with st { t with frames = frame :: outer_frames; status = Runnable }
+      | Bytecode.Join -> (
+          let target =
+            match frame.stack with
+            | v :: _ -> v
+            | [] -> raise (Fault "operand stack underflow")
+          in
+          match Imap.find_opt target st.threads with
+          | None -> raise (Fault (Printf.sprintf "join on unknown thread %d" target))
+          | Some u -> (
+              match u.status with
+              | Finished | Faulted _ ->
+                  emit st (Event.Join target);
+                  let _, stack = pop frame.stack in
+                  let frame = advance { frame with stack } in
+                  finish_with st { t with frames = frame :: outer_frames; status = Runnable }
+              | _ -> finish_with st { t with status = Blocked_on_join target }))
+      | Bytecode.Call (fi, nargs) ->
+          let rec take n stack acc =
+            if n = 0 then (acc, stack)
+            else
+              match stack with
+              | v :: rest -> take (n - 1) rest (v :: acc)
+              | [] -> raise (Fault "operand stack underflow")
+          in
+          let args, stack = take nargs frame.stack [] in
+          emit st (Event.Enter fi);
+          let locals =
+            List.fold_left
+              (fun (i, m) v -> (i + 1, Imap.add i v m))
+              (0, Imap.empty) args
+            |> snd
+          in
+          let callee = { func = fi; pc = 0; locals; stack = [] } in
+          let caller = advance { frame with stack } in
+          finish_with st
+            { t with frames = callee :: caller :: outer_frames; status = Runnable }
+      | Bytecode.Ret -> (
+          let v, _ = pop frame.stack in
+          emit st (Event.Exit frame.func);
+          match outer_frames with
+          | [] -> finish_with st { t with frames = []; status = Finished }
+          | caller :: rest ->
+              let caller = { caller with stack = v :: caller.stack } in
+              finish_with st { t with frames = caller :: rest; status = Runnable })
+      | Bytecode.Print ->
+          let v, stack = pop frame.stack in
+          emit st (Event.Out v);
+          let st = { st with output_rev = v :: st.output_rev } in
+          let frame = advance { frame with stack } in
+          finish_with st { t with frames = frame :: outer_frames; status = Runnable }
+      | Bytecode.Assert ->
+          let v, stack = pop frame.stack in
+          if v = 0 then
+            raise (Fault (Printf.sprintf "assertion failed at line %d" loc.Loc.line))
+          else begin
+            let frame = advance { frame with stack } in
+            finish_with st { t with frames = frame :: outer_frames; status = Runnable }
+          end
+      | Bytecode.Pop ->
+          let _, stack = pop frame.stack in
+          let frame = advance { frame with stack } in
+          finish_with st { t with frames = frame :: outer_frames; status = Runnable }
+      | Bytecode.Halt -> finish_with st { t with status = Finished }
+    with Fault msg ->
+      let st = { st with failures_rev = (tid, msg) :: st.failures_rev } in
+      set_thread st tid { t with status = Faulted msg }
+  end
+
+(* --- Canonical serialization for memoization --------------------------- *)
+
+let key st =
+  let buf = Buffer.create 256 in
+  let add_int n =
+    Buffer.add_string buf (string_of_int n);
+    Buffer.add_char buf ','
+  in
+  Buffer.add_char buf 'G';
+  Imap.iter (fun k v -> add_int k; add_int v) st.globals;
+  Buffer.add_char buf 'A';
+  Imap.iter
+    (fun a m ->
+      add_int a;
+      Imap.iter (fun i v -> add_int i; add_int v) m;
+      Buffer.add_char buf ';')
+    st.arrays;
+  Buffer.add_char buf 'L';
+  Imap.iter (fun h (o, d) -> add_int h; add_int o; add_int d) st.locks;
+  Buffer.add_char buf 'C';
+  Imap.iter
+    (fun h q ->
+      add_int h;
+      List.iter add_int q;
+      Buffer.add_char buf ';')
+    st.conditions;
+  Buffer.add_char buf 'T';
+  Imap.iter
+    (fun tid t ->
+      add_int tid;
+      (match t.status with
+      | Runnable -> Buffer.add_char buf 'r'
+      | Blocked_on_lock h -> Buffer.add_char buf 'l'; add_int h
+      | Blocked_on_join u -> Buffer.add_char buf 'j'; add_int u
+      | Waiting h -> Buffer.add_char buf 'w'; add_int h
+      | Reacquiring h -> Buffer.add_char buf 'q'; add_int h
+      | Finished -> Buffer.add_char buf 'f'
+      | Faulted _ -> Buffer.add_char buf 'x');
+      Buffer.add_char buf (if t.entered then 'e' else '.');
+      Buffer.add_char buf (if t.pending_yield then 'y' else '.');
+      add_int t.wait_depth;
+      List.iter
+        (fun f ->
+          add_int f.func;
+          add_int f.pc;
+          Buffer.add_char buf 's';
+          List.iter add_int f.stack;
+          Buffer.add_char buf 'v';
+          Imap.iter (fun k v -> add_int k; add_int v) f.locals;
+          Buffer.add_char buf '|')
+        t.frames;
+      Buffer.add_char buf '!')
+    st.threads;
+  Buffer.add_char buf 'N';
+  add_int st.next_tid;
+  Buffer.add_char buf 'O';
+  List.iter add_int st.output_rev;
+  Buffer.add_char buf 'F';
+  List.iter (fun (tid, _) -> add_int tid) st.failures_rev;
+  Buffer.contents buf

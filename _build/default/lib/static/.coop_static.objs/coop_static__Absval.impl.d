@@ -1,0 +1,1 @@
+lib/static/absval.ml: Array Ast Bytecode Coop_lang Format String

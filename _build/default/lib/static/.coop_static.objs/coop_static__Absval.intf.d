@@ -1,0 +1,1 @@
+lib/static/absval.mli: Coop_lang Format

@@ -1,0 +1,1 @@
+lib/static/check.ml: Absval Array Bytecode Coop_core Coop_lang Coop_trace Event Flow Hashtbl Int List Loc Queue Races Set

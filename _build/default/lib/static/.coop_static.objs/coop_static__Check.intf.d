@@ -1,0 +1,1 @@
+lib/static/check.mli: Coop_core Coop_lang Coop_trace Loc Races

@@ -1,0 +1,1 @@
+lib/static/flow.ml: Absval Array Bytecode Coop_lang Int List Map Queue Set

@@ -1,0 +1,1 @@
+lib/static/flow.mli: Absval Coop_lang Int Map Set

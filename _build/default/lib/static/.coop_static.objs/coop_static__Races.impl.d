@@ -1,0 +1,1 @@
+lib/static/races.ml: Absval Array Bytecode Coop_lang Coop_trace Flow Format Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/static/races.mli: Coop_lang Coop_trace Flow Format

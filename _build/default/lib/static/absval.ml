@@ -1,0 +1,86 @@
+open Coop_lang
+
+type t =
+  | Const of int
+  | Base_plus of int
+  | Top
+
+let join a b =
+  match (a, b) with
+  | Const x, Const y when x = y -> Const x
+  | Base_plus x, Base_plus y when x = y -> Base_plus x
+  | Const x, Base_plus y | Base_plus y, Const x when x >= y -> Base_plus y
+  | _ -> Top
+
+let equal a b =
+  match (a, b) with
+  | Const x, Const y -> x = y
+  | Base_plus x, Base_plus y -> x = y
+  | Top, Top -> true
+  | _ -> false
+
+let pp ppf = function
+  | Const n -> Format.fprintf ppf "%d" n
+  | Base_plus b -> Format.fprintf ppf "%d+?" b
+  | Top -> Format.pp_print_string ppf "T"
+
+type lock =
+  | Group of int
+  | Any_lock
+
+(* Lock groups occupy contiguous handle ranges; recover the group from a
+   known handle or a known base. *)
+let group_of_handle (prog : Bytecode.program) h =
+  (* The program exposes only flat names; recompute group ranges from the
+     name table: entries of one group share the prefix before '['. Scalar
+     locks are their own group. We treat each maximal run of equal prefixes
+     as a group. *)
+  let n = prog.Bytecode.n_locks in
+  if h < 0 || h >= n then None
+  else begin
+    let prefix handle =
+      let name = prog.Bytecode.lock_names.(handle) in
+      match String.index_opt name '[' with
+      | Some i -> String.sub name 0 i
+      | None -> name
+    in
+    (* The group id of a handle is the first handle with the same prefix. *)
+    let p = prefix h in
+    let rec first i = if i > 0 && prefix (i - 1) = p then first (i - 1) else i in
+    Some (first h)
+  end
+
+let lock_of_handle prog v =
+  match v with
+  | Const h -> (
+      match group_of_handle prog h with Some g -> Group g | None -> Any_lock)
+  | Base_plus b -> (
+      match group_of_handle prog b with Some g -> Group g | None -> Any_lock)
+  | Top -> Any_lock
+
+let binop op a b =
+  match (op, a, b) with
+  | _, Const x, Const y -> (
+      match op with
+      | Ast.Add -> Const (x + y)
+      | Ast.Sub -> Const (x - y)
+      | Ast.Mul -> Const (x * y)
+      | Ast.Div -> if y = 0 then Top else Const (x / y)
+      | Ast.Mod -> if y = 0 then Top else Const (x mod y)
+      | Ast.Lt -> Const (if x < y then 1 else 0)
+      | Ast.Le -> Const (if x <= y then 1 else 0)
+      | Ast.Gt -> Const (if x > y then 1 else 0)
+      | Ast.Ge -> Const (if x >= y then 1 else 0)
+      | Ast.Eq -> Const (if x = y then 1 else 0)
+      | Ast.Ne -> Const (if x <> y then 1 else 0)
+      | Ast.And -> Const (if x <> 0 && y <> 0 then 1 else 0)
+      | Ast.Or -> Const (if x <> 0 || y <> 0 then 1 else 0))
+  | Ast.Add, Const base, (Top | Base_plus _) -> Base_plus base
+  | Ast.Add, (Top | Base_plus _), Const base -> Base_plus base
+  | _ -> Top
+
+let unop op a =
+  match (op, a) with
+  | Ast.Neg, Const x -> Const (-x)
+  | Ast.Not, Const x -> Const (if x = 0 then 1 else 0)
+  | _ -> Top

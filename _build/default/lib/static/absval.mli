@@ -1,0 +1,41 @@
+(** Abstract values for the static analyses.
+
+    The static checker runs an abstract interpretation over the bytecode.
+    Operand-stack values are tracked just precisely enough to recover which
+    lock a dynamic [Acquire]/[Release] manipulates (lock handles are
+    computed as [base + index]) and which array cell region an access
+    touches. *)
+
+(** An abstract operand-stack value. *)
+type t =
+  | Const of int  (** Exactly this integer (covers scalar lock handles). *)
+  | Base_plus of int  (** [base + unknown] — a lock-array element. *)
+  | Top  (** Anything. *)
+
+val join : t -> t -> t
+(** Least upper bound. *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val pp : Format.formatter -> t -> unit
+(** ["42"], ["3+?"] or ["T"]. *)
+
+(** An abstract lock: either a specific declaration group (scalar locks and
+    lock arrays collapse to their group) or unknown. *)
+type lock =
+  | Group of int
+  | Any_lock
+
+val lock_of_handle : Coop_lang.Bytecode.program -> t -> lock
+(** Resolve an abstract handle value against the program's lock-group
+    layout: a [Const h] maps to the group containing handle [h],
+    [Base_plus b] to the group whose range starts at or covers [b], and
+    [Top] to [Any_lock]. *)
+
+val binop : Coop_lang.Ast.binop -> t -> t -> t
+(** Abstract transfer of a binary operation (constant folding for [Const]s,
+    [Base_plus] propagation for [Add]). *)
+
+val unop : Coop_lang.Ast.unop -> t -> t
+(** Abstract transfer of a unary operation. *)

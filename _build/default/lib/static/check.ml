@@ -1,0 +1,296 @@
+open Coop_lang
+open Coop_trace
+module Mover = Coop_core.Mover
+module Iset = Set.Make (Int)
+
+type phase =
+  | Pre
+  | Post
+
+type violation = {
+  loc : Loc.t;
+  mover : Mover.t;
+}
+
+type result = {
+  races : Races.result;
+  violations : violation list;
+  yields : Loc.Set.t;
+  rounds : int;
+}
+
+(* Phase sets: a two-bit lattice. *)
+module Pset = struct
+  (* bit 0 = Pre, bit 1 = Post *)
+  type t = int
+
+  let _ = (0 : t)
+
+  let empty = 0
+
+  let pre = 1
+
+  let post = 2
+
+  let union = ( lor )
+
+  let mem_pre p = p land 1 <> 0
+
+  let mem_post p = p land 2 <> 0
+
+  let is_empty p = p = 0
+end
+
+(* The mover class of one instruction under the static approximations, or
+   None for phase-neutral instructions. *)
+let static_mover prog races infos pc instr =
+  let shared g = List.mem g races.Races.shared_groups in
+  match instr with
+  | Bytecode.Load_global g | Bytecode.Store_global g ->
+      if Races.is_racy_region races (Event.Global g) then Some Mover.Non
+      else Some Mover.Both
+  | Bytecode.Load_elem a | Bytecode.Store_elem a ->
+      if Races.is_racy_region races (Event.Cell (a, 0)) then Some Mover.Non
+      else Some Mover.Both
+  | Bytecode.Acquire -> (
+      match Flow.lock_at prog infos pc with
+      | Some (Absval.Group g) when not (shared g) -> Some Mover.Both
+      | Some _ -> Some Mover.Right
+      | None -> Some Mover.Right)
+  | Bytecode.Release -> (
+      match Flow.lock_at prog infos pc with
+      | Some (Absval.Group g) when not (shared g) -> Some Mover.Both
+      | Some _ -> Some Mover.Left
+      | None -> Some Mover.Left)
+  | Bytecode.Spawn _ -> Some Mover.Right
+  | Bytecode.Join -> Some Mover.Left
+  | Bytecode.Print -> Some Mover.Both
+  | Bytecode.Notify _ ->
+      (* Emits no events; the HB edges it induces flow through the monitor
+         lock. *)
+      None
+  | Bytecode.Const _ | Bytecode.Load_local _ | Bytecode.Store_local _
+  | Bytecode.Array_len _ | Bytecode.Binop _ | Bytecode.Unop _
+  | Bytecode.Jump _ | Bytecode.Jump_if_zero _ | Bytecode.Yield_instr
+  | Bytecode.Wait | Bytecode.Atomic_begin | Bytecode.Atomic_end
+  | Bytecode.Call _ | Bytecode.Ret | Bytecode.Assert | Bytecode.Pop
+  | Bytecode.Halt ->
+      None
+
+(* Transition of one phase under a mover, recording violations through
+   [violate]. Mirrors the dynamic automaton, including its recovery. *)
+let step_phase ~violate phase (m : Mover.t) =
+  match (phase, m) with
+  | Pre, (Mover.Right | Mover.Both) -> Pset.pre
+  | Pre, (Mover.Non | Mover.Left) -> Pset.post
+  | Post, (Mover.Left | Mover.Both) -> Pset.post
+  | Post, Mover.Right ->
+      violate Mover.Right;
+      Pset.pre
+  | Post, Mover.Non ->
+      violate Mover.Non;
+      Pset.post
+
+let step_pset ~violate pset m =
+  let out = ref Pset.empty in
+  if Pset.mem_pre pset then out := Pset.union !out (step_phase ~violate Pre m);
+  if Pset.mem_post pset then out := Pset.union !out (step_phase ~violate Post m);
+  !out
+
+(* Instruction successors, mirroring Flow.transfer. *)
+let succs code pc =
+  match code.(pc) with
+  | Bytecode.Jump t -> [ t ]
+  | Bytecode.Jump_if_zero t -> [ t; pc + 1 ]
+  | Bytecode.Ret | Bytecode.Halt -> []
+  | _ -> [ pc + 1 ]
+
+(* Analyze one function for a given entry phase-set using current callee
+   summaries. Returns the exit phase-set, the violations found, and the
+   phase-sets flowing into each call site — the last drives the
+   entry-reachability fixpoint. The computation is a join-over-paths
+   fixpoint on per-pc phase-sets; the transfer is linear in the phase-set,
+   so analyzing with a set equals the union of per-phase analyses. *)
+let analyze_function prog races flow_of yields summaries f entry =
+  let fn = prog.Bytecode.funcs.(f) in
+  let code = fn.Bytecode.code in
+  let n = Array.length code in
+  if n = 0 || Pset.is_empty entry then (entry, [], [])
+  else begin
+    let infos = flow_of f in
+    let facts = Array.make n Pset.empty in
+    let exits = ref Pset.empty in
+    let violations = ref [] in
+    let calls = ref [] in
+    facts.(0) <- entry;
+    let worklist = Queue.create () in
+    Queue.add 0 worklist;
+    while not (Queue.is_empty worklist) do
+      let pc = Queue.pop worklist in
+      let pset = facts.(pc) in
+      if not (Pset.is_empty pset) then begin
+        let loc = Bytecode.loc prog ~func:f ~pc in
+        (* An injected yield resets before the instruction executes. *)
+        let pset = if Loc.Set.mem loc yields then Pset.pre else pset in
+        let violate m =
+          if
+            not
+              (List.exists
+                 (fun v -> Loc.equal v.loc loc && v.mover = m)
+                 !violations)
+          then violations := { loc; mover = m } :: !violations
+        in
+        let out =
+          match code.(pc) with
+          | Bytecode.Yield_instr -> Pset.pre
+          | Bytecode.Wait ->
+              (* Dynamically wait emits Release;Yield and Acquire on resume:
+                 a left mover in any phase, then a reset. Net: Pre. *)
+              Pset.pre
+          | Bytecode.Call (g, _) ->
+              calls := (g, pset) :: !calls;
+              let out = ref Pset.empty in
+              if Pset.mem_pre pset then out := Pset.union !out (summaries g Pre);
+              if Pset.mem_post pset then
+                out := Pset.union !out (summaries g Post);
+              (* Before the callee's first summary stabilizes its exit set
+                 may be empty; keep the caller's phases flowing so the
+                 fixpoint can grow. *)
+              if Pset.is_empty !out then pset else !out
+          | instr -> (
+              match static_mover prog races infos pc instr with
+              | None -> pset
+              | Some m -> step_pset ~violate pset m)
+        in
+        (match code.(pc) with
+        | Bytecode.Ret | Bytecode.Halt -> exits := Pset.union !exits pset
+        | _ -> ());
+        List.iter
+          (fun s ->
+            if s >= 0 && s < n then begin
+              let merged = Pset.union facts.(s) out in
+              if merged <> facts.(s) then begin
+                facts.(s) <- merged;
+                Queue.add s worklist
+              end
+            end)
+          (succs code pc)
+      end
+    done;
+    (!exits, List.rev !violations, !calls)
+  end
+
+(* Whole-program pass. Phase A: function summaries (exit phases from each
+   entry phase) to fixpoint. Phase B: entry-reachability — thread roots
+   start in Pre, call sites propagate their phase-sets into callees — so a
+   function is only ever analyzed under entries that can actually reach it.
+   Phase C: collect violations of each function under its reachable
+   entries. *)
+let check_internal prog races flow_of yields =
+  let nf = Array.length prog.Bytecode.funcs in
+  let store = Array.make nf (Pset.empty, Pset.empty) in
+  let summaries g phase =
+    let pre, post = store.(g) in
+    match phase with Pre -> pre | Post -> post
+  in
+  (* Phase A. *)
+  let changed = ref true in
+  let iterations = ref 0 in
+  while !changed && !iterations < 64 do
+    changed := false;
+    incr iterations;
+    for f = 0 to nf - 1 do
+      let from_pre, _, _ =
+        analyze_function prog races flow_of yields summaries f Pset.pre
+      in
+      let from_post, _, _ =
+        analyze_function prog races flow_of yields summaries f Pset.post
+      in
+      let old_pre, old_post = store.(f) in
+      let new_pre = Pset.union old_pre from_pre in
+      let new_post = Pset.union old_post from_post in
+      if new_pre <> old_pre || new_post <> old_post then begin
+        store.(f) <- (new_pre, new_post);
+        changed := true
+      end
+    done
+  done;
+  (* Phase B. *)
+  let entries = Array.make nf Pset.empty in
+  entries.(prog.Bytecode.main) <- Pset.pre;
+  Array.iter
+    (fun (fn : Bytecode.func) ->
+      Array.iter
+        (fun instr ->
+          match instr with
+          | Bytecode.Spawn (g, _) -> entries.(g) <- Pset.union entries.(g) Pset.pre
+          | _ -> ())
+        fn.Bytecode.code)
+    prog.Bytecode.funcs;
+  let changed = ref true in
+  let iterations = ref 0 in
+  while !changed && !iterations < 64 do
+    changed := false;
+    incr iterations;
+    for f = 0 to nf - 1 do
+      if not (Pset.is_empty entries.(f)) then begin
+        let _, _, calls =
+          analyze_function prog races flow_of yields summaries f entries.(f)
+        in
+        List.iter
+          (fun (g, pset) ->
+            let merged = Pset.union entries.(g) pset in
+            if merged <> entries.(g) then begin
+              entries.(g) <- merged;
+              changed := true
+            end)
+          calls
+      end
+    done
+  done;
+  (* Phase C. *)
+  let all = ref [] in
+  for f = 0 to nf - 1 do
+    let _, vs, _ =
+      analyze_function prog races flow_of yields summaries f entries.(f)
+    in
+    all := vs @ !all
+  done;
+  List.sort_uniq
+    (fun a b ->
+      let c = Loc.compare a.loc b.loc in
+      if c <> 0 then c else compare a.mover b.mover)
+    !all
+
+let with_flow prog k =
+  let cache = Hashtbl.create 8 in
+  let flow_of f =
+    match Hashtbl.find_opt cache f with
+    | Some i -> i
+    | None ->
+        let i = Flow.analyze prog f in
+        Hashtbl.add cache f i;
+        i
+  in
+  k flow_of
+
+let check ?(yields = Loc.Set.empty) prog =
+  with_flow prog (fun flow_of ->
+      let races = Races.analyze prog flow_of in
+      check_internal prog races flow_of yields)
+
+let infer prog =
+  with_flow prog (fun flow_of ->
+      let races = Races.analyze prog flow_of in
+      let first = check_internal prog races flow_of Loc.Set.empty in
+      let rec loop yields rounds =
+        let vs = check_internal prog races flow_of yields in
+        let locs =
+          List.fold_left (fun s v -> Loc.Set.add v.loc s) Loc.Set.empty vs
+        in
+        let fresh = Loc.Set.diff locs yields in
+        if Loc.Set.is_empty fresh || rounds >= 32 then (yields, rounds)
+        else loop (Loc.Set.union yields fresh) (rounds + 1)
+      in
+      let yields, rounds = loop Loc.Set.empty 1 in
+      { races; violations = first; yields; rounds })

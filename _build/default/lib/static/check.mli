@@ -1,0 +1,44 @@
+(** The static cooperability checker.
+
+    A whole-program abstract interpretation that runs the transaction
+    automaton over every path of the control-flow graph instead of over one
+    dynamic trace. Mover classes come from the static approximations:
+    accesses to may-racy regions are non movers, acquires/releases of
+    shared lock groups are right/left movers (non-shared groups are both
+    movers), [Spawn] is a right mover and [Join] a left mover.
+
+    Functions are summarized as phase transformers (which exit phases are
+    possible from each entry phase), computed to fixpoint over the call
+    graph, so recursion and nested calls are handled context-insensitively.
+
+    Like the dynamic checker, a violation is a right or non mover reachable
+    in the Post phase; [infer] iterates violation -> yield insertion to a
+    fixpoint, giving a purely static yield set. The static set
+    over-approximates the dynamic one (whole-array regions, path
+    insensitivity), which the ablation experiment quantifies. *)
+
+open Coop_trace
+
+type phase =
+  | Pre
+  | Post
+
+type violation = {
+  loc : Loc.t;  (** Instruction needing a yield before it. *)
+  mover : Coop_core.Mover.t;  (** [Right] or [Non]. *)
+}
+
+type result = {
+  races : Races.result;  (** The underlying static approximations. *)
+  violations : violation list;  (** First-round violations, deduplicated. *)
+  yields : Loc.Set.t;  (** Statically inferred yields (fixpoint). *)
+  rounds : int;  (** Iterations to reach the fixpoint. *)
+}
+
+val check :
+  ?yields:Loc.Set.t -> Coop_lang.Bytecode.program -> violation list
+(** One static automaton pass with the given yield set injected. *)
+
+val infer : Coop_lang.Bytecode.program -> result
+(** Full static analysis: approximations, then yield inference to
+    fixpoint. *)

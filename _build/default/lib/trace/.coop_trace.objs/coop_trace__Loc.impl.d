@@ -1,0 +1,1 @@
+lib/trace/loc.ml: Format Int Map Set

@@ -1,0 +1,1 @@
+lib/trace/loc.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/trace/serialize.ml: Buffer Event List Loc Printf String Trace

@@ -1,0 +1,1 @@
+lib/trace/timeline.ml: Buffer Event Format Int List Printf String Trace

@@ -1,0 +1,67 @@
+type tid = int
+
+type var =
+  | Global of int
+  | Cell of int * int
+
+type op =
+  | Read of var
+  | Write of var
+  | Acquire of int
+  | Release of int
+  | Fork of tid
+  | Join of tid
+  | Yield
+  | Enter of int
+  | Exit of int
+  | Atomic_begin
+  | Atomic_end
+  | Out of int
+
+type t = { tid : tid; op : op; loc : Loc.t }
+
+let make ~tid ~op ~loc = { tid; op; loc }
+
+let compare_var a b =
+  match (a, b) with
+  | Global x, Global y -> Int.compare x y
+  | Global _, Cell _ -> -1
+  | Cell _, Global _ -> 1
+  | Cell (x1, y1), Cell (x2, y2) ->
+      let c = Int.compare x1 x2 in
+      if c <> 0 then c else Int.compare y1 y2
+
+let equal_var a b = compare_var a b = 0
+
+let is_access = function Read _ | Write _ -> true | _ -> false
+
+let accessed_var = function Read v | Write v -> Some v | _ -> None
+
+let pp_var ppf = function
+  | Global g -> Format.fprintf ppf "g%d" g
+  | Cell (a, i) -> Format.fprintf ppf "a%d[%d]" a i
+
+let pp_op ppf = function
+  | Read v -> Format.fprintf ppf "rd(%a)" pp_var v
+  | Write v -> Format.fprintf ppf "wr(%a)" pp_var v
+  | Acquire l -> Format.fprintf ppf "acq(l%d)" l
+  | Release l -> Format.fprintf ppf "rel(l%d)" l
+  | Fork t -> Format.fprintf ppf "fork(t%d)" t
+  | Join t -> Format.fprintf ppf "join(t%d)" t
+  | Yield -> Format.pp_print_string ppf "yield"
+  | Enter f -> Format.fprintf ppf "enter(f%d)" f
+  | Exit f -> Format.fprintf ppf "exit(f%d)" f
+  | Atomic_begin -> Format.pp_print_string ppf "atomic_begin"
+  | Atomic_end -> Format.pp_print_string ppf "atomic_end"
+  | Out n -> Format.fprintf ppf "out(%d)" n
+
+let pp ppf t = Format.fprintf ppf "t%d %a @%a" t.tid pp_op t.op Loc.pp t.loc
+
+module Var_ord = struct
+  type t = var
+
+  let compare = compare_var
+end
+
+module Var_set = Set.Make (Var_ord)
+module Var_map = Map.Make (Var_ord)

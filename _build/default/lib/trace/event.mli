@@ -1,0 +1,66 @@
+(** Events observed by the dynamic analyses.
+
+    A run of the VM produces a totally ordered sequence of events; the
+    cooperability checker, the race detector and the atomicity baseline all
+    consume this stream. The vocabulary follows the paper: shared-memory
+    accesses, lock operations, thread fork/join, explicit yields, and
+    function enter/exit (used to measure yield-free functions and to delimit
+    Atomizer transactions). *)
+
+type tid = int
+(** Thread identifiers; the initial thread is [0]. *)
+
+type var =
+  | Global of int  (** A scalar global, by resolver slot. *)
+  | Cell of int * int  (** An array cell: array id and element index. *)
+
+(** One dynamic operation. *)
+type op =
+  | Read of var  (** Shared read. *)
+  | Write of var  (** Shared write. *)
+  | Acquire of int  (** Lock acquire, by lock handle. *)
+  | Release of int  (** Lock release. *)
+  | Fork of tid  (** Creation of the given child thread. *)
+  | Join of tid  (** Join on the given thread, after it terminated. *)
+  | Yield  (** An explicit (or inferred) cooperative yield point. *)
+  | Enter of int  (** Function entry, by function index. *)
+  | Exit of int  (** Function exit. *)
+  | Atomic_begin  (** Start of an [atomic] block (baseline only). *)
+  | Atomic_end  (** End of an [atomic] block. *)
+  | Out of int  (** Observable output of a [print] statement. *)
+
+type t = {
+  tid : tid;  (** Executing thread. *)
+  op : op;  (** The operation. *)
+  loc : Loc.t;  (** Where it happened. *)
+}
+
+val make : tid:tid -> op:op -> loc:Loc.t -> t
+(** Build an event. *)
+
+val compare_var : var -> var -> int
+(** Total order on variables. *)
+
+val equal_var : var -> var -> bool
+(** Structural equality on variables. *)
+
+val is_access : op -> bool
+(** [true] exactly for [Read]/[Write]. *)
+
+val accessed_var : op -> var option
+(** The variable touched by a [Read]/[Write], if any. *)
+
+val pp_var : Format.formatter -> var -> unit
+(** Renders as ["g4"] or ["a2[17]"]. *)
+
+val pp_op : Format.formatter -> op -> unit
+(** Human-readable operation. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as ["t1 rd(g4) @f0:pc3(line 7)"]. *)
+
+module Var_set : Set.S with type elt = var
+(** Sets of variables (e.g. the racy set). *)
+
+module Var_map : Map.S with type key = var
+(** Maps keyed by variable. *)

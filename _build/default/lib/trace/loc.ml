@@ -1,0 +1,30 @@
+type t = { func : int; pc : int; line : int }
+
+let make ~func ~pc ~line = { func; pc; line }
+
+let none = { func = -1; pc = -1; line = 0 }
+
+let compare a b =
+  let c = Int.compare a.func b.func in
+  if c <> 0 then c
+  else begin
+    let c = Int.compare a.pc b.pc in
+    if c <> 0 then c else Int.compare a.line b.line
+  end
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  if t.func < 0 then Format.pp_print_string ppf "<none>"
+  else Format.fprintf ppf "f%d:pc%d(line %d)" t.func t.pc t.line
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

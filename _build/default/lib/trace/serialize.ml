@@ -1,0 +1,111 @@
+exception Parse_error of string * int
+
+let var_to_string = function
+  | Event.Global g -> Printf.sprintf "g%d" g
+  | Event.Cell (a, i) -> Printf.sprintf "a%d.%d" a i
+
+let op_to_string = function
+  | Event.Read v -> "rd " ^ var_to_string v
+  | Event.Write v -> "wr " ^ var_to_string v
+  | Event.Acquire l -> Printf.sprintf "acq %d" l
+  | Event.Release l -> Printf.sprintf "rel %d" l
+  | Event.Fork t -> Printf.sprintf "fork %d" t
+  | Event.Join t -> Printf.sprintf "join %d" t
+  | Event.Yield -> "yield"
+  | Event.Enter f -> Printf.sprintf "enter %d" f
+  | Event.Exit f -> Printf.sprintf "exit %d" f
+  | Event.Atomic_begin -> "abegin"
+  | Event.Atomic_end -> "aend"
+  | Event.Out n -> Printf.sprintf "out %d" n
+
+let event_to_string (e : Event.t) =
+  Printf.sprintf "%d %s @ %d %d %d" e.tid (op_to_string e.op) e.loc.Loc.func
+    e.loc.Loc.pc e.loc.Loc.line
+
+let to_string trace =
+  let buf = Buffer.create (Trace.length trace * 24) in
+  Trace.iter
+    (fun e ->
+      Buffer.add_string buf (event_to_string e);
+      Buffer.add_char buf '\n')
+    trace;
+  Buffer.contents buf
+
+let parse_var lineno s =
+  let fail () = raise (Parse_error ("bad variable " ^ s, lineno)) in
+  if String.length s < 2 then fail ();
+  match s.[0] with
+  | 'g' -> (
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some g -> Event.Global g
+      | None -> fail ())
+  | 'a' -> (
+      match String.index_opt s '.' with
+      | Some dot -> (
+          let a = String.sub s 1 (dot - 1) in
+          let i = String.sub s (dot + 1) (String.length s - dot - 1) in
+          match (int_of_string_opt a, int_of_string_opt i) with
+          | Some a, Some i -> Event.Cell (a, i)
+          | _ -> fail ())
+      | None -> fail ())
+  | _ -> fail ()
+
+let parse_int lineno s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> raise (Parse_error ("bad integer " ^ s, lineno))
+
+let parse_line lineno line =
+  let words =
+    String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+  in
+  let op_and_loc tid rest =
+    let op, loc_words =
+      match rest with
+      | "rd" :: v :: tl -> (Event.Read (parse_var lineno v), tl)
+      | "wr" :: v :: tl -> (Event.Write (parse_var lineno v), tl)
+      | "acq" :: l :: tl -> (Event.Acquire (parse_int lineno l), tl)
+      | "rel" :: l :: tl -> (Event.Release (parse_int lineno l), tl)
+      | "fork" :: t :: tl -> (Event.Fork (parse_int lineno t), tl)
+      | "join" :: t :: tl -> (Event.Join (parse_int lineno t), tl)
+      | "yield" :: tl -> (Event.Yield, tl)
+      | "enter" :: f :: tl -> (Event.Enter (parse_int lineno f), tl)
+      | "exit" :: f :: tl -> (Event.Exit (parse_int lineno f), tl)
+      | "abegin" :: tl -> (Event.Atomic_begin, tl)
+      | "aend" :: tl -> (Event.Atomic_end, tl)
+      | "out" :: n :: tl -> (Event.Out (parse_int lineno n), tl)
+      | _ -> raise (Parse_error ("bad operation in: " ^ line, lineno))
+    in
+    match loc_words with
+    | [ "@"; func; pc; ln ] ->
+        Event.make ~tid ~op
+          ~loc:
+            (Loc.make ~func:(parse_int lineno func) ~pc:(parse_int lineno pc)
+               ~line:(parse_int lineno ln))
+    | _ -> raise (Parse_error ("bad location in: " ^ line, lineno))
+  in
+  match words with
+  | tid :: rest -> op_and_loc (parse_int lineno tid) rest
+  | [] -> raise (Parse_error ("empty line", lineno))
+
+let of_string s =
+  let trace = Trace.create () in
+  let lines = String.split_on_char '\n' s in
+  List.iteri
+    (fun i line ->
+      let line = String.trim line in
+      if line <> "" then Trace.add trace (parse_line (i + 1) line))
+    lines;
+  trace
+
+let save path trace =
+  let oc = open_out_bin path in
+  output_string oc (to_string trace);
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s

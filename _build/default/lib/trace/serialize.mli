@@ -1,0 +1,29 @@
+(** Line-oriented trace serialization.
+
+    Recorded traces can be saved to disk and re-analyzed later (or diffed
+    across runs) without re-executing the program — the workflow RoadRunner
+    users rely on. The format is one event per line:
+
+    {v
+    <tid> <op> [args] @ <func> <pc> <line>
+    v}
+
+    e.g. ["1 wr g4 @ 0 17 12"] or ["0 acq 2 @ 1 3 9"]. The format is stable,
+    human-greppable, and round-trips exactly ([of_string (to_string t)]
+    equals [t] event for event). *)
+
+exception Parse_error of string * int
+(** [(message, line_number)] on malformed input. *)
+
+val to_string : Trace.t -> string
+(** Serialize a whole trace. *)
+
+val of_string : string -> Trace.t
+(** Parse a serialized trace. Raises {!Parse_error}. *)
+
+val save : string -> Trace.t -> unit
+(** [save path t] writes [to_string t] to [path]. *)
+
+val load : string -> Trace.t
+(** [load path] reads and parses a trace file. Raises [Sys_error] and
+    {!Parse_error}. *)

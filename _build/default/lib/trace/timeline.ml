@@ -1,0 +1,56 @@
+let cell_width = 16
+
+let pad s =
+  let n = String.length s in
+  if n >= cell_width then String.sub s 0 cell_width
+  else s ^ String.make (cell_width - n) ' '
+
+let render_events events total =
+  let tids =
+    List.sort_uniq Int.compare (List.map (fun (e : Event.t) -> e.tid) events)
+  in
+  let column tid =
+    let rec idx i = function
+      | [] -> -1
+      | t :: rest -> if t = tid then i else idx (i + 1) rest
+    in
+    idx 0 tids
+  in
+  let buf = Buffer.create 1024 in
+  (* Header. *)
+  Buffer.add_string buf (pad "");
+  List.iter (fun t -> Buffer.add_string buf (pad (Printf.sprintf "t%d" t))) tids;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (pad "");
+  List.iter (fun _ -> Buffer.add_string buf (pad (String.make 8 '-'))) tids;
+  Buffer.add_char buf '\n';
+  List.iteri
+    (fun i (e : Event.t) ->
+      Buffer.add_string buf (pad (Printf.sprintf "%4d" i));
+      let col = column e.tid in
+      for c = 0 to List.length tids - 1 do
+        if c = col then
+          Buffer.add_string buf (pad (Format.asprintf "%a" Event.pp_op e.op))
+        else Buffer.add_string buf (pad "|")
+      done;
+      Buffer.add_char buf '\n')
+    events;
+  if total > List.length events then
+    Buffer.add_string buf
+      (Printf.sprintf "... (%d more events)\n" (total - List.length events));
+  Buffer.contents buf
+
+let render_filtered ?(max_events = 200) ~keep trace =
+  let events = ref [] in
+  let count = ref 0 in
+  Trace.iter
+    (fun e ->
+      if keep e then begin
+        incr count;
+        if !count <= max_events then events := e :: !events
+      end)
+    trace;
+  render_events (List.rev !events) !count
+
+let render ?max_events trace =
+  render_filtered ?max_events ~keep:(fun _ -> true) trace

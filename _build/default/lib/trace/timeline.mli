@@ -1,0 +1,14 @@
+(** ASCII swim-lane rendering of a trace.
+
+    One column per thread, one row per event, time flowing downward — the
+    way the paper draws interleavings. Useful for eyeballing small traces
+    and for the CLI's [trace --timeline] mode. *)
+
+val render : ?max_events:int -> Trace.t -> string
+(** [render t] lays the trace out as swim lanes. [max_events] (default 200)
+    truncates long traces with a trailing ellipsis note. *)
+
+val render_filtered :
+  ?max_events:int -> keep:(Event.t -> bool) -> Trace.t -> string
+(** Like {!render} over the events satisfying [keep] (e.g. drop
+    enter/exit noise). *)

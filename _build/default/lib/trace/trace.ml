@@ -1,0 +1,71 @@
+type t = {
+  mutable events : Event.t array;
+  mutable len : int;
+}
+
+let dummy = Event.make ~tid:(-1) ~op:Event.Yield ~loc:Loc.none
+
+let create () = { events = Array.make 64 dummy; len = 0 }
+
+let add t e =
+  if t.len = Array.length t.events then begin
+    let bigger = Array.make (2 * t.len) dummy in
+    Array.blit t.events 0 bigger 0 t.len;
+    t.events <- bigger
+  end;
+  t.events.(t.len) <- e;
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Trace.get: index out of bounds";
+  t.events.(i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.events.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.events.(i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.events.(i)
+  done;
+  !acc
+
+let to_list t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (t.events.(i) :: acc) in
+  go (t.len - 1) []
+
+let of_list es =
+  let t = create () in
+  List.iter (add t) es;
+  t
+
+let threads t =
+  let module S = Set.Make (Int) in
+  let s = fold (fun s (e : Event.t) -> S.add e.tid s) S.empty t in
+  S.elements s
+
+let count p t = fold (fun n e -> if p e then n + 1 else n) 0 t
+
+let pp ppf t =
+  iter (fun e -> Format.fprintf ppf "%a@." Event.pp e) t
+
+module Sink = struct
+  type trace = t
+
+  type t = Event.t -> unit
+
+  let ignore : t = fun _ -> ()
+
+  let tee sinks : t = fun e -> List.iter (fun s -> s e) sinks
+
+  let recording trace : t = fun e -> add trace e
+end

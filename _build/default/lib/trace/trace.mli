@@ -1,0 +1,62 @@
+(** Growable event traces.
+
+    The runner appends events as the VM executes; analyses either consume the
+    stream online (through {!Sink}) or iterate over a recorded trace
+    offline. *)
+
+type t
+(** A recorded trace. *)
+
+val create : unit -> t
+(** An empty trace. *)
+
+val add : t -> Event.t -> unit
+(** Append one event. Amortized O(1). *)
+
+val length : t -> int
+(** Number of recorded events. *)
+
+val get : t -> int -> Event.t
+(** [get t i] is the [i]-th event (0-based). Raises [Invalid_argument] when
+    out of bounds. *)
+
+val iter : (Event.t -> unit) -> t -> unit
+(** Iterate over events in program order. *)
+
+val iteri : (int -> Event.t -> unit) -> t -> unit
+(** Like {!iter} with the event index. *)
+
+val fold : ('a -> Event.t -> 'a) -> 'a -> t -> 'a
+(** Left fold in program order. *)
+
+val to_list : t -> Event.t list
+(** All events in program order. *)
+
+val of_list : Event.t list -> t
+(** Build a trace from a list (used in unit tests). *)
+
+val threads : t -> Event.tid list
+(** The distinct thread ids appearing in the trace, ascending. *)
+
+val count : (Event.t -> bool) -> t -> int
+(** Number of events matching a predicate. *)
+
+val pp : Format.formatter -> t -> unit
+(** One event per line. *)
+
+(** Online consumers of the event stream. *)
+module Sink : sig
+  type trace = t
+
+  type t = Event.t -> unit
+  (** A sink receives each event as it is produced. *)
+
+  val ignore : t
+  (** Discards everything (used to measure uninstrumented runs). *)
+
+  val tee : t list -> t
+  (** Fans each event out to several sinks in order. *)
+
+  val recording : trace -> t
+  (** Appends every event to the given trace. *)
+end

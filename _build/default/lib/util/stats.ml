@@ -1,0 +1,49 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0. else Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0. xs in
+    sqrt (acc /. float_of_int (n - 1))
+  end
+
+let sorted xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let percentile p xs =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else begin
+    let ys = sorted xs in
+    if n = 1 then ys.(0)
+    else begin
+      let rank = p /. 100. *. float_of_int (n - 1) in
+      let lo = int_of_float (floor rank) in
+      let hi = int_of_float (ceil rank) in
+      let frac = rank -. float_of_int lo in
+      (ys.(lo) *. (1. -. frac)) +. (ys.(hi) *. frac)
+    end
+  end
+
+let median xs = percentile 50. xs
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty array";
+  Array.fold_left
+    (fun (lo, hi) x -> ((if x < lo then x else lo), if x > hi then x else hi))
+    (xs.(0), xs.(0))
+    xs
+
+let geomean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else begin
+    let acc = Array.fold_left (fun a x -> a +. log x) 0. xs in
+    exp (acc /. float_of_int n)
+  end

@@ -1,0 +1,21 @@
+(** Small descriptive-statistics helpers used by the benchmark harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0. on an empty array. *)
+
+val stddev : float array -> float
+(** Sample standard deviation (Bessel-corrected); 0. for fewer than two
+    samples. *)
+
+val median : float array -> float
+(** Median of the samples; 0. on an empty array. Does not mutate the input. *)
+
+val percentile : float -> float array -> float
+(** [percentile p xs] is the [p]-th percentile (0 <= p <= 100) using linear
+    interpolation between closest ranks. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest sample. Raises [Invalid_argument] on empty input. *)
+
+val geomean : float array -> float
+(** Geometric mean of positive samples; 0. on an empty array. *)

@@ -1,0 +1,69 @@
+type align =
+  | Left
+  | Right
+
+type row =
+  | Cells of string list
+  | Rule
+
+type t = {
+  headers : (string * align) list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: cell count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let headers = List.map fst t.headers in
+  let aligns = List.map snd t.headers in
+  let rows = List.rev t.rows in
+  let widths =
+    List.fold_left
+      (fun ws row ->
+        match row with
+        | Rule -> ws
+        | Cells cs -> List.map2 (fun w c -> max w (String.length c)) ws cs)
+      (List.map String.length headers)
+      rows
+  in
+  let pad align w s =
+    let n = w - String.length s in
+    let fill = String.make (max 0 n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let line cells =
+    String.concat "  " (List.map2 (fun (w, a) c -> pad a w c)
+                          (List.combine widths aligns) cells)
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      (match row with
+      | Rule -> Buffer.add_string buf rule
+      | Cells cs -> Buffer.add_string buf (line cs));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print ?title t =
+  (match title with
+  | None -> ()
+  | Some s ->
+      print_endline s;
+      print_endline (String.make (String.length s) '='));
+  print_string (render t);
+  print_newline ()

@@ -1,0 +1,31 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    The harness prints every reproduced table in the same visual format the
+    paper uses: a header row, a rule, then one row per benchmark. Columns are
+    sized to their widest cell. *)
+
+type align =
+  | Left
+  | Right
+
+type t
+(** A table under construction. *)
+
+val create : headers:(string * align) list -> t
+(** [create ~headers] starts a table whose columns are labelled and aligned as
+    given. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends one row. Raises [Invalid_argument] if the number
+    of cells differs from the number of headers. *)
+
+val add_rule : t -> unit
+(** [add_rule t] appends a horizontal separator row. *)
+
+val render : t -> string
+(** [render t] lays the table out as a string, one line per row, with a title
+    rule under the header. *)
+
+val print : ?title:string -> t -> unit
+(** [print ?title t] writes the rendered table to stdout, preceded by an
+    optional underlined title and followed by a blank line. *)

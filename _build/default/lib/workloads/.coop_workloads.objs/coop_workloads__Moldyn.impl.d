@@ -1,0 +1,1 @@
+lib/workloads/moldyn.ml: Printf Snippets

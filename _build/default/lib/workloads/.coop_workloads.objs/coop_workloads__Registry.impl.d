@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Bank Coop_lang Crypt Elevator Hedc List Lufact Moldyn Montecarlo Option Philo Queue Raytracer Series Sor Sparse String Tsp

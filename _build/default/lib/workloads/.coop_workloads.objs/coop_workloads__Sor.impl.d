@@ -1,0 +1,1 @@
+lib/workloads/sor.ml: Printf Snippets

@@ -1,0 +1,81 @@
+let name = "bank"
+
+let description = "lock-striped bank transfers over 8 accounts"
+
+let default_threads = 4
+
+let default_size = 25
+
+let accounts = 8
+
+let source ~threads ~size =
+  Printf.sprintf
+    {|// %d tellers, %d transfers each, %d accounts
+array accounts[%d];
+lock alock[%d];
+array tids[%d];
+
+fn lcg(s) {
+  return (s * 1103 + 12345) %% 65536;
+}
+
+fn transfer(src, dst, amt) {
+  var lo = src;
+  var hi = dst;
+  if (hi < lo) {
+    lo = dst;
+    hi = src;
+  }
+  acquire(alock[lo]);
+  if (hi != lo) {
+    acquire(alock[hi]);
+  }
+  accounts[src] = accounts[src] - amt;
+  accounts[dst] = accounts[dst] + amt;
+  if (hi != lo) {
+    release(alock[hi]);
+  }
+  release(alock[lo]);
+}
+
+fn teller(id, n) {
+  var s = id * 7919 + 13;
+  var i = 0;
+  while (i < n) {
+    s = lcg(s);
+    var src = s %% %d;
+    s = lcg(s);
+    var dst = s %% %d;
+    transfer(src, dst, 1);
+    i = i + 1;
+  }
+}
+
+fn main() {
+  var i = 0;
+  while (i < %d) {
+    accounts[i] = 100;
+    i = i + 1;
+  }
+  i = 0;
+  while (i < %d) {
+    tids[i] = spawn teller(i, %d);
+    i = i + 1;
+  }
+  i = 0;
+  while (i < %d) {
+    join tids[i];
+    i = i + 1;
+  }
+  var total = 0;
+  i = 0;
+  while (i < %d) {
+    total = total + accounts[i];
+    i = i + 1;
+  }
+  print(total);
+  assert(total == %d);
+}
+|}
+    threads size accounts accounts accounts threads accounts accounts accounts
+    threads size threads accounts (accounts * 100)

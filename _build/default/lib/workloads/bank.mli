@@ -1,0 +1,13 @@
+(** Lock-striped bank transfers.
+
+    Random transfers between accounts, each guarded by the two account locks
+    taken in canonical order. Money is conserved — the final assertion is
+    schedule-independent once transfers are atomic. *)
+
+val name : string
+val description : string
+val default_threads : int
+val default_size : int
+
+val source : threads:int -> size:int -> string
+(** [threads] tellers, [size] transfers each over 8 accounts. *)

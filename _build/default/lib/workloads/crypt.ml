@@ -1,0 +1,74 @@
+let name = "crypt"
+
+let description = "two-phase encrypt/decrypt with fork/join ordering"
+
+let default_threads = 4
+
+let default_size = 5
+
+let source ~threads ~size =
+  let n = 8 * size in
+  Printf.sprintf
+    {|// %d workers per phase, %d bytes
+array plain[%d];
+array cipher[%d];
+array back[%d];
+array tids[%d];
+
+fn encrypt(id, nthreads, n) {
+  var i = id;
+  while (i < n) {
+    cipher[i] = (plain[i] * 7 + 31) %% 256;
+    i = i + nthreads;
+  }
+}
+
+fn decrypt(id, nthreads, n) {
+  var i = id;
+  while (i < n) {
+    // 7 * 183 = 1281 = 5 * 256 + 1, so *183 inverts *7 mod 256
+    back[i] = ((cipher[i] - 31 + 256) * 183) %% 256;
+    i = i + nthreads;
+  }
+}
+
+fn main() {
+  var i = 0;
+  while (i < %d) {
+    plain[i] = (i * 13 + 5) %% 256;
+    i = i + 1;
+  }
+  i = 0;
+  while (i < %d) {
+    tids[i] = spawn encrypt(i, %d, %d);
+    i = i + 1;
+  }
+  i = 0;
+  while (i < %d) {
+    join tids[i];
+    i = i + 1;
+  }
+  i = 0;
+  while (i < %d) {
+    tids[i] = spawn decrypt(i, %d, %d);
+    i = i + 1;
+  }
+  i = 0;
+  while (i < %d) {
+    join tids[i];
+    i = i + 1;
+  }
+  var ok = 1;
+  i = 0;
+  while (i < %d) {
+    if (back[i] != plain[i]) {
+      ok = 0;
+    }
+    i = i + 1;
+  }
+  print(ok);
+  assert(ok == 1);
+}
+|}
+    threads n n n n threads n threads threads n threads threads threads n
+    threads n

@@ -1,0 +1,14 @@
+(** Encrypt/decrypt round trip over disjoint slices (Java Grande "crypt"
+    shape).
+
+    Phase 1 workers encrypt, are joined, then phase 2 workers decrypt; the
+    final assertion checks the round trip. Fork/join provides all ordering —
+    a workload whose mover vocabulary is fork/join rather than locks. *)
+
+val name : string
+val description : string
+val default_threads : int
+val default_size : int
+
+val source : threads:int -> size:int -> string
+(** [threads] workers per phase over [8 * size] bytes. *)

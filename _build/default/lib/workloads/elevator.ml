@@ -1,0 +1,102 @@
+let name = "elevator"
+
+let description = "bounded request queue polled by elevator threads"
+
+let default_threads = 3
+
+let default_size = 5
+
+let capacity = 8
+
+let source ~threads ~size =
+  let requests = size * 5 in
+  Printf.sprintf
+    {|// %d elevators, %d requests, queue capacity %d
+array queue[%d];
+array pos[%d];
+var head = 0;
+var tail = 0;
+var served = 0;
+var producing_done = 0;
+lock q_lock;
+array tids[%d];
+
+fn lcg(s) {
+  return (s * 1103 + 12345) %% 65536;
+}
+
+fn producer(n, cap) {
+  var s = 5;
+  var i = 0;
+  while (i < n) {
+    s = lcg(s);
+    var fl = s %% 20;
+    var pushed = 0;
+    while (pushed == 0) {
+      yield;
+      sync (q_lock) {
+        if (tail - head < cap) {
+          queue[tail %% cap] = fl;
+          tail = tail + 1;
+          pushed = 1;
+        }
+      }
+    }
+    i = i + 1;
+  }
+  sync (q_lock) {
+    producing_done = 1;
+  }
+}
+
+fn elevator(id, cap) {
+  var running = 1;
+  while (running == 1) {
+    var fl = 0 - 1;
+    yield;
+    sync (q_lock) {
+      if (head < tail) {
+        fl = queue[head %% cap];
+        head = head + 1;
+      } else {
+        if (producing_done == 1) {
+          running = 0;
+        }
+      }
+    }
+    if (fl >= 0) {
+      var cur = pos[id];
+      while (cur != fl) {
+        if (cur < fl) {
+          cur = cur + 1;
+        } else {
+          cur = cur - 1;
+        }
+      }
+      pos[id] = cur;
+      sync (q_lock) {
+        served = served + 1;
+      }
+    }
+  }
+}
+
+fn main() {
+  var p = spawn producer(%d, %d);
+  var i = 0;
+  while (i < %d) {
+    tids[i] = spawn elevator(i, %d);
+    i = i + 1;
+  }
+  join p;
+  i = 0;
+  while (i < %d) {
+    join tids[i];
+    i = i + 1;
+  }
+  print(served);
+  assert(served == %d);
+}
+|}
+    threads requests capacity capacity threads threads requests capacity
+    threads capacity threads requests

@@ -1,0 +1,15 @@
+(** Elevator simulation: a producer posts floor requests into a bounded
+    queue; elevator threads poll the queue, travel locally, and count served
+    requests.
+
+    Polling loops carry explicit yields (required for liveness under
+    cooperative scheduling); the two lock regions per service cycle are
+    where inference adds its yields. *)
+
+val name : string
+val description : string
+val default_threads : int
+val default_size : int
+
+val source : threads:int -> size:int -> string
+(** [threads] elevators, [size * 5] requests, queue capacity 8. *)

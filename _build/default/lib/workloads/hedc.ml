@@ -1,0 +1,103 @@
+let name = "hedc"
+
+let description = "task pool with follow-up task production"
+
+let default_threads = 4
+
+let default_size = 4
+
+let capacity = 16
+
+let source ~threads ~size =
+  let seeds = size * 4 in
+  (* The pool must fit all seeds (main seeds before crawlers start) plus one
+     in-flight follow-up per crawler, or all crawlers can end up spinning on
+     a full pool with nobody left to pop. *)
+  let capacity = max capacity (seeds + (2 * threads)) in
+  Printf.sprintf
+    {|// %d crawlers, %d seed tasks, capacity %d
+array pool[%d];
+var t_head = 0;
+var t_tail = 0;
+var pending = 0;
+var seeded = 0;
+var results = 0;
+lock t_lock;
+lock r_lock;
+array tids[%d];
+
+fn crawler(id, cap) {
+  var running = 1;
+  while (running == 1) {
+    var task = 0 - 1;
+    yield;
+    sync (t_lock) {
+      if (t_head < t_tail) {
+        task = pool[t_head %% cap];
+        t_head = t_head + 1;
+      } else {
+        if (seeded == 1 && pending == 0) {
+          running = 0;
+        }
+      }
+    }
+    if (task >= 0) {
+      var acc = 0;
+      var k = 0;
+      while (k < task %% 20 + 5) {
+        acc = acc + k * task;
+        k = k + 1;
+      }
+      sync (r_lock) {
+        results = results + 1;
+      }
+      if (task >= 3) {
+        var pushed = 0;
+        while (pushed == 0) {
+          yield;
+          sync (t_lock) {
+            if (t_tail - t_head < cap) {
+              pool[t_tail %% cap] = task / 3;
+              t_tail = t_tail + 1;
+              pending = pending + 1;
+              pushed = 1;
+            }
+          }
+        }
+      }
+      sync (t_lock) {
+        pending = pending - 1;
+      }
+    }
+  }
+}
+
+fn main() {
+  var i = 0;
+  while (i < %d) {
+    sync (t_lock) {
+      pool[t_tail %% %d] = (i * 11 + 4) %% 40;
+      t_tail = t_tail + 1;
+      pending = pending + 1;
+    }
+    i = i + 1;
+  }
+  sync (t_lock) {
+    seeded = 1;
+  }
+  i = 0;
+  while (i < %d) {
+    tids[i] = spawn crawler(i, %d);
+    i = i + 1;
+  }
+  i = 0;
+  while (i < %d) {
+    join tids[i];
+    i = i + 1;
+  }
+  print(results);
+  assert(results >= %d);
+}
+|}
+    threads seeds capacity capacity threads seeds capacity threads capacity
+    threads seeds

@@ -1,0 +1,14 @@
+(** Task-pool crawler (the "hedc" meta-crawler shape).
+
+    Workers pop tasks from a shared pool, do local work, occasionally push
+    follow-up tasks, and count results. A [pending] counter guarded by the
+    pool lock gives a race-free termination condition even with follow-up
+    production. *)
+
+val name : string
+val description : string
+val default_threads : int
+val default_size : int
+
+val source : threads:int -> size:int -> string
+(** [threads] crawlers, [size * 4] seed tasks, pool capacity 16. *)

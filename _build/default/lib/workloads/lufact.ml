@@ -1,0 +1,68 @@
+let name = "lufact"
+
+let description = "barrier-phased LU factorization kernel"
+
+let default_threads = 4
+
+let default_size = 4
+
+let source ~threads ~size =
+  let n = size + 4 in
+  Printf.sprintf
+    {|// %d workers, %dx%d matrix
+array a[%d];
+array tids[%d];
+%s
+%s
+fn worker(id, nthreads, n) {
+  var k = 0;
+  while (k < n - 1) {
+    if (k %% nthreads == id) {
+      var i = k + 1;
+      while (i < n) {
+        a[i * n + k] = (a[i * n + k] * 100) / (a[k * n + k] + 1);
+        i = i + 1;
+      }
+    }
+    barrier(nthreads);
+    var r = k + 1 + id;
+    while (r < n) {
+      var j = k + 1;
+      while (j < n) {
+        a[r * n + j] = a[r * n + j] - (a[r * n + k] * a[k * n + j]) / 100;
+        j = j + 1;
+      }
+      r = r + nthreads;
+    }
+    barrier(nthreads);
+    k = k + 1;
+  }
+}
+
+fn main() {
+  var i = 0;
+  while (i < %d) {
+    a[i] = (i * 7 + 3) %% 50 + 1;
+    i = i + 1;
+  }
+  i = 0;
+  while (i < %d) {
+    tids[i] = spawn worker(i, %d, %d);
+    i = i + 1;
+  }
+  i = 0;
+  while (i < %d) {
+    join tids[i];
+    i = i + 1;
+  }
+  var sum = 0;
+  i = 0;
+  while (i < %d) {
+    sum = sum + a[i];
+    i = i + 1;
+  }
+  print(sum);
+}
+|}
+    threads n n (n * n) threads Snippets.barrier_decls Snippets.barrier_fn
+    (n * n) threads threads n threads (n * n)

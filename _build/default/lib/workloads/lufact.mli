@@ -1,0 +1,13 @@
+(** Barrier-phased LU-style factorization (Java Grande "lufact" shape).
+
+    Each step: the pivot owner normalizes a column, a barrier, every thread
+    updates its strided rows of the trailing submatrix, a barrier. All
+    integer arithmetic is scaled to stay exact. *)
+
+val name : string
+val description : string
+val default_threads : int
+val default_size : int
+
+val source : threads:int -> size:int -> string
+(** [threads] workers, [size + 4] x [size + 4] matrix. *)

@@ -1,0 +1,279 @@
+let racy_counter ~threads ~incs =
+  Printf.sprintf
+    {|var x = 0;
+array tids[%d];
+
+fn worker(n) {
+  var i = 0;
+  while (i < n) {
+    x = x + 1;
+    i = i + 1;
+  }
+}
+
+fn main() {
+  var i = 0;
+  while (i < %d) {
+    tids[i] = spawn worker(%d);
+    i = i + 1;
+  }
+  i = 0;
+  while (i < %d) {
+    join tids[i];
+    i = i + 1;
+  }
+  print(x);
+}
+|}
+    threads threads incs threads
+
+let locked_counter ~threads ~incs ~yield_at_loop =
+  Printf.sprintf
+    {|var x = 0;
+lock m;
+array tids[%d];
+
+fn worker(n) {
+  var i = 0;
+  while (i < n) {
+    %s
+    sync (m) {
+      x = x + 1;
+    }
+    i = i + 1;
+  }
+}
+
+fn main() {
+  var i = 0;
+  while (i < %d) {
+    tids[i] = spawn worker(%d);
+    i = i + 1;
+  }
+  i = 0;
+  while (i < %d) {
+    join tids[i];
+    i = i + 1;
+  }
+  print(x);
+  assert(x == %d);
+}
+|}
+    threads
+    (if yield_at_loop then "yield;" else "")
+    threads incs threads (threads * incs)
+
+let check_then_act ~threads =
+  Printf.sprintf
+    {|var owner = -1;
+var claims = 0;
+lock m;
+array tids[%d];
+
+fn grab(id) {
+  var free = 0;
+  sync (m) {
+    if (owner < 0) {
+      free = 1;
+    }
+  }
+  // The gap between the check and the act is the bug.
+  if (free == 1) {
+    sync (m) {
+      owner = id;
+      claims = claims + 1;
+    }
+  }
+}
+
+fn main() {
+  var i = 0;
+  while (i < %d) {
+    tids[i] = spawn grab(i);
+    i = i + 1;
+  }
+  i = 0;
+  while (i < %d) {
+    join tids[i];
+    i = i + 1;
+  }
+  print(claims);
+}
+|}
+    threads threads threads
+
+let single_transaction ~threads =
+  Printf.sprintf
+    {|var x = 0;
+lock m;
+array tids[%d];
+
+fn worker(v) {
+  var local = v * v + 1;
+  sync (m) {
+    x = x + local;
+  }
+}
+
+fn main() {
+  var i = 0;
+  while (i < %d) {
+    tids[i] = spawn worker(i);
+    i = i + 1;
+  }
+  i = 0;
+  while (i < %d) {
+    join tids[i];
+    i = i + 1;
+  }
+  print(x);
+}
+|}
+    threads threads threads
+
+let deadlock_prone () =
+  {|var x = 0;
+lock a;
+lock b;
+
+fn left() {
+  acquire(a);
+  acquire(b);
+  x = x + 1;
+  release(b);
+  release(a);
+}
+
+fn right() {
+  acquire(b);
+  acquire(a);
+  x = x + 10;
+  release(a);
+  release(b);
+}
+
+fn main() {
+  var t1 = spawn left();
+  var t2 = spawn right();
+  join t1;
+  join t2;
+  print(x);
+}
+|}
+
+let monitor_cell ~items =
+  Printf.sprintf
+    {|var slot = -1;
+var got_sum = 0;
+lock m;
+
+fn producer(n) {
+  var i = 0;
+  while (i < n) {
+    sync (m) {
+      while (slot >= 0) {
+        wait(m);
+      }
+      slot = i * 10;
+      notifyall(m);
+    }
+    i = i + 1;
+  }
+}
+
+fn consumer(n) {
+  var i = 0;
+  while (i < n) {
+    var got = 0;
+    sync (m) {
+      while (slot < 0) {
+        wait(m);
+      }
+      got = slot;
+      slot = -1;
+      notifyall(m);
+    }
+    print(got);
+    got_sum = got_sum + got;
+    i = i + 1;
+  }
+}
+
+fn main() {
+  var p = spawn producer(%d);
+  var c = spawn consumer(%d);
+  join p;
+  join c;
+  assert(got_sum == %d);
+}
+|}
+    items items
+    (let s = ref 0 in
+     for i = 0 to items - 1 do
+       s := !s + (i * 10)
+     done;
+     !s)
+
+let producer_consumer ~items =
+  Printf.sprintf
+    {|var slot = -1;
+var consumed = 0;
+lock m;
+
+fn producer(n) {
+  var i = 0;
+  while (i < n) {
+    var put = 0;
+    while (put == 0) {
+      yield;
+      sync (m) {
+        if (slot < 0) {
+          slot = i * 10;
+          put = 1;
+        }
+      }
+    }
+    i = i + 1;
+  }
+}
+
+fn consumer(n) {
+  var i = 0;
+  while (i < n) {
+    var got = 0 - 1;
+    yield;
+    sync (m) {
+      if (slot >= 0) {
+        got = slot;
+        slot = 0 - 1;
+      }
+    }
+    if (got >= 0) {
+      print(got);
+      consumed = consumed + 1;
+      i = i + 1;
+    }
+  }
+}
+
+fn main() {
+  var p = spawn producer(%d);
+  var c = spawn consumer(%d);
+  join p;
+  join c;
+  assert(consumed == %d);
+}
+|}
+    items items items
+
+let all =
+  [
+    ("racy_counter", racy_counter ~threads:2 ~incs:2);
+    ("locked_counter_noyield", locked_counter ~threads:2 ~incs:2 ~yield_at_loop:false);
+    ("locked_counter_yield", locked_counter ~threads:2 ~incs:2 ~yield_at_loop:true);
+    ("check_then_act", check_then_act ~threads:2);
+    ("single_transaction", single_transaction ~threads:3);
+    ("deadlock_prone", deadlock_prone ());
+    ("producer_consumer", producer_consumer ~items:3);
+    ("monitor_cell", monitor_cell ~items:3);
+  ]

@@ -1,0 +1,38 @@
+(** Small canonical programs used by the equivalence experiments (Figure 1)
+    and the unit tests. Each is a classic example from the
+    cooperability/atomicity literature. *)
+
+val racy_counter : threads:int -> incs:int -> string
+(** Unsynchronized [x = x + 1] in parallel: racy, loses updates under
+    preemption. *)
+
+val locked_counter : threads:int -> incs:int -> yield_at_loop:bool -> string
+(** Lock-protected increments in a loop; with [yield_at_loop] the loop head
+    carries the yield cooperability demands, without it the program is a
+    cooperability violation (but still race-free and correct). *)
+
+val check_then_act : threads:int -> string
+(** The classic non-atomic check-then-act: read a flag under one lock
+    region, act under another. Race-free, atomicity violation, cooperability
+    violation — and genuinely buggy (the assert can fail). *)
+
+val single_transaction : threads:int -> string
+(** Each thread performs one perfectly reducible R* N L* transaction:
+    cooperable with zero yields. *)
+
+val deadlock_prone : unit -> string
+(** Two threads taking two locks in opposite orders: deadlocks under some
+    schedules. Used to test deadlock detection in the explorer. *)
+
+val monitor_cell : items:int -> string
+(** One producer, one consumer over a 1-slot cell coordinated with
+    [wait]/[notify] on its monitor — the Java idiom our spin loops
+    otherwise substitute for. Deterministic output; race-free; the waits
+    are the yield points. *)
+
+val producer_consumer : items:int -> string
+(** One producer, one consumer over a 1-slot buffer with yield-based
+    polling: cooperable, terminating, deterministic output. *)
+
+val all : (string * string) list
+(** [(name, source)] of every micro program at small default parameters. *)

@@ -1,0 +1,72 @@
+let name = "moldyn"
+
+let description = "barrier-phased molecular dynamics kernel"
+
+let default_threads = 4
+
+let default_size = 5
+
+let source ~threads ~size =
+  let n = 4 * size in
+  Printf.sprintf
+    {|// %d workers, %d particles, %d timesteps
+array x[%d];
+array v[%d];
+array f[%d];
+array tids[%d];
+%s
+%s
+fn worker(id, nthreads, steps) {
+  var it = 0;
+  while (it < steps) {
+    var i = id;
+    while (i < %d) {
+      var acc = 0;
+      var j = 0;
+      while (j < %d) {
+        acc = acc + (x[j] - x[i]);
+        j = j + 1;
+      }
+      f[i] = acc / %d;
+      i = i + nthreads;
+    }
+    barrier(nthreads);
+    i = id;
+    while (i < %d) {
+      v[i] = v[i] + f[i];
+      x[i] = x[i] + v[i] / 4;
+      i = i + nthreads;
+    }
+    barrier(nthreads);
+    it = it + 1;
+  }
+}
+
+fn main() {
+  var i = 0;
+  while (i < %d) {
+    x[i] = (i * 17) %% 101;
+    v[i] = (i * 5) %% 13 - 6;
+    i = i + 1;
+  }
+  i = 0;
+  while (i < %d) {
+    tids[i] = spawn worker(i, %d, %d);
+    i = i + 1;
+  }
+  i = 0;
+  while (i < %d) {
+    join tids[i];
+    i = i + 1;
+  }
+  var sum = 0;
+  i = 0;
+  while (i < %d) {
+    sum = sum + x[i] + v[i];
+    i = i + 1;
+  }
+  print(sum);
+}
+|}
+    threads n size n n n threads Snippets.barrier_decls Snippets.barrier_fn n n
+    n n n threads threads size threads n

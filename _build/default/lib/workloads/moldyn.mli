@@ -1,0 +1,13 @@
+(** Simplified molecular dynamics (Java Grande "moldyn" shape).
+
+    Force computation reads every particle position and writes the owner's
+    force slice; the integration phase updates owned positions/velocities.
+    Phases are barrier-separated, so the sharing is race-free. *)
+
+val name : string
+val description : string
+val default_threads : int
+val default_size : int
+
+val source : threads:int -> size:int -> string
+(** [threads] workers, [4 * size] particles, [size] timesteps. *)

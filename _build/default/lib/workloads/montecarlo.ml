@@ -1,0 +1,54 @@
+let name = "montecarlo"
+
+let description = "embarrassingly parallel Monte-Carlo accumulation"
+
+let default_threads = 4
+
+let default_size = 5
+
+let source ~threads ~size =
+  let trials = size * 40 in
+  Printf.sprintf
+    {|// %d workers, %d trials each
+var hits = 0;
+lock sum_lock;
+array tids[%d];
+
+fn lcg(s) {
+  return (s * 1103 + 12345) %% 65536;
+}
+
+fn worker(id, trials) {
+  var s = id * 2357 + 11;
+  var local = 0;
+  var i = 0;
+  while (i < trials) {
+    s = lcg(s);
+    var px = s %% 100;
+    s = lcg(s);
+    var py = s %% 100;
+    if (px * px + py * py < 10000) {
+      local = local + 1;
+    }
+    i = i + 1;
+  }
+  sync (sum_lock) {
+    hits = hits + local;
+  }
+}
+
+fn main() {
+  var i = 0;
+  while (i < %d) {
+    tids[i] = spawn worker(i, %d);
+    i = i + 1;
+  }
+  i = 0;
+  while (i < %d) {
+    join tids[i];
+    i = i + 1;
+  }
+  print(hits);
+}
+|}
+    threads trials threads threads trials threads

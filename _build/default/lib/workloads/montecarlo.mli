@@ -1,0 +1,13 @@
+(** Monte-Carlo pi estimation (Java Grande "montecarlo" shape).
+
+    Embarrassingly parallel: each worker accumulates locally and merges once
+    under a lock. The whole worker is a single reducible transaction —
+    zero yields are needed. *)
+
+val name : string
+val description : string
+val default_threads : int
+val default_size : int
+
+val source : threads:int -> size:int -> string
+(** [threads] workers, [size * 40] trials each. *)

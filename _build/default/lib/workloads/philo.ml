@@ -1,0 +1,52 @@
+let name = "philo"
+
+let description = "dining philosophers, ordered forks, shared meal counter"
+
+let default_threads = 4
+
+let default_size = 12
+
+let source ~threads ~size =
+  Printf.sprintf
+    {|// %d philosophers, %d rounds each
+var meals = 0;
+lock forks[%d];
+lock meals_lock;
+array tids[%d];
+
+fn philosopher(id, rounds) {
+  var first = id;
+  var second = (id + 1) %% %d;
+  if (second < first) {
+    first = second;
+    second = id;
+  }
+  var r = 0;
+  while (r < rounds) {
+    acquire(forks[first]);
+    acquire(forks[second]);
+    sync (meals_lock) {
+      meals = meals + 1;
+    }
+    release(forks[second]);
+    release(forks[first]);
+    r = r + 1;
+  }
+}
+
+fn main() {
+  var i = 0;
+  while (i < %d) {
+    tids[i] = spawn philosopher(i, %d);
+    i = i + 1;
+  }
+  i = 0;
+  while (i < %d) {
+    join tids[i];
+    i = i + 1;
+  }
+  print(meals);
+  assert(meals == %d);
+}
+|}
+    threads size threads threads threads threads size threads (threads * size)

@@ -1,0 +1,13 @@
+(** Dining philosophers with ordered fork acquisition.
+
+    Exercises nested lock acquisition (R R .. L L transactions) and a shared
+    meal counter. Deadlock-free by lock ordering; the cooperability checker
+    should infer exactly one yield at the round-loop head. *)
+
+val name : string
+val description : string
+val default_threads : int
+val default_size : int
+
+val source : threads:int -> size:int -> string
+(** [threads] philosophers, [size] rounds each. *)

@@ -1,0 +1,118 @@
+let name = "queue"
+
+let description = "two-lock ring-buffer FIFO, producer/consumer pairs"
+
+let default_threads = 2
+
+let default_size = 3
+
+let source ~threads ~size =
+  let items = size * 8 in
+  let cap = 8 in
+  (* Bounded-buffer protocol: [count] counts reserved-but-not-yet-freed
+     slots (producers reserve before writing), [ready] counts published
+     items (incremented after the ring write, decremented before the read).
+     The count_lock handoffs order every ring write before its read and
+     every read before the slot's reuse. *)
+  Printf.sprintf
+    {|// %d producer/consumer pairs, %d items each, capacity %d
+array ring[%d];
+var head = 0;
+var tail = 0;
+var count = 0;
+var ready = 0;
+var consumed_sum = 0;
+lock head_lock;
+lock tail_lock;
+lock count_lock;
+lock sum_lock;
+array ptids[%d];
+array ctids[%d];
+
+fn enqueue_one(v, cap) {
+  var reserved = 0;
+  while (reserved == 0) {
+    yield;
+    sync (count_lock) {
+      if (count < cap) {
+        count = count + 1;
+        reserved = 1;
+      }
+    }
+  }
+  sync (tail_lock) {
+    ring[tail %% cap] = v;
+    tail = tail + 1;
+  }
+  sync (count_lock) {
+    ready = ready + 1;
+  }
+}
+
+fn dequeue_one(cap) {
+  var avail = 0;
+  while (avail == 0) {
+    yield;
+    sync (count_lock) {
+      if (ready > 0) {
+        ready = ready - 1;
+        avail = 1;
+      }
+    }
+  }
+  var got = 0;
+  sync (head_lock) {
+    got = ring[head %% cap];
+    head = head + 1;
+  }
+  sync (count_lock) {
+    count = count - 1;
+  }
+  return got;
+}
+
+fn producer(id, n, cap) {
+  var i = 0;
+  while (i < n) {
+    enqueue_one(id * n + i, cap);
+    i = i + 1;
+  }
+}
+
+fn consumer(n, cap) {
+  var i = 0;
+  var local = 0;
+  while (i < n) {
+    local = local + dequeue_one(cap);
+    i = i + 1;
+  }
+  sync (sum_lock) {
+    consumed_sum = consumed_sum + local;
+  }
+}
+
+fn main() {
+  var i = 0;
+  while (i < %d) {
+    ptids[i] = spawn producer(i, %d, %d);
+    ctids[i] = spawn consumer(%d, %d);
+    i = i + 1;
+  }
+  i = 0;
+  while (i < %d) {
+    join ptids[i];
+    join ctids[i];
+    i = i + 1;
+  }
+  print(consumed_sum);
+  assert(consumed_sum == %d);
+}
+|}
+    threads items cap cap threads threads threads items cap items cap threads
+    (let total = ref 0 in
+     for id = 0 to threads - 1 do
+       for i = 0 to items - 1 do
+         total := !total + (id * items) + i
+       done
+     done;
+     !total)

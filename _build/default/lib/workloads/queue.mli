@@ -1,0 +1,15 @@
+(** A two-lock bounded FIFO (the classic Michael-Scott two-lock queue,
+    adapted to a ring buffer).
+
+    Enqueuers and dequeuers synchronize on separate head/tail locks plus a
+    lock-protected element counter — a workload whose critical sections are
+    small and frequent, stressing the R..L transaction boundaries. Output
+    (sum of dequeued values) is deterministic. *)
+
+val name : string
+val description : string
+val default_threads : int
+val default_size : int
+
+val source : threads:int -> size:int -> string
+(** [threads] producer/consumer pairs, [size * 8] items per producer. *)

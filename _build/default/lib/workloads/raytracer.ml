@@ -1,0 +1,65 @@
+let name = "raytracer"
+
+let description = "dynamic row queue + checksum merge"
+
+let default_threads = 4
+
+let default_size = 5
+
+let source ~threads ~size =
+  let height = size * 6 in
+  let width = 16 in
+  Printf.sprintf
+    {|// %d workers, %d rows of width %d
+var next_row = 0;
+var checksum = 0;
+lock q_lock;
+lock csum_lock;
+array tids[%d];
+
+fn render_row(r, width) {
+  var acc = 0;
+  var c = 0;
+  while (c < width) {
+    acc = acc + ((r * 31 + c * 17) * (r + c)) %% 255;
+    c = c + 1;
+  }
+  return acc;
+}
+
+fn worker(width, height) {
+  var running = 1;
+  while (running == 1) {
+    var row = 0 - 1;
+    sync (q_lock) {
+      if (next_row < height) {
+        row = next_row;
+        next_row = next_row + 1;
+      }
+    }
+    if (row < 0) {
+      running = 0;
+    } else {
+      var val = render_row(row, width);
+      sync (csum_lock) {
+        checksum = checksum + val;
+      }
+    }
+  }
+}
+
+fn main() {
+  var i = 0;
+  while (i < %d) {
+    tids[i] = spawn worker(%d, %d);
+    i = i + 1;
+  }
+  i = 0;
+  while (i < %d) {
+    join tids[i];
+    i = i + 1;
+  }
+  print(checksum);
+}
+|}
+    threads height width threads threads width height threads

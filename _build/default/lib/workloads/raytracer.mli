@@ -1,0 +1,14 @@
+(** Ray tracer with a dynamic row queue (Java Grande "raytracer" shape).
+
+    Workers repeatedly grab a row index from a lock-protected counter,
+    render locally, and merge into a lock-protected checksum. Two lock
+    regions per iteration make the loop body two transactions — the checker
+    infers a yield between them and one at the loop head. *)
+
+val name : string
+val description : string
+val default_threads : int
+val default_size : int
+
+val source : threads:int -> size:int -> string
+(** [threads] workers over [size * 6] rows of width 16. *)

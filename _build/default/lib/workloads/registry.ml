@@ -1,0 +1,62 @@
+type entry = {
+  name : string;
+  description : string;
+  source : threads:int -> size:int -> string;
+  default_threads : int;
+  default_size : int;
+}
+
+module type Workload = sig
+  val name : string
+  val description : string
+  val default_threads : int
+  val default_size : int
+  val source : threads:int -> size:int -> string
+end
+
+let entry (module W : Workload) =
+  {
+    name = W.name;
+    description = W.description;
+    source = W.source;
+    default_threads = W.default_threads;
+    default_size = W.default_size;
+  }
+
+let all =
+  [
+    entry (module Series);
+    entry (module Sparse);
+    entry (module Crypt);
+    entry (module Sor);
+    entry (module Lufact);
+    entry (module Moldyn);
+    entry (module Montecarlo);
+    entry (module Raytracer);
+    entry (module Philo);
+    entry (module Bank);
+    entry (module Queue);
+    entry (module Elevator);
+    entry (module Tsp);
+    entry (module Hedc);
+  ]
+
+let find name = List.find_opt (fun e -> String.equal e.name name) all
+
+let names = List.map (fun e -> e.name) all
+
+let source_of ?threads ?size e =
+  let threads = Option.value threads ~default:e.default_threads in
+  let size = Option.value size ~default:e.default_size in
+  e.source ~threads ~size
+
+let program_of ?threads ?size e =
+  Coop_lang.Compile.source (source_of ?threads ?size e)
+
+let loc_count src =
+  String.split_on_char '\n' src
+  |> List.filter (fun line ->
+         let line = String.trim line in
+         String.length line > 0
+         && not (String.length line >= 2 && String.sub line 0 2 = "//"))
+  |> List.length

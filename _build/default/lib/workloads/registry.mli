@@ -1,0 +1,29 @@
+(** The benchmark registry: every workload the evaluation runs, with its
+    default parameters, addressable by name from the CLI and the bench
+    harness. *)
+
+type entry = {
+  name : string;
+  description : string;
+  source : threads:int -> size:int -> string;  (** CoopLang source. *)
+  default_threads : int;
+  default_size : int;
+}
+
+val all : entry list
+(** The fourteen evaluation workloads, in Table 1 order. *)
+
+val find : string -> entry option
+(** Look a workload up by name. *)
+
+val names : string list
+(** All workload names, in order. *)
+
+val source_of : ?threads:int -> ?size:int -> entry -> string
+(** Source at the given (default: the entry's default) parameters. *)
+
+val program_of : ?threads:int -> ?size:int -> entry -> Coop_lang.Bytecode.program
+(** Compiled program at the given parameters. *)
+
+val loc_count : string -> int
+(** Non-blank, non-comment source lines — the "LoC" column of Table 1. *)

@@ -1,0 +1,50 @@
+let name = "series"
+
+let description = "disjoint-slice data parallelism, no synchronization"
+
+let default_threads = 4
+
+let default_size = 5
+
+let source ~threads ~size =
+  let n = 8 * size in
+  Printf.sprintf
+    {|// %d workers, %d coefficients
+array coef[%d];
+array tids[%d];
+
+fn worker(id, nthreads, n) {
+  var i = id;
+  while (i < n) {
+    var acc = 0;
+    var k = 1;
+    while (k < 30) {
+      acc = acc + (i * k * k) %% 1000;
+      k = k + 1;
+    }
+    coef[i] = acc;
+    i = i + nthreads;
+  }
+}
+
+fn main() {
+  var i = 0;
+  while (i < %d) {
+    tids[i] = spawn worker(i, %d, %d);
+    i = i + 1;
+  }
+  i = 0;
+  while (i < %d) {
+    join tids[i];
+    i = i + 1;
+  }
+  var sum = 0;
+  i = 0;
+  while (i < %d) {
+    sum = sum + coef[i];
+    i = i + 1;
+  }
+  print(sum);
+}
+|}
+    threads n n threads threads threads n threads n

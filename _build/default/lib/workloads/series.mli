@@ -1,0 +1,12 @@
+(** Fourier-coefficient style kernel (Java Grande "series" shape).
+
+    Pure data parallelism over disjoint array slices: no locks, no races,
+    no yields. The baseline "nothing to report" workload. *)
+
+val name : string
+val description : string
+val default_threads : int
+val default_size : int
+
+val source : threads:int -> size:int -> string
+(** [threads] workers over [8 * size] coefficients. *)

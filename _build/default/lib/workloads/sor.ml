@@ -1,0 +1,66 @@
+let name = "sor"
+
+let description = "red-black SOR stencil with counter barriers"
+
+let default_threads = 4
+
+let default_size = 6
+
+let source ~threads ~size =
+  let n = 8 * size in
+  Printf.sprintf
+    {|// %d workers, %d cells, %d iterations
+array grid[%d];
+array tids[%d];
+%s
+%s
+fn worker(id, nthreads, iters) {
+  var it = 0;
+  while (it < iters) {
+    var i = 1 + id;
+    while (i < %d - 1) {
+      if (i %% 2 == 0) {
+        grid[i] = (grid[i - 1] + grid[i + 1]) / 2;
+      }
+      i = i + nthreads;
+    }
+    barrier(nthreads);
+    i = 1 + id;
+    while (i < %d - 1) {
+      if (i %% 2 == 1) {
+        grid[i] = (grid[i - 1] + grid[i + 1]) / 2;
+      }
+      i = i + nthreads;
+    }
+    barrier(nthreads);
+    it = it + 1;
+  }
+}
+
+fn main() {
+  var i = 0;
+  while (i < %d) {
+    grid[i] = (i * i) %% 97;
+    i = i + 1;
+  }
+  i = 0;
+  while (i < %d) {
+    tids[i] = spawn worker(i, %d, %d);
+    i = i + 1;
+  }
+  i = 0;
+  while (i < %d) {
+    join tids[i];
+    i = i + 1;
+  }
+  var sum = 0;
+  i = 0;
+  while (i < %d) {
+    sum = sum + grid[i];
+    i = i + 1;
+  }
+  print(sum);
+}
+|}
+    threads n size n threads Snippets.barrier_decls Snippets.barrier_fn n n n
+    threads threads size threads n

@@ -1,0 +1,13 @@
+(** Red-black successive over-relaxation on a 1-D grid.
+
+    Barrier-separated phases: even cells then odd cells, strided over
+    threads. All sharing is disjoint-write/ordered-read, so the only yields
+    are the explicit ones in the barrier's spin loop. *)
+
+val name : string
+val description : string
+val default_threads : int
+val default_size : int
+
+val source : threads:int -> size:int -> string
+(** [threads] workers, grid of [8 * size] cells, [size] iterations. *)

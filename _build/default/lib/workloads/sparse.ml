@@ -1,0 +1,75 @@
+let name = "sparse"
+
+let description = "sparse mat-vec with per-thread partial sums"
+
+let default_threads = 4
+
+let default_size = 5
+
+let source ~threads ~size =
+  let rows = 4 * size in
+  let nnz = 12 * size in
+  Printf.sprintf
+    {|// %d workers, %d nonzeros, %d rows
+array row[%d];
+array col[%d];
+array val[%d];
+array x[%d];
+array partial[%d];  // threads x rows, flattened
+array y[%d];
+array tids[%d];
+
+fn worker(id, nthreads, nnz, rows) {
+  var k = id;
+  while (k < nnz) {
+    var r = row[k];
+    partial[id * rows + r] = partial[id * rows + r] + val[k] * x[col[k]];
+    k = k + nthreads;
+  }
+}
+
+fn main() {
+  var k = 0;
+  while (k < %d) {
+    row[k] = (k * 7) %% %d;
+    col[k] = (k * 13) %% %d;
+    val[k] = (k * 3) %% 9 + 1;
+    k = k + 1;
+  }
+  k = 0;
+  while (k < %d) {
+    x[k] = (k * 5) %% 11 + 1;
+    k = k + 1;
+  }
+  var i = 0;
+  while (i < %d) {
+    tids[i] = spawn worker(i, %d, %d, %d);
+    i = i + 1;
+  }
+  i = 0;
+  while (i < %d) {
+    join tids[i];
+    i = i + 1;
+  }
+  var r = 0;
+  while (r < %d) {
+    var acc = 0;
+    i = 0;
+    while (i < %d) {
+      acc = acc + partial[i * %d + r];
+      i = i + 1;
+    }
+    y[r] = acc;
+    r = r + 1;
+  }
+  var checksum = 0;
+  r = 0;
+  while (r < %d) {
+    checksum = checksum + y[r];
+    r = r + 1;
+  }
+  print(checksum);
+}
+|}
+    threads nnz rows nnz nnz nnz rows (threads * rows) rows threads nnz rows
+    rows rows threads threads nnz rows threads rows threads rows rows

@@ -1,0 +1,15 @@
+(** Sparse matrix-vector multiplication (Java Grande "sparsematmult"
+    shape).
+
+    The matrix is in triplet form (row/col/val arrays, read-only after
+    pre-fork initialization); each worker owns a stride of the nonzeros and
+    accumulates into a private slice of a partial-sum matrix, which main
+    reduces after joining — all sharing is fork/join ordered. *)
+
+val name : string
+val description : string
+val default_threads : int
+val default_size : int
+
+val source : threads:int -> size:int -> string
+(** [threads] workers, [12 * size] nonzeros over a [4 * size]-row matrix. *)

@@ -1,0 +1,99 @@
+let name = "tsp"
+
+let description = "branch-and-bound TSP with a benign racy bound"
+
+let default_threads = 4
+
+let default_size = 2
+
+let source ~threads ~size =
+  let cities = min 8 (4 + size) in
+  Printf.sprintf
+    {|// %d workers, %d cities
+var best = 99999999;
+var next_start = 0;
+lock best_lock;
+lock wq_lock;
+array dist[%d];
+array visited[%d];
+array tids[%d];
+
+fn search(id, city, nvis, len, n) {
+  var bound = best; // deliberate unlocked read: the benign race
+  if (len < bound) {
+    if (nvis == n) {
+      var total = len + dist[city * n + 0];
+      sync (best_lock) {
+        if (total < best) {
+          best = total;
+        }
+      }
+    } else {
+      var c = 1;
+      while (c < n) {
+        if (visited[id * n + c] == 0) {
+          visited[id * n + c] = 1;
+          search(id, c, nvis + 1, len + dist[city * n + c], n);
+          visited[id * n + c] = 0;
+        }
+        c = c + 1;
+      }
+    }
+  }
+}
+
+fn worker(id, n) {
+  var running = 1;
+  while (running == 1) {
+    var s = 0 - 1;
+    sync (wq_lock) {
+      if (next_start < n - 1) {
+        next_start = next_start + 1;
+        s = next_start;
+      }
+    }
+    if (s < 0) {
+      running = 0;
+    } else {
+      var c = 0;
+      while (c < n) {
+        visited[id * n + c] = 0;
+        c = c + 1;
+      }
+      visited[id * n + s] = 1;
+      search(id, s, 2, dist[0 * n + s], n);
+    }
+  }
+}
+
+fn main() {
+  var i = 0;
+  while (i < %d) {
+    var j = 0;
+    while (j < %d) {
+      if (i == j) {
+        dist[i * %d + j] = 0;
+      } else {
+        var d = ((i * 37 + j * 61) %% 90) + 10;
+        dist[i * %d + j] = d;
+        dist[j * %d + i] = d;
+      }
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  i = 0;
+  while (i < %d) {
+    tids[i] = spawn worker(i, %d);
+    i = i + 1;
+  }
+  i = 0;
+  while (i < %d) {
+    join tids[i];
+    i = i + 1;
+  }
+  print(best);
+}
+|}
+    threads cities (cities * cities) (threads * cities) threads cities cities
+    cities cities cities threads cities threads

@@ -1,0 +1,17 @@
+(** Branch-and-bound traveling salesman with a benign racy bound.
+
+    The classic shape: a shared best-tour bound is read {e without} the lock
+    for pruning (the deliberate "benign race" of the original tsp benchmark)
+    and updated under the lock. The racy read is a non mover, so the checker
+    demands yields around the pruning reads — reproducing the paper's
+    discussion of how cooperability handles intentional races. The final
+    bound is still deterministic: stale pruning reads only ever make the
+    search do extra work. *)
+
+val name : string
+val description : string
+val default_threads : int
+val default_size : int
+
+val source : threads:int -> size:int -> string
+(** [threads] workers; [min 8 (4 + size)] cities. *)

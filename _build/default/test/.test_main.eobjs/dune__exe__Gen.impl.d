@@ -1,0 +1,1 @@
+test/gen.ml: Array Ast Coop_lang Coop_trace Coop_util Event Format Gen Hashtbl List Loc Printf QCheck2 Trace

@@ -1,0 +1,1 @@
+test/test_atomicity.ml: Alcotest Atomizer Compile Conflict Coop_atomicity Coop_core Coop_lang Coop_runtime Coop_trace Coop_workloads Cooperability Int List Micro Runner Sched

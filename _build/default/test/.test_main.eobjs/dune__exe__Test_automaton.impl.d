@@ -1,0 +1,1 @@
+test/test_automaton.ml: Alcotest Automaton Coop_core Coop_trace Event List Loc Mover QCheck2 QCheck_alcotest

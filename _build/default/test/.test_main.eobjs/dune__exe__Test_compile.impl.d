@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest Array Bytecode Compile Coop_lang List String

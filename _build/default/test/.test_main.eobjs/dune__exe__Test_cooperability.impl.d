@@ -1,0 +1,1 @@
+test/test_cooperability.ml: Alcotest Automaton Compile Coop_core Coop_lang Coop_runtime Coop_trace Coop_workloads Cooperability Format List Micro Runner Sched String

@@ -1,0 +1,1 @@
+test/test_deadlock.ml: Alcotest Compile Coop_core Coop_lang Coop_runtime Coop_workloads Deadlock Format List Micro Option Runner Sched

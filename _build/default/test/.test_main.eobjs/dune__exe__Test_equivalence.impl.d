@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Alcotest Compile Coop_core Coop_lang Coop_runtime Coop_trace Coop_workloads Equivalence Format Infer List Micro String

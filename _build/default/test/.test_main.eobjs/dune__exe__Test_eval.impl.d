@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Ast Bytecode Compile Coop_lang Coop_runtime Coop_trace Eval List Parser Pretty QCheck2 QCheck_alcotest Runner Sched Vm

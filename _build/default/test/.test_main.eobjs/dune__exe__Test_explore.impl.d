@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Behavior Compile Coop_lang Coop_runtime Coop_workloads Dpor Explore List Micro

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Ast Compile Coop_core Coop_lang Coop_race Coop_runtime Coop_static Coop_trace Cooperability Gen Infer List Pretty Printf QCheck2 QCheck_alcotest Runner Sched Test Vm

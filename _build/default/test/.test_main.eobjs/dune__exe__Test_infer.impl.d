@@ -1,0 +1,1 @@
+test/test_infer.ml: Alcotest Compile Coop_core Coop_lang Coop_runtime Coop_trace Coop_workloads Cooperability Infer List Micro Option Printf Registry Runner Sched

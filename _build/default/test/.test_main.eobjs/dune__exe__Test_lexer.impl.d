@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Coop_lang Lexer List Token

@@ -1,0 +1,1 @@
+test/test_lockset.ml: Alcotest Coop_race Coop_trace Event Fasttrack Gen List Loc Lockset QCheck2 QCheck_alcotest Trace

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Bytecode Compile Coop_core Coop_lang Coop_runtime Coop_trace Coop_workloads Infer Metrics Micro Runner Sched

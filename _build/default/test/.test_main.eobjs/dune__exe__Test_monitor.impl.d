@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Behavior Compile Coop_core Coop_lang Coop_race Coop_runtime Coop_trace Coop_workloads Dpor Equivalence Explore Infer List Micro Runner Sched Vm

@@ -1,0 +1,1 @@
+test/test_mover.ml: Alcotest Coop_core Coop_trace Event Mover

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Coop_lang Gen Parser Pretty Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_programs.ml: Alcotest Array Compile Coop_core Coop_lang Coop_race Coop_runtime Coop_trace Filename Infer List Printf Runner Sched String Sys Vm

@@ -1,0 +1,1 @@
+test/test_race.ml: Alcotest Coop_race Coop_trace Event Fasttrack Gen List Loc Naive_hb QCheck2 QCheck_alcotest Report Trace

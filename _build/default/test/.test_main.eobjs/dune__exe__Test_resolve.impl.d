@@ -1,0 +1,1 @@
+test/test_resolve.ml: Alcotest Coop_lang Parser Resolve

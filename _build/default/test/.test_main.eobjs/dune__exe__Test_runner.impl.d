@@ -1,0 +1,1 @@
+test/test_runner.ml: Alcotest Array Behavior Bytecode Compile Coop_lang Coop_runtime Coop_trace Coop_workloads Micro Runner Sched

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Behavior Compile Coop_lang Coop_runtime Coop_trace Coop_workloads Hashtbl List Runner Sched Vm

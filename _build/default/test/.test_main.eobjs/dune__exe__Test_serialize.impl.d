@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Compile Coop_core Coop_lang Coop_runtime Coop_trace Coop_workloads Event Filename Gen List Loc QCheck2 QCheck_alcotest Runner Sched Serialize Sys Trace

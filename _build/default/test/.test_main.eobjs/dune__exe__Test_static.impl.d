@@ -1,0 +1,1 @@
+test/test_static.ml: Absval Alcotest Array Ast Bytecode Check Compile Coop_core Coop_lang Coop_static Coop_trace Coop_workloads Flow Format Hashtbl List Micro Option Printf Races Registry

@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Coop_util List String Table

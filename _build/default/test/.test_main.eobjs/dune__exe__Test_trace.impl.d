@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Coop_trace Event List Loc String Timeline Trace

@@ -1,0 +1,1 @@
+test/test_vclock.ml: Alcotest Coop_race Epoch Format Gen QCheck2 QCheck_alcotest Test Vclock

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Behavior Bytecode Compile Coop_lang Coop_runtime Coop_trace Coop_workloads List Runner Sched Vm

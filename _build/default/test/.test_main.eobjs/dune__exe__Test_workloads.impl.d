@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Compile Coop_core Coop_lang Coop_race Coop_runtime Coop_trace Coop_workloads Infer List Micro Printexc Printf Registry Runner Sched Vm

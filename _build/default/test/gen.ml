@@ -1,0 +1,224 @@
+(* QCheck generators shared by the property-based suites. *)
+
+open QCheck2
+open Coop_trace
+open Coop_lang
+
+(* ------------------------------------------------------------------ *)
+(* CoopLang AST generators (for the pretty/parse round trip).          *)
+(* ------------------------------------------------------------------ *)
+
+let keywords =
+  [ "var"; "array"; "lock"; "fn"; "if"; "else"; "while"; "sync"; "atomic";
+    "yield"; "acquire"; "release"; "spawn"; "join"; "print"; "assert";
+    "return"; "true"; "false" ]
+
+let gen_ident =
+  let open Gen in
+  let* first = oneofl [ "x"; "y"; "z"; "foo"; "bar"; "n"; "acc"; "tmp" ] in
+  let* suffix = int_bound 99 in
+  let name = Printf.sprintf "%s%d" first suffix in
+  return (if List.mem name keywords then name ^ "_" else name)
+
+let gen_binop =
+  Gen.oneofl
+    [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Mod; Ast.Lt; Ast.Le; Ast.Gt;
+      Ast.Ge; Ast.Eq; Ast.Ne; Ast.And; Ast.Or ]
+
+let gen_unop = Gen.oneofl [ Ast.Neg; Ast.Not ]
+
+let rec gen_expr n =
+  let open Gen in
+  if n <= 0 then
+    oneof
+      [ map (fun i -> Ast.Int i) (int_bound 1000);
+        map (fun b -> Ast.Bool b) bool;
+        map (fun x -> Ast.Var x) gen_ident ]
+  else
+    oneof
+      [ map (fun i -> Ast.Int i) (int_bound 1000);
+        map (fun x -> Ast.Var x) gen_ident;
+        (let* a = gen_ident in
+         let* i = gen_expr (n / 2) in
+         return (Ast.Index (a, i)));
+        (let* op = gen_unop in
+         let* e = gen_expr (n - 1) in
+         return (Ast.Unary (op, e)));
+        (let* op = gen_binop in
+         let* a = gen_expr (n / 2) in
+         let* b = gen_expr (n / 2) in
+         return (Ast.Binary (op, a, b)));
+        (let* f = gen_ident in
+         let* args = list_size (int_bound 3) (gen_expr (n / 3)) in
+         return (Ast.Call (f, args)));
+        (let* f = gen_ident in
+         let* args = list_size (int_bound 2) (gen_expr (n / 3)) in
+         return (Ast.Spawn (f, args))) ]
+
+let gen_lock_ref n =
+  let open Gen in
+  let* lock = gen_ident in
+  let* index = opt (gen_expr n) in
+  return { Ast.lock; index }
+
+let rec gen_stmt n =
+  let open Gen in
+  let leaf =
+    oneof
+      [ (let* x = gen_ident in
+         let* e = gen_expr 2 in
+         return (Ast.stmt (Ast.Local (x, e))));
+        (let* x = gen_ident in
+         let* e = gen_expr 2 in
+         return (Ast.stmt (Ast.Assign (x, e))));
+        (let* a = gen_ident in
+         let* i = gen_expr 1 in
+         let* e = gen_expr 2 in
+         return (Ast.stmt (Ast.Store (a, i, e))));
+        return (Ast.stmt Ast.Yield);
+        (let* l = gen_lock_ref 1 in
+         return (Ast.stmt (Ast.Acquire_stmt l)));
+        (let* l = gen_lock_ref 1 in
+         return (Ast.stmt (Ast.Release_stmt l)));
+        (let* e = gen_expr 2 in
+         return (Ast.stmt (Ast.Join_stmt e)));
+        (let* e = gen_expr 2 in
+         return (Ast.stmt (Ast.Print e)));
+        (let* e = gen_expr 2 in
+         return (Ast.stmt (Ast.Assert e)));
+        (let* eo = opt (gen_expr 2) in
+         return (Ast.stmt (Ast.Return eo)));
+        (let* f = gen_ident in
+         let* args = list_size (int_bound 2) (gen_expr 1) in
+         return (Ast.stmt (Ast.Expr_stmt (Ast.Call (f, args))))) ]
+  in
+  if n <= 0 then leaf
+  else
+    oneof
+      [ leaf;
+        (let* c = gen_expr 2 in
+         let* t = gen_block (n - 1) in
+         let* e = gen_block (n - 1) in
+         return (Ast.stmt (Ast.If (c, t, e))));
+        (let* c = gen_expr 2 in
+         let* b = gen_block (n - 1) in
+         return (Ast.stmt (Ast.While (c, b))));
+        (let* l = gen_lock_ref 1 in
+         let* b = gen_block (n - 1) in
+         return (Ast.stmt (Ast.Sync (l, b))));
+        (let* b = gen_block (n - 1) in
+         return (Ast.stmt (Ast.Atomic b))) ]
+
+and gen_block n = Gen.list_size (Gen.int_bound 4) (gen_stmt n)
+
+let gen_func =
+  let open Gen in
+  let* fname = gen_ident in
+  let* params = list_size (int_bound 3) gen_ident in
+  let* body = gen_block 2 in
+  return { Ast.fname; params; body; fline = 0 }
+
+let gen_decl =
+  let open Gen in
+  oneof
+    [ (let* x = gen_ident in
+       let* i = int_bound 100 in
+       return (Ast.Gvar (x, i)));
+      (let* a = gen_ident in
+       let* n = int_range 1 64 in
+       return (Ast.Garray (a, n)));
+      (let* l = gen_ident in
+       let* n = int_range 1 8 in
+       return (Ast.Glock (l, n))) ]
+
+let gen_program =
+  let open Gen in
+  let* decls = list_size (int_bound 5) gen_decl in
+  let* funcs = list_size (int_bound 4) gen_func in
+  return { Ast.decls; funcs }
+
+(* ------------------------------------------------------------------ *)
+(* Feasible trace generator (for FastTrack vs naive-HB agreement).     *)
+(* ------------------------------------------------------------------ *)
+
+(* Simulates a plausible multithreaded execution: locks are acquired only
+   when free, released only by their holder, forks create fresh tids, joins
+   target terminated threads. Accesses range over a small variable pool to
+   make conflicts likely. *)
+let gen_trace =
+  let open Gen in
+  let* n_events = int_range 5 120 in
+  let* seed = int_bound 1_000_000 in
+  return
+    (let rng = Coop_util.Rng.create seed in
+     let trace = Trace.create () in
+     let alive = ref [ 0 ] in
+     let finished = ref [] in
+     let next_tid = ref 1 in
+     let held = Hashtbl.create 8 in
+     (* lock -> tid *)
+     let vars = [| Event.Global 0; Event.Global 1; Event.Cell (0, 0);
+                   Event.Cell (0, 1) |] in
+     let locks = [| 0; 1; 2 |] in
+     let loc = Loc.make ~func:0 ~pc:0 ~line:1 in
+     let emit tid op = Trace.add trace (Event.make ~tid ~op ~loc) in
+     for _ = 1 to n_events do
+       match !alive with
+       | [] -> ()
+       | ts -> (
+           let tid = Coop_util.Rng.pick rng (Array.of_list ts) in
+           match Coop_util.Rng.int rng 10 with
+           | 0 | 1 | 2 ->
+               emit tid (Event.Read (Coop_util.Rng.pick rng vars))
+           | 3 | 4 | 5 ->
+               emit tid (Event.Write (Coop_util.Rng.pick rng vars))
+           | 6 ->
+               let l = Coop_util.Rng.pick rng locks in
+               if not (Hashtbl.mem held l) then begin
+                 Hashtbl.add held l tid;
+                 emit tid (Event.Acquire l)
+               end
+           | 7 ->
+               let mine =
+                 Hashtbl.fold (fun l o acc -> if o = tid then l :: acc else acc)
+                   held []
+               in
+               (match mine with
+               | [] -> ()
+               | l :: _ ->
+                   Hashtbl.remove held l;
+                   emit tid (Event.Release l))
+           | 8 ->
+               if !next_tid < 6 then begin
+                 let child = !next_tid in
+                 incr next_tid;
+                 alive := child :: !alive;
+                 emit tid (Event.Fork child)
+               end
+           | _ -> (
+               match !finished with
+               | [] ->
+                   (* Retire a thread other than this one, if possible. *)
+                   let others = List.filter (fun t -> t <> tid) !alive in
+                   (match others with
+                   | [] -> ()
+                   | t :: _ ->
+                       alive := List.filter (fun u -> u <> t) !alive;
+                       (* Release its locks first so the trace stays
+                          feasible (a dead thread cannot hold a lock another
+                          thread later acquires). *)
+                       Hashtbl.iter
+                         (fun l o ->
+                           if o = t then begin
+                             Hashtbl.remove held l;
+                             emit t (Event.Release l)
+                           end)
+                         (Hashtbl.copy held);
+                       finished := t :: !finished)
+               | f :: rest ->
+                   finished := rest;
+                   emit tid (Event.Join f)))
+     done;
+     trace)
+
+let print_trace t = Format.asprintf "%a" Trace.pp t

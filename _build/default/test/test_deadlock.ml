@@ -1,0 +1,95 @@
+open Coop_lang
+open Coop_runtime
+open Coop_core
+open Coop_workloads
+
+let trace_of ?(seed = 7) src =
+  let prog = Compile.source src in
+  let _, trace = Runner.record ~max_steps:500_000 ~sched:(Sched.random ~seed ()) prog in
+  trace
+
+let test_opposite_orders_predicted () =
+  (* The analysis is predictive: even on a run that happens to complete, the
+     a->b / b->a edges form a cycle. Scan seeds until we find a completing
+     run and check the prediction there. *)
+  let prog = Compile.source (Micro.deadlock_prone ()) in
+  let checked = ref false in
+  let seed = ref 0 in
+  while (not !checked) && !seed < 50 do
+    let o, trace =
+      Runner.record ~max_steps:100_000 ~sched:(Sched.random ~seed:!seed ()) prog
+    in
+    if o.Runner.termination = Runner.Completed then begin
+      checked := true;
+      let r = Deadlock.analyze trace in
+      Alcotest.(check bool) "cycle predicted from a completing run" false
+        (Deadlock.deadlock_free r)
+    end;
+    incr seed
+  done;
+  Alcotest.(check bool) "found a completing run" true !checked
+
+let test_ordered_acquisition_clean () =
+  let e = Option.get (Coop_workloads.Registry.find "philo") in
+  let trace =
+    let prog = Coop_workloads.Registry.program_of ~threads:3 ~size:2 e in
+    snd (Runner.record ~sched:(Sched.random ~seed:3 ()) prog)
+  in
+  let r = Deadlock.analyze trace in
+  Alcotest.(check bool) "ordered forks are deadlock-free" true
+    (Deadlock.deadlock_free r);
+  Alcotest.(check bool) "edges observed" true (r.Deadlock.edges <> [])
+
+let test_single_thread_nesting_not_a_deadlock () =
+  (* One thread nesting a then b then releasing is just nesting, even if it
+     also nests b then a later: a cycle needs two threads. *)
+  let trace =
+    trace_of
+      "var x = 0; lock a; lock b; fn main() { sync (a) { sync (b) { x = 1; } } sync (b) { sync (a) { x = 2; } } }"
+  in
+  let r = Deadlock.analyze trace in
+  Alcotest.(check bool) "single-thread cycle ignored" true
+    (Deadlock.deadlock_free r)
+
+let test_two_thread_cycle_locks_listed () =
+  (* Use a run that completed: a deadlocked run may park before either
+     thread exhibits its second acquire, leaving no edges at all. *)
+  let prog = Compile.source (Micro.deadlock_prone ()) in
+  let cycle = ref None in
+  let seed = ref 0 in
+  while !cycle = None && !seed < 50 do
+    let o, trace =
+      Runner.record ~max_steps:100_000 ~sched:(Sched.random ~seed:!seed ()) prog
+    in
+    if o.Runner.termination = Runner.Completed then begin
+      match (Deadlock.analyze trace).Deadlock.cycles with
+      | c :: _ -> cycle := Some c
+      | [] -> ()
+    end;
+    incr seed
+  done;
+  match !cycle with
+  | Some c -> Alcotest.(check int) "two locks on the cycle" 2 (List.length c)
+  | None -> Alcotest.fail "no completing run exhibited the cycle"
+
+let test_edges_deduped () =
+  let trace =
+    trace_of
+      "var x = 0; lock a; lock b; fn main() { var i = 0; while (i < 5) { sync (a) { sync (b) { x = x + 1; } } i = i + 1; } }"
+  in
+  let r = Deadlock.analyze trace in
+  Alcotest.(check int) "one distinct edge" 1 (List.length r.Deadlock.edges)
+
+let test_pp_cycle () =
+  let s = Format.asprintf "%a" Deadlock.pp_cycle [ 0; 2 ] in
+  Alcotest.(check string) "rendering" "l0 -> l2 -> l0" s
+
+let suite =
+  [
+    Alcotest.test_case "opposite orders predicted" `Quick test_opposite_orders_predicted;
+    Alcotest.test_case "ordered acquisition clean" `Quick test_ordered_acquisition_clean;
+    Alcotest.test_case "single-thread nesting ok" `Quick test_single_thread_nesting_not_a_deadlock;
+    Alcotest.test_case "cycle locks listed" `Quick test_two_thread_cycle_locks_listed;
+    Alcotest.test_case "edges deduped" `Quick test_edges_deduped;
+    Alcotest.test_case "cycle rendering" `Quick test_pp_cycle;
+  ]

@@ -1,0 +1,72 @@
+open Coop_lang
+open Coop_core
+open Coop_workloads
+
+let verdict ?(with_inferred = true) src =
+  let prog = Compile.source src in
+  let yields =
+    if with_inferred then (Infer.infer prog).Infer.yields
+    else Coop_trace.Loc.Set.empty
+  in
+  Equivalence.compare ~yields ~max_states:200_000 prog
+
+(* The reduction theorem, validated empirically: once the inferred yields are
+   in place, preemptive and cooperative behaviour sets coincide. *)
+let test_theorem_on_micro_programs () =
+  List.iter
+    (fun (name, src) ->
+      let v = verdict src in
+      Alcotest.(check bool) (name ^ ": preemptive within cooperative") true
+        v.Equivalence.preemptive_subset;
+      Alcotest.(check bool) (name ^ ": sets equal") true v.Equivalence.equal)
+    [
+      ("racy_counter", Micro.racy_counter ~threads:2 ~incs:2);
+      ("locked_counter", Micro.locked_counter ~threads:2 ~incs:2 ~yield_at_loop:false);
+      ("check_then_act", Micro.check_then_act ~threads:2);
+      ("single_transaction", Micro.single_transaction ~threads:2);
+      ("producer_consumer", Micro.producer_consumer ~items:2);
+    ]
+
+let test_without_yields_gap () =
+  (* Without yields, the racy counter's preemptive behaviours strictly exceed
+     the cooperative ones: cooperative reasoning would miss the lost
+     updates. *)
+  let v = verdict ~with_inferred:false (Micro.racy_counter ~threads:2 ~incs:2) in
+  Alcotest.(check bool) "not equal" false v.Equivalence.equal;
+  Alcotest.(check bool) "cooperative misses behaviours" true
+    (Coop_runtime.Behavior.Set.cardinal v.Equivalence.cooperative.Coop_runtime.Explore.behaviors
+    < Coop_runtime.Behavior.Set.cardinal v.Equivalence.preemptive.Coop_runtime.Explore.behaviors)
+
+let test_deadlock_caveat () =
+  (* The classic caveat of reduction-based reasoning: lock-order deadlocks
+     are invisible cooperatively even though the program is "cooperable"
+     (acquire-acquire is R R). The paper's theory assumes deadlock-freedom;
+     we document the gap and test that it is real. *)
+  let v = verdict (Micro.deadlock_prone ()) in
+  Alcotest.(check bool) "deadlock breaks equality" false v.Equivalence.equal
+
+let test_yields_add_no_preemptive_behaviors () =
+  (* Injecting yields never changes the preemptive behaviour set: yields are
+     no-ops under preemption. *)
+  let src = Micro.racy_counter ~threads:2 ~incs:2 in
+  let prog = Compile.source src in
+  let without = Coop_runtime.Explore.run Coop_runtime.Explore.Preemptive prog in
+  let yields = (Infer.infer prog).Infer.yields in
+  let with_ = Coop_runtime.Explore.run ~yields Coop_runtime.Explore.Preemptive prog in
+  Alcotest.(check bool) "same preemptive behaviours" true
+    (Coop_runtime.Behavior.Set.equal without.Coop_runtime.Explore.behaviors
+       with_.Coop_runtime.Explore.behaviors)
+
+let test_pp_smoke () =
+  let v = verdict (Micro.single_transaction ~threads:2) in
+  let s = Format.asprintf "%a" Equivalence.pp v in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let suite =
+  [
+    Alcotest.test_case "reduction theorem on micro programs" `Slow test_theorem_on_micro_programs;
+    Alcotest.test_case "gap without yields" `Quick test_without_yields_gap;
+    Alcotest.test_case "deadlock caveat" `Quick test_deadlock_caveat;
+    Alcotest.test_case "yields preserve preemptive behaviours" `Quick test_yields_add_no_preemptive_behaviors;
+    Alcotest.test_case "pp" `Quick test_pp_smoke;
+  ]

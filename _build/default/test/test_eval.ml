@@ -1,0 +1,135 @@
+open Coop_lang
+open Coop_runtime
+
+(* --- Direct evaluator tests -------------------------------------------- *)
+
+let eval src = Eval.run (Parser.program src)
+
+let test_basic () =
+  let o = eval "var g = 3; fn main() { g = g * 2 + 1; print(g); }" in
+  Alcotest.(check (list int)) "output" [ 7 ] o.Eval.output;
+  Alcotest.(check (list int)) "globals" [ 7 ] o.Eval.globals;
+  Alcotest.(check bool) "no fault" true (o.Eval.fault = None)
+
+let test_functions_and_arrays () =
+  let o =
+    eval
+      "array a[3]; fn fill(k) { a[k] = k * k; return a[k]; } fn main() { var s = fill(0) + fill(1) + fill(2); print(s); }"
+  in
+  Alcotest.(check (list int)) "output" [ 5 ] o.Eval.output
+
+let test_faults () =
+  Alcotest.(check bool) "div by zero" true ((eval "fn main() { print(1/0); }").Eval.fault <> None);
+  Alcotest.(check bool) "oob" true ((eval "array a[1]; fn main() { a[3] = 1; }").Eval.fault <> None);
+  Alcotest.(check bool) "assert" true ((eval "fn main() { assert(0); }").Eval.fault <> None)
+
+let test_fuel () =
+  let o = Eval.run ~fuel:100 (Parser.program "fn main() { while (1) { } }") in
+  Alcotest.(check bool) "fuel exhaustion is a fault" true (o.Eval.fault <> None)
+
+let test_unsupported () =
+  (match eval "fn w() { } fn main() { spawn w(); }" with
+  | _ -> Alcotest.fail "expected Unsupported"
+  | exception Eval.Unsupported _ -> ())
+
+let test_scoping_matches_vm () =
+  let src =
+    "var g = 10; fn main() { var x = 1; { var x = 2; g = g + x; } g = g + x; print(g); }"
+  in
+  let o = eval src in
+  Alcotest.(check (list int)) "inner then outer" [ 13 ] o.Eval.output
+
+(* --- Differential fuzzing: evaluator vs compiler+VM --------------------- *)
+
+(* Generate well-formed, terminating, sequential programs: straight-line
+   arithmetic over a few globals, one array, locals, if/else, bounded
+   arithmetic (expressions avoid division to dodge fault-ordering
+   differences; faults still compare as a boolean). *)
+let gen_seq_program =
+  let open QCheck2.Gen in
+  let var = oneofl [ "g0"; "g1"; "g2" ] in
+  let local = oneofl [ "l0"; "l1" ] in
+  let rec expr n =
+    if n = 0 then
+      oneof [ map (fun i -> Ast.Int i) (int_bound 20);
+              map (fun v -> Ast.Var v) var;
+              map (fun v -> Ast.Var v) local ]
+    else
+      oneof
+        [ map (fun i -> Ast.Int i) (int_bound 20);
+          map (fun v -> Ast.Var v) var;
+          (let* i = expr 0 in
+           return (Ast.Index ("arr", Ast.Binary (Ast.Mod, Ast.Unary (Ast.Neg, Ast.Unary (Ast.Neg, i)), Ast.Int 4))));
+          (let* op = oneofl [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Lt; Ast.Eq; Ast.And; Ast.Or ] in
+           let* a = expr (n - 1) in
+           let* b = expr (n - 1) in
+           return (Ast.Binary (op, a, b)));
+          (let* e = expr (n - 1) in
+           return (Ast.Unary (Ast.Neg, e))) ]
+  in
+  let idx_expr i = Ast.Binary (Ast.Mod, Ast.Binary (Ast.Mul, i, i), Ast.Int 4) in
+  let stmt =
+    oneof
+      [ (let* v = var in
+         let* e = expr 2 in
+         return (Ast.stmt (Ast.Assign (v, e))));
+        (let* v = local in
+         let* e = expr 2 in
+         return (Ast.stmt (Ast.Assign (v, e))));
+        (let* i = expr 1 in
+         let* e = expr 2 in
+         return (Ast.stmt (Ast.Store ("arr", idx_expr i, e))));
+        (let* e = expr 2 in
+         return (Ast.stmt (Ast.Print e)));
+        (let* c = expr 2 in
+         let* t = expr 1 in
+         let* f = expr 1 in
+         return
+           (Ast.stmt
+              (Ast.If
+                 ( c,
+                   [ Ast.stmt (Ast.Print t) ],
+                   [ Ast.stmt (Ast.Print f) ] )))) ]
+  in
+  let* body = list_size (int_range 1 12) stmt in
+  let prologue =
+    [ Ast.stmt (Ast.Local ("l0", Ast.Int 0)); Ast.stmt (Ast.Local ("l1", Ast.Int 1)) ]
+  in
+  return
+    {
+      Ast.decls = [ Ast.Gvar ("g0", 1); Ast.Gvar ("g1", 2); Ast.Gvar ("g2", 3);
+                    Ast.Garray ("arr", 4) ];
+      funcs = [ { Ast.fname = "main"; params = []; body = prologue @ body; fline = 1 } ];
+    }
+
+let vm_outcome prog_ast =
+  let prog = Compile.program prog_ast in
+  let o =
+    Runner.run ~max_steps:1_000_000 ~sched:Sched.sequential
+      ~sink:Coop_trace.Trace.Sink.ignore prog
+  in
+  let st = o.Runner.final in
+  ( Vm.output st,
+    List.init prog.Bytecode.n_globals (Vm.global_value st),
+    Vm.failures st <> [] )
+
+let prop_vm_matches_evaluator =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"compiler+VM agree with reference evaluator"
+       ~count:500 ~print:Pretty.program gen_seq_program (fun p ->
+         let e = Eval.run p in
+         let out, globals, faulted = vm_outcome p in
+         if e.Eval.fault <> None then faulted
+         else
+           (not faulted) && out = e.Eval.output && globals = e.Eval.globals))
+
+let suite =
+  [
+    Alcotest.test_case "basic evaluation" `Quick test_basic;
+    Alcotest.test_case "functions and arrays" `Quick test_functions_and_arrays;
+    Alcotest.test_case "faults" `Quick test_faults;
+    Alcotest.test_case "fuel bound" `Quick test_fuel;
+    Alcotest.test_case "unsupported constructs" `Quick test_unsupported;
+    Alcotest.test_case "scoping" `Quick test_scoping_matches_vm;
+    prop_vm_matches_evaluator;
+  ]

@@ -1,0 +1,217 @@
+(* Whole-stack fuzzing: random well-formed concurrent programs are run
+   through the complete pipeline (compile -> schedulers -> race detectors ->
+   cooperability -> inference). All loops are bounded and all array indices
+   are masked, so every generated program terminates fault-free under every
+   scheduler — which the properties then verify, along with the analysis
+   invariants. *)
+
+open QCheck2
+open Coop_lang
+open Coop_runtime
+open Coop_core
+
+(* Expressions over globals g0..g2, locals (params/loop counters in scope),
+   and small constants. Division is excluded; indices are masked with
+   ((e % 4) + 4) % 4 so they are always in range. *)
+let gen_fuzz_expr locals =
+  let open Gen in
+  let leaf =
+    oneof
+      [ map (fun i -> Ast.Int i) (int_bound 9);
+        oneofl (List.map (fun v -> Ast.Var v) ("g0" :: "g1" :: "g2" :: locals)) ]
+  in
+  let rec expr n =
+    if n = 0 then leaf
+    else
+      oneof
+        [ leaf;
+          (let* op = oneofl [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Lt; Ast.Eq ] in
+           let* a = expr (n - 1) in
+           let* b = expr (n - 1) in
+           return (Ast.Binary (op, a, b))) ]
+  in
+  expr 2
+
+let mask_index e =
+  Ast.Binary
+    (Ast.Mod, Ast.Binary (Ast.Add, Ast.Binary (Ast.Mod, e, Ast.Int 4), Ast.Int 4), Ast.Int 4)
+
+(* Simple statements, optionally wrapped in sync blocks. *)
+let gen_simple locals =
+  let open Gen in
+  oneof
+    [ (let* g = oneofl [ "g0"; "g1"; "g2" ] in
+       let* e = gen_fuzz_expr locals in
+       return (Ast.stmt (Ast.Assign (g, e))));
+      (let* i = gen_fuzz_expr locals in
+       let* e = gen_fuzz_expr locals in
+       return (Ast.stmt (Ast.Store ("arr", mask_index i, e))));
+      (let* i = gen_fuzz_expr locals in
+       let* g = oneofl [ "g0"; "g1" ] in
+       return (Ast.stmt (Ast.Assign (g, Ast.Index ("arr", mask_index i)))));
+      return (Ast.stmt Ast.Yield) ]
+
+let gen_item locals counter =
+  let open Gen in
+  let* body = list_size (int_range 1 3) (gen_simple locals) in
+  oneof
+    [ return (Ast.stmt (Ast.Sync ({ Ast.lock = "m"; index = None }, body)));
+      (let* idx = oneofl [ Ast.Int 0; Ast.Int 1; Ast.Var "id" ] in
+       let wrap =
+         match idx with
+         | Ast.Var _ ->
+             { Ast.lock = "ls";
+               index = Some (Ast.Binary (Ast.Mod, idx, Ast.Int 2)) }
+         | i -> { Ast.lock = "ls"; index = Some i }
+       in
+       return (Ast.stmt (Ast.Sync (wrap, body))));
+      return (Ast.stmt (Ast.Block body));
+      (* A bounded loop around the body. *)
+      (let* bound = int_range 1 3 in
+       let v = Printf.sprintf "i%d" counter in
+       return
+         (Ast.stmt
+            (Ast.Block
+               [ Ast.stmt (Ast.Local (v, Ast.Int 0));
+                 Ast.stmt
+                   (Ast.While
+                      ( Ast.Binary (Ast.Lt, Ast.Var v, Ast.Int bound),
+                        body
+                        @ [ Ast.stmt
+                              (Ast.Assign
+                                 (v, Ast.Binary (Ast.Add, Ast.Var v, Ast.Int 1)))
+                          ] )) ]))) ]
+
+let gen_worker_body =
+  let open Gen in
+  let* n = int_range 2 5 in
+  let rec go k acc =
+    if k = 0 then return (List.rev acc)
+    else
+      let* item = gen_item [ "id" ] k in
+      go (k - 1) (item :: acc)
+  in
+  go n []
+
+let gen_program =
+  let open Gen in
+  let* body = gen_worker_body in
+  let* workers = int_range 2 3 in
+  let decls =
+    [ Ast.Gvar ("g0", 0); Ast.Gvar ("g1", 1); Ast.Gvar ("g2", 2);
+      Ast.Garray ("arr", 4); Ast.Garray ("tids", 4); Ast.Glock ("m", 1);
+      Ast.Glock ("ls", 2) ]
+  in
+  let worker = { Ast.fname = "worker"; params = [ "id" ]; body; fline = 1 } in
+  let spawn_join =
+    [ Ast.stmt (Ast.Local ("i", Ast.Int 0));
+      Ast.stmt
+        (Ast.While
+           ( Ast.Binary (Ast.Lt, Ast.Var "i", Ast.Int workers),
+             [ Ast.stmt
+                 (Ast.Store ("tids", Ast.Var "i", Ast.Spawn ("worker", [ Ast.Var "i" ])));
+               Ast.stmt (Ast.Assign ("i", Ast.Binary (Ast.Add, Ast.Var "i", Ast.Int 1)))
+             ] ));
+      Ast.stmt (Ast.Assign ("i", Ast.Int 0));
+      Ast.stmt
+        (Ast.While
+           ( Ast.Binary (Ast.Lt, Ast.Var "i", Ast.Int workers),
+             [ Ast.stmt (Ast.Join_stmt (Ast.Index ("tids", Ast.Var "i")));
+               Ast.stmt (Ast.Assign ("i", Ast.Binary (Ast.Add, Ast.Var "i", Ast.Int 1)))
+             ] ));
+      Ast.stmt (Ast.Print (Ast.Var "g0"))
+    ]
+  in
+  let main = { Ast.fname = "main"; params = []; body = spawn_join; fline = 1 } in
+  return { Ast.decls; funcs = [ worker; main ] }
+
+let compile p = Compile.program p
+
+let prop name count f =
+  QCheck_alcotest.to_alcotest
+    (Test.make ~name ~count ~print:Pretty.program gen_program f)
+
+let terminates =
+  prop "generated programs terminate fault-free under every scheduler" 60
+    (fun p ->
+      let prog = compile p in
+      List.for_all
+        (fun sched ->
+          let o =
+            Runner.run ~max_steps:300_000 ~sched
+              ~sink:Coop_trace.Trace.Sink.ignore prog
+          in
+          o.Runner.termination = Runner.Completed
+          && Vm.failures o.Runner.final = [])
+        [ Sched.random ~seed:3 (); Sched.round_robin ~quantum:2 ();
+          Sched.cooperative (); Sched.pct ~seed:5 ~depth:3 ~change_span:1000 () ])
+
+let detectors_agree =
+  prop "fasttrack = naive HB on real program traces" 60 (fun p ->
+      let prog = compile p in
+      let _, trace =
+        Runner.record ~max_steps:300_000 ~sched:(Sched.random ~seed:11 ()) prog
+      in
+      Coop_trace.Event.Var_set.equal
+        (Coop_race.Fasttrack.racy_vars_of_trace trace)
+        (Coop_race.Naive_hb.racy_vars trace))
+
+let lockset_superset =
+  prop "lockset racy contains fasttrack racy on real traces" 60 (fun p ->
+      let prog = compile p in
+      let _, trace =
+        Runner.record ~max_steps:300_000 ~sched:(Sched.random ~seed:17 ()) prog
+      in
+      Coop_trace.Event.Var_set.subset
+        (Coop_race.Fasttrack.racy_vars_of_trace trace)
+        (Coop_race.Lockset.racy_vars_of_trace trace))
+
+let inference_fixpoint =
+  prop "yield inference reaches a clean fixpoint" 25 (fun p ->
+      let prog = compile p in
+      let portfolio () =
+        [ Sched.random ~seed:3 (); Sched.round_robin ~quantum:1 ();
+          Sched.random ~seed:91 () ]
+      in
+      let inf = Infer.infer ~portfolio ~max_steps:300_000 prog in
+      inf.Infer.final_check_violations = 0)
+
+let serialization_roundtrip =
+  prop "recorded traces serialize round trip" 40 (fun p ->
+      let prog = compile p in
+      let _, trace =
+        Runner.record ~max_steps:300_000 ~sched:(Sched.random ~seed:29 ()) prog
+      in
+      let trace' =
+        Coop_trace.Serialize.of_string (Coop_trace.Serialize.to_string trace)
+      in
+      Coop_trace.Trace.length trace = Coop_trace.Trace.length trace')
+
+let static_sound =
+  (* The sound implication: a statically clean program has no dynamic
+     violations under any schedule. (Yield LOCATION sets can legitimately
+     differ — e.g. the dynamic analysis proves a lock-array element
+     thread-local per handle where the static one shares the whole group,
+     shifting the repair point by an instruction — so location containment
+     is not the right property.) *)
+  prop "statically clean implies dynamically clean" 25 (fun p ->
+      let prog = compile p in
+      if Coop_static.Check.check prog <> [] then true
+      else begin
+        List.for_all
+          (fun sched ->
+            let _, trace = Runner.record ~max_steps:300_000 ~sched prog in
+            (Cooperability.check trace).Cooperability.violations = [])
+          [ Sched.random ~seed:3 (); Sched.round_robin ~quantum:1 ();
+            Sched.random ~seed:77 () ]
+      end)
+
+let suite =
+  [
+    terminates;
+    detectors_agree;
+    lockset_superset;
+    inference_fixpoint;
+    serialization_roundtrip;
+    static_sound;
+  ]

@@ -1,0 +1,74 @@
+open Coop_lang
+open Coop_runtime
+open Coop_core
+open Coop_workloads
+
+let infer src = Infer.infer (Compile.source src)
+
+let test_fixpoint_is_clean () =
+  let src = Micro.locked_counter ~threads:2 ~incs:3 ~yield_at_loop:false in
+  let prog = Compile.source src in
+  let inf = Infer.infer prog in
+  (* Fresh schedules not in the portfolio must also be clean with the
+     inferred yields. *)
+  List.iter
+    (fun seed ->
+      let _, trace =
+        Runner.record ~yields:inf.Infer.yields ~max_steps:500_000
+          ~sched:(Sched.random ~seed ()) prog
+      in
+      let r = Cooperability.check trace in
+      Alcotest.(check int)
+        (Printf.sprintf "clean under fresh seed %d" seed)
+        0
+        (List.length r.Cooperability.violations))
+    [ 1234; 5678; 424242 ]
+
+let test_locked_counter_one_yield () =
+  let inf = infer (Micro.locked_counter ~threads:2 ~incs:3 ~yield_at_loop:false) in
+  Alcotest.(check int) "exactly one yield" 1
+    (Coop_trace.Loc.Set.cardinal inf.Infer.yields);
+  Alcotest.(check bool) "found violations initially" true (inf.Infer.initial_violations > 0);
+  Alcotest.(check int) "final check clean" 0 inf.Infer.final_check_violations
+
+let test_already_cooperable_zero_yields () =
+  let inf = infer (Micro.single_transaction ~threads:3) in
+  Alcotest.(check int) "zero yields" 0 (Coop_trace.Loc.Set.cardinal inf.Infer.yields);
+  Alcotest.(check int) "one round" 1 inf.Infer.rounds;
+  Alcotest.(check int) "no initial violations" 0 inf.Infer.initial_violations
+
+let test_yield_annotated_zero_yields () =
+  let inf = infer (Micro.locked_counter ~threads:2 ~incs:3 ~yield_at_loop:true) in
+  Alcotest.(check int) "nothing to infer" 0
+    (Coop_trace.Loc.Set.cardinal inf.Infer.yields)
+
+let test_base_yields_respected () =
+  (* Seeding inference with the known answer means nothing new is inferred
+     and the result excludes the seed. *)
+  let src = Micro.locked_counter ~threads:2 ~incs:3 ~yield_at_loop:false in
+  let prog = Compile.source src in
+  let first = Infer.infer prog in
+  let second = Infer.infer ~base_yields:first.Infer.yields prog in
+  Alcotest.(check int) "no new yields" 0
+    (Coop_trace.Loc.Set.cardinal second.Infer.yields)
+
+let test_philo_single_yield () =
+  let e = Option.get (Registry.find "philo") in
+  let inf = Infer.infer (Registry.program_of ~threads:3 ~size:4 e) in
+  Alcotest.(check int) "philo needs one yield" 1
+    (Coop_trace.Loc.Set.cardinal inf.Infer.yields)
+
+let test_monotone_rounds () =
+  let inf = infer (Micro.check_then_act ~threads:3) in
+  Alcotest.(check bool) "terminates quickly" true (inf.Infer.rounds <= 5)
+
+let suite =
+  [
+    Alcotest.test_case "fixpoint is clean on fresh seeds" `Quick test_fixpoint_is_clean;
+    Alcotest.test_case "locked counter: one yield" `Quick test_locked_counter_one_yield;
+    Alcotest.test_case "cooperable program: zero yields" `Quick test_already_cooperable_zero_yields;
+    Alcotest.test_case "annotated program: zero yields" `Quick test_yield_annotated_zero_yields;
+    Alcotest.test_case "base yields respected" `Quick test_base_yields_respected;
+    Alcotest.test_case "philo: one yield" `Quick test_philo_single_yield;
+    Alcotest.test_case "inference terminates" `Quick test_monotone_rounds;
+  ]

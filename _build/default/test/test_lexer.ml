@@ -1,0 +1,71 @@
+open Coop_lang
+
+let toks src = List.map fst (Lexer.tokenize src)
+
+let test_simple () =
+  Alcotest.(check bool) "tokens" true
+    (toks "var x = 42;"
+    = [ Token.KW_VAR; Token.IDENT "x"; Token.ASSIGN; Token.INT 42; Token.SEMI;
+        Token.EOF ])
+
+let test_operators () =
+  Alcotest.(check bool) "two-char ops" true
+    (toks "<= >= == != && ||"
+    = [ Token.LE; Token.GE; Token.EQEQ; Token.NE; Token.ANDAND; Token.OROR;
+        Token.EOF ]);
+  Alcotest.(check bool) "one-char ops" true
+    (toks "+ - * / % < > ! ="
+    = [ Token.PLUS; Token.MINUS; Token.STAR; Token.SLASH; Token.PERCENT;
+        Token.LT; Token.GT; Token.BANG; Token.ASSIGN; Token.EOF ])
+
+let test_keywords_vs_idents () =
+  Alcotest.(check bool) "keyword" true (toks "while" = [ Token.KW_WHILE; Token.EOF ]);
+  Alcotest.(check bool) "prefixed ident" true
+    (toks "whilex" = [ Token.IDENT "whilex"; Token.EOF ]);
+  Alcotest.(check bool) "underscore ident" true
+    (toks "_foo" = [ Token.IDENT "_foo"; Token.EOF ])
+
+let test_line_comments () =
+  Alcotest.(check bool) "line comment skipped" true
+    (toks "x // comment here\ny" = [ Token.IDENT "x"; Token.IDENT "y"; Token.EOF ])
+
+let test_block_comments () =
+  Alcotest.(check bool) "block comment skipped" true
+    (toks "x /* multi\nline */ y" = [ Token.IDENT "x"; Token.IDENT "y"; Token.EOF ])
+
+let test_line_numbers () =
+  let ts = Lexer.tokenize "a\nb\n\nc" in
+  let lines = List.map snd ts in
+  Alcotest.(check (list int)) "line numbers" [ 1; 2; 4; 4 ] lines
+
+let test_block_comment_lines () =
+  let ts = Lexer.tokenize "/* one\ntwo */ x" in
+  Alcotest.(check int) "line after comment" 2 (snd (List.hd ts))
+
+let test_unterminated_comment () =
+  (match Lexer.tokenize "/* never closed" with
+  | _ -> Alcotest.fail "expected lexer error"
+  | exception Lexer.Error (_, 1) -> ())
+
+let test_bad_character () =
+  (match Lexer.tokenize "x # y" with
+  | _ -> Alcotest.fail "expected lexer error"
+  | exception Lexer.Error (_, _) -> ())
+
+let test_numbers () =
+  Alcotest.(check bool) "multi-digit" true (toks "1234567" = [ Token.INT 1234567; Token.EOF ]);
+  Alcotest.(check bool) "zero" true (toks "0" = [ Token.INT 0; Token.EOF ])
+
+let suite =
+  [
+    Alcotest.test_case "simple declaration" `Quick test_simple;
+    Alcotest.test_case "operators" `Quick test_operators;
+    Alcotest.test_case "keywords vs identifiers" `Quick test_keywords_vs_idents;
+    Alcotest.test_case "line comments" `Quick test_line_comments;
+    Alcotest.test_case "block comments" `Quick test_block_comments;
+    Alcotest.test_case "line numbers" `Quick test_line_numbers;
+    Alcotest.test_case "block comment line counting" `Quick test_block_comment_lines;
+    Alcotest.test_case "unterminated comment" `Quick test_unterminated_comment;
+    Alcotest.test_case "bad character" `Quick test_bad_character;
+    Alcotest.test_case "number literals" `Quick test_numbers;
+  ]

@@ -1,0 +1,36 @@
+(* The full test suite: one alcotest section per module family. *)
+
+let () =
+  Alcotest.run "coop"
+    [
+      ("util.rng", Test_rng.suite);
+      ("util.stats", Test_stats.suite);
+      ("util.table", Test_table.suite);
+      ("trace", Test_trace.suite);
+      ("trace.serialize", Test_serialize.suite);
+      ("race.vclock", Test_vclock.suite);
+      ("race.detectors", Test_race.suite);
+      ("race.lockset", Test_lockset.suite);
+      ("lang.lexer", Test_lexer.suite);
+      ("lang.parser", Test_parser.suite);
+      ("lang.resolve", Test_resolve.suite);
+      ("lang.compile", Test_compile.suite);
+      ("lang.eval", Test_eval.suite);
+      ("runtime.vm", Test_vm.suite);
+      ("runtime.sched", Test_sched.suite);
+      ("runtime.runner", Test_runner.suite);
+      ("runtime.explore", Test_explore.suite);
+      ("runtime.monitor", Test_monitor.suite);
+      ("core.mover", Test_mover.suite);
+      ("core.automaton", Test_automaton.suite);
+      ("core.cooperability", Test_cooperability.suite);
+      ("core.infer", Test_infer.suite);
+      ("core.metrics", Test_metrics.suite);
+      ("core.equivalence", Test_equivalence.suite);
+      ("core.deadlock", Test_deadlock.suite);
+      ("atomicity", Test_atomicity.suite);
+      ("static", Test_static.suite);
+      ("workloads", Test_workloads.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("sample-programs", Test_programs.suite);
+    ]

@@ -1,0 +1,51 @@
+open Coop_lang
+open Coop_runtime
+open Coop_core
+open Coop_workloads
+
+let compute ?(yields = Coop_trace.Loc.Set.empty) src =
+  let prog = Compile.source src in
+  let _, trace = Runner.record ~yields ~sched:(Sched.random ~seed:1 ()) prog in
+  (prog, Metrics.compute prog ~inferred:yields ~trace)
+
+let test_static_yields_counted () =
+  let _, m = compute (Micro.locked_counter ~threads:2 ~incs:2 ~yield_at_loop:true) in
+  Alcotest.(check int) "one static yield" 1 m.Metrics.static_yields;
+  Alcotest.(check int) "no inferred" 0 m.Metrics.inferred_yields;
+  Alcotest.(check int) "total" 1 m.Metrics.total_yields
+
+let test_yield_free_functions () =
+  let _, m = compute (Micro.locked_counter ~threads:2 ~incs:2 ~yield_at_loop:true) in
+  (* worker has the yield; main does not. *)
+  Alcotest.(check int) "two functions" 2 m.Metrics.functions;
+  Alcotest.(check int) "one yield-free" 1 m.Metrics.yield_free_functions;
+  Alcotest.(check (float 0.01)) "pct" 50.0 m.Metrics.pct_yield_free
+
+let test_no_yields_all_free () =
+  let _, m = compute (Micro.single_transaction ~threads:2) in
+  Alcotest.(check int) "no yields" 0 m.Metrics.total_yields;
+  Alcotest.(check (float 0.01)) "100%% yield-free" 100.0 m.Metrics.pct_yield_free
+
+let test_inferred_counted_separately () =
+  let prog = Compile.source (Micro.locked_counter ~threads:2 ~incs:2 ~yield_at_loop:false) in
+  let inf = Infer.infer prog in
+  let _, trace = Runner.record ~yields:inf.Infer.yields ~sched:(Sched.random ~seed:1 ()) prog in
+  let m = Metrics.compute prog ~inferred:inf.Infer.yields ~trace in
+  Alcotest.(check int) "inferred" 1 m.Metrics.inferred_yields;
+  Alcotest.(check int) "static" 0 m.Metrics.static_yields;
+  Alcotest.(check bool) "dynamic yields observed" true (m.Metrics.yield_events > 0);
+  Alcotest.(check bool) "density positive" true (m.Metrics.yields_per_kevent > 0.)
+
+let test_code_size_positive () =
+  let prog, m = compute (Micro.racy_counter ~threads:2 ~incs:1) in
+  Alcotest.(check int) "matches bytecode" (Bytecode.code_size prog) m.Metrics.code_size;
+  Alcotest.(check bool) "positive" true (m.Metrics.code_size > 0)
+
+let suite =
+  [
+    Alcotest.test_case "static yields counted" `Quick test_static_yields_counted;
+    Alcotest.test_case "yield-free functions" `Quick test_yield_free_functions;
+    Alcotest.test_case "no yields, all free" `Quick test_no_yields_all_free;
+    Alcotest.test_case "inferred counted separately" `Quick test_inferred_counted_separately;
+    Alcotest.test_case "code size" `Quick test_code_size_positive;
+  ]

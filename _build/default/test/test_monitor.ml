@@ -1,0 +1,144 @@
+(* wait/notify monitor semantics, end to end: VM behaviour, happens-before
+   edges, cooperability, and exploration. *)
+
+open Coop_lang
+open Coop_runtime
+open Coop_core
+open Coop_workloads
+
+let run ?(sched = Sched.random ~seed:7 ()) src =
+  let prog = Compile.source src in
+  Runner.run ~max_steps:500_000 ~sched ~sink:Coop_trace.Trace.Sink.ignore prog
+
+let test_handoff () =
+  (* A waiting thread wakes only after the notify and sees the update. *)
+  let src =
+    "var x = 0; lock m;\n\
+     fn waiter() { sync (m) { while (x == 0) { wait(m); } print(x); } }\n\
+     fn main() { var t = spawn waiter(); yield; sync (m) { x = 42; notify(m); } join t; }"
+  in
+  List.iter
+    (fun seed ->
+      let o = run ~sched:(Sched.random ~seed ()) src in
+      Alcotest.(check bool) "completed" true (o.Runner.termination = Runner.Completed);
+      Alcotest.(check (list int)) "saw the write" [ 42 ] (Vm.output o.Runner.final))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_wait_releases_lock () =
+  (* If wait did not release the monitor, main could never acquire it and
+     this would deadlock. The cooperative scheduler makes the ordering
+     deterministic: main's yield hands control to the waiter, which waits
+     (a yield point), handing control back for the notify. *)
+  let o =
+    run ~sched:(Sched.cooperative ())
+      "var x = 0; lock m;\n\
+       fn waiter() { sync (m) { wait(m); x = x + 1; } }\n\
+       fn main() { var t = spawn waiter(); yield; sync (m) { notify(m); } join t; print(x); }"
+  in
+  Alcotest.(check bool) "completed" true (o.Runner.termination = Runner.Completed);
+  Alcotest.(check (list int)) "resumed after notify" [ 1 ] (Vm.output o.Runner.final)
+
+let test_lost_wakeup_deadlocks () =
+  (* Waiting with nobody left to notify is a deadlock, and the runner
+     reports it. *)
+  let o = run "lock m; fn main() { sync (m) { wait(m); } }" in
+  Alcotest.(check bool) "deadlock" true (o.Runner.termination = Runner.Deadlock)
+
+let test_notify_all_wakes_everyone () =
+  let src =
+    "var go = 0; var done_ = 0; lock m;\n\
+     fn waiter() { sync (m) { while (go == 0) { wait(m); } done_ = done_ + 1; } }\n\
+     fn main() { var a = spawn waiter(); var b = spawn waiter(); var c = spawn waiter();\n\
+     yield; sync (m) { go = 1; notifyall(m); } join a; join b; join c; print(done_); }"
+  in
+  List.iter
+    (fun seed ->
+      let o = run ~sched:(Sched.random ~seed ()) src in
+      Alcotest.(check bool) "completed" true (o.Runner.termination = Runner.Completed);
+      Alcotest.(check (list int)) "all three woke" [ 3 ] (Vm.output o.Runner.final))
+    [ 11; 12; 13 ]
+
+let test_notify_wakes_one () =
+  (* With a single notify, exactly one of two waiters proceeds; the program
+     then deadlocks with the second still waiting. *)
+  let src =
+    "var woke = 0; lock m;\n\
+     fn waiter() { sync (m) { wait(m); woke = woke + 1; } }\n\
+     fn main() { var a = spawn waiter(); var b = spawn waiter(); yield; yield;\n\
+     sync (m) { notify(m); } join a; join b; }"
+  in
+  let saw_deadlock = ref false in
+  for seed = 0 to 10 do
+    let o = run ~sched:(Sched.random ~seed ()) src in
+    if o.Runner.termination = Runner.Deadlock then begin
+      saw_deadlock := true;
+      Alcotest.(check int) "exactly one woke" 1 (Vm.global_value o.Runner.final 0)
+    end
+  done;
+  Alcotest.(check bool) "single wakeup leaves one waiter" true !saw_deadlock
+
+let test_wait_without_lock_faults () =
+  let o = run "lock m; fn main() { wait(m); }" in
+  Alcotest.(check int) "fault" 1 (List.length (Vm.failures o.Runner.final));
+  let o2 = run "lock m; fn main() { notify(m); }" in
+  Alcotest.(check int) "notify fault" 1 (List.length (Vm.failures o2.Runner.final))
+
+let test_monitor_cell_deterministic () =
+  let prog = Compile.source (Micro.monitor_cell ~items:3) in
+  let outputs =
+    List.map
+      (fun sched ->
+        let o = Runner.run ~max_steps:500_000 ~sched ~sink:Coop_trace.Trace.Sink.ignore prog in
+        Alcotest.(check bool) "completed" true (o.Runner.termination = Runner.Completed);
+        Alcotest.(check int) "no faults" 0 (List.length (Vm.failures o.Runner.final));
+        Vm.output o.Runner.final)
+      [ Sched.random ~seed:5 (); Sched.random ~seed:55 ();
+        Sched.round_robin ~quantum:1 (); Sched.cooperative () ]
+  in
+  List.iter
+    (fun o -> Alcotest.(check (list int)) "FIFO order" [ 0; 10; 20 ] o)
+    outputs
+
+let test_monitor_race_free () =
+  let prog = Compile.source (Micro.monitor_cell ~items:3) in
+  let _, trace = Runner.record ~max_steps:500_000 ~sched:(Sched.random ~seed:3 ()) prog in
+  Alcotest.(check int) "wait/notify handoff is race-free" 0
+    (Coop_trace.Event.Var_set.cardinal
+       (Coop_race.Fasttrack.racy_vars_of_trace trace))
+
+let test_monitor_cooperable_with_inference () =
+  let prog = Compile.source (Micro.monitor_cell ~items:2) in
+  let inf = Infer.infer prog in
+  Alcotest.(check int) "inference converges" 0 inf.Infer.final_check_violations;
+  (* waits are already yield points, so few extra yields are needed *)
+  Alcotest.(check bool) "few yields" true
+    (Coop_trace.Loc.Set.cardinal inf.Infer.yields <= 4)
+
+let test_monitor_reduction_theorem () =
+  let prog = Compile.source (Micro.monitor_cell ~items:2) in
+  let inf = Infer.infer prog in
+  let v = Equivalence.compare ~yields:inf.Infer.yields ~max_states:400_000 prog in
+  Alcotest.(check bool) "behaviour sets equal" true v.Equivalence.equal
+
+let test_monitor_dpor_agrees () =
+  let prog = Compile.source (Micro.monitor_cell ~items:2) in
+  let dfs = Explore.run ~max_states:400_000 Explore.Preemptive prog in
+  let dpor = Dpor.run ~max_executions:400_000 prog in
+  Alcotest.(check bool) "both complete" true (dfs.Explore.complete && dpor.Dpor.complete);
+  Alcotest.(check bool) "same behaviours" true
+    (Behavior.Set.equal dfs.Explore.behaviors dpor.Dpor.behaviors)
+
+let suite =
+  [
+    Alcotest.test_case "notify handoff" `Quick test_handoff;
+    Alcotest.test_case "wait releases the lock" `Quick test_wait_releases_lock;
+    Alcotest.test_case "lost wakeup deadlocks" `Quick test_lost_wakeup_deadlocks;
+    Alcotest.test_case "notifyall wakes everyone" `Quick test_notify_all_wakes_everyone;
+    Alcotest.test_case "notify wakes exactly one" `Quick test_notify_wakes_one;
+    Alcotest.test_case "wait/notify need the lock" `Quick test_wait_without_lock_faults;
+    Alcotest.test_case "monitor cell deterministic" `Quick test_monitor_cell_deterministic;
+    Alcotest.test_case "monitor cell race-free" `Quick test_monitor_race_free;
+    Alcotest.test_case "monitor cell cooperable" `Quick test_monitor_cooperable_with_inference;
+    Alcotest.test_case "monitor reduction theorem" `Slow test_monitor_reduction_theorem;
+    Alcotest.test_case "monitor dpor agrees" `Slow test_monitor_dpor_agrees;
+  ]

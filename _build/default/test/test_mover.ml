@@ -1,0 +1,42 @@
+open Coop_trace
+open Coop_core
+
+let g0 = Event.Global 0
+
+let racy = Event.Var_set.singleton g0
+
+let check msg op expected =
+  Alcotest.(check bool) msg true (Mover.classify ~racy op = expected)
+
+let test_accesses () =
+  check "racy read is non" (Event.Read g0) (Some Mover.Non);
+  check "racy write is non" (Event.Write g0) (Some Mover.Non);
+  check "race-free read is both" (Event.Read (Event.Global 1)) (Some Mover.Both);
+  check "race-free write is both" (Event.Write (Event.Cell (0, 3))) (Some Mover.Both)
+
+let test_sync_ops () =
+  check "acquire is right" (Event.Acquire 0) (Some Mover.Right);
+  check "release is left" (Event.Release 0) (Some Mover.Left);
+  check "fork is right" (Event.Fork 1) (Some Mover.Right);
+  check "join is left" (Event.Join 1) (Some Mover.Left)
+
+let test_unclassified () =
+  check "yield unclassified" Event.Yield None;
+  check "enter unclassified" (Event.Enter 0) None;
+  check "exit unclassified" (Event.Exit 0) None;
+  check "atomic markers unclassified" Event.Atomic_begin None;
+  check "out is both" (Event.Out 3) (Some Mover.Both)
+
+let test_to_string () =
+  Alcotest.(check string) "right" "right-mover" (Mover.to_string Mover.Right);
+  Alcotest.(check string) "left" "left-mover" (Mover.to_string Mover.Left);
+  Alcotest.(check string) "both" "both-mover" (Mover.to_string Mover.Both);
+  Alcotest.(check string) "non" "non-mover" (Mover.to_string Mover.Non)
+
+let suite =
+  [
+    Alcotest.test_case "access classification" `Quick test_accesses;
+    Alcotest.test_case "sync ops" `Quick test_sync_ops;
+    Alcotest.test_case "unclassified ops" `Quick test_unclassified;
+    Alcotest.test_case "names" `Quick test_to_string;
+  ]

@@ -1,0 +1,80 @@
+(* The .coop sample programs shipped under examples/programs are part of
+   the product surface (the CLI's file mode): they must parse, run
+   deterministically without faults, and reach a clean inference fixpoint. *)
+
+open Coop_lang
+open Coop_runtime
+open Coop_core
+
+let programs_dir = "../examples/programs"
+
+let read path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let sample_files () =
+  Sys.readdir programs_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".coop")
+  |> List.sort String.compare
+  |> List.map (fun f -> Filename.concat programs_dir f)
+
+let test_samples_exist () =
+  Alcotest.(check bool) "at least two sample programs" true
+    (List.length (sample_files ()) >= 2)
+
+let test_samples_run_clean () =
+  List.iter
+    (fun path ->
+      let prog = Compile.source (read path) in
+      List.iter
+        (fun sched ->
+          let o =
+            Runner.run ~max_steps:3_000_000 ~sched
+              ~sink:Coop_trace.Trace.Sink.ignore prog
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s completes" path)
+            true
+            (o.Runner.termination = Runner.Completed);
+          Alcotest.(check int)
+            (Printf.sprintf "%s fault-free (asserts hold)" path)
+            0
+            (List.length (Vm.failures o.Runner.final)))
+        [ Sched.random ~seed:8 (); Sched.cooperative ();
+          Sched.round_robin ~quantum:2 () ])
+    (sample_files ())
+
+let test_samples_infer_clean () =
+  List.iter
+    (fun path ->
+      let prog = Compile.source (read path) in
+      let inf = Infer.infer prog in
+      Alcotest.(check int)
+        (Printf.sprintf "%s inference fixpoint" path)
+        0 inf.Infer.final_check_violations)
+    (sample_files ())
+
+let test_samples_race_free () =
+  List.iter
+    (fun path ->
+      let prog = Compile.source (read path) in
+      let _, trace =
+        Runner.record ~max_steps:3_000_000 ~sched:(Sched.random ~seed:31 ()) prog
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%s race-free" path)
+        0
+        (Coop_trace.Event.Var_set.cardinal
+           (Coop_race.Fasttrack.racy_vars_of_trace trace)))
+    (sample_files ())
+
+let suite =
+  [
+    Alcotest.test_case "samples exist" `Quick test_samples_exist;
+    Alcotest.test_case "samples run clean" `Slow test_samples_run_clean;
+    Alcotest.test_case "samples infer clean" `Slow test_samples_infer_clean;
+    Alcotest.test_case "samples race-free" `Slow test_samples_race_free;
+  ]

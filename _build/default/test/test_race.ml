@@ -1,0 +1,159 @@
+open Coop_trace
+open Coop_race
+
+let loc pc = Loc.make ~func:0 ~pc ~line:pc
+
+let ev ?(pc = 0) tid op = Event.make ~tid ~op ~loc:(loc pc)
+
+let g0 = Event.Global 0
+
+let race_count trace = List.length (Fasttrack.run trace)
+
+let test_ww_race () =
+  let t = Trace.of_list [ ev 0 (Event.Write g0); ev 1 (Event.Write g0) ] in
+  let races = Fasttrack.run t in
+  Alcotest.(check int) "one race" 1 (List.length races);
+  match races with
+  | [ r ] ->
+      Alcotest.(check bool) "kind" true (r.Report.kind = Report.Write_write);
+      Alcotest.(check int) "first" 0 r.Report.first_tid;
+      Alcotest.(check int) "second" 1 r.Report.second_tid
+  | _ -> Alcotest.fail "expected exactly one race"
+
+let test_wr_race () =
+  let t = Trace.of_list [ ev 0 (Event.Write g0); ev 1 (Event.Read g0) ] in
+  match Fasttrack.run t with
+  | [ r ] -> Alcotest.(check bool) "write-read" true (r.Report.kind = Report.Write_read)
+  | _ -> Alcotest.fail "expected one race"
+
+let test_rw_race () =
+  let t = Trace.of_list [ ev 0 (Event.Read g0); ev 1 (Event.Write g0) ] in
+  match Fasttrack.run t with
+  | [ r ] -> Alcotest.(check bool) "read-write" true (r.Report.kind = Report.Read_write)
+  | _ -> Alcotest.fail "expected one race"
+
+let test_rr_no_race () =
+  let t = Trace.of_list [ ev 0 (Event.Read g0); ev 1 (Event.Read g0) ] in
+  Alcotest.(check int) "reads never race" 0 (race_count t)
+
+let test_lock_protects () =
+  let t =
+    Trace.of_list
+      [ ev 0 (Event.Acquire 0); ev 0 (Event.Write g0); ev 0 (Event.Release 0);
+        ev 1 (Event.Acquire 0); ev 1 (Event.Write g0); ev 1 (Event.Release 0) ]
+  in
+  Alcotest.(check int) "lock orders accesses" 0 (race_count t)
+
+let test_different_locks_race () =
+  let t =
+    Trace.of_list
+      [ ev 0 (Event.Acquire 0); ev 0 (Event.Write g0); ev 0 (Event.Release 0);
+        ev 1 (Event.Acquire 1); ev 1 (Event.Write g0); ev 1 (Event.Release 1) ]
+  in
+  Alcotest.(check int) "different locks do not order" 1 (race_count t)
+
+let test_fork_orders () =
+  let t =
+    Trace.of_list
+      [ ev 0 (Event.Write g0); ev 0 (Event.Fork 1); ev 1 (Event.Write g0) ]
+  in
+  Alcotest.(check int) "fork creates HB edge" 0 (race_count t)
+
+let test_join_orders () =
+  let t =
+    Trace.of_list
+      [ ev 0 (Event.Fork 1); ev 1 (Event.Write g0); ev 0 (Event.Join 1);
+        ev 0 (Event.Read g0) ]
+  in
+  Alcotest.(check int) "join creates HB edge" 0 (race_count t)
+
+let test_no_join_races () =
+  let t =
+    Trace.of_list
+      [ ev 0 (Event.Fork 1); ev 1 (Event.Write g0); ev 0 (Event.Read g0) ]
+  in
+  Alcotest.(check int) "unjoined child races" 1 (race_count t)
+
+let test_same_thread_never_races () =
+  let t =
+    Trace.of_list
+      [ ev 0 (Event.Write g0); ev 0 (Event.Read g0); ev 0 (Event.Write g0) ]
+  in
+  Alcotest.(check int) "program order" 0 (race_count t)
+
+let test_read_share_promotion () =
+  (* Two concurrent reads (promotes to a read vector), then an ordered write
+     by a third thread must still detect the race with both readers'
+     history. *)
+  let t =
+    Trace.of_list
+      [ ev 0 (Event.Fork 1); ev 0 (Event.Fork 2);
+        ev 1 (Event.Read g0); ev 2 (Event.Read g0);
+        ev 0 (Event.Write g0) ]
+  in
+  (* The write races with both unjoined readers; FastTrack reports at least
+     one read-write race. *)
+  let races = Fasttrack.run t in
+  Alcotest.(check bool) "read-share then write races" true
+    (List.exists (fun r -> r.Report.kind = Report.Read_write) races)
+
+let test_racy_vars_dedup () =
+  let t =
+    Trace.of_list
+      [ ev 0 (Event.Write g0); ev 1 (Event.Write g0); ev 1 (Event.Write g0) ]
+  in
+  let vars = Fasttrack.racy_vars_of_trace t in
+  Alcotest.(check int) "one racy var" 1 (Event.Var_set.cardinal vars)
+
+let test_release_publish () =
+  (* Classic message-passing: write, release; acquire, read. *)
+  let t =
+    Trace.of_list
+      [ ev 0 (Event.Write g0); ev 0 (Event.Acquire 0); ev 0 (Event.Release 0);
+        ev 1 (Event.Acquire 0); ev 1 (Event.Read g0) ]
+  in
+  (* The write is before the release, so the acquiring reader is ordered. *)
+  Alcotest.(check int) "publication via lock" 0 (race_count t)
+
+(* --- Naive oracle ------------------------------------------------------- *)
+
+let test_naive_happens_before () =
+  let t =
+    Trace.of_list
+      [ ev 0 (Event.Write g0); ev 0 (Event.Fork 1); ev 1 (Event.Read g0) ]
+  in
+  Alcotest.(check bool) "program order" true (Naive_hb.happens_before t 0 1);
+  Alcotest.(check bool) "fork edge" true (Naive_hb.happens_before t 0 2);
+  Alcotest.(check bool) "same thread" true (Naive_hb.happens_before t 1 2)
+
+let test_naive_race_pairs () =
+  let t = Trace.of_list [ ev 0 (Event.Write g0); ev 1 (Event.Write g0) ] in
+  Alcotest.(check int) "one pair" 1 (List.length (Naive_hb.race_pairs t))
+
+let prop_agreement =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"fasttrack agrees with naive HB oracle" ~count:500
+       ~print:Gen.print_trace Gen.gen_trace (fun trace ->
+         let ft = Fasttrack.racy_vars_of_trace trace in
+         let naive = Naive_hb.racy_vars trace in
+         Event.Var_set.equal ft naive))
+
+let suite =
+  [
+    Alcotest.test_case "write-write race" `Quick test_ww_race;
+    Alcotest.test_case "write-read race" `Quick test_wr_race;
+    Alcotest.test_case "read-write race" `Quick test_rw_race;
+    Alcotest.test_case "read-read no race" `Quick test_rr_no_race;
+    Alcotest.test_case "lock protects" `Quick test_lock_protects;
+    Alcotest.test_case "different locks race" `Quick test_different_locks_race;
+    Alcotest.test_case "fork orders" `Quick test_fork_orders;
+    Alcotest.test_case "join orders" `Quick test_join_orders;
+    Alcotest.test_case "unjoined child races" `Quick test_no_join_races;
+    Alcotest.test_case "same thread never races" `Quick test_same_thread_never_races;
+    Alcotest.test_case "read-share promotion" `Quick test_read_share_promotion;
+    Alcotest.test_case "racy vars dedupe" `Quick test_racy_vars_dedup;
+    Alcotest.test_case "publication via lock" `Quick test_release_publish;
+    Alcotest.test_case "naive happens-before" `Quick test_naive_happens_before;
+    Alcotest.test_case "naive race pairs" `Quick test_naive_race_pairs;
+    prop_agreement;
+  ]

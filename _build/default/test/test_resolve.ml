@@ -1,0 +1,103 @@
+open Coop_lang
+
+let resolve src = Resolve.program (Parser.program src)
+
+let expect_error msg src =
+  match resolve src with
+  | _ -> Alcotest.fail (msg ^ ": expected Resolve.Error")
+  | exception Resolve.Error _ -> ()
+
+let test_slots () =
+  let env = resolve "var a = 1; var b = 2; array xs[4]; lock m; lock ms[3]; fn main() { }" in
+  Alcotest.(check int) "globals" 2 env.Resolve.n_globals;
+  Alcotest.(check (option int)) "slot a" (Some 0) (Resolve.global_slot env "a");
+  Alcotest.(check (option int)) "slot b" (Some 1) (Resolve.global_slot env "b");
+  Alcotest.(check (option int)) "array" (Some 0) (Resolve.array_id env "xs");
+  Alcotest.(check int) "lock handles" 4 env.Resolve.n_locks;
+  Alcotest.(check (option int)) "main index" (Some env.Resolve.main)
+    (Resolve.func_index env "main")
+
+let test_lock_bases () =
+  let env = resolve "lock a; lock b[3]; lock c; fn main() { }" in
+  Alcotest.(check bool) "bases" true (env.Resolve.lock_bases = [| 0; 1; 4 |]);
+  Alcotest.(check int) "total" 5 env.Resolve.n_locks
+
+let test_missing_main () = expect_error "no main" "fn helper() { }"
+
+let test_main_with_params () = expect_error "main arity" "fn main(x) { }"
+
+let test_duplicate_global () = expect_error "dup global" "var a; var a; fn main() { }"
+
+let test_duplicate_function () =
+  expect_error "dup fn" "fn f() { } fn f() { } fn main() { }"
+
+let test_duplicate_param () = expect_error "dup param" "fn f(x, x) { } fn main() { }"
+
+let test_unknown_variable () = expect_error "unknown var" "fn main() { x = 1; }"
+
+let test_unknown_function () = expect_error "unknown fn" "fn main() { f(); }"
+
+let test_unknown_array () = expect_error "unknown array" "fn main() { a[0] = 1; }"
+
+let test_unknown_lock () = expect_error "unknown lock" "fn main() { sync (m) { } }"
+
+let test_arity_mismatch () =
+  expect_error "arity" "fn f(a, b) { } fn main() { f(1); }"
+
+let test_spawn_arity () =
+  expect_error "spawn arity" "fn f(a) { } fn main() { spawn f(); }"
+
+let test_return_in_sync () =
+  expect_error "return in sync" "lock m; fn f() { sync (m) { return 1; } } fn main() { }"
+
+let test_return_in_atomic () =
+  expect_error "return in atomic" "fn f() { atomic { return; } } fn main() { }"
+
+let test_lock_array_needs_index () =
+  expect_error "lock array unindexed" "lock ms[3]; fn main() { sync (ms) { } }"
+
+let test_bad_sizes () =
+  expect_error "zero array" "array a[0]; fn main() { }";
+  expect_error "zero locks" "lock m[0]; fn main() { }"
+
+let test_local_scoping () =
+  (* A local declared in an inner block is not visible after it. *)
+  expect_error "block scoping" "fn main() { { var x = 1; } x = 2; }"
+
+let test_param_visible () =
+  match resolve "fn f(x) { x = x + 1; } fn main() { f(1); }" with
+  | _ -> ()
+  | exception Resolve.Error m -> Alcotest.fail ("unexpected: " ^ m)
+
+let test_local_before_use () =
+  expect_error "use before declaration" "fn main() { y = x; var x = 1; }"
+
+let test_shadowing_ok () =
+  match resolve "var x = 1; fn main() { var x = 2; x = 3; }" with
+  | _ -> ()
+  | exception Resolve.Error m -> Alcotest.fail ("unexpected: " ^ m)
+
+let suite =
+  [
+    Alcotest.test_case "slot assignment" `Quick test_slots;
+    Alcotest.test_case "lock bases" `Quick test_lock_bases;
+    Alcotest.test_case "missing main" `Quick test_missing_main;
+    Alcotest.test_case "main with params" `Quick test_main_with_params;
+    Alcotest.test_case "duplicate global" `Quick test_duplicate_global;
+    Alcotest.test_case "duplicate function" `Quick test_duplicate_function;
+    Alcotest.test_case "duplicate parameter" `Quick test_duplicate_param;
+    Alcotest.test_case "unknown variable" `Quick test_unknown_variable;
+    Alcotest.test_case "unknown function" `Quick test_unknown_function;
+    Alcotest.test_case "unknown array" `Quick test_unknown_array;
+    Alcotest.test_case "unknown lock" `Quick test_unknown_lock;
+    Alcotest.test_case "call arity" `Quick test_arity_mismatch;
+    Alcotest.test_case "spawn arity" `Quick test_spawn_arity;
+    Alcotest.test_case "return in sync" `Quick test_return_in_sync;
+    Alcotest.test_case "return in atomic" `Quick test_return_in_atomic;
+    Alcotest.test_case "lock array needs index" `Quick test_lock_array_needs_index;
+    Alcotest.test_case "non-positive sizes" `Quick test_bad_sizes;
+    Alcotest.test_case "block scoping" `Quick test_local_scoping;
+    Alcotest.test_case "parameters visible" `Quick test_param_visible;
+    Alcotest.test_case "use before declaration" `Quick test_local_before_use;
+    Alcotest.test_case "global shadowing ok" `Quick test_shadowing_ok;
+  ]

@@ -1,0 +1,106 @@
+open Coop_util
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.next a = Rng.next b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_copy () =
+  let a = Rng.create 7 in
+  ignore (Rng.next a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next a) (Rng.next b)
+
+let test_int_range () =
+  let r = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_coverage () =
+  let r = Rng.create 9 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 500 do
+    seen.(Rng.int r 8) <- true
+  done;
+  Alcotest.(check bool) "all buckets hit" true (Array.for_all Fun.id seen)
+
+let test_int_invalid () =
+  let r = Rng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_bool_balance () =
+  let r = Rng.create 3 in
+  let trues = ref 0 in
+  for _ = 1 to 1000 do
+    if Rng.bool r then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!trues > 350 && !trues < 650)
+
+let test_float_range () =
+  let r = Rng.create 11 in
+  for _ = 1 to 500 do
+    let v = Rng.float r 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (v >= 0. && v < 2.5)
+  done
+
+let test_pick () =
+  let r = Rng.create 13 in
+  let arr = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "picked element" true (Array.mem (Rng.pick r arr) arr)
+  done
+
+let test_pick_empty () =
+  let r = Rng.create 1 in
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Rng.pick r [||]))
+
+let test_shuffle_permutation () =
+  let r = Rng.create 21 in
+  let arr = Array.init 20 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
+
+let test_shuffle_changes () =
+  let r = Rng.create 22 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle r arr;
+  Alcotest.(check bool) "not identity" true (arr <> Array.init 50 Fun.id)
+
+let test_split_independent () =
+  let a = Rng.create 33 in
+  let b = Rng.split a in
+  let xs = List.init 32 (fun _ -> Rng.next a) in
+  let ys = List.init 32 (fun _ -> Rng.next b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy" `Quick test_copy;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "int coverage" `Quick test_int_coverage;
+    Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+    Alcotest.test_case "bool balance" `Quick test_bool_balance;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "pick membership" `Quick test_pick;
+    Alcotest.test_case "pick empty" `Quick test_pick_empty;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "shuffle changes order" `Quick test_shuffle_changes;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+  ]

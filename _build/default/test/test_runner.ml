@@ -1,0 +1,94 @@
+open Coop_runtime
+open Coop_lang
+open Coop_workloads
+
+let test_completed () =
+  let prog = Compile.source "fn main() { print(1); }" in
+  let o = Runner.run ~sched:Sched.sequential ~sink:Coop_trace.Trace.Sink.ignore prog in
+  Alcotest.(check bool) "completed" true (o.Runner.termination = Runner.Completed)
+
+let test_step_limit () =
+  let prog = Compile.source "var x = 0; fn main() { while (1) { x = x + 1; } }" in
+  let o =
+    Runner.run ~max_steps:1000 ~sched:Sched.sequential
+      ~sink:Coop_trace.Trace.Sink.ignore prog
+  in
+  Alcotest.(check bool) "step limit" true (o.Runner.termination = Runner.Step_limit);
+  Alcotest.(check int) "steps counted" 1000 o.Runner.steps
+
+let test_deadlock_detected () =
+  (* Force the interleaving that deadlocks: t1 takes a, t2 takes b, then
+     each waits for the other. Pinned decisions: run main until both spawned,
+     then alternate. *)
+  let prog = Compile.source (Micro.deadlock_prone ()) in
+  let found = ref false in
+  for seed = 0 to 30 do
+    let o =
+      Runner.run ~max_steps:10_000 ~sched:(Sched.random ~seed ())
+        ~sink:Coop_trace.Trace.Sink.ignore prog
+    in
+    if o.Runner.termination = Runner.Deadlock then found := true
+  done;
+  Alcotest.(check bool) "some seed deadlocks" true !found
+
+let test_trace_recording () =
+  let prog = Compile.source "var x = 0; fn main() { x = 1; print(x); }" in
+  let _, trace = Runner.record ~sched:Sched.sequential prog in
+  let has op = Coop_trace.Trace.count (fun e -> e.Coop_trace.Event.op = op) trace in
+  Alcotest.(check int) "one write" 1 (has (Coop_trace.Event.Write (Coop_trace.Event.Global 0)));
+  Alcotest.(check int) "one read" 1 (has (Coop_trace.Event.Read (Coop_trace.Event.Global 0)));
+  Alcotest.(check int) "one out" 1 (has (Coop_trace.Event.Out 1));
+  Alcotest.(check int) "enter main" 1 (has (Coop_trace.Event.Enter prog.Bytecode.main))
+
+let test_injected_yields_emit_events () =
+  let prog = Compile.source "var x = 0; fn main() { x = 1; }" in
+  (* Find the location of the store and inject a yield there. *)
+  let store_pc =
+    let f = prog.Bytecode.funcs.(prog.Bytecode.main) in
+    let rec find i =
+      if i >= Array.length f.code then Alcotest.fail "no store"
+      else match f.code.(i) with Bytecode.Store_global _ -> i | _ -> find (i + 1)
+    in
+    find 0
+  in
+  let loc = Bytecode.loc prog ~func:prog.Bytecode.main ~pc:store_pc in
+  let yields = Coop_trace.Loc.Set.singleton loc in
+  let _, trace = Runner.record ~yields ~sched:Sched.sequential prog in
+  Alcotest.(check int) "yield injected" 1
+    (Coop_trace.Trace.count (fun e -> e.Coop_trace.Event.op = Coop_trace.Event.Yield) trace);
+  (* The injected yield must come before the write. *)
+  let rec index_of op i =
+    if (Coop_trace.Trace.get trace i).Coop_trace.Event.op = op then i
+    else index_of op (i + 1)
+  in
+  let yi = index_of Coop_trace.Event.Yield 0 in
+  let wi = index_of (Coop_trace.Event.Write (Coop_trace.Event.Global 0)) 0 in
+  Alcotest.(check bool) "yield precedes write" true (yi < wi)
+
+let test_behavior_of () =
+  let prog = Compile.source "var a = 1; var b = 2; fn main() { print(a + b); }" in
+  let o = Runner.run ~sched:Sched.sequential ~sink:Coop_trace.Trace.Sink.ignore prog in
+  let b = Runner.behavior_of o in
+  Alcotest.(check (list int)) "output" [ 3 ] b.Behavior.output;
+  Alcotest.(check (list int)) "globals" [ 1; 2 ] b.Behavior.globals;
+  Alcotest.(check bool) "no deadlock" false b.Behavior.deadlocked;
+  Alcotest.(check int) "no faults" 0 b.Behavior.fault_count
+
+let test_behavior_compare () =
+  let b1 = { Behavior.output = [ 1 ]; globals = []; fault_count = 0; deadlocked = false } in
+  let b2 = { b1 with Behavior.output = [ 2 ] } in
+  Alcotest.(check bool) "distinct" false (Behavior.equal b1 b2);
+  Alcotest.(check bool) "reflexive" true (Behavior.equal b1 b1);
+  Alcotest.(check int) "set size" 2
+    Behavior.Set.(cardinal (add b1 (add b2 (add b1 empty))))
+
+let suite =
+  [
+    Alcotest.test_case "completed termination" `Quick test_completed;
+    Alcotest.test_case "step limit" `Quick test_step_limit;
+    Alcotest.test_case "deadlock detection" `Quick test_deadlock_detected;
+    Alcotest.test_case "trace recording" `Quick test_trace_recording;
+    Alcotest.test_case "injected yields" `Quick test_injected_yields_emit_events;
+    Alcotest.test_case "behavior projection" `Quick test_behavior_of;
+    Alcotest.test_case "behavior comparison" `Quick test_behavior_compare;
+  ]

@@ -1,0 +1,54 @@
+open Coop_util
+
+let feq msg a b = Alcotest.(check (float 1e-9)) msg a b
+
+let test_mean () =
+  feq "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |]);
+  feq "singleton" 7. (Stats.mean [| 7. |]);
+  feq "empty" 0. (Stats.mean [||])
+
+let test_stddev () =
+  feq "known stddev" 1.2909944487358056 (Stats.stddev [| 1.; 2.; 3.; 4. |]);
+  feq "constant" 0. (Stats.stddev [| 5.; 5.; 5. |]);
+  feq "short" 0. (Stats.stddev [| 1. |])
+
+let test_median () =
+  feq "odd" 3. (Stats.median [| 5.; 3.; 1. |]);
+  feq "even" 2.5 (Stats.median [| 4.; 1.; 2.; 3. |]);
+  feq "empty" 0. (Stats.median [||])
+
+let test_median_no_mutation () =
+  let xs = [| 3.; 1.; 2. |] in
+  ignore (Stats.median xs);
+  Alcotest.(check (array (float 0.))) "input untouched" [| 3.; 1.; 2. |] xs
+
+let test_percentile () =
+  let xs = [| 10.; 20.; 30.; 40.; 50. |] in
+  feq "p0" 10. (Stats.percentile 0. xs);
+  feq "p100" 50. (Stats.percentile 100. xs);
+  feq "p50" 30. (Stats.percentile 50. xs);
+  feq "p25" 20. (Stats.percentile 25. xs);
+  feq "interpolated" 14. (Stats.percentile 10. xs)
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [| 3.; -1.; 7.; 2. |] in
+  feq "min" (-1.) lo;
+  feq "max" 7. hi;
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.min_max: empty array")
+    (fun () -> ignore (Stats.min_max [||]))
+
+let test_geomean () =
+  feq "geomean" 2. (Stats.geomean [| 1.; 2.; 4. |]);
+  feq "identity" 3. (Stats.geomean [| 3. |]);
+  feq "empty" 0. (Stats.geomean [||])
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "stddev" `Quick test_stddev;
+    Alcotest.test_case "median" `Quick test_median;
+    Alcotest.test_case "median does not mutate" `Quick test_median_no_mutation;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "min_max" `Quick test_min_max;
+    Alcotest.test_case "geomean" `Quick test_geomean;
+  ]

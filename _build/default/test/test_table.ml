@@ -1,0 +1,40 @@
+open Coop_util
+
+let test_basic_render () =
+  let t = Table.create ~headers:[ ("name", Table.Left); ("n", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let out = Table.render t in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check string) "header" "name    n" (List.nth lines 0);
+  Alcotest.(check string) "rule" "-----  --" (List.nth lines 1);
+  Alcotest.(check string) "row 1" "alpha   1" (List.nth lines 2);
+  Alcotest.(check string) "row 2" "b      22" (List.nth lines 3)
+
+let test_wide_cell_grows_column () =
+  let t = Table.create ~headers:[ ("h", Table.Left) ] in
+  Table.add_row t [ "very-long-cell" ];
+  let out = Table.render t in
+  Alcotest.(check bool) "column widened" true
+    (String.length (List.nth (String.split_on_char '\n' out) 0) >= 14)
+
+let test_mismatch_raises () =
+  let t = Table.create ~headers:[ ("a", Table.Left); ("b", Table.Left) ] in
+  Alcotest.check_raises "cell count" (Invalid_argument "Table.add_row: cell count mismatch")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let test_rule_row () =
+  let t = Table.create ~headers:[ ("a", Table.Left) ] in
+  Table.add_row t [ "x" ];
+  Table.add_rule t;
+  Table.add_row t [ "y" ];
+  let lines = String.split_on_char '\n' (Table.render t) in
+  Alcotest.(check string) "rule between rows" "-" (List.nth lines 3)
+
+let suite =
+  [
+    Alcotest.test_case "basic render" `Quick test_basic_render;
+    Alcotest.test_case "wide cells grow columns" `Quick test_wide_cell_grows_column;
+    Alcotest.test_case "row mismatch raises" `Quick test_mismatch_raises;
+    Alcotest.test_case "rule rows" `Quick test_rule_row;
+  ]

@@ -1,0 +1,113 @@
+open Coop_race
+open QCheck2
+
+let gen_clock =
+  Gen.map Vclock.of_list
+    (Gen.list_size (Gen.int_bound 6)
+       (Gen.pair (Gen.int_bound 5) (Gen.int_bound 20)))
+
+let print_clock c = Format.asprintf "%a" Vclock.pp c
+
+let test_empty () =
+  Alcotest.(check int) "absent is 0" 0 (Vclock.get Vclock.empty 3);
+  Alcotest.(check bool) "empty leq anything" true
+    (Vclock.leq Vclock.empty (Vclock.of_list [ (0, 5) ]))
+
+let test_set_get () =
+  let c = Vclock.set Vclock.empty 2 7 in
+  Alcotest.(check int) "set value" 7 (Vclock.get c 2);
+  Alcotest.(check int) "others zero" 0 (Vclock.get c 0);
+  let c = Vclock.set c 2 0 in
+  Alcotest.(check bool) "zero normalizes to empty" true (Vclock.equal c Vclock.empty)
+
+let test_tick () =
+  let c = Vclock.tick (Vclock.tick Vclock.empty 1) 1 in
+  Alcotest.(check int) "ticked twice" 2 (Vclock.get c 1)
+
+let test_join_concrete () =
+  let a = Vclock.of_list [ (0, 3); (1, 1) ] in
+  let b = Vclock.of_list [ (1, 4); (2, 2) ] in
+  let j = Vclock.join a b in
+  Alcotest.(check int) "comp 0" 3 (Vclock.get j 0);
+  Alcotest.(check int) "comp 1" 4 (Vclock.get j 1);
+  Alcotest.(check int) "comp 2" 2 (Vclock.get j 2)
+
+let test_leq_concrete () =
+  let a = Vclock.of_list [ (0, 1) ] in
+  let b = Vclock.of_list [ (0, 2); (1, 1) ] in
+  Alcotest.(check bool) "a leq b" true (Vclock.leq a b);
+  Alcotest.(check bool) "b not leq a" false (Vclock.leq b a)
+
+let prop name gen f = QCheck_alcotest.to_alcotest (Test.make ~name ~count:300 gen f)
+
+let qsuite =
+  [
+    prop "join commutative" (Gen.pair gen_clock gen_clock) (fun (a, b) ->
+        Vclock.equal (Vclock.join a b) (Vclock.join b a));
+    prop "join associative" (Gen.triple gen_clock gen_clock gen_clock)
+      (fun (a, b, c) ->
+        Vclock.equal
+          (Vclock.join a (Vclock.join b c))
+          (Vclock.join (Vclock.join a b) c));
+    prop "join idempotent" gen_clock (fun a -> Vclock.equal (Vclock.join a a) a);
+    prop "join is upper bound" (Gen.pair gen_clock gen_clock) (fun (a, b) ->
+        let j = Vclock.join a b in
+        Vclock.leq a j && Vclock.leq b j);
+    prop "join is least upper bound" (Gen.triple gen_clock gen_clock gen_clock)
+      (fun (a, b, u) ->
+        QCheck2.assume (Vclock.leq a u && Vclock.leq b u);
+        Vclock.leq (Vclock.join a b) u);
+    prop "leq reflexive" gen_clock (fun a -> Vclock.leq a a);
+    prop "leq antisymmetric" (Gen.pair gen_clock gen_clock) (fun (a, b) ->
+        QCheck2.assume (Vclock.leq a b && Vclock.leq b a);
+        Vclock.equal a b);
+    prop "leq transitive" (Gen.triple gen_clock gen_clock gen_clock)
+      (fun (a, b, c) ->
+        QCheck2.assume (Vclock.leq a b && Vclock.leq b c);
+        Vclock.leq a c);
+    prop "tick strictly increases" (Gen.pair gen_clock (Gen.int_bound 5))
+      (fun (a, t) ->
+        let a' = Vclock.tick a t in
+        Vclock.leq a a' && not (Vclock.leq a' a));
+    prop "to_list/of_list roundtrip" gen_clock (fun a ->
+        Vclock.equal a (Vclock.of_list (Vclock.to_list a)));
+    prop "compare consistent with equal" (Gen.pair gen_clock gen_clock)
+      (fun (a, b) -> Vclock.equal a b = (Vclock.compare a b = 0));
+  ]
+
+let test_epoch_pack () =
+  let e = Epoch.make ~tid:3 ~clock:42 in
+  Alcotest.(check int) "tid" 3 (Epoch.tid e);
+  Alcotest.(check int) "clock" 42 (Epoch.clock e);
+  Alcotest.(check bool) "not bottom" false (Epoch.is_bottom e);
+  Alcotest.(check bool) "bottom is bottom" true (Epoch.is_bottom Epoch.bottom)
+
+let test_epoch_leq () =
+  let c = Vclock.of_list [ (2, 5) ] in
+  Alcotest.(check bool) "bottom leq" true (Epoch.leq Epoch.bottom c);
+  Alcotest.(check bool) "leq same" true (Epoch.leq (Epoch.make ~tid:2 ~clock:5) c);
+  Alcotest.(check bool) "leq below" true (Epoch.leq (Epoch.make ~tid:2 ~clock:4) c);
+  Alcotest.(check bool) "not leq above" false (Epoch.leq (Epoch.make ~tid:2 ~clock:6) c);
+  Alcotest.(check bool) "other thread" false (Epoch.leq (Epoch.make ~tid:0 ~clock:1) c)
+
+let test_epoch_of_thread () =
+  let c = Vclock.of_list [ (1, 9) ] in
+  let e = Epoch.of_thread 1 c in
+  Alcotest.(check int) "clock snapshot" 9 (Epoch.clock e);
+  Alcotest.(check string) "pp" "9@1" (Format.asprintf "%a" Epoch.pp e);
+  Alcotest.(check string) "pp bottom" "_|_" (Format.asprintf "%a" Epoch.pp Epoch.bottom)
+
+let suite =
+  [
+    Alcotest.test_case "empty clock" `Quick test_empty;
+    Alcotest.test_case "set/get" `Quick test_set_get;
+    Alcotest.test_case "tick" `Quick test_tick;
+    Alcotest.test_case "join concrete" `Quick test_join_concrete;
+    Alcotest.test_case "leq concrete" `Quick test_leq_concrete;
+    Alcotest.test_case "epoch packing" `Quick test_epoch_pack;
+    Alcotest.test_case "epoch leq" `Quick test_epoch_leq;
+    Alcotest.test_case "epoch of_thread and pp" `Quick test_epoch_of_thread;
+  ]
+  @ qsuite
+
+let _ = print_clock

@@ -1,0 +1,139 @@
+open Coop_lang
+open Coop_runtime
+open Coop_core
+open Coop_workloads
+
+(* Small parameters so the whole suite stays fast; behaviours are the same
+   shape as the defaults. *)
+let small (e : Registry.entry) =
+  let threads = min 3 e.Registry.default_threads in
+  let size = max 1 (e.Registry.default_size / 2) in
+  (threads, size)
+
+let run_with sched prog =
+  Runner.run ~max_steps:3_000_000 ~sched ~sink:Coop_trace.Trace.Sink.ignore prog
+
+let test_all_compile () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let threads, size = small e in
+      match Registry.program_of ~threads ~size e with
+      | _ -> ()
+      | exception exn ->
+          Alcotest.fail
+            (Printf.sprintf "%s failed to compile: %s" e.Registry.name
+               (Printexc.to_string exn)))
+    Registry.all
+
+let test_all_terminate_without_faults () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let threads, size = small e in
+      let prog = Registry.program_of ~threads ~size e in
+      List.iter
+        (fun sched ->
+          let o = run_with sched prog in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s completes under %s" e.Registry.name
+               sched.Sched.name)
+            true
+            (o.Runner.termination = Runner.Completed);
+          Alcotest.(check int)
+            (Printf.sprintf "%s has no faults" e.Registry.name)
+            0
+            (List.length (Vm.failures o.Runner.final)))
+        [ Sched.random ~seed:11 (); Sched.round_robin ~quantum:3 ();
+          Sched.cooperative () ])
+    Registry.all
+
+let test_outputs_schedule_independent () =
+  (* Every workload is written to produce a deterministic observable result
+     (that is the point of proper synchronization). *)
+  List.iter
+    (fun (e : Registry.entry) ->
+      let threads, size = small e in
+      let prog = Registry.program_of ~threads ~size e in
+      let outputs =
+        List.map
+          (fun sched -> Vm.output (run_with sched prog).Runner.final)
+          [ Sched.random ~seed:1 (); Sched.random ~seed:99 ();
+            Sched.round_robin ~quantum:1 (); Sched.cooperative () ]
+      in
+      match outputs with
+      | first :: rest ->
+          List.iter
+            (fun o ->
+              Alcotest.(check (list int))
+                (Printf.sprintf "%s deterministic output" e.Registry.name)
+                first o)
+            rest
+      | [] -> assert false)
+    Registry.all
+
+let test_inference_converges_small () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let threads, size = small e in
+      let prog = Registry.program_of ~threads ~size e in
+      let inf = Infer.infer ~max_steps:3_000_000 prog in
+      Alcotest.(check int)
+        (Printf.sprintf "%s inference reaches a clean fixpoint" e.Registry.name)
+        0 inf.Infer.final_check_violations;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s needs few yields" e.Registry.name)
+        true
+        (Coop_trace.Loc.Set.cardinal inf.Infer.yields <= 8))
+    Registry.all
+
+let test_registry_lookup () =
+  Alcotest.(check int) "fourteen workloads" 14 (List.length Registry.all);
+  Alcotest.(check bool) "find philo" true (Registry.find "philo" <> None);
+  Alcotest.(check bool) "find nothing" true (Registry.find "nope" = None);
+  Alcotest.(check int) "names count" 14 (List.length Registry.names)
+
+let test_loc_counts () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let loc = Registry.loc_count (Registry.source_of e) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has a plausible size (%d LoC)" e.Registry.name loc)
+        true
+        (loc > 20 && loc < 400))
+    Registry.all
+
+let test_race_free_except_tsp () =
+  (* tsp deliberately reads the bound without the lock; everything else is
+     race-free by construction. *)
+  List.iter
+    (fun (e : Registry.entry) ->
+      let threads, size = small e in
+      let prog = Registry.program_of ~threads ~size e in
+      let _, trace = Runner.record ~max_steps:3_000_000 ~sched:(Sched.random ~seed:23 ()) prog in
+      let racy = Coop_race.Fasttrack.racy_vars_of_trace trace in
+      let n = Coop_trace.Event.Var_set.cardinal racy in
+      if e.Registry.name = "tsp" then
+        Alcotest.(check int) "tsp has exactly the benign race" 1 n
+      else
+        Alcotest.(check int) (Printf.sprintf "%s race-free" e.Registry.name) 0 n)
+    Registry.all
+
+let test_micro_all_compile () =
+  List.iter
+    (fun (name, src) ->
+      match Compile.source src with
+      | _ -> ()
+      | exception exn ->
+          Alcotest.fail (name ^ ": " ^ Printexc.to_string exn))
+    Micro.all
+
+let suite =
+  [
+    Alcotest.test_case "all workloads compile" `Quick test_all_compile;
+    Alcotest.test_case "all terminate without faults" `Slow test_all_terminate_without_faults;
+    Alcotest.test_case "outputs schedule-independent" `Slow test_outputs_schedule_independent;
+    Alcotest.test_case "inference converges" `Slow test_inference_converges_small;
+    Alcotest.test_case "registry lookup" `Quick test_registry_lookup;
+    Alcotest.test_case "LoC counts plausible" `Quick test_loc_counts;
+    Alcotest.test_case "race-free except tsp" `Slow test_race_free_except_tsp;
+    Alcotest.test_case "micro programs compile" `Quick test_micro_all_compile;
+  ]
