@@ -116,15 +116,24 @@ let run_cmd =
 let trace_cmd =
   let action spec threads size sched max_steps limit save timeline =
     let prog = load ~threads ~size spec in
-    let _, trace =
-      Runner.record ~max_steps ~sched:(scheduler_of sched) prog
-    in
     (match save with
     | Some path ->
-        Coop_trace.Serialize.save path trace;
-        Format.printf "saved %d events to %s@." (Coop_trace.Trace.length trace)
-          path
+        (* Stream events straight to disk; the trace is never held in
+           memory. *)
+        let saved =
+          Coop_trace.Serialize.with_file_sink path (fun sink ->
+              let n = ref 0 in
+              let counting e = incr n; sink e in
+              ignore
+                (Runner.run ~max_steps ~sched:(scheduler_of sched)
+                   ~sink:counting prog);
+              !n)
+        in
+        Format.printf "saved %d events to %s@." saved path
     | None ->
+        let _, trace =
+          Runner.record ~max_steps ~sched:(scheduler_of sched) prog
+        in
         if timeline then
           print_string
             (Coop_trace.Timeline.render_filtered
@@ -170,22 +179,28 @@ let trace_cmd =
 
 let check_cmd =
   let action spec threads size sched max_steps from_trace =
-    let trace =
+    (* Both inputs are replayable sources for the fused two-phase pipeline:
+       a saved trace is streamed off disk line by line, a program is
+       re-executed under a fresh identically seeded scheduler — either way
+       no trace is materialized. *)
+    let source =
       match from_trace with
-      | Some path -> Coop_trace.Serialize.load path
+      | Some path -> Coop_trace.Source.of_file path
       | None ->
           let prog = load ~threads ~size spec in
-          snd (Runner.record ~max_steps ~sched:(scheduler_of sched) prog)
+          Runner.source ~max_steps
+            ~sched:(fun () -> scheduler_of sched)
+            prog
     in
-    let r = Coop_core.Cooperability.check trace in
-    Format.printf "events: %d@." r.Coop_core.Cooperability.events;
+    let r = Coop_pipeline.run source in
+    Format.printf "events: %d@." r.Coop_pipeline.events;
     Format.printf "races: %d on %d variable(s)@."
-      (List.length r.Coop_core.Cooperability.races)
-      (Coop_trace.Event.Var_set.cardinal r.Coop_core.Cooperability.racy);
+      (List.length r.Coop_pipeline.races)
+      (Coop_trace.Event.Var_set.cardinal r.Coop_pipeline.racy);
     List.iter
       (fun race -> Format.printf "  %a@." Coop_race.Report.pp race)
-      r.Coop_core.Cooperability.races;
-    let vs = r.Coop_core.Cooperability.violations in
+      r.Coop_pipeline.races;
+    let vs = r.Coop_pipeline.violations in
     Format.printf "cooperability violations: %d at %d location(s)@."
       (List.length vs)
       (Coop_trace.Loc.Set.cardinal (Coop_core.Cooperability.violation_locs vs));
@@ -197,7 +212,7 @@ let check_cmd =
           Format.printf "  %a@." Coop_core.Automaton.pp_violation v
         end)
       vs;
-    let dl = Coop_core.Deadlock.analyze trace in
+    let dl = r.Coop_pipeline.deadlock in
     if dl.Coop_core.Deadlock.cycles <> [] then begin
       Format.printf "potential deadlocks (lock-order cycles):@.";
       List.iter
@@ -216,7 +231,8 @@ let check_cmd =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:
             "Analyze a trace saved with `trace --save` instead of running \
-             the program (which is then ignored).")
+             the program (which is then ignored). The file is streamed \
+             incrementally, never loaded whole.")
   in
   Cmd.v
     (Cmd.info "check"
@@ -241,12 +257,11 @@ let infer_cmd =
         Format.printf "  yield before %s line %d (%a)@."
           f.Coop_lang.Bytecode.name l.Coop_trace.Loc.line Coop_trace.Loc.pp l)
       inf.Coop_core.Infer.yields;
-    let _, trace =
-      Runner.record ~yields:inf.Coop_core.Infer.yields ~max_steps
-        ~sched:(Sched.random ~seed:17 ()) prog
-    in
-    let m =
-      Coop_core.Metrics.compute prog ~inferred:inf.Coop_core.Infer.yields ~trace
+    let _, m =
+      Runner.analyze ~yields:inf.Coop_core.Infer.yields ~max_steps
+        ~sched:(Sched.random ~seed:17 ())
+        (Coop_core.Metrics.analysis prog ~inferred:inf.Coop_core.Infer.yields ())
+        prog
     in
     Format.printf "%a@." Coop_core.Metrics.pp m
   in
@@ -259,10 +274,11 @@ let infer_cmd =
 let atomize_cmd =
   let action spec threads size sched max_steps =
     let prog = load ~threads ~size spec in
-    let _, trace =
-      Runner.record ~max_steps ~sched:(scheduler_of sched) prog
+    let source =
+      Runner.source ~max_steps ~sched:(fun () -> scheduler_of sched) prog
     in
-    let r = Coop_atomicity.Atomizer.check trace in
+    let p = Coop_pipeline.run ~atomize:true ~conflict:true source in
+    let r = Option.get p.Coop_pipeline.atomizer in
     Format.printf "transactions: %d, violated: %d@."
       r.Coop_atomicity.Atomizer.activations
       r.Coop_atomicity.Atomizer.violated_activations;
@@ -277,7 +293,7 @@ let atomize_cmd =
           Format.printf "  %a@." Coop_atomicity.Atomizer.pp_warning w
         end)
       r.Coop_atomicity.Atomizer.warnings;
-    let c = Coop_atomicity.Conflict.check trace in
+    let c = Option.get p.Coop_pipeline.conflict in
     Format.printf
       "conflict graph: %d transactions, %d edges, serializable=%b@."
       c.Coop_atomicity.Conflict.transactions c.Coop_atomicity.Conflict.edges

@@ -1,0 +1,16 @@
+#!/bin/sh
+# The CI entry point: full build, test suite, bench smoke test.
+# Equivalent to `dune build @ci`, but with per-stage output.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== build =="
+dune build @all
+
+echo "== tests =="
+dune runtest
+
+echo "== bench smoke (table1) =="
+dune exec bench/main.exe -- table1
+
+echo "== ci ok =="

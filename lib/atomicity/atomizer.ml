@@ -30,7 +30,7 @@ type txn = {
   mutable violated : bool;
 }
 
-let check_with_racy ?(local_locks = fun _ -> false) ~racy trace =
+let analysis ?(local_locks = fun _ -> false) ~racy () =
   let stacks : (int, txn list ref) Hashtbl.t = Hashtbl.create 8 in
   let warnings = ref [] in
   let activations = ref 0 in
@@ -71,36 +71,41 @@ let check_with_racy ?(local_locks = fun _ -> false) ~racy trace =
             end)
       !s
   in
-  Trace.iter
-    (fun (e : Event.t) ->
-      match e.op with
-      | Event.Enter f -> push e.tid (Func f)
-      | Event.Exit _ -> pop e.tid
-      | Event.Atomic_begin -> push e.tid (Block e.loc)
-      | Event.Atomic_end -> pop e.tid
-      | Event.Yield -> ()  (* not a transaction boundary for atomicity *)
-      | op -> (
-          match Mover.classify ~local_locks ~racy op with
-          | None -> ()
-          | Some m -> feed e.tid e.loc op m))
-    trace;
-  (* Close transactions still open at the end of the trace. *)
-  Hashtbl.iter
-    (fun _ s -> List.iter (fun t -> if t.violated then incr violated) !s)
-    stacks;
-  let warnings = List.rev !warnings in
-  let flagged =
-    List.fold_left
-      (fun acc w -> match w.txn with Func f -> f :: acc | Block _ -> acc)
-      [] warnings
-    |> List.sort_uniq Int.compare
+  let step (e : Event.t) =
+    match e.op with
+    | Event.Enter f -> push e.tid (Func f)
+    | Event.Exit _ -> pop e.tid
+    | Event.Atomic_begin -> push e.tid (Block e.loc)
+    | Event.Atomic_end -> pop e.tid
+    | Event.Yield -> ()  (* not a transaction boundary for atomicity *)
+    | op -> (
+        match Mover.classify ~local_locks ~racy op with
+        | None -> ()
+        | Some m -> feed e.tid e.loc op m)
   in
-  {
-    warnings;
-    flagged_functions = flagged;
-    activations = !activations;
-    violated_activations = !violated;
-  }
+  let finalize () =
+    (* Close transactions still open at the end of the stream. *)
+    Hashtbl.iter
+      (fun _ s -> List.iter (fun t -> if t.violated then incr violated) !s)
+      stacks;
+    let warnings = List.rev !warnings in
+    let flagged =
+      List.fold_left
+        (fun acc w -> match w.txn with Func f -> f :: acc | Block _ -> acc)
+        [] warnings
+      |> List.sort_uniq Int.compare
+    in
+    {
+      warnings;
+      flagged_functions = flagged;
+      activations = !activations;
+      violated_activations = !violated;
+    }
+  in
+  Coop_trace.Analysis.make ~step ~finalize
+
+let check_with_racy ?local_locks ~racy trace =
+  Coop_trace.Analysis.run (analysis ?local_locks ~racy ()) trace
 
 let check trace =
   let racy = Coop_race.Fasttrack.racy_vars_of_trace trace in

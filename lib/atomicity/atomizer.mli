@@ -42,9 +42,20 @@ val check : Trace.t -> result
     automaton. Thread-local locks are both-movers, as in the cooperability
     checker, so the two analyses compare like for like. *)
 
+val analysis :
+  ?local_locks:(int -> bool) ->
+  racy:Event.Var_set.t ->
+  unit ->
+  result Analysis.t
+(** The nested-transaction automaton as a single-pass online analysis
+    (O(threads·depth) state). Like [Automaton.analysis], the racy set and
+    [local_locks] must be final knowledge — the fused pipeline runs this
+    in its second streaming phase. *)
+
 val check_with_racy :
   ?local_locks:(int -> bool) -> racy:Event.Var_set.t -> Trace.t -> result
-(** Same with a precomputed racy set and local-lock predicate. *)
+(** Same with a precomputed racy set and local-lock predicate. Offline
+    wrapper over {!analysis}. *)
 
 val pp_warning : Format.formatter -> warning -> unit
 (** Human-readable warning. *)

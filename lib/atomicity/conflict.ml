@@ -18,7 +18,7 @@ type var_state = {
   mutable readers : int list;  (* txns reading since last write *)
 }
 
-let check trace =
+let analysis () =
   let next_txn = ref 0 in
   let fresh () =
     let n = !next_txn in
@@ -52,8 +52,7 @@ let check trace =
         Hashtbl.replace last_txn_of_thread tid t;
         t
   in
-  Trace.iter
-    (fun (e : Event.t) ->
+  let step (e : Event.t) =
       let tid = e.tid in
       let d = match Hashtbl.find_opt depth tid with Some d -> d | None -> 0 in
       match e.op with
@@ -84,8 +83,9 @@ let check trace =
           s.readers <- []
       | Event.Acquire _ | Event.Release _ | Event.Fork _ | Event.Join _
       | Event.Yield | Event.Atomic_begin | Event.Atomic_end | Event.Out _ ->
-          ())
-    trace;
+          ()
+  in
+  let finalize () =
   let n = !next_txn in
   (* Cycle detection: iterative DFS with colors. *)
   let succs = Array.make (max n 1) [] in
@@ -125,3 +125,7 @@ let check trace =
     cyclic = !cycle <> [];
     cycle_witness = !cycle;
   }
+  in
+  Analysis.make ~step ~finalize
+
+let check trace = Analysis.run (analysis ()) trace

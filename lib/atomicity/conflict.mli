@@ -13,5 +13,10 @@ type result = {
   cycle_witness : int list;  (** Node ids on one cycle, empty if acyclic. *)
 }
 
+val analysis : unit -> result Coop_trace.Analysis.t
+(** The conflict-graph builder as a single-pass online analysis: edges
+    accrue per event; the cycle search runs at finalize. *)
+
 val check : Coop_trace.Trace.t -> result
-(** Build the conflict graph of a recorded trace and search for cycles. *)
+(** Build the conflict graph of a recorded trace and search for cycles.
+    Offline wrapper over {!analysis}. *)

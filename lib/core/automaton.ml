@@ -52,6 +52,12 @@ let step ?local_locks t ~racy (e : Event.t) =
 
 let violations t = List.rev t.violations
 
+let analysis ?local_locks ~racy () =
+  let t = create () in
+  Analysis.make
+    ~step:(fun e -> ignore (step ?local_locks t ~racy e))
+    ~finalize:(fun () -> violations t)
+
 let pp_violation ppf v =
   Format.fprintf ppf "t%d needs a yield before %a at %a (%a in post-commit)"
     v.tid Event.pp_op v.op Loc.pp v.loc Mover.pp v.mover

@@ -52,6 +52,16 @@ val step :
 val violations : t -> violation list
 (** All violations so far, in order. *)
 
+val analysis :
+  ?local_locks:(int -> bool) ->
+  racy:Event.Var_set.t ->
+  unit ->
+  violation list Analysis.t
+(** A fresh automaton as a single-pass online analysis. The racy set and
+    [local_locks] must be final knowledge (from a completed race/lock
+    pass), which is why the fused pipeline runs this in its second
+    streaming phase. *)
+
 val pp_violation : Format.formatter -> violation -> unit
 (** Human-readable description, e.g.
     ["t2 needs a yield before wr(g0) at f1:pc7(line 12) (non-mover in post-commit)"]. *)

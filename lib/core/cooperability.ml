@@ -7,16 +7,11 @@ type result = {
   events : int;
 }
 
-let check_with_racy ?local_locks ~racy trace =
-  let a = Automaton.create () in
-  Trace.iter (fun e -> ignore (Automaton.step ?local_locks a ~racy e)) trace;
-  Automaton.violations a
-
 (* A lock is thread-local when at most one thread ever acquires it. *)
-let local_locks_of trace =
+let local_locks_analysis () =
   let owners = Hashtbl.create 8 in
-  Trace.iter
-    (fun (e : Event.t) ->
+  Analysis.make
+    ~step:(fun (e : Event.t) ->
       match e.op with
       | Event.Acquire l | Event.Release l -> (
           match Hashtbl.find_opt owners l with
@@ -25,17 +20,32 @@ let local_locks_of trace =
           | Some (Some _) -> Hashtbl.replace owners l None
           | Some None -> ())
       | _ -> ())
-    trace;
-  fun l -> match Hashtbl.find_opt owners l with Some (Some _) -> true | _ -> false
+    ~finalize:(fun () l ->
+      match Hashtbl.find_opt owners l with Some (Some _) -> true | _ -> false)
 
-let check trace =
-  let ft = Coop_race.Fasttrack.create () in
-  Trace.iter (fun e -> ignore (Coop_race.Fasttrack.handle ft e)) trace;
-  let races = Coop_race.Fasttrack.races ft in
-  let racy = Coop_race.Fasttrack.racy_vars ft in
-  let local_locks = local_locks_of trace in
-  let violations = check_with_racy ~local_locks ~racy trace in
-  { violations; races; racy; events = Trace.length trace }
+let local_locks_of trace = Analysis.run (local_locks_analysis ()) trace
+
+let check_with_racy ?local_locks ~racy trace =
+  Analysis.run (Automaton.analysis ?local_locks ~racy ()) trace
+
+(* The streaming core: phase 1 fuses the race detector with the
+   thread-local-lock scan (one dispatch per event); phase 2 re-streams the
+   source through the transaction automaton with the now-final racy set.
+   Nothing is materialized, so memory stays O(threads·vars). *)
+let check_source source =
+  let phase1 =
+    Analysis.chain
+      (Coop_race.Fasttrack.analysis ())
+      (Analysis.chain (local_locks_analysis ()) (Analysis.count ()))
+  in
+  let races, (local_locks, events) = Source.run source phase1 in
+  let racy = Coop_race.Report.racy_vars races in
+  let violations =
+    Source.run source (Automaton.analysis ~local_locks ~racy ())
+  in
+  { violations; races; racy; events }
+
+let check trace = check_source (Source.of_trace trace)
 
 let violation_locs vs =
   List.fold_left
@@ -46,16 +56,4 @@ let cooperable r = r.violations = []
 
 let online () =
   let buffered = Trace.create () in
-  let ft = Coop_race.Fasttrack.create () in
-  let sink e =
-    Trace.add buffered e;
-    ignore (Coop_race.Fasttrack.handle ft e)
-  in
-  let finish () =
-    let races = Coop_race.Fasttrack.races ft in
-    let racy = Coop_race.Fasttrack.racy_vars ft in
-    let local_locks = local_locks_of buffered in
-    let violations = check_with_racy ~local_locks ~racy buffered in
-    { violations; races; racy; events = Trace.length buffered }
-  in
-  (sink, finish)
+  (Trace.Sink.recording buffered, fun () -> check buffered)

@@ -25,11 +25,24 @@ type result = {
 val check : Trace.t -> result
 (** Full two-pass check of a recorded trace. Locks only ever acquired by a
     single thread in the trace are classified as both-movers (the
-    thread-local-lock refinement). *)
+    thread-local-lock refinement). Thin wrapper over {!check_source}. *)
+
+val check_source : Source.t -> result
+(** The streaming core: phase 1 streams the source once through the fused
+    race detector + thread-local-lock scan; phase 2 re-streams it through
+    the transaction automaton with the final racy set. The trace is never
+    materialized — memory is O(threads·vars) — so the source may be a
+    serialized trace on disk or a deterministic re-execution of the
+    program ([Runner.source]). Produces exactly the same result as
+    {!check} on the recorded equivalent (property-tested). *)
 
 val local_locks_of : Trace.t -> int -> bool
 (** [local_locks_of tr] is the predicate of locks acquired by at most one
     thread over the whole trace. *)
+
+val local_locks_analysis : unit -> (int -> bool) Analysis.t
+(** The thread-local-lock scan as an online analysis; finalizes to the
+    predicate {!local_locks_of} would compute. *)
 
 val check_with_racy :
   ?local_locks:(int -> bool) ->
@@ -47,7 +60,8 @@ val cooperable : result -> bool
 (** No violations. *)
 
 val online : unit -> Trace.Sink.t * (unit -> result)
-(** An online variant: a sink to attach to a running program and a function
-    to finish the analysis. Events are buffered internally because the racy
-    set is only complete at the end of the run (the classic two-phase
-    structure of dynamic reduction checkers). *)
+(** A buffering online variant: a sink to attach to a single live run and
+    a function to finish the analysis. Events are buffered internally
+    (O(trace) memory) because the racy set is only complete at the end of
+    the run. Prefer {!check_source} with a replayable source — it is the
+    same two-phase structure without the buffer. *)

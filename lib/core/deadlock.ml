@@ -22,13 +22,13 @@ module Pair_map = Map.Make (Pair)
 
 (* Collect lock-order edges: for each acquire, one edge from every lock the
    thread already holds. Reentrant acquires do not appear in the event
-   stream, so self-edges cannot arise. *)
-let collect_edges trace =
+   stream, so self-edges cannot arise. State is O(threads·locks). *)
+let edges_analysis () =
   let held : (int, int list) Hashtbl.t = Hashtbl.create 8 in
   let seen = ref Pair_map.empty in
   let edges = ref [] in
-  Trace.iter
-    (fun (e : Event.t) ->
+  Analysis.make
+    ~step:(fun (e : Event.t) ->
       match e.op with
       | Event.Acquire l ->
           let hs = match Hashtbl.find_opt held e.tid with Some h -> h | None -> [] in
@@ -46,8 +46,7 @@ let collect_edges trace =
           let hs = match Hashtbl.find_opt held e.tid with Some h -> h | None -> [] in
           Hashtbl.replace held e.tid (List.filter (fun x -> x <> l) hs)
       | _ -> ())
-    trace;
-  List.rev !edges
+    ~finalize:(fun () -> List.rev !edges)
 
 (* Enumerate simple cycles over the edge set; a cycle is a potential
    deadlock only if its edges come from >= 2 threads (one thread acquiring
@@ -96,9 +95,12 @@ let cycles_of edges =
   List.iter (fun s -> dfs s [] [] s) starts;
   List.rev !found
 
-let analyze trace =
-  let edges = collect_edges trace in
-  { edges; cycles = cycles_of edges }
+let analysis () =
+  Analysis.map
+    (fun edges -> { edges; cycles = cycles_of edges })
+    (edges_analysis ())
+
+let analyze trace = Analysis.run (analysis ()) trace
 
 let deadlock_free r = r.cycles = []
 

@@ -26,9 +26,13 @@ type result = {
           deadlock. *)
 }
 
+val analysis : unit -> result Analysis.t
+(** The lock-order scan as a single-pass online analysis — edges accrue in
+    O(threads·locks) state; cycles are enumerated at finalize. *)
+
 val analyze : Trace.t -> result
 (** Build the lock-order graph of a trace and enumerate its simple cycles
-    (deduplicated up to rotation). *)
+    (deduplicated up to rotation). Offline wrapper over {!analysis}. *)
 
 val deadlock_free : result -> bool
 (** No multi-thread cycles. *)

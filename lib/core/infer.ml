@@ -24,17 +24,20 @@ let default_portfolio () =
   ]
 
 (* One portfolio pass: run every scheduler with the current yields and
-   collect all violations. *)
+   collect all violations. Each run is streamed straight into the fused
+   checker — no trace is recorded; the checker's second phase replays the
+   program under a fresh, identically seeded scheduler instance. *)
 let portfolio_pass ~portfolio ~max_steps ~yields prog =
   let violations = ref [] in
   let events = ref 0 in
-  List.iter
-    (fun sched ->
-      let _, trace = Runner.record ~yields ?max_steps ~sched prog in
-      events := !events + Trace.length trace;
-      let r = Cooperability.check trace in
-      violations := List.rev_append r.Cooperability.violations !violations)
-    (portfolio ());
+  let n = List.length (portfolio ()) in
+  for i = 0 to n - 1 do
+    let fresh () = List.nth (portfolio ()) i in
+    let source = Runner.source ~yields ?max_steps ~sched:fresh prog in
+    let r = Cooperability.check_source source in
+    events := !events + r.Cooperability.events;
+    violations := List.rev_append r.Cooperability.violations !violations
+  done;
   (List.rev !violations, !events)
 
 let infer ?(max_rounds = 20) ?(portfolio = default_portfolio) ?max_steps

@@ -10,7 +10,11 @@
     The inferred set is a fixpoint for the schedules explored; like any
     dynamic analysis (including the paper's) it under-approximates rare
     schedules, which is why the portfolio mixes random seeds with extreme
-    round-robin quanta. *)
+    round-robin quanta.
+
+    Every run is analysed online through [Cooperability.check_source] — the
+    fixpoint loop never materializes a trace, so memory stays flat however
+    many rounds and schedulers it takes. *)
 
 open Coop_trace
 open Coop_runtime

@@ -28,7 +28,7 @@ let static_yield_locs prog =
     prog.Bytecode.funcs;
   !locs
 
-let compute prog ~inferred ~trace =
+let of_counts prog ~inferred ~events ~yield_events =
   let static = static_yield_locs prog in
   let all = Loc.Set.union static inferred in
   let functions = Array.length prog.Bytecode.funcs in
@@ -39,10 +39,6 @@ let compute prog ~inferred ~trace =
       if not (has_yield fi) then incr n
     done;
     !n
-  in
-  let events = Trace.length trace in
-  let yield_events =
-    Trace.count (fun (e : Event.t) -> e.op = Event.Yield) trace
   in
   {
     static_yields = Loc.Set.cardinal static;
@@ -60,6 +56,18 @@ let compute prog ~inferred ~trace =
       (if events = 0 then 0.
        else 1000. *. float_of_int yield_events /. float_of_int events);
   }
+
+let analysis prog ~inferred () =
+  let events = ref 0 in
+  let yield_events = ref 0 in
+  Analysis.make
+    ~step:(fun (e : Event.t) ->
+      incr events;
+      if e.op = Event.Yield then incr yield_events)
+    ~finalize:(fun () ->
+      of_counts prog ~inferred ~events:!events ~yield_events:!yield_events)
+
+let compute prog ~inferred ~trace = Analysis.run (analysis prog ~inferred ()) trace
 
 let pp ppf m =
   Format.fprintf ppf

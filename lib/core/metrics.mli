@@ -20,10 +20,17 @@ type t = {
   yields_per_kevent : float;  (** Dynamic yield density per 1000 events. *)
 }
 
+val analysis :
+  Coop_lang.Bytecode.program -> inferred:Loc.Set.t -> unit -> t Analysis.t
+(** Single-pass online variant: the dynamic event/yield densities are
+    counted as the stream flows by (O(1) state); the static counts are
+    folded in at finalize. Feed it straight from the VM sink to measure a
+    run without recording it. *)
+
 val compute :
   Coop_lang.Bytecode.program -> inferred:Loc.Set.t -> trace:Trace.t -> t
 (** Static counts come from the program and the inferred set; dynamic
-    density from the trace. *)
+    density from the trace. Offline wrapper over {!analysis}. *)
 
 val pp : Format.formatter -> t -> unit
 (** Multi-line summary. *)

@@ -1,0 +1,54 @@
+open Coop_trace
+
+type result = {
+  races : Coop_race.Report.t list;
+  racy : Event.Var_set.t;
+  lockset_races : Coop_race.Report.t list option;
+  violations : Coop_core.Automaton.violation list;
+  deadlock : Coop_core.Deadlock.result;
+  atomizer : Coop_atomicity.Atomizer.result option;
+  conflict : Coop_atomicity.Conflict.result option;
+  events : int;
+}
+
+let opt = function
+  | None -> Analysis.const None
+  | Some a -> Analysis.map Option.some a
+
+let run ?(lockset = false) ?(atomize = false) ?(conflict = false) source =
+  (* Phase 1: everything that needs no prior knowledge, fused behind one
+     event dispatch — happens-before race detection, the optional Eraser
+     baseline, the thread-local-lock scan, lock-order deadlock edges, and
+     the event counter. *)
+  let phase1 =
+    Analysis.chain
+      (Coop_race.Fasttrack.analysis ())
+      (Analysis.chain
+         (opt (if lockset then Some (Coop_race.Lockset.analysis ()) else None))
+         (Analysis.chain
+            (Coop_core.Cooperability.local_locks_analysis ())
+            (Analysis.chain (Coop_core.Deadlock.analysis ()) (Analysis.count ()))))
+  in
+  let races, (lockset_races, (local_locks, (deadlock, events))) =
+    Source.run source phase1
+  in
+  let racy = Coop_race.Report.racy_vars races in
+  (* Phase 2: the mover/transaction checkers, which need the final racy set
+     and local-lock predicate; the source is re-streamed, never stored. *)
+  let phase2 =
+    Analysis.chain
+      (Coop_core.Automaton.analysis ~local_locks ~racy ())
+      (Analysis.chain
+         (opt
+            (if atomize then
+               Some (Coop_atomicity.Atomizer.analysis ~local_locks ~racy ())
+             else None))
+         (opt
+            (if conflict then Some (Coop_atomicity.Conflict.analysis ())
+             else None)))
+  in
+  let violations, (atomizer, conflict) = Source.run source phase2 in
+  { races; racy; lockset_races; violations; deadlock; atomizer; conflict;
+    events }
+
+let cooperable r = r.violations = []

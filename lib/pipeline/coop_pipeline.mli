@@ -1,0 +1,46 @@
+(** The fused analysis pipeline: every checker in two streaming phases.
+
+    This is the reproduction's "RoadRunner tool chain": one driver that
+    feeds a replayable event stream ({!Coop_trace.Source.t}) through every
+    dynamic analysis with a single event dispatch per phase, and never
+    materializes a trace. Phase 1 runs the analyses that need no prior
+    knowledge — FastTrack happens-before race detection, the optional
+    Eraser-lockset baseline, the thread-local-lock scan, lock-order
+    deadlock prediction, and the event counter — fused via
+    [Analysis.chain]. Phase 2 re-streams the source through the
+    mover/transaction checkers (the cooperability automaton and the
+    optional Atomizer + conflict-graph baselines), which need the final
+    racy set and local-lock predicate from phase 1.
+
+    Memory is O(threads·vars) throughout; the source may be a recorded
+    trace, a serialized trace streamed off disk, or a deterministic
+    re-execution of the program itself ([Runner.source]). Results are
+    identical to the per-checker offline entry points on the same event
+    sequence — property-tested in [test_pipeline]. *)
+
+open Coop_trace
+
+type result = {
+  races : Coop_race.Report.t list;  (** FastTrack races, detection order. *)
+  racy : Event.Var_set.t;  (** Racy variables (non-mover accesses). *)
+  lockset_races : Coop_race.Report.t list option;
+      (** Eraser-lockset warnings, when requested. *)
+  violations : Coop_core.Automaton.violation list;
+      (** Cooperability violations, program order. *)
+  deadlock : Coop_core.Deadlock.result;  (** Lock-order graph and cycles. *)
+  atomizer : Coop_atomicity.Atomizer.result option;
+      (** Atomicity baseline, when requested. *)
+  conflict : Coop_atomicity.Conflict.result option;
+      (** Conflict-graph serializability, when requested. *)
+  events : int;  (** Events per phase (the stream length). *)
+}
+
+val run :
+  ?lockset:bool -> ?atomize:bool -> ?conflict:bool -> Source.t -> result
+(** [run source] drives the two fused phases over [source] (replayed
+    exactly twice). The optional flags (all default [false]) enable the
+    Eraser baseline in phase 1 and the Atomizer / conflict-graph baselines
+    in phase 2. *)
+
+val cooperable : result -> bool
+(** No cooperability violations. *)

@@ -163,15 +163,14 @@ let racy_vars t = Report.racy_vars t.reports
 
 let sink t : Trace.Sink.t = fun e -> ignore (handle t e)
 
-let run trace =
+let analysis () =
   let t = create () in
-  Trace.iter (fun e -> ignore (handle t e)) trace;
-  races t
+  Analysis.make ~step:(sink t) ~finalize:(fun () -> races t)
+
+let run trace = Analysis.run (analysis ()) trace
 
 let racy_vars_of_trace trace =
-  let t = create () in
-  Trace.iter (fun e -> ignore (handle t e)) trace;
-  racy_vars t
+  Report.racy_vars (Analysis.run (analysis ()) trace)
 
 (* Silence an unused-value warning for the exported helper. *)
 let _ = read_leq

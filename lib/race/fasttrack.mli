@@ -29,8 +29,13 @@ val racy_vars : t -> Event.Var_set.t
 val sink : t -> Trace.Sink.t
 (** An event sink that feeds the detector (reports accumulate in [t]). *)
 
+val analysis : unit -> Report.t list Analysis.t
+(** A fresh detector as a single-pass online analysis: O(threads·vars)
+    state, finalizes to the races in detection order. *)
+
 val run : Trace.t -> Report.t list
-(** Run a fresh detector over a recorded trace. *)
+(** Run a fresh detector over a recorded trace (offline wrapper over
+    {!analysis}). *)
 
 val racy_vars_of_trace : Trace.t -> Event.Var_set.t
 (** Convenience: the racy variables of a recorded trace. *)

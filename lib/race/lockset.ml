@@ -114,12 +114,13 @@ let candidate_locks t v =
 
 let racy_vars t = Report.racy_vars t.reports
 
-let run trace =
+let analysis () =
   let t = create () in
-  Trace.iter (fun e -> ignore (handle t e)) trace;
-  List.rev t.reports
+  Analysis.make
+    ~step:(fun e -> ignore (handle t e))
+    ~finalize:(fun () -> List.rev t.reports)
+
+let run trace = Analysis.run (analysis ()) trace
 
 let racy_vars_of_trace trace =
-  let t = create () in
-  Trace.iter (fun e -> ignore (handle t e)) trace;
-  racy_vars t
+  Report.racy_vars (Analysis.run (analysis ()) trace)

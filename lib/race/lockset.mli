@@ -48,8 +48,12 @@ val candidate_locks : t -> Event.var -> int list option
 val racy_vars : t -> Event.Var_set.t
 (** Variables warned about so far. *)
 
+val analysis : unit -> Report.t list Analysis.t
+(** A fresh detector as a single-pass online analysis. *)
+
 val run : Trace.t -> Report.t list
-(** Run a fresh detector over a recorded trace. *)
+(** Run a fresh detector over a recorded trace (offline wrapper over
+    {!analysis}). *)
 
 val racy_vars_of_trace : Trace.t -> Event.Var_set.t
 (** Convenience wrapper over {!run}. *)

@@ -39,6 +39,15 @@ let record ?yields ?max_steps ~sched prog =
   in
   (outcome, trace)
 
+let analyze ?yields ?max_steps ~sched analysis prog =
+  let outcome =
+    run ?yields ?max_steps ~sched ~sink:(Analysis.sink analysis) prog
+  in
+  (outcome, Analysis.finalize analysis)
+
+let source ?yields ?max_steps ~sched prog : Source.t =
+ fun sink -> ignore (run ?yields ?max_steps ~sched:(sched ()) ~sink prog)
+
 let behavior_of outcome = Behavior.of_state outcome.final
 
 let pp_termination ppf = function

@@ -38,6 +38,30 @@ val record :
   outcome * Trace.t
 (** Like {!run} with a recording sink; returns the trace. *)
 
+val analyze :
+  ?yields:Loc.Set.t ->
+  ?max_steps:int ->
+  sched:Sched.t ->
+  'r Analysis.t ->
+  Coop_lang.Bytecode.program ->
+  outcome * 'r
+(** No-materialization mode: execute once, feeding every event straight
+    from the VM into the analysis — no trace is recorded — and finalize.
+    The single-pass analogue of {!record}+offline checking. *)
+
+val source :
+  ?yields:Loc.Set.t ->
+  ?max_steps:int ->
+  sched:(unit -> Sched.t) ->
+  Coop_lang.Bytecode.program ->
+  Source.t
+(** The program-as-a-stream: each invocation of the source re-executes the
+    program and streams its events. [sched] must build a fresh,
+    identically seeded scheduler per call — the VM is deterministic given
+    the schedule, so every replay then yields the identical event
+    sequence, which is what multi-phase analyses (e.g.
+    [Cooperability.check_source]) require. *)
+
 val behavior_of : outcome -> Behavior.t
 (** The observable behaviour of an outcome. *)
 

@@ -1,0 +1,40 @@
+type 'r t = {
+  step : Event.t -> unit;
+  finalize : unit -> 'r;
+}
+
+let make ~step ~finalize = { step; finalize }
+
+let step a e = a.step e
+
+let finalize a = a.finalize ()
+
+let sink a : Trace.Sink.t = a.step
+
+let map f a = { a with finalize = (fun () -> f (a.finalize ())) }
+
+let chain a b =
+  {
+    step = (fun e -> a.step e; b.step e);
+    finalize = (fun () -> (a.finalize (), b.finalize ()));
+  }
+
+let all analyses =
+  {
+    step = (fun e -> List.iter (fun a -> a.step e) analyses);
+    finalize = (fun () -> List.map (fun a -> a.finalize ()) analyses);
+  }
+
+let const r = { step = (fun _ -> ()); finalize = (fun () -> r) }
+
+let count () =
+  let n = ref 0 in
+  { step = (fun _ -> incr n); finalize = (fun () -> !n) }
+
+let fold f init =
+  let acc = ref init in
+  { step = (fun e -> acc := f !acc e); finalize = (fun () -> !acc) }
+
+let run a trace =
+  Trace.iter a.step trace;
+  a.finalize ()

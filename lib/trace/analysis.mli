@@ -1,0 +1,59 @@
+(** Online (streaming) trace analyses.
+
+    An analysis consumes the event stream one event at a time through
+    {!step} and produces a typed result on {!finalize} — the shape of every
+    dynamic checker in this repository (race detection, mover/transaction
+    automata, atomicity, deadlock prediction, metrics). Analyses hold
+    O(threads·vars) internal state and never materialize the trace, so they
+    can be fed directly from the VM sink ({!sink}) or from a serialized
+    trace streamed off disk.
+
+    Composition is fused: {!chain} and {!all} dispatch each event exactly
+    once and pass it through every component in order, RoadRunner-style, so
+    a later analysis in the chain may read state an earlier one just
+    updated. *)
+
+type 'r t
+(** An online analysis producing a result of type ['r]. *)
+
+val make : step:(Event.t -> unit) -> finalize:(unit -> 'r) -> 'r t
+(** Build an analysis from its two operations. [step] is the hot path; it
+    must be safe to call [finalize] at any point (end of stream). *)
+
+val step : _ t -> Event.t -> unit
+(** Feed one event. *)
+
+val finalize : 'r t -> 'r
+(** Extract the result after the last event. *)
+
+val sink : _ t -> Trace.Sink.t
+(** The analysis as an event sink — attach it to a live run. This is the
+    no-allocation identity on the step function, not a wrapper. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+(** Post-process the result; the step path is untouched. *)
+
+val chain : 'a t -> 'b t -> ('a * 'b) t
+(** Fused sequential composition: one event dispatch, flowing through the
+    first analysis then the second. The second may consult (mutable) state
+    the first maintains — the chaining discipline of event-stream tool
+    stacks. *)
+
+val all : 'r t list -> 'r list t
+(** Fused homogeneous fan-out: every analysis sees every event, one
+    dispatch per event. *)
+
+val const : 'r -> 'r t
+(** Ignores the stream and yields a constant (unit for pure side-effect
+    sinks, placeholders in heterogeneous chains). *)
+
+val count : unit -> int t
+(** Counts events. *)
+
+val fold : ('a -> Event.t -> 'a) -> 'a -> 'a t
+(** A left fold over the stream as an analysis. *)
+
+val run : 'r t -> Trace.t -> 'r
+(** Offline driver: replay a recorded trace through the analysis. The thin
+    wrapper that keeps the [check : Trace.t -> result] entry points
+    alive. *)

@@ -88,20 +88,52 @@ let parse_line lineno line =
   | tid :: rest -> op_and_loc (parse_int lineno tid) rest
   | [] -> raise (Parse_error ("empty line", lineno))
 
-let of_string s =
-  let trace = Trace.create () in
+let iter_string s f =
   let lines = String.split_on_char '\n' s in
   List.iteri
     (fun i line ->
       let line = String.trim line in
-      if line <> "" then Trace.add trace (parse_line (i + 1) line))
-    lines;
+      if line <> "" then f (parse_line (i + 1) line))
+    lines
+
+let of_string s =
+  let trace = Trace.create () in
+  iter_string s (Trace.add trace);
   trace
+
+let iter_file path f =
+  let ic = open_in path in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       incr lineno;
+       if line <> "" then f (parse_line !lineno line)
+     done
+   with
+  | End_of_file -> close_in ic
+  | e ->
+      close_in_noerr ic;
+      raise e)
 
 let save path trace =
   let oc = open_out_bin path in
   output_string oc (to_string trace);
   close_out oc
+
+let with_file_sink path k =
+  let oc = open_out_bin path in
+  let sink e =
+    output_string oc (event_to_string e);
+    output_char oc '\n'
+  in
+  match k sink with
+  | r ->
+      close_out oc;
+      r
+  | exception e ->
+      close_out_noerr oc;
+      raise e
 
 let load path =
   let ic = open_in_bin path in

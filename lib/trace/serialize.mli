@@ -21,8 +21,23 @@ val to_string : Trace.t -> string
 val of_string : string -> Trace.t
 (** Parse a serialized trace. Raises {!Parse_error}. *)
 
+val iter_string : string -> (Event.t -> unit) -> unit
+(** [iter_string s f] parses [s] and calls [f] on each event in order,
+    without building a trace. Raises {!Parse_error}. *)
+
+val iter_file : string -> (Event.t -> unit) -> unit
+(** [iter_file path f] streams the trace file at [path] one line at a
+    time, calling [f] on each event — constant memory regardless of file
+    size. Raises [Sys_error] and {!Parse_error}. *)
+
 val save : string -> Trace.t -> unit
 (** [save path t] writes [to_string t] to [path]. *)
+
+val with_file_sink : string -> (Trace.Sink.t -> 'a) -> 'a
+(** [with_file_sink path k] opens [path] for writing and passes [k] a sink
+    that serializes each event straight to the file, so a live run can be
+    saved without ever materializing the trace. The channel is closed when
+    [k] returns (or raises). *)
 
 val load : string -> Trace.t
 (** [load path] reads and parses a trace file. Raises [Sys_error] and

@@ -1,0 +1,20 @@
+type t = Trace.Sink.t -> unit
+
+let of_trace trace : t = fun sink -> Trace.iter sink trace
+
+let of_list events : t = fun sink -> List.iter sink events
+
+let of_file path : t = fun sink -> Serialize.iter_file path sink
+
+let replay source sink = source sink
+
+let run source analysis =
+  source (Analysis.sink analysis);
+  Analysis.finalize analysis
+
+let count source = run source (Analysis.count ())
+
+let record source =
+  let trace = Trace.create () in
+  source (Trace.Sink.recording trace);
+  trace

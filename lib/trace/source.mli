@@ -1,0 +1,41 @@
+(** Replayable event streams.
+
+    A source pushes the same totally ordered event sequence into a sink
+    each time it is invoked, without the caller ever holding the events in
+    memory: a recorded trace, a serialized trace streamed off disk line by
+    line, or a deterministic re-execution of the program itself (see
+    [Runner.source]). Multi-phase analyses (the racy set is only complete
+    at the end of the stream) re-stream from the source instead of
+    buffering events, which is what keeps the fused pipeline at
+    O(threads·vars) memory.
+
+    Replays must be deterministic: every invocation must produce the
+    identical event sequence, or phase results cannot be combined. *)
+
+type t = Trace.Sink.t -> unit
+(** [source sink] streams every event into [sink], in program order. *)
+
+val of_trace : Trace.t -> t
+(** Stream a recorded trace (no copy). *)
+
+val of_list : Event.t list -> t
+(** Stream a list of events. *)
+
+val of_file : string -> t
+(** Stream a trace saved by {!Serialize.save}, reading and parsing one
+    line at a time — the file is never loaded whole. Raises [Sys_error]
+    and {!Serialize.Parse_error} like {!Serialize.load}. *)
+
+val replay : t -> Trace.Sink.t -> unit
+(** [replay source sink] is [source sink]; the explicit name for call
+    sites that re-stream in a later phase. *)
+
+val run : t -> 'r Analysis.t -> 'r
+(** One streaming pass: feed every event to the analysis and finalize. *)
+
+val count : t -> int
+(** Number of events in one replay. *)
+
+val record : t -> Trace.t
+(** Materialize a source into a trace (tests and offline tooling only —
+    the streaming pipeline never calls this). *)

@@ -65,7 +65,10 @@ module Sink = struct
 
   let ignore : t = fun _ -> ()
 
-  let tee sinks : t = fun e -> List.iter (fun s -> s e) sinks
+  let tee : t list -> t = function
+    | [] -> ignore
+    | [ s ] -> s
+    | sinks -> fun e -> List.iter (fun s -> s e) sinks
 
   let recording trace : t = fun e -> add trace e
 end

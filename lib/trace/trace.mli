@@ -55,7 +55,9 @@ module Sink : sig
   (** Discards everything (used to measure uninstrumented runs). *)
 
   val tee : t list -> t
-  (** Fans each event out to several sinks in order. *)
+  (** Fans each event out to several sinks in order. [tee [s]] is [s]
+      itself and [tee []] is {!ignore} — no per-event closure or list walk
+      on the degenerate cases, which sit on the VM's hot path. *)
 
   val recording : trace -> t
   (** Appends every event to the given trace. *)

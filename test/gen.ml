@@ -222,3 +222,127 @@ let gen_trace =
      trace)
 
 let print_trace t = Format.asprintf "%a" Trace.pp t
+
+(* ------------------------------------------------------------------ *)
+(* Well-formed concurrent program generator (whole-stack properties).  *)
+(* ------------------------------------------------------------------ *)
+
+(* Random spawn/join worker programs over shared globals, an array and two
+   lock groups. All loops are bounded and all array indices masked, so every
+   generated program terminates fault-free under every scheduler — the
+   invariant the fuzz and pipeline-equivalence suites rely on.
+
+   Expressions range over globals g0..g2, locals in scope and small
+   constants. Division is excluded; indices are masked with
+   ((e % 4) + 4) % 4 so they are always in range. *)
+let gen_fuzz_expr locals =
+  let open Gen in
+  let leaf =
+    oneof
+      [ map (fun i -> Ast.Int i) (int_bound 9);
+        oneofl (List.map (fun v -> Ast.Var v) ("g0" :: "g1" :: "g2" :: locals)) ]
+  in
+  let rec expr n =
+    if n = 0 then leaf
+    else
+      oneof
+        [ leaf;
+          (let* op = oneofl [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Lt; Ast.Eq ] in
+           let* a = expr (n - 1) in
+           let* b = expr (n - 1) in
+           return (Ast.Binary (op, a, b))) ]
+  in
+  expr 2
+
+let mask_index e =
+  Ast.Binary
+    (Ast.Mod, Ast.Binary (Ast.Add, Ast.Binary (Ast.Mod, e, Ast.Int 4), Ast.Int 4), Ast.Int 4)
+
+(* Simple statements, optionally wrapped in sync blocks. *)
+let gen_simple locals =
+  let open Gen in
+  oneof
+    [ (let* g = oneofl [ "g0"; "g1"; "g2" ] in
+       let* e = gen_fuzz_expr locals in
+       return (Ast.stmt (Ast.Assign (g, e))));
+      (let* i = gen_fuzz_expr locals in
+       let* e = gen_fuzz_expr locals in
+       return (Ast.stmt (Ast.Store ("arr", mask_index i, e))));
+      (let* i = gen_fuzz_expr locals in
+       let* g = oneofl [ "g0"; "g1" ] in
+       return (Ast.stmt (Ast.Assign (g, Ast.Index ("arr", mask_index i)))));
+      return (Ast.stmt Ast.Yield) ]
+
+let gen_item locals counter =
+  let open Gen in
+  let* body = list_size (int_range 1 3) (gen_simple locals) in
+  oneof
+    [ return (Ast.stmt (Ast.Sync ({ Ast.lock = "m"; index = None }, body)));
+      (let* idx = oneofl [ Ast.Int 0; Ast.Int 1; Ast.Var "id" ] in
+       let wrap =
+         match idx with
+         | Ast.Var _ ->
+             { Ast.lock = "ls";
+               index = Some (Ast.Binary (Ast.Mod, idx, Ast.Int 2)) }
+         | i -> { Ast.lock = "ls"; index = Some i }
+       in
+       return (Ast.stmt (Ast.Sync (wrap, body))));
+      return (Ast.stmt (Ast.Block body));
+      (* A bounded loop around the body. *)
+      (let* bound = int_range 1 3 in
+       let v = Printf.sprintf "i%d" counter in
+       return
+         (Ast.stmt
+            (Ast.Block
+               [ Ast.stmt (Ast.Local (v, Ast.Int 0));
+                 Ast.stmt
+                   (Ast.While
+                      ( Ast.Binary (Ast.Lt, Ast.Var v, Ast.Int bound),
+                        body
+                        @ [ Ast.stmt
+                              (Ast.Assign
+                                 (v, Ast.Binary (Ast.Add, Ast.Var v, Ast.Int 1)))
+                          ] )) ]))) ]
+
+let gen_worker_body =
+  let open Gen in
+  let* n = int_range 2 5 in
+  let rec go k acc =
+    if k = 0 then return (List.rev acc)
+    else
+      let* item = gen_item [ "id" ] k in
+      go (k - 1) (item :: acc)
+  in
+  go n []
+
+let gen_concurrent_program =
+  let open Gen in
+  let* body = gen_worker_body in
+  let* workers = int_range 2 3 in
+  let decls =
+    [ Ast.Gvar ("g0", 0); Ast.Gvar ("g1", 1); Ast.Gvar ("g2", 2);
+      Ast.Garray ("arr", 4); Ast.Garray ("tids", 4); Ast.Glock ("m", 1);
+      Ast.Glock ("ls", 2) ]
+  in
+  let worker = { Ast.fname = "worker"; params = [ "id" ]; body; fline = 1 } in
+  let spawn_join =
+    [ Ast.stmt (Ast.Local ("i", Ast.Int 0));
+      Ast.stmt
+        (Ast.While
+           ( Ast.Binary (Ast.Lt, Ast.Var "i", Ast.Int workers),
+             [ Ast.stmt
+                 (Ast.Store ("tids", Ast.Var "i", Ast.Spawn ("worker", [ Ast.Var "i" ])));
+               Ast.stmt (Ast.Assign ("i", Ast.Binary (Ast.Add, Ast.Var "i", Ast.Int 1)))
+             ] ));
+      Ast.stmt (Ast.Assign ("i", Ast.Int 0));
+      Ast.stmt
+        (Ast.While
+           ( Ast.Binary (Ast.Lt, Ast.Var "i", Ast.Int workers),
+             [ Ast.stmt (Ast.Join_stmt (Ast.Index ("tids", Ast.Var "i")));
+               Ast.stmt (Ast.Assign ("i", Ast.Binary (Ast.Add, Ast.Var "i", Ast.Int 1)))
+             ] ));
+      Ast.stmt (Ast.Print (Ast.Var "g0"))
+    ]
+  in
+  let main = { Ast.fname = "main"; params = []; body = spawn_join; fline = 1 } in
+  return { Ast.decls; funcs = [ worker; main ] }

@@ -29,6 +29,7 @@ let () =
       ("core.equivalence", Test_equivalence.suite);
       ("core.deadlock", Test_deadlock.suite);
       ("atomicity", Test_atomicity.suite);
+      ("pipeline", Test_pipeline.suite);
       ("static", Test_static.suite);
       ("workloads", Test_workloads.suite);
       ("fuzz", Test_fuzz.suite);

@@ -71,6 +71,15 @@ let test_sink_tee_and_record () =
   Alcotest.(check int) "t2 got both" 2 (Trace.length t2);
   Trace.Sink.ignore (ev 0 Event.Yield)
 
+let test_sink_tee_degenerate () =
+  (* The singleton case must be the sink itself — no wrapper closure on the
+     per-event hot path — and the empty case must swallow events. *)
+  let t = Trace.create () in
+  let s = Trace.Sink.recording t in
+  Alcotest.(check bool) "tee [s] is s" true (Trace.Sink.tee [ s ] == s);
+  Trace.Sink.tee [] (ev 0 Event.Yield);
+  Alcotest.(check int) "tee [] drops events" 0 (Trace.length t)
+
 let test_timeline_render () =
   let t =
     Trace.of_list
@@ -131,4 +140,5 @@ let suite =
     Alcotest.test_case "trace iteration" `Quick test_trace_iteration;
     Alcotest.test_case "of_list/to_list" `Quick test_roundtrip_list;
     Alcotest.test_case "sinks tee and record" `Quick test_sink_tee_and_record;
+    Alcotest.test_case "tee degenerate cases" `Quick test_sink_tee_degenerate;
   ]
