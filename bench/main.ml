@@ -2,13 +2,19 @@
    reproduction (see DESIGN.md for the per-experiment index and
    EXPERIMENTS.md for paper-vs-measured records).
 
-     dune exec bench/main.exe            # everything
-     dune exec bench/main.exe table1     # one experiment
-     dune exec bench/main.exe micro      # bechamel micro-benchmarks
+     dune exec bench/main.exe                         # everything
+     dune exec bench/main.exe table1                  # one experiment
+     dune exec bench/main.exe micro                   # bechamel micro-benchmarks
+     dune exec bench/main.exe -- table3 --jobs 4      # domain-parallel rows
+     dune exec bench/main.exe -- table3 --json t3.json --only philo,crypt
+     dune exec bench/main.exe -- json-verify t3.json  # CI validation
 
-   Absolute numbers are machine- and substrate-specific; the shapes (who
-   wins, by what factor, where behaviour sets coincide) are what reproduce
-   the paper. *)
+   Per-workload rows (and the ablation grid) are computed in parallel on
+   the shared domain pool — sized by --jobs, then COOP_JOBS, then the
+   machine — and always printed in canonical order; the numbers in each
+   cell are computed identically either way. Absolute numbers are machine-
+   and substrate-specific; the shapes (who wins, by what factor, where
+   behaviour sets coincide) are what reproduce the paper. *)
 
 open Coop_util
 open Coop_lang
@@ -30,6 +36,23 @@ let time_median ?(reps = 5) f =
   Stats.median samples
 
 let ms t = Printf.sprintf "%.2f" (1000. *. t)
+
+(* ---------------------------------------------------------------------- *)
+(* CLI state (set by the driver before any experiment runs)                *)
+(* ---------------------------------------------------------------------- *)
+
+let json_out : string option ref = ref None
+let only : string list option ref = ref None
+
+let selected () =
+  match !only with
+  | None -> Registry.all
+  | Some names ->
+      List.filter (fun (e : Registry.entry) -> List.mem e.Registry.name names)
+        Registry.all
+
+let keep name =
+  match !only with None -> true | Some names -> List.mem name names
 
 (* ---------------------------------------------------------------------- *)
 (* Per-workload data, computed once and shared by tables 1-3 / fig 3       *)
@@ -60,7 +83,9 @@ let build_row (e : Registry.entry) =
   let metrics = Metrics.compute prog ~inferred:infer.Infer.yields ~trace in
   { entry = e; prog; loc; trace; infer; metrics; coop0; atom }
 
-let rows = lazy (List.map build_row Registry.all)
+(* The dominant cost of the whole harness (one yield-inference fixpoint per
+   workload); rows are independent, so they fan out across the pool. *)
+let rows = lazy (Pool.map build_row (selected ()))
 
 (* ---------------------------------------------------------------------- *)
 (* Table 1: benchmark characteristics                                      *)
@@ -74,19 +99,19 @@ let table1 () =
           ("threads", Table.Right); ("bytecode", Table.Right);
           ("events", Table.Right); ("base time (ms)", Table.Right) ]
   in
-  List.iter
+  Pool.map
     (fun r ->
       let base =
         time_median (fun () ->
             Runner.run ~sched:(Sched.random ~seed:5 ())
               ~sink:Coop_trace.Trace.Sink.ignore r.prog)
       in
-      Table.add_row t
-        [ r.entry.Registry.name; string_of_int r.loc;
-          string_of_int r.entry.Registry.default_threads;
-          string_of_int (Bytecode.code_size r.prog);
-          string_of_int (Coop_trace.Trace.length r.trace); ms base ])
-    (Lazy.force rows);
+      [ r.entry.Registry.name; string_of_int r.loc;
+        string_of_int r.entry.Registry.default_threads;
+        string_of_int (Bytecode.code_size r.prog);
+        string_of_int (Coop_trace.Trace.length r.trace); ms base ])
+    (Lazy.force rows)
+  |> List.iter (Table.add_row t);
   Table.print ~title:"Table 1: benchmark characteristics" t
 
 (* ---------------------------------------------------------------------- *)
@@ -102,7 +127,7 @@ let table2 () =
           ("yields/kevent", Table.Right); ("atom warn sites", Table.Right);
           ("atom warn txns", Table.Right) ]
   in
-  List.iter
+  Pool.map
     (fun r ->
       let coop_sites =
         Coop_trace.Loc.Set.cardinal
@@ -115,16 +140,16 @@ let table2 () =
           Coop_trace.Loc.Set.empty r.atom.Coop_atomicity.Atomizer.warnings
         |> Coop_trace.Loc.Set.cardinal
       in
-      Table.add_row t
-        [ r.entry.Registry.name; string_of_int coop_sites;
-          Printf.sprintf "%d+%d" r.metrics.Metrics.static_yields
-            r.metrics.Metrics.inferred_yields;
-          Printf.sprintf "%d/%d (%.0f%%)" r.metrics.Metrics.yield_free_functions
-            r.metrics.Metrics.functions r.metrics.Metrics.pct_yield_free;
-          Printf.sprintf "%.2f" r.metrics.Metrics.yields_per_kevent;
-          string_of_int atom_sites;
-          string_of_int r.atom.Coop_atomicity.Atomizer.violated_activations ])
-    (Lazy.force rows);
+      [ r.entry.Registry.name; string_of_int coop_sites;
+        Printf.sprintf "%d+%d" r.metrics.Metrics.static_yields
+          r.metrics.Metrics.inferred_yields;
+        Printf.sprintf "%d/%d (%.0f%%)" r.metrics.Metrics.yield_free_functions
+          r.metrics.Metrics.functions r.metrics.Metrics.pct_yield_free;
+        Printf.sprintf "%.2f" r.metrics.Metrics.yields_per_kevent;
+        string_of_int atom_sites;
+        string_of_int r.atom.Coop_atomicity.Atomizer.violated_activations ])
+    (Lazy.force rows)
+  |> List.iter (Table.add_row t);
   Table.print
     ~title:
       "Table 2: annotation burden — cooperability vs method-level atomicity"
@@ -133,6 +158,67 @@ let table2 () =
 (* ---------------------------------------------------------------------- *)
 (* Table 3: dynamic-analysis overhead                                      *)
 (* ---------------------------------------------------------------------- *)
+
+type table3_row = {
+  t3_name : string;
+  t3_base : float;
+  t3_race : float;
+  t3_full : float;
+  t3_events : int;
+}
+
+let table3_measure r =
+  let sched () = Sched.random ~seed:5 () in
+  let base =
+    time_median (fun () ->
+        Runner.run ~sched:(sched ()) ~sink:Coop_trace.Trace.Sink.ignore r.prog)
+  in
+  (* Race-only: the FastTrack analysis alone, fed straight from the VM
+     sink (single pass, nothing recorded). *)
+  let race =
+    time_median (fun () ->
+        Runner.analyze ~sched:(sched ()) (Coop_race.Fasttrack.analysis ())
+          r.prog)
+  in
+  (* Full pipeline: races + thread-local locks + deadlock + counter in
+     phase 1, cooperability automaton + Atomizer in phase 2, all through
+     the same fused driver the CLI uses. The two phases each re-execute
+     the program, so the slowdown is the true end-to-end cost of the
+     complete streaming tool chain. *)
+  let events = ref 0 in
+  let source = Runner.source ~sched r.prog in
+  let full =
+    time_median (fun () ->
+        let res = Coop_pipeline.run ~atomize:true source in
+        events := res.Coop_pipeline.events;
+        res)
+  in
+  { t3_name = r.entry.Registry.name; t3_base = base; t3_race = race;
+    t3_full = full; t3_events = !events }
+
+let table3_json rows =
+  Json.Obj
+    [ ("experiment", Json.String "table3");
+      ("jobs", Json.Int (Pool.jobs (Pool.shared ())));
+      ("workloads",
+       Json.List
+         (List.map
+            (fun w ->
+              Json.Obj
+                [ ("name", Json.String w.t3_name);
+                  ("events", Json.Int w.t3_events);
+                  ("base_s", Json.Float w.t3_base);
+                  ("race_s", Json.Float w.t3_race);
+                  ("full_s", Json.Float w.t3_full);
+                  ("race_slowdown", Json.Float (w.t3_race /. w.t3_base));
+                  ("full_slowdown", Json.Float (w.t3_full /. w.t3_base));
+                  ("race_kev_s",
+                   Json.Float
+                     (float_of_int w.t3_events /. 1000. /. w.t3_race));
+                  ("full_kev_s",
+                   Json.Float
+                     (float_of_int w.t3_events /. 1000. /. w.t3_full)) ])
+            rows)) ]
 
 let table3 () =
   let t =
@@ -143,42 +229,17 @@ let table3 () =
           ("full pipeline", Table.Right); ("race kev/s", Table.Right);
           ("pipeline kev/s", Table.Right) ]
   in
+  let measured = Pool.map table3_measure (Lazy.force rows) in
   List.iter
-    (fun r ->
-      let sched () = Sched.random ~seed:5 () in
-      let base =
-        time_median (fun () ->
-            Runner.run ~sched:(sched ()) ~sink:Coop_trace.Trace.Sink.ignore
-              r.prog)
-      in
-      (* Race-only: the FastTrack analysis alone, fed straight from the VM
-         sink (single pass, nothing recorded). *)
-      let race =
-        time_median (fun () ->
-            Runner.analyze ~sched:(sched ())
-              (Coop_race.Fasttrack.analysis ()) r.prog)
-      in
-      (* Full pipeline: races + thread-local locks + deadlock + counter in
-         phase 1, cooperability automaton + Atomizer in phase 2, all through
-         the same fused driver the CLI uses. The two phases each re-execute
-         the program, so the slowdown is the true end-to-end cost of the
-         complete streaming tool chain. *)
-      let events = ref 0 in
-      let source = Runner.source ~sched r.prog in
-      let full =
-        time_median (fun () ->
-            let res = Coop_pipeline.run ~atomize:true source in
-            events := res.Coop_pipeline.events;
-            res)
-      in
-      let slow x = Printf.sprintf "%.2fx" (x /. base) in
+    (fun w ->
+      let slow x = Printf.sprintf "%.2fx" (x /. w.t3_base) in
       let kev dt =
-        Printf.sprintf "%.0f" (float_of_int !events /. 1000. /. dt)
+        Printf.sprintf "%.0f" (float_of_int w.t3_events /. 1000. /. dt)
       in
       Table.add_row t
-        [ r.entry.Registry.name; ms base; string_of_int !events; slow race;
-          slow full; kev race; kev full ])
-    (Lazy.force rows);
+        [ w.t3_name; ms w.t3_base; string_of_int w.t3_events; slow w.t3_race;
+          slow w.t3_full; kev w.t3_race; kev w.t3_full ])
+    measured;
   Table.print
     ~title:
       "Table 3: dynamic-analysis slowdown over uninstrumented execution \
@@ -188,7 +249,14 @@ let table3 () =
     "(every column runs through the same fused Analysis driver with no\n\
      trace materialized; `full pipeline` = race detection + lock-order\n\
      deadlock + cooperability automaton + Atomizer across the two streaming\n\
-     phases, events/sec measured against the per-phase stream length.)\n"
+     phases, events/sec measured against the per-phase stream length.)\n";
+  match !json_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Json.to_string (table3_json measured));
+      close_out oc;
+      Printf.printf "(wrote %s)\n" path
 
 (* ---------------------------------------------------------------------- *)
 (* Figure 1: the reduction theorem, empirically                            *)
@@ -203,23 +271,22 @@ let fig1 () =
           ("preempt states", Table.Right); ("coop states", Table.Right);
           ("equal", Table.Left) ]
   in
-  List.iter
+  Pool.map
     (fun (name, src) ->
       let prog = Compile.source src in
       let inf = Infer.infer prog in
       let v =
         Equivalence.compare ~yields:inf.Infer.yields ~max_states:400_000 prog
       in
-      Table.add_row t
-        [ name;
-          string_of_int (Coop_trace.Loc.Set.cardinal inf.Infer.yields);
-          string_of_int
-            (Behavior.Set.cardinal v.Equivalence.preemptive.Explore.behaviors);
-          string_of_int
-            (Behavior.Set.cardinal v.Equivalence.cooperative.Explore.behaviors);
-          string_of_int v.Equivalence.preemptive.Explore.states;
-          string_of_int v.Equivalence.cooperative.Explore.states;
-          (if v.Equivalence.equal then "yes" else "NO") ])
+      [ name;
+        string_of_int (Coop_trace.Loc.Set.cardinal inf.Infer.yields);
+        string_of_int
+          (Behavior.Set.cardinal v.Equivalence.preemptive.Explore.behaviors);
+        string_of_int
+          (Behavior.Set.cardinal v.Equivalence.cooperative.Explore.behaviors);
+        string_of_int v.Equivalence.preemptive.Explore.states;
+        string_of_int v.Equivalence.cooperative.Explore.states;
+        (if v.Equivalence.equal then "yes" else "NO") ])
     [
       ("racy_counter 2x2", Micro.racy_counter ~threads:2 ~incs:2);
       ("racy_counter 3x1", Micro.racy_counter ~threads:3 ~incs:1);
@@ -229,7 +296,8 @@ let fig1 () =
       ("check_then_act 3", Micro.check_then_act ~threads:3);
       ("single_transaction 3", Micro.single_transaction ~threads:3);
       ("producer_consumer 2", Micro.producer_consumer ~items:2);
-    ];
+    ]
+  |> List.iter (Table.add_row t);
   Table.print
     ~title:
       "Figure 1: behaviour sets under preemptive vs cooperative scheduling \
@@ -252,25 +320,23 @@ let fig2 () =
           ("events", Table.Right); ("check (ms)", Table.Right);
           ("us/event", Table.Right) ]
   in
-  List.iter
-    (fun (name, sizes) ->
+  let points =
+    List.concat_map
+      (fun (name, sizes) -> List.map (fun size -> (name, size)) sizes)
+      [ ("montecarlo", [ 5; 10; 20; 40; 80 ]); ("sor", [ 3; 6; 12; 24 ]) ]
+  in
+  Pool.map
+    (fun (name, size) ->
       let e = Option.get (Registry.find name) in
-      List.iter
-        (fun size ->
-          let prog = Registry.program_of ~size e in
-          let _, trace =
-            Runner.record ~sched:(Sched.random ~seed:5 ()) prog
-          in
-          let n = Coop_trace.Trace.length trace in
-          let dt = time_median (fun () -> Cooperability.check trace) in
-          Table.add_row t
-            [ name; string_of_int size; string_of_int n; ms dt;
-              Printf.sprintf "%.2f" (1e6 *. dt /. float_of_int (max n 1)) ])
-        sizes)
-    [ ("montecarlo", [ 5; 10; 20; 40; 80 ]); ("sor", [ 3; 6; 12; 24 ]) ];
-  Table.print
-    ~title:"Figure 2: cooperability-check cost vs trace length"
-    t;
+      let prog = Registry.program_of ~size e in
+      let _, trace = Runner.record ~sched:(Sched.random ~seed:5 ()) prog in
+      let n = Coop_trace.Trace.length trace in
+      let dt = time_median (fun () -> Cooperability.check trace) in
+      [ name; string_of_int size; string_of_int n; ms dt;
+        Printf.sprintf "%.2f" (1e6 *. dt /. float_of_int (max n 1)) ])
+    points
+  |> List.iter (Table.add_row t);
+  Table.print ~title:"Figure 2: cooperability-check cost vs trace length" t;
   print_endline
     "(us/event staying flat as traces grow ~16x = the analysis is linear,\n\
      dominated by the FastTrack pass, matching the paper's overhead story.)\n"
@@ -288,7 +354,7 @@ let fig3 () =
      and warnings remaining afterwards.";
   print_newline ();
   let bar n = String.make (min 60 n) '#' in
-  List.iter
+  Pool.map
     (fun r ->
       let coop_before =
         Coop_trace.Loc.Set.cardinal
@@ -316,12 +382,11 @@ let fig3 () =
             .warnings
         |> Coop_trace.Loc.Set.cardinal
       in
-      Printf.printf "%-12s coop: %d sites + %d yields -> %d left  %s\n"
+      Printf.sprintf "%-12s coop: %d sites + %d yields -> %d left  %s\n%-12s atom: %d sites + no fix   -> %d left  %s"
         r.entry.Registry.name coop_before yields coop_after
-        (bar (coop_after * 6));
-      Printf.printf "%-12s atom: %d sites + no fix   -> %d left  %s\n" ""
-        atom_sites atom_after (bar (atom_after * 6)))
-    (Lazy.force rows);
+        (bar (coop_after * 6)) "" atom_sites atom_after (bar (atom_after * 6)))
+    (Lazy.force rows)
+  |> List.iter print_endline;
   print_endline
     "\n(the asymmetry the paper reports: every cooperability warning is\n\
      discharged by a handful of yield annotations, while atomicity warnings\n\
@@ -343,11 +408,9 @@ let ablation_substrate () =
           ("LS racy vars", Table.Right); ("FT warn sites", Table.Right);
           ("LS warn sites", Table.Right) ]
   in
-  List.iter
+  Pool.map
     (fun r ->
-      let _, trace =
-        Runner.record ~sched:(Sched.random ~seed:5 ()) r.prog
-      in
+      let _, trace = Runner.record ~sched:(Sched.random ~seed:5 ()) r.prog in
       let ft = Coop_race.Fasttrack.racy_vars_of_trace trace in
       let ls = Coop_race.Lockset.racy_vars_of_trace trace in
       let local_locks = Cooperability.local_locks_of trace in
@@ -355,12 +418,12 @@ let ablation_substrate () =
         Cooperability.check_with_racy ~local_locks ~racy trace
         |> Cooperability.violation_locs |> Coop_trace.Loc.Set.cardinal
       in
-      Table.add_row t
-        [ r.entry.Registry.name;
-          string_of_int (Coop_trace.Event.Var_set.cardinal ft);
-          string_of_int (Coop_trace.Event.Var_set.cardinal ls);
-          string_of_int (sites ft); string_of_int (sites ls) ])
-    (Lazy.force rows);
+      [ r.entry.Registry.name;
+        string_of_int (Coop_trace.Event.Var_set.cardinal ft);
+        string_of_int (Coop_trace.Event.Var_set.cardinal ls);
+        string_of_int (sites ft); string_of_int (sites ls) ])
+    (Lazy.force rows)
+  |> List.iter (Table.add_row t);
   Table.print
     ~title:
       "Ablation A: FastTrack (FT) vs Eraser-lockset (LS) as the race \
@@ -399,7 +462,7 @@ let ablation_local_locks () =
         (fun r -> (r.entry.Registry.name, r.prog))
         (Lazy.force rows)
   in
-  List.iter
+  Pool.map
     (fun (name, prog) ->
       let _, trace = Runner.record ~sched:(Sched.random ~seed:5 ()) prog in
       let racy = Coop_race.Fasttrack.racy_vars_of_trace trace in
@@ -412,8 +475,9 @@ let ablation_local_locks () =
         Cooperability.check_with_racy ~racy trace
         |> Cooperability.violation_locs |> Coop_trace.Loc.Set.cardinal
       in
-      Table.add_row t [ name; string_of_int with_; string_of_int without ])
-    programs;
+      [ name; string_of_int with_; string_of_int without ])
+    programs
+  |> List.iter (Table.add_row t);
   Table.print
     ~title:"Ablation B: thread-local-lock refinement on vs off"
     t
@@ -427,45 +491,45 @@ let ablation_portfolio () =
           ("yields", Table.Right); ("residual", Table.Right) ]
   in
   let portfolios =
-    [ ("1 random", fun () -> [ Sched.random ~seed:11 () ]);
+    [ ("1 random", [ (fun () -> Sched.random ~seed:11 ()) ]);
       ("5 random",
-       fun () -> List.init 5 (fun i -> Sched.random ~seed:(11 + (17 * i)) ()));
+       List.init 5 (fun i () -> Sched.random ~seed:(11 + (17 * i)) ()));
       ("rr only",
-       fun () ->
-         [ Sched.round_robin ~quantum:1 (); Sched.round_robin ~quantum:3 ();
-           Sched.round_robin ~quantum:17 () ]);
+       [ (fun () -> Sched.round_robin ~quantum:1 ());
+         (fun () -> Sched.round_robin ~quantum:3 ());
+         (fun () -> Sched.round_robin ~quantum:17 ()) ]);
       ("pct only",
-       fun () ->
-         [ Sched.pct ~seed:7 ~depth:3 ~change_span:5000 ();
-           Sched.pct ~seed:77 ~depth:5 ~change_span:5000 () ]);
+       [ (fun () -> Sched.pct ~seed:7 ~depth:3 ~change_span:5000 ());
+         (fun () -> Sched.pct ~seed:77 ~depth:5 ~change_span:5000 ()) ]);
       ("full", Infer.default_portfolio) ]
   in
-  List.iter
-    (fun name ->
+  let grid =
+    List.concat_map
+      (fun name -> List.map (fun p -> (name, p)) portfolios)
+      (List.filter keep [ "raytracer"; "philo"; "queue"; "tsp" ])
+  in
+  Pool.map
+    (fun (name, (pname, portfolio)) ->
       let e = Option.get (Registry.find name) in
       let prog = Registry.program_of e in
+      let inf = Infer.infer ~portfolio prog in
+      (* Residual: violations that the FULL portfolio still finds given
+         this portfolio's yields — schedules the cheap portfolio missed. *)
+      let residual = ref 0 in
       List.iter
-        (fun (pname, portfolio) ->
-          let inf = Infer.infer ~portfolio prog in
-          (* Residual: violations that the FULL portfolio still finds given
-             this portfolio's yields — schedules the cheap portfolio
-             missed. *)
-          let residual = ref 0 in
-          List.iter
-            (fun sched ->
-              let _, trace =
-                Runner.record ~yields:inf.Infer.yields ~sched prog
-              in
-              residual :=
-                !residual
-                + List.length (Cooperability.check trace).Cooperability.violations)
-            (Infer.default_portfolio ());
-          Table.add_row t
-            [ name; pname;
-              string_of_int (Coop_trace.Loc.Set.cardinal inf.Infer.yields);
-              string_of_int !residual ])
-        portfolios)
-    [ "raytracer"; "philo"; "queue"; "tsp" ];
+        (fun mk ->
+          let _, trace =
+            Runner.record ~yields:inf.Infer.yields ~sched:(mk ()) prog
+          in
+          residual :=
+            !residual
+            + List.length (Cooperability.check trace).Cooperability.violations)
+        Infer.default_portfolio;
+      [ name; pname;
+        string_of_int (Coop_trace.Loc.Set.cardinal inf.Infer.yields);
+        string_of_int !residual ])
+    grid
+  |> List.iter (Table.add_row t);
   Table.print
     ~title:
       "Ablation C: inference portfolio composition (residual = violations a \
@@ -481,19 +545,21 @@ let ablation_static () =
           ("static yields", Table.Right); ("dynamic yields", Table.Right);
           ("dyn ⊆ static", Table.Left) ]
   in
-  List.iter
+  Pool.map
     (fun r ->
       let s = Coop_static.Check.infer r.prog in
       let subset =
-        Coop_trace.Loc.Set.subset r.infer.Infer.yields s.Coop_static.Check.yields
+        Coop_trace.Loc.Set.subset r.infer.Infer.yields
+          s.Coop_static.Check.yields
       in
-      Table.add_row t
-        [ r.entry.Registry.name;
-          string_of_int (List.length s.Coop_static.Check.races.Coop_static.Races.racy);
-          string_of_int (Coop_trace.Loc.Set.cardinal s.Coop_static.Check.yields);
-          string_of_int (Coop_trace.Loc.Set.cardinal r.infer.Infer.yields);
-          (if subset then "yes" else "no") ])
-    (Lazy.force rows);
+      [ r.entry.Registry.name;
+        string_of_int
+          (List.length s.Coop_static.Check.races.Coop_static.Races.racy);
+        string_of_int (Coop_trace.Loc.Set.cardinal s.Coop_static.Check.yields);
+        string_of_int (Coop_trace.Loc.Set.cardinal r.infer.Infer.yields);
+        (if subset then "yes" else "no") ])
+    (Lazy.force rows)
+  |> List.iter (Table.add_row t);
   Table.print
     ~title:"Ablation D: purely static analysis vs the dynamic checker"
     t;
@@ -512,7 +578,7 @@ let ablation_explore () =
           ("visible-only states", Table.Right); ("DPOR executions", Table.Right);
           ("same behaviours", Table.Left) ]
   in
-  List.iter
+  Pool.map
     (fun (name, src) ->
       let prog = Compile.source src in
       let fine =
@@ -528,15 +594,15 @@ let ablation_explore () =
         Behavior.Set.equal fine.Explore.behaviors coarse.Explore.behaviors
         && Behavior.Set.equal fine.Explore.behaviors dpor.Dpor.behaviors
       in
-      Table.add_row t
-        [ name; string_of_int fine.Explore.states;
-          string_of_int coarse.Explore.states;
-          string_of_int dpor.Dpor.executions;
-          (if agree then "yes" else "NO") ])
+      [ name; string_of_int fine.Explore.states;
+        string_of_int coarse.Explore.states;
+        string_of_int dpor.Dpor.executions;
+        (if agree then "yes" else "NO") ])
     [ ("racy_counter 2x2", Coop_workloads.Micro.racy_counter ~threads:2 ~incs:2);
       ("check_then_act 2", Coop_workloads.Micro.check_then_act ~threads:2);
       ("single_transaction 2", Coop_workloads.Micro.single_transaction ~threads:2);
-      ("single_transaction 3", Coop_workloads.Micro.single_transaction ~threads:3) ];
+      ("single_transaction 3", Coop_workloads.Micro.single_transaction ~threads:3) ]
+  |> List.iter (Table.add_row t);
   Table.print
     ~title:
       "Ablation E: schedule-space reduction (stateful visible-only DFS vs \
@@ -556,7 +622,7 @@ let ablation_deadlock () =
     List.map (fun r -> (r.entry.Registry.name, r.prog)) (Lazy.force rows)
     @ [ ("deadlock_prone", Compile.source (Coop_workloads.Micro.deadlock_prone ())) ]
   in
-  List.iter
+  Pool.map
     (fun (name, prog) ->
       (* Use a completing run when one exists so both edges show. *)
       let rec find_trace seed =
@@ -570,10 +636,10 @@ let ablation_deadlock () =
         end
       in
       let r = Deadlock.analyze (find_trace 0) in
-      Table.add_row t
-        [ name; string_of_int (List.length r.Deadlock.edges);
-          string_of_int (List.length r.Deadlock.cycles) ])
-    programs;
+      [ name; string_of_int (List.length r.Deadlock.edges);
+        string_of_int (List.length r.Deadlock.cycles) ])
+    programs
+  |> List.iter (Table.add_row t);
   Table.print
     ~title:
       "Ablation F: Goodlock-style deadlock prediction (zero cycles = the \
@@ -595,7 +661,9 @@ let ablations () =
 let micro () =
   let open Bechamel in
   let open Toolkit in
-  (* Pre-build the inputs outside the timed thunks. *)
+  (* Pre-build the inputs outside the timed thunks. Deliberately NOT
+     parallelized: bechamel owns its own measurement loop and wants a quiet
+     machine. *)
   let philo = Registry.program_of (Option.get (Registry.find "philo")) in
   let _, philo_trace =
     Runner.record ~sched:(Sched.random ~seed:5 ()) philo
@@ -663,6 +731,58 @@ let micro () =
   Table.print ~title:"Bechamel micro-benchmarks" t
 
 (* ---------------------------------------------------------------------- *)
+(* JSON validation (the CI gate for the machine-readable output)           *)
+(* ---------------------------------------------------------------------- *)
+
+let json_verify path =
+  let fail msg =
+    Printf.eprintf "json-verify: %s: %s\n" path msg;
+    exit 1
+  in
+  let contents =
+    match open_in_bin path with
+    | exception Sys_error e -> fail e
+    | ic ->
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+  in
+  let json =
+    match Json.of_string contents with Ok v -> v | Error e -> fail e
+  in
+  (match Json.member "experiment" json with
+  | Some (Json.String "table3") -> ()
+  | _ -> fail "missing or wrong \"experiment\" field (want \"table3\")");
+  (match Json.member "jobs" json with
+  | Some (Json.Int j) when j >= 1 -> ()
+  | _ -> fail "missing or invalid \"jobs\" field");
+  let workloads =
+    match Json.member "workloads" json with
+    | Some (Json.List (_ :: _ as ws)) -> ws
+    | Some (Json.List []) -> fail "empty \"workloads\" array"
+    | _ -> fail "missing \"workloads\" array"
+  in
+  List.iter
+    (fun w ->
+      let name =
+        match Json.member "name" w with
+        | Some (Json.String s) -> s
+        | _ -> fail "workload entry without a \"name\""
+      in
+      List.iter
+        (fun field ->
+          match Option.bind (Json.member field w) Json.to_float with
+          | Some v when v > 0. -> ()
+          | Some _ -> fail (Printf.sprintf "%s: non-positive %s" name field)
+          | None -> fail (Printf.sprintf "%s: missing numeric %s" name field))
+        [ "events"; "base_s"; "race_s"; "full_s"; "race_slowdown";
+          "full_slowdown"; "race_kev_s"; "full_kev_s" ])
+    workloads;
+  Printf.printf "json-verify: %s ok (%d workloads)\n" path
+    (List.length workloads)
+
+(* ---------------------------------------------------------------------- *)
 (* Driver                                                                  *)
 (* ---------------------------------------------------------------------- *)
 
@@ -670,23 +790,59 @@ let all = [ ("table1", table1); ("table2", table2); ("table3", table3);
             ("fig1", fig1); ("fig2", fig2); ("fig3", fig3);
             ("ablations", ablations); ("micro", micro) ]
 
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [EXPERIMENT...] [--jobs N] [--json FILE] [--only W1,W2]\n\
+    \       main.exe json-verify FILE\n\
+     experiments: %s (default: all)\n"
+    (String.concat ", " (List.map fst all));
+  exit 2
+
 let () =
-  match Sys.argv with
-  | [| _ |] ->
-      List.iter
-        (fun (name, f) ->
-          ignore name;
-          f ())
-        all
-  | argv ->
-      Array.iteri
-        (fun i arg ->
-          if i > 0 then begin
-            match List.assoc_opt arg all with
-            | Some f -> f ()
+  match Array.to_list Sys.argv with
+  | _ :: "json-verify" :: rest -> (
+      match rest with [ path ] -> json_verify path | _ -> usage ())
+  | _ :: args ->
+      let experiments = ref [] in
+      let rec parse = function
+        | [] -> ()
+        | "--jobs" :: n :: rest -> (
+            match int_of_string_opt n with
+            | Some n when n >= 1 ->
+                Coop_util.Pool.set_default_jobs n;
+                parse rest
+            | _ ->
+                Printf.eprintf "--jobs wants a positive integer, got %s\n" n;
+                exit 2)
+        | "--json" :: path :: rest ->
+            json_out := Some path;
+            parse rest
+        | "--only" :: names :: rest ->
+            let names = String.split_on_char ',' names |> List.map String.trim in
+            List.iter
+              (fun n ->
+                if Registry.find n = None then begin
+                  Printf.eprintf "--only: unknown workload %s (have: %s)\n" n
+                    (String.concat ", " Registry.names);
+                  exit 2
+                end)
+              names;
+            only := Some names;
+            parse rest
+        | ("--jobs" | "--json" | "--only") :: [] -> usage ()
+        | arg :: _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
+        | exp :: rest ->
+            (match List.assoc_opt exp all with
+            | Some f -> experiments := (exp, f) :: !experiments
             | None ->
-                Printf.eprintf "unknown experiment %s (have: %s)\n" arg
+                Printf.eprintf "unknown experiment %s (have: %s)\n" exp
                   (String.concat ", " (List.map fst all));
-                exit 2
-          end)
-        argv
+                exit 2);
+            parse rest
+      in
+      parse args;
+      let to_run =
+        match List.rev !experiments with [] -> all | exps -> exps
+      in
+      List.iter (fun (_, f) -> f ()) to_run
+  | [] -> usage ()

@@ -90,6 +90,29 @@ let max_steps_arg =
     value & opt int 10_000_000
     & info [ "max-steps" ] ~docv:"N" ~doc:"Step budget before giving up.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel analyses (yield inference runs \
+           its schedule portfolio concurrently; explore shards the branch \
+           frontier). Defaults to \\$(b,COOP_JOBS), then the machine's \
+           domain count. 1 forces the sequential path; results are \
+           identical either way.")
+
+(* Resolve --jobs (> COOP_JOBS > recommended_domain_count) into the shared
+   pool every parallel backend draws from. *)
+let pool_of_jobs = function
+  | None -> Coop_util.Pool.shared ()
+  | Some n when n >= 1 ->
+      Coop_util.Pool.set_default_jobs n;
+      Coop_util.Pool.shared ()
+  | Some n ->
+      Printf.eprintf "coopcheck: --jobs wants a positive integer, got %d\n" n;
+      exit 2
+
 let run_outcome ~sched ~max_steps ?(yields = Coop_trace.Loc.Set.empty) prog =
   Runner.run ~yields ~max_steps ~sched:(scheduler_of sched)
     ~sink:Coop_trace.Trace.Sink.ignore prog
@@ -243,9 +266,10 @@ let check_cmd =
 (* --- infer ------------------------------------------------------------- *)
 
 let infer_cmd =
-  let action spec threads size max_steps =
+  let action spec threads size max_steps jobs =
     let prog = load ~threads ~size spec in
-    let inf = Coop_core.Infer.infer ~max_steps prog in
+    let pool = pool_of_jobs jobs in
+    let inf = Coop_core.Infer.infer ~pool ~max_steps prog in
     Format.printf "initial violations: %d@."
       inf.Coop_core.Infer.initial_violations;
     Format.printf "inference rounds: %d@." inf.Coop_core.Infer.rounds;
@@ -267,7 +291,8 @@ let infer_cmd =
   in
   Cmd.v
     (Cmd.info "infer" ~doc:"Infer the yield set and report annotation metrics.")
-    Term.(const action $ prog_arg $ threads_arg $ size_arg $ max_steps_arg)
+    Term.(const action $ prog_arg $ threads_arg $ size_arg $ max_steps_arg
+          $ jobs_arg)
 
 (* --- atomize ------------------------------------------------------------ *)
 
@@ -307,14 +332,16 @@ let atomize_cmd =
 (* --- explore ------------------------------------------------------------ *)
 
 let explore_cmd =
-  let action spec threads size max_states with_inferred use_dpor =
+  let action spec threads size max_states with_inferred use_dpor jobs =
     let prog = load ~threads ~size spec in
+    let pool = pool_of_jobs jobs in
     let yields =
-      if with_inferred then (Coop_core.Infer.infer prog).Coop_core.Infer.yields
+      if with_inferred then
+        (Coop_core.Infer.infer ~pool prog).Coop_core.Infer.yields
       else Coop_trace.Loc.Set.empty
     in
     if use_dpor then begin
-      let r = Dpor.run ~yields ~max_executions:max_states prog in
+      let r = Dpor.run ~pool ~yields ~max_executions:max_states prog in
       Format.printf "dpor: %d executions, %d transitions, complete=%b@."
         r.Dpor.executions r.Dpor.steps r.Dpor.complete;
       Behavior.Set.iter
@@ -322,7 +349,7 @@ let explore_cmd =
         r.Dpor.behaviors
     end
     else begin
-      let v = Coop_core.Equivalence.compare ~yields ~max_states prog in
+      let v = Coop_core.Equivalence.compare ~pool ~yields ~max_states prog in
       Format.printf "%a@." Coop_core.Equivalence.pp v;
       Behavior.Set.iter
         (fun b -> Format.printf "  preemptive:  %a@." Behavior.pp b)
@@ -355,7 +382,7 @@ let explore_cmd =
     (Cmd.info "explore"
        ~doc:"Enumerate behaviours under preemptive vs cooperative scheduling.")
     Term.(const action $ prog_arg $ threads_arg $ size_arg $ max_states_arg
-          $ with_inferred_arg $ dpor_arg)
+          $ with_inferred_arg $ dpor_arg $ jobs_arg)
 
 (* --- static ------------------------------------------------------------- *)
 

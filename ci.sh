@@ -1,6 +1,7 @@
 #!/bin/sh
-# The CI entry point: full build, test suite, bench smoke test.
-# Equivalent to `dune build @ci`, but with per-stage output.
+# The CI entry point: full build, test suite (sequential and with a
+# 2-domain shared pool), bench smoke tests including the machine-readable
+# JSON output. Equivalent to `dune build @ci`, but with per-stage output.
 set -eu
 cd "$(dirname "$0")"
 
@@ -10,7 +11,15 @@ dune build @all
 echo "== tests =="
 dune runtest
 
+echo "== tests (COOP_JOBS=2: parallel analyses on the shared pool) =="
+COOP_JOBS=2 dune runtest --force
+
 echo "== bench smoke (table1) =="
 dune exec bench/main.exe -- table1
+
+echo "== bench smoke (table3 --json, 2 domains, 2 workloads) =="
+COOP_JOBS=2 dune exec bench/main.exe -- table3 --only philo,crypt \
+  --json _build/ci-table3.json
+dune exec bench/main.exe -- json-verify _build/ci-table3.json
 
 echo "== ci ok =="

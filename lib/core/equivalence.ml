@@ -7,22 +7,38 @@ type verdict = {
   preemptive_subset : bool;
 }
 
-let compare ?yields ?max_states prog =
-  let preemptive = Explore.run ?yields ?max_states Explore.Preemptive prog in
-  let cooperative = Explore.run ?yields ?max_states Explore.Cooperative prog in
-  let complete = preemptive.Explore.complete && cooperative.Explore.complete in
-  {
-    preemptive;
-    cooperative;
-    equal =
-      complete
-      && Behavior.Set.equal preemptive.Explore.behaviors
-           cooperative.Explore.behaviors;
-    preemptive_subset =
-      complete
-      && Behavior.Set.subset preemptive.Explore.behaviors
-           cooperative.Explore.behaviors;
-  }
+let compare ?pool ?yields ?max_states prog =
+  (* The two explorations are themselves independent; with a pool they run
+     concurrently, and each also shards its own frontier inside it. *)
+  let both =
+    match pool with
+    | Some p when Coop_util.Pool.jobs p > 1 ->
+        Coop_util.Pool.parallel_map p
+          (fun mode -> Explore.run ~pool:p ?yields ?max_states mode prog)
+          [ Explore.Preemptive; Explore.Cooperative ]
+    | _ ->
+        List.map
+          (fun mode -> Explore.run ?yields ?max_states mode prog)
+          [ Explore.Preemptive; Explore.Cooperative ]
+  in
+  match both with
+  | [ preemptive; cooperative ] ->
+      let complete =
+        preemptive.Explore.complete && cooperative.Explore.complete
+      in
+      {
+        preemptive;
+        cooperative;
+        equal =
+          complete
+          && Behavior.Set.equal preemptive.Explore.behaviors
+               cooperative.Explore.behaviors;
+        preemptive_subset =
+          complete
+          && Behavior.Set.subset preemptive.Explore.behaviors
+               cooperative.Explore.behaviors;
+      }
+  | _ -> assert false
 
 let pp ppf v =
   Format.fprintf ppf

@@ -18,12 +18,15 @@ type verdict = {
 }
 
 val compare :
+  ?pool:Coop_util.Pool.t ->
   ?yields:Loc.Set.t ->
   ?max_states:int ->
   Coop_lang.Bytecode.program ->
   verdict
 (** [compare ?yields prog] explores both semantics with the same injected
-    yield set. *)
+    yield set. With a [pool] the two explorations run concurrently and
+    each shards its frontier across the pool (see {!Explore.run}); the
+    verdict is unchanged. *)
 
 val pp : Format.formatter -> verdict -> unit
 (** One-line summary with behaviour counts and state counts. *)

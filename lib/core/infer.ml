@@ -9,42 +9,55 @@ type result = {
   events_analyzed : int;
 }
 
-let default_portfolio () =
+(* Each entry is a factory: the streaming checker replays the program once
+   per phase, so it must be able to mint a fresh, identically seeded
+   scheduler instance for every replay. *)
+let default_portfolio =
   [
-    Sched.random ~seed:11 ();
-    Sched.random ~seed:23 ();
-    Sched.random ~seed:47 ();
-    Sched.random ~seed:101 ();
-    Sched.random ~seed:991 ();
-    Sched.round_robin ~quantum:1 ();
-    Sched.round_robin ~quantum:3 ();
-    Sched.round_robin ~quantum:17 ();
-    Sched.pct ~seed:7 ~depth:3 ~change_span:5_000 ();
-    Sched.pct ~seed:77 ~depth:5 ~change_span:5_000 ();
+    (fun () -> Sched.random ~seed:11 ());
+    (fun () -> Sched.random ~seed:23 ());
+    (fun () -> Sched.random ~seed:47 ());
+    (fun () -> Sched.random ~seed:101 ());
+    (fun () -> Sched.random ~seed:991 ());
+    (fun () -> Sched.round_robin ~quantum:1 ());
+    (fun () -> Sched.round_robin ~quantum:3 ());
+    (fun () -> Sched.round_robin ~quantum:17 ());
+    (fun () -> Sched.pct ~seed:7 ~depth:3 ~change_span:5_000 ());
+    (fun () -> Sched.pct ~seed:77 ~depth:5 ~change_span:5_000 ());
   ]
 
 (* One portfolio pass: run every scheduler with the current yields and
    collect all violations. Each run is streamed straight into the fused
    checker — no trace is recorded; the checker's second phase replays the
-   program under a fresh, identically seeded scheduler instance. *)
-let portfolio_pass ~portfolio ~max_steps ~yields prog =
-  let violations = ref [] in
-  let events = ref 0 in
-  let n = List.length (portfolio ()) in
-  for i = 0 to n - 1 do
-    let fresh () = List.nth (portfolio ()) i in
-    let source = Runner.source ~yields ?max_steps ~sched:fresh prog in
+   program under a fresh, identically seeded scheduler instance. The runs
+   are independent (fresh VM + fresh scheduler each), so they fan out
+   across the pool; the merge below preserves run order, making the result
+   bit-identical to the sequential pass. *)
+let portfolio_pass ~pool ~portfolio ~max_steps ~yields prog =
+  let factories = Array.of_list portfolio in
+  let one i =
+    let source = Runner.source ~yields ?max_steps ~sched:factories.(i) prog in
     let r = Cooperability.check_source source in
-    events := !events + r.Cooperability.events;
-    violations := List.rev_append r.Cooperability.violations !violations
-  done;
-  (List.rev !violations, !events)
+    (r.Cooperability.violations, r.Cooperability.events)
+  in
+  let runs =
+    Coop_util.Pool.parallel_map pool one
+      (List.init (Array.length factories) Fun.id)
+  in
+  let violations = List.concat_map fst runs in
+  let events = List.fold_left (fun acc (_, e) -> acc + e) 0 runs in
+  (violations, events)
 
-let infer ?(max_rounds = 20) ?(portfolio = default_portfolio) ?max_steps
+let infer ?pool ?(max_rounds = 20) ?(portfolio = default_portfolio) ?max_steps
     ?(base_yields = Loc.Set.empty) prog =
+  let pool =
+    match pool with Some p -> p | None -> Coop_util.Pool.shared ()
+  in
   let events_total = ref 0 in
   let rec loop yields round initial =
-    let violations, events = portfolio_pass ~portfolio ~max_steps ~yields prog in
+    let violations, events =
+      portfolio_pass ~pool ~portfolio ~max_steps ~yields prog
+    in
     events_total := !events_total + events;
     let initial =
       match initial with None -> Some (List.length violations) | some -> some

@@ -31,16 +31,24 @@ type result = {
   events_analyzed : int;  (** Total events across all analysed runs. *)
 }
 
-val default_portfolio : unit -> Sched.t list
+val default_portfolio : (unit -> Sched.t) list
 (** Five random seeds, round-robin with quanta 1, 3 and 17, and two PCT
-    schedulers (depths 3 and 5). Fresh scheduler instances on every call. *)
+    schedulers (depths 3 and 5). Each entry is a factory minting a fresh,
+    identically seeded scheduler instance per call — the streaming checker
+    replays the program once per phase and needs independent instances. *)
 
 val infer :
+  ?pool:Coop_util.Pool.t ->
   ?max_rounds:int ->
-  ?portfolio:(unit -> Sched.t list) ->
+  ?portfolio:(unit -> Sched.t) list ->
   ?max_steps:int ->
   ?base_yields:Loc.Set.t ->
   Coop_lang.Bytecode.program ->
   result
 (** [infer prog] runs the inference loop (at most [max_rounds], default 20).
-    [base_yields] seeds the yield set (default empty). *)
+    [base_yields] seeds the yield set (default empty). Every portfolio run
+    builds its own VM and scheduler, so each fixpoint round fans the
+    portfolio out across [pool] (default: the shared pool, sized by
+    [COOP_JOBS] or the machine); the violation merge preserves run order,
+    so the result is bit-identical to a sequential pass — property-tested
+    for pool sizes 1, 2 and 4. *)

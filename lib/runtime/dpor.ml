@@ -111,7 +111,15 @@ type frame = {
          subtree; skipped here, woken by dependent steps (sleep sets) *)
 }
 
-let run ?(yields = Loc.Set.empty) ?(max_executions = 50_000)
+(* One DPOR exploration. [root_only = Some p] restricts the root frame to
+   the single first choice [p]: its siblings are pre-marked tried, so lazy
+   backtrack additions at the root are ignored — they are some other
+   shard's first choice. Sharding the root over every enabled tid is a
+   superset of the sequential root backtrack set, hence sound; the shards
+   lose the root-level sleep sets, so they may re-explore executions a
+   sequential run would have pruned (counted in [executions]/[steps]), but
+   the behaviour set is exact either way. *)
+let run_seq ?root_only ?(yields = Loc.Set.empty) ?(max_executions = 50_000)
     ?(max_depth = 10_000) ?(max_segment = 100_000) prog =
   let behaviors = ref Behavior.Set.empty in
   let executions = ref 0 in
@@ -210,7 +218,13 @@ let run ?(yields = Loc.Set.empty) ?(max_executions = 50_000)
       end
     end
   in
-  push (make_frame (Vm.init prog));
+  let root = make_frame (Vm.init prog) in
+  (match root_only with
+  | Some p ->
+      root.backtrack <- Iset.singleton p;
+      root.tried <- Iset.remove p root.enabled
+  | None -> ());
+  push root;
   explore ();
   {
     behaviors = !behaviors;
@@ -218,3 +232,30 @@ let run ?(yields = Loc.Set.empty) ?(max_executions = 50_000)
     steps = !steps;
     complete = !complete;
   }
+
+let run ?pool ?yields ?max_executions ?max_depth ?max_segment prog =
+  let jobs = match pool with Some p -> Coop_util.Pool.jobs p | None -> 1 in
+  let roots = Vm.runnable (Vm.init prog) in
+  if jobs <= 1 || List.length roots <= 1 then
+    run_seq ?yields ?max_executions ?max_depth ?max_segment prog
+  else begin
+    let pool = Option.get pool in
+    let shards =
+      Coop_util.Pool.parallel_map pool
+        (fun p ->
+          run_seq ~root_only:p ?yields ?max_executions ?max_depth ?max_segment
+            prog)
+        roots
+    in
+    List.fold_left
+      (fun acc r ->
+        {
+          behaviors = Behavior.Set.union acc.behaviors r.behaviors;
+          executions = acc.executions + r.executions;
+          steps = acc.steps + r.steps;
+          complete = acc.complete && r.complete;
+        })
+      { behaviors = Behavior.Set.empty; executions = 0; steps = 0;
+        complete = true }
+      shards
+  end

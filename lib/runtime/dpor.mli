@@ -36,6 +36,7 @@ type result = {
 }
 
 val run :
+  ?pool:Coop_util.Pool.t ->
   ?yields:Loc.Set.t ->
   ?max_executions:int ->
   ?max_depth:int ->
@@ -46,4 +47,14 @@ val run :
     [max_executions] (default 50_000) bounds explored executions,
     [max_depth] (default 10_000) bounds transitions per execution,
     [max_segment] (default 100_000) bounds each transition's invisible
-    prefix. *)
+    prefix.
+
+    With a [pool] of more than one domain and at least two threads
+    runnable initially, the root choice is sharded: every enabled root tid
+    is explored in its own worker (a superset of the lazy root backtrack
+    set, hence sound). On complete explorations the merged [behaviors] set
+    is identical to the sequential run's (property-tested);
+    [executions]/[steps] may be larger because root-level sleep sets do
+    not prune across shards, and each shard gets the full
+    [max_executions] budget. Without [pool] (or with one of size 1) the
+    sequential path runs — the default. *)

@@ -1,5 +1,6 @@
 open Coop_trace
 open Coop_lang
+module Key_set = Set.Make (String)
 
 type mode =
   | Preemptive
@@ -93,19 +94,38 @@ let coop_segment ~yields ~max_segment st tid =
 let single_step ~yields st tid =
   Some (Vm.step ~yields st tid ~sink:Trace.Sink.ignore)
 
-let run ?(yields = Loc.Set.empty) ?(max_states = 200_000)
-    ?(max_segment = 100_000) ?(granularity = Visible_only) mode prog =
+let segment_of ~yields ~max_segment mode granularity =
+  match (mode, granularity) with
+  | Preemptive, Visible_only -> macro_step ~yields ~max_segment
+  | Preemptive, Every_instruction -> single_step ~yields
+  | Cooperative, _ -> coop_segment ~yields ~max_segment
+
+(* Partial exploration results, mergeable across shards. Terminal deadlock
+   states are tracked as a key set (not a counter) so that the same state
+   reached from two shards is still counted once in the merge — this keeps
+   the [deadlocks] field identical to the sequential run's. *)
+type partial = {
+  p_behaviors : Behavior.Set.t;
+  p_dead : Key_set.t;
+  p_states : int;
+  p_complete : bool;
+}
+
+let merge_partial a b =
+  {
+    p_behaviors = Behavior.Set.union a.p_behaviors b.p_behaviors;
+    p_dead = Key_set.union a.p_dead b.p_dead;
+    p_states = a.p_states + b.p_states;
+    p_complete = a.p_complete && b.p_complete;
+  }
+
+(* The memoized DFS, from an arbitrary start state. *)
+let explore_from ~segment ~max_states st0 =
   let seen = Hashtbl.create 1024 in
   let behaviors = ref Behavior.Set.empty in
+  let dead = ref Key_set.empty in
   let complete = ref true in
   let states = ref 0 in
-  let deadlocks = ref 0 in
-  let segment =
-    match (mode, granularity) with
-    | Preemptive, Visible_only -> macro_step ~yields ~max_segment
-    | Preemptive, Every_instruction -> single_step ~yields
-    | Cooperative, _ -> coop_segment ~yields ~max_segment
-  in
   let rec visit st =
     if !states >= max_states then complete := false
     else begin
@@ -115,7 +135,7 @@ let run ?(yields = Loc.Set.empty) ?(max_states = 200_000)
         incr states;
         match Vm.runnable st with
         | [] ->
-            if Vm.deadlocked st then incr deadlocks;
+            if Vm.deadlocked st then dead := Key_set.add k !dead;
             behaviors := Behavior.Set.add (Behavior.of_state st) !behaviors
         | runnable ->
             List.iter
@@ -127,13 +147,94 @@ let run ?(yields = Loc.Set.empty) ?(max_states = 200_000)
       end
     end
   in
-  visit (Vm.init prog);
+  visit st0;
   {
-    behaviors = !behaviors;
-    complete = !complete;
-    states = !states;
-    deadlocks = !deadlocks;
+    p_behaviors = !behaviors;
+    p_dead = !dead;
+    p_states = !states;
+    p_complete = !complete;
   }
+
+(* Breadth-first expansion of the top-level branch frontier until it is
+   wide enough to keep every worker busy. Terminal states met on the way
+   are recorded; interior states are deduplicated by {!Vm.key}. Returns the
+   frontier plus the partial result of the expansion itself. *)
+let expand_frontier ~segment ~target st0 =
+  let seen = Hashtbl.create 256 in
+  let behaviors = ref Behavior.Set.empty in
+  let dead = ref Key_set.empty in
+  let states = ref 0 in
+  let complete = ref true in
+  Hashtbl.add seen (Vm.key st0) ();
+  let frontier = ref [ st0 ] in
+  let levels = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && List.length !frontier < target && !levels < 8 do
+    incr levels;
+    let next = ref [] in
+    let grew = ref false in
+    List.iter
+      (fun st ->
+        incr states;
+        match Vm.runnable st with
+        | [] ->
+            let k = Vm.key st in
+            if Vm.deadlocked st then dead := Key_set.add k !dead;
+            behaviors := Behavior.Set.add (Behavior.of_state st) !behaviors
+        | runnable ->
+            List.iter
+              (fun tid ->
+                match segment st tid with
+                | None -> complete := false
+                | Some st' ->
+                    let k = Vm.key st' in
+                    if not (Hashtbl.mem seen k) then begin
+                      Hashtbl.add seen k ();
+                      grew := true;
+                      next := st' :: !next
+                    end)
+              runnable)
+      !frontier;
+    frontier := List.rev !next;
+    if not !grew then continue_ := false
+  done;
+  ( !frontier,
+    {
+      p_behaviors = !behaviors;
+      p_dead = !dead;
+      p_states = !states;
+      p_complete = !complete;
+    } )
+
+let result_of_partial p =
+  {
+    behaviors = p.p_behaviors;
+    complete = p.p_complete;
+    states = p.p_states;
+    deadlocks = Key_set.cardinal p.p_dead;
+  }
+
+let run ?pool ?(yields = Loc.Set.empty) ?(max_states = 200_000)
+    ?(max_segment = 100_000) ?(granularity = Visible_only) mode prog =
+  let segment = segment_of ~yields ~max_segment mode granularity in
+  let jobs = match pool with Some p -> Coop_util.Pool.jobs p | None -> 1 in
+  let init = Vm.init prog in
+  if jobs <= 1 then result_of_partial (explore_from ~segment ~max_states init)
+  else begin
+    let pool = Option.get pool in
+    let frontier, expansion =
+      expand_frontier ~segment ~target:(4 * jobs) init
+    in
+    (* Each shard explores its subtree with its own memo table and the full
+       state budget; cross-shard duplicates cost extra visits but never
+       change the behaviour set. *)
+    let shards =
+      Coop_util.Pool.parallel_map pool
+        (explore_from ~segment ~max_states)
+        frontier
+    in
+    result_of_partial (List.fold_left merge_partial expansion shards)
+  end
 
 let behaviors_equal a b =
   a.complete && b.complete && Behavior.Set.equal a.behaviors b.behaviors

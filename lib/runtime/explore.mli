@@ -38,6 +38,7 @@ type result = {
 }
 
 val run :
+  ?pool:Coop_util.Pool.t ->
   ?yields:Loc.Set.t ->
   ?max_states:int ->
   ?max_segment:int ->
@@ -49,7 +50,17 @@ val run :
     [max_states] (default 200_000) bounds distinct visited states;
     [max_segment] (default 100_000) bounds the invisible-instruction prefix
     executed per scheduling decision (guards against yield-free infinite
-    loops). *)
+    loops).
+
+    With a [pool] of more than one domain, the top-level branch frontier is
+    expanded breadth-first until it is wide enough and the subtrees are
+    explored in parallel, each with its own memo table and the full
+    [max_states] budget. On complete explorations [behaviors], [complete]
+    and [deadlocks] are identical to the sequential run (deadlocked
+    terminals are deduplicated by state key across shards;
+    property-tested); [states] may be larger because memoization is lost
+    across shards. Without [pool] (or with one of size 1) the sequential
+    path runs — the default. *)
 
 val behaviors_equal : result -> result -> bool
 (** Whether two complete explorations produced the same behaviour set. *)

@@ -1,0 +1,26 @@
+(** Minimal JSON: enough to emit the bench harness's machine-readable
+    results and to re-parse them for CI validation. No external
+    dependencies; numbers are either OCaml ints or floats. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed with two-space indentation, RFC 8259 string escaping,
+    and floats rendered with enough digits to round-trip. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; [Error] carries a byte offset and a
+    reason. Numbers without [.], [e] or [E] parse as [Int]. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing field or non-object. *)
+
+val to_float : t -> float option
+(** Numeric value of an [Int] or [Float]. *)

@@ -1,0 +1,163 @@
+(* A fixed pool of worker domains around a mutex+condition task deque.
+
+   Deadlock-freedom under nesting relies on one rule: a domain submitting a
+   batch never blocks while the deque is non-empty — it pops and runs tasks
+   itself ("helping") and only sleeps when every task of its own batch is
+   already executing on some other domain. Those executions finish by
+   induction (their own nested batches obey the same rule), so the sleep is
+   always woken. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  pending : (unit -> unit) Queue.t;
+  nonempty : Condition.t;  (* signalled on push and on shutdown *)
+  mutable live : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.pending && pool.live do
+    Condition.wait pool.nonempty pool.mutex
+  done;
+  if Queue.is_empty pool.pending then Mutex.unlock pool.mutex (* shutdown *)
+  else begin
+    let task = Queue.pop pool.pending in
+    Mutex.unlock pool.mutex;
+    task ();
+    worker_loop pool
+  end
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let pool =
+    { jobs; mutex = Mutex.create (); pending = Queue.create ();
+      nonempty = Condition.create (); live = true; workers = [] }
+  in
+  pool.workers <-
+    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let jobs pool = pool.jobs
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let workers = pool.workers in
+  pool.live <- false;
+  pool.workers <- [];
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join workers
+
+(* One batch of [n] tasks: results slotted by index, first failure kept
+   with its backtrace, completion tracked by a dedicated mutex+condition so
+   helpers can sleep without holding the deque lock. *)
+let parallel_map (type b) pool f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs when pool.jobs = 1 && pool.workers = [] -> List.map f xs
+  | xs ->
+      let input = Array.of_list xs in
+      let n = Array.length input in
+      let results : b option array = Array.make n None in
+      let failure = ref None in
+      let done_mutex = Mutex.create () in
+      let done_cond = Condition.create () in
+      let remaining = ref n in
+      let task i () =
+        (match f input.(i) with
+        | v -> results.(i) <- Some v
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Mutex.lock done_mutex;
+            if !failure = None then failure := Some (e, bt);
+            Mutex.unlock done_mutex);
+        Mutex.lock done_mutex;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast done_cond;
+        Mutex.unlock done_mutex
+      in
+      Mutex.lock pool.mutex;
+      for i = 0 to n - 1 do
+        Queue.push (task i) pool.pending
+      done;
+      Condition.broadcast pool.nonempty;
+      Mutex.unlock pool.mutex;
+      (* Help until our batch has settled. Popped tasks may belong to other
+         batches (nested calls); running them here is harmless and keeps the
+         no-sleep-while-work-exists invariant. *)
+      let rec help () =
+        Mutex.lock done_mutex;
+        let finished = !remaining = 0 in
+        Mutex.unlock done_mutex;
+        if not finished then begin
+          Mutex.lock pool.mutex;
+          let next =
+            if Queue.is_empty pool.pending then None
+            else Some (Queue.pop pool.pending)
+          in
+          Mutex.unlock pool.mutex;
+          match next with
+          | Some task ->
+              task ();
+              help ()
+          | None ->
+              (* Everything left of this batch is running on other domains:
+                 wait for the last decrement. *)
+              Mutex.lock done_mutex;
+              while !remaining > 0 do
+                Condition.wait done_cond done_mutex
+              done;
+              Mutex.unlock done_mutex
+        end
+      in
+      help ();
+      (match !failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      Array.to_list
+        (Array.map
+           (function
+             | Some v -> v
+             | None -> assert false (* no failure => every slot filled *))
+           results)
+
+(* ------------------------------------------------------------------ *)
+(* The shared process-wide pool.                                       *)
+(* ------------------------------------------------------------------ *)
+
+let default_override = ref None
+
+let default_jobs () =
+  match !default_override with
+  | Some n -> n
+  | None -> (
+      match Sys.getenv_opt "COOP_JOBS" with
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some n when n >= 1 -> n
+          | _ -> Domain.recommended_domain_count ())
+      | None -> Domain.recommended_domain_count ())
+
+let shared_pool = ref None
+
+let shared () =
+  match !shared_pool with
+  | Some pool -> pool
+  | None ->
+      let pool = create ~jobs:(default_jobs ()) in
+      shared_pool := Some pool;
+      pool
+
+let set_default_jobs n =
+  if n < 1 then invalid_arg "Pool.set_default_jobs: jobs must be >= 1";
+  default_override := Some n;
+  match !shared_pool with
+  | Some pool when jobs pool <> n ->
+      shared_pool := None;
+      shutdown pool
+  | _ -> ()
+
+let map f xs = parallel_map (shared ()) f xs

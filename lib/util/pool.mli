@@ -1,0 +1,56 @@
+(** A shared domain work pool.
+
+    A fixed set of worker domains pulls thunks off a mutex+condition
+    protected deque. Every independent-run layer of the system (the
+    inference portfolio, the explorers' shard frontiers, the bench
+    harness's per-workload rows) fans out through {!parallel_map}, which
+    preserves input order and re-raises worker exceptions — so a parallel
+    run is observably identical to the sequential one, just faster.
+
+    Submitters {e help}: while a batch is outstanding, the submitting
+    domain also executes queued tasks. This makes nested [parallel_map]
+    calls (a parallel bench row whose [Infer.infer] fans out its own
+    portfolio) deadlock-free by construction — a waiter never sleeps while
+    there is runnable work, and a batch whose tasks are all in flight on
+    other domains completes by induction on nesting depth.
+
+    A pool of [jobs = 1] spawns no domains and degrades [parallel_map] to
+    [List.map]: the sequential path stays the default and is exercised by
+    exactly the same code the callers always run. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains ([jobs >= 1]; the
+    submitting domain is the remaining worker). *)
+
+val jobs : t -> int
+(** Parallelism of the pool (including the submitting domain). *)
+
+val shutdown : t -> unit
+(** Stop and join the workers. Outstanding tasks are drained first.
+    Idempotent. *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [parallel_map pool f xs] is [List.map f xs], computed concurrently.
+    Results are returned in input order. If any application raises, the
+    first (in completion order) exception is re-raised in the caller with
+    its backtrace, after all tasks of the batch have settled. Safe to call
+    from inside a pool task (nesting). *)
+
+val default_jobs : unit -> int
+(** Size for the shared pool when nothing explicit is given: the
+    [COOP_JOBS] environment variable if it parses to a positive integer,
+    else {!Domain.recommended_domain_count}. *)
+
+val set_default_jobs : int -> unit
+(** Override the shared pool size (the CLI's [--jobs] lands here). If the
+    shared pool already exists at a different size it is shut down and
+    recreated lazily. *)
+
+val shared : unit -> t
+(** The process-wide pool, created on first use at {!default_jobs} (or the
+    {!set_default_jobs} override). *)
+
+val map : ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] is [parallel_map (shared ()) f xs]. *)

@@ -58,9 +58,10 @@ let lockset_superset =
 let inference_fixpoint =
   prop "yield inference reaches a clean fixpoint" 25 (fun p ->
       let prog = compile p in
-      let portfolio () =
-        [ Sched.random ~seed:3 (); Sched.round_robin ~quantum:1 ();
-          Sched.random ~seed:91 () ]
+      let portfolio =
+        [ (fun () -> Sched.random ~seed:3 ());
+          (fun () -> Sched.round_robin ~quantum:1 ());
+          (fun () -> Sched.random ~seed:91 ()) ]
       in
       let inf = Infer.infer ~portfolio ~max_steps:300_000 prog in
       inf.Infer.final_check_violations = 0)

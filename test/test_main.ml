@@ -4,6 +4,7 @@ let () =
   Alcotest.run "coop"
     [
       ("util.rng", Test_rng.suite);
+      ("util.pool", Test_pool.suite);
       ("util.stats", Test_stats.suite);
       ("util.table", Test_table.suite);
       ("trace", Test_trace.suite);
@@ -33,5 +34,6 @@ let () =
       ("static", Test_static.suite);
       ("workloads", Test_workloads.suite);
       ("fuzz", Test_fuzz.suite);
+      ("parallel", Test_parallel.suite);
       ("sample-programs", Test_programs.suite);
     ]

@@ -1,0 +1,105 @@
+(* Unit tests for the shared domain work pool (Coop_util.Pool): order
+   preservation at several pool sizes, exception propagation, nested
+   submission on one pool (the helping invariant), and a queue-contention
+   stress run. *)
+
+open Coop_util
+
+let with_pool jobs f =
+  let p = Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let test_order_preserved () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun p ->
+          let xs = List.init 97 Fun.id in
+          Alcotest.(check (list int))
+            (Printf.sprintf "squares in order, jobs=%d" jobs)
+            (List.map (fun x -> x * x) xs)
+            (Pool.parallel_map p (fun x -> x * x) xs)))
+    [ 1; 2; 4 ]
+
+let test_empty_and_singleton () =
+  with_pool 3 (fun p ->
+      Alcotest.(check (list int)) "empty" []
+        (Pool.parallel_map p (fun x -> x) []);
+      Alcotest.(check (list int)) "singleton" [ 14 ]
+        (Pool.parallel_map p (fun x -> x * 2) [ 7 ]))
+
+exception Boom of int
+
+let test_exception_reraised () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun p ->
+          match
+            Pool.parallel_map p
+              (fun x -> if x mod 7 = 5 then raise (Boom x) else x)
+              (List.init 30 Fun.id)
+          with
+          | _ -> Alcotest.fail "expected Boom to propagate"
+          | exception Boom x ->
+              Alcotest.(check bool)
+                (Printf.sprintf "a failing index escaped, jobs=%d" jobs)
+                true (x mod 7 = 5)))
+    [ 1; 2; 4 ]
+
+(* The pool survives a batch that failed: subsequent batches still work. *)
+let test_usable_after_failure () =
+  with_pool 4 (fun p ->
+      (try ignore (Pool.parallel_map p (fun _ -> raise Exit) [ 1; 2; 3 ])
+       with Exit -> ());
+      Alcotest.(check (list int)) "next batch ok" [ 2; 4; 6 ]
+        (Pool.parallel_map p (fun x -> 2 * x) [ 1; 2; 3 ]))
+
+(* Nested parallel_map on the SAME pool: the submitter must help drain the
+   queue instead of deadlocking while its inner batch waits. *)
+let test_nested_same_pool () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun p ->
+          let table =
+            Pool.parallel_map p
+              (fun i ->
+                Pool.parallel_map p (fun j -> (10 * i) + j) (List.init 6 Fun.id))
+              (List.init 6 Fun.id)
+          in
+          Alcotest.(check (list (list int)))
+            (Printf.sprintf "6x6 nested table, jobs=%d" jobs)
+            (List.init 6 (fun i -> List.init 6 (fun j -> (10 * i) + j)))
+            table))
+    [ 1; 2; 4 ]
+
+let test_stress () =
+  with_pool 4 (fun p ->
+      let n = 2000 in
+      let expected = List.init n (fun i -> (i * i) + 1) in
+      Alcotest.(check int) "stress batch sums match"
+        (List.fold_left ( + ) 0 expected)
+        (List.fold_left ( + ) 0
+           (Pool.parallel_map p (fun i -> (i * i) + 1) (List.init n Fun.id))))
+
+let test_default_jobs_override () =
+  Pool.set_default_jobs 3;
+  Alcotest.(check int) "override wins" 3 (Pool.default_jobs ());
+  Alcotest.(check int) "shared pool resized" 3 (Pool.jobs (Pool.shared ()));
+  Pool.set_default_jobs 1;
+  Alcotest.(check int) "shrinks back" 1 (Pool.jobs (Pool.shared ()))
+
+let suite =
+  [
+    Alcotest.test_case "parallel_map preserves order" `Quick
+      test_order_preserved;
+    Alcotest.test_case "empty and singleton inputs" `Quick
+      test_empty_and_singleton;
+    Alcotest.test_case "worker exceptions re-raised" `Quick
+      test_exception_reraised;
+    Alcotest.test_case "pool usable after a failed batch" `Quick
+      test_usable_after_failure;
+    Alcotest.test_case "nested batches on one pool" `Quick
+      test_nested_same_pool;
+    Alcotest.test_case "2000-task stress" `Quick test_stress;
+    Alcotest.test_case "set_default_jobs resizes the shared pool" `Quick
+      test_default_jobs_override;
+  ]
