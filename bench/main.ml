@@ -259,6 +259,113 @@ let table3 () =
       Printf.printf "(wrote %s)\n" path
 
 (* ---------------------------------------------------------------------- *)
+(* Profile: per-checker overhead attribution (the paper's "dominated by    *)
+(* the race detector" claim, measured per workload)                        *)
+(* ---------------------------------------------------------------------- *)
+
+(* One workload, one instrumented full-pipeline run. Deliberately
+   sequential with a registry reset per workload: per-checker timers are
+   process-global, so parallel rows would merge attributions across
+   workloads. *)
+let profile_measure (e : Registry.entry) =
+  let prog = Registry.program_of e in
+  Coop_obs.reset ();
+  Coop_obs.enable ();
+  let source =
+    Runner.source ~sched:(fun () -> Sched.random ~seed:5 ()) prog
+  in
+  let r = Coop_pipeline.run ~atomize:true source in
+  let snap = Coop_obs.snapshot () in
+  Coop_obs.disable ();
+  let rows, total = Coop_obs.attribution snap in
+  (e.Registry.name, r.Coop_pipeline.events, rows, total)
+
+let profile_json measured =
+  Json.Obj
+    [ ("experiment", Json.String "profile");
+      ("jobs", Json.Int (Pool.jobs (Pool.shared ())));
+      ("workloads",
+       Json.List
+         (List.map
+            (fun (name, events, rows, total) ->
+              Json.Obj
+                [ ("name", Json.String name);
+                  ("events", Json.Int events);
+                  ("analysis_s", Json.Float total);
+                  ("checkers",
+                   Json.List
+                     (List.map
+                        (fun (r : Coop_obs.attribution_row) ->
+                          Json.Obj
+                            [ ("checker", Json.String r.Coop_obs.checker);
+                              ("s", Json.Float r.Coop_obs.seconds);
+                              ("share", Json.Float r.Coop_obs.share);
+                              ("events", Json.Int r.Coop_obs.events) ])
+                        rows)) ])
+            measured)) ]
+
+let profile () =
+  (* Force the shared rows (and their inference fixpoints) BEFORE enabling
+     telemetry, so the attribution below times exactly one pipeline run per
+     workload. *)
+  let entries = List.map (fun r -> r.entry) (Lazy.force rows) in
+  let measured = List.map profile_measure entries in
+  let checkers =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (_, _, rows, _) ->
+           List.filter_map
+             (fun (r : Coop_obs.attribution_row) ->
+               if r.Coop_obs.events > 0 then Some r.Coop_obs.checker else None)
+             rows)
+         measured)
+  in
+  let t =
+    Table.create
+      ~headers:
+        (("benchmark", Table.Left)
+        :: ("events", Table.Right)
+        :: ("analysis (ms)", Table.Right)
+        :: List.map (fun c -> (c, Table.Right)) checkers
+        @ [ ("dispatch/other", Table.Right) ])
+  in
+  List.iter
+    (fun (name, events, rows, total) ->
+      let share c =
+        match
+          List.find_opt
+            (fun (r : Coop_obs.attribution_row) -> r.Coop_obs.checker = c)
+            rows
+        with
+        | Some r -> Printf.sprintf "%.1f%%" (100. *. r.Coop_obs.share)
+        | None -> "-"
+      in
+      Table.add_row t
+        (name :: string_of_int events
+        :: Printf.sprintf "%.2f" (1000. *. total)
+        :: List.map share checkers
+        @ [ share "(dispatch/other)" ]))
+    measured;
+  Table.print
+    ~title:
+      "Profile: per-checker share of the analysis sink time (full fused \
+       pipeline, atomizer on)"
+    t;
+  print_endline
+    "(shares are measured per checker step inside the fused dispatch; the\n\
+     dispatch/other column is chain dispatch plus the instrumentation's own\n\
+     clock reads, reported instead of hidden. The race-detection row\n\
+     [fasttrack] carrying the largest checker share on the Java-Grande-style\n\
+     workloads is the paper's \"slowdown dominated by the race detector\".)\n";
+  let path =
+    match !json_out with Some p -> p | None -> "BENCH_profile.json"
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string (profile_json measured));
+  close_out oc;
+  Printf.printf "(wrote %s)\n" path
+
+(* ---------------------------------------------------------------------- *)
 (* Figure 1: the reduction theorem, empirically                            *)
 (* ---------------------------------------------------------------------- *)
 
@@ -734,6 +841,9 @@ let micro () =
 (* JSON validation (the CI gate for the machine-readable output)           *)
 (* ---------------------------------------------------------------------- *)
 
+(* Validates every machine-readable document the toolchain emits, keyed by
+   shape: bench results ({"experiment": "table3" | "profile"}), a Coop_obs
+   snapshot ({"schema": "coop-obs/v1"}), or a Chrome trace_event array. *)
 let json_verify path =
   let fail msg =
     Printf.eprintf "json-verify: %s: %s\n" path msg;
@@ -751,44 +861,142 @@ let json_verify path =
   let json =
     match Json.of_string contents with Ok v -> v | Error e -> fail e
   in
-  (match Json.member "experiment" json with
-  | Some (Json.String "table3") -> ()
-  | _ -> fail "missing or wrong \"experiment\" field (want \"table3\")");
-  (match Json.member "jobs" json with
-  | Some (Json.Int j) when j >= 1 -> ()
-  | _ -> fail "missing or invalid \"jobs\" field");
-  let workloads =
+  let check_jobs () =
+    match Json.member "jobs" json with
+    | Some (Json.Int j) when j >= 1 -> ()
+    | _ -> fail "missing or invalid \"jobs\" field"
+  in
+  let workloads_of json =
     match Json.member "workloads" json with
     | Some (Json.List (_ :: _ as ws)) -> ws
     | Some (Json.List []) -> fail "empty \"workloads\" array"
     | _ -> fail "missing \"workloads\" array"
   in
-  List.iter
-    (fun w ->
-      let name =
-        match Json.member "name" w with
-        | Some (Json.String s) -> s
-        | _ -> fail "workload entry without a \"name\""
-      in
-      List.iter
-        (fun field ->
-          match Option.bind (Json.member field w) Json.to_float with
-          | Some v when v > 0. -> ()
-          | Some _ -> fail (Printf.sprintf "%s: non-positive %s" name field)
-          | None -> fail (Printf.sprintf "%s: missing numeric %s" name field))
-        [ "events"; "base_s"; "race_s"; "full_s"; "race_slowdown";
-          "full_slowdown"; "race_kev_s"; "full_kev_s" ])
-    workloads;
-  Printf.printf "json-verify: %s ok (%d workloads)\n" path
-    (List.length workloads)
+  let name_of w =
+    match Json.member "name" w with
+    | Some (Json.String s) -> s
+    | _ -> fail "workload entry without a \"name\""
+  in
+  let verify_table3 () =
+    check_jobs ();
+    let workloads = workloads_of json in
+    List.iter
+      (fun w ->
+        let name = name_of w in
+        List.iter
+          (fun field ->
+            match Option.bind (Json.member field w) Json.to_float with
+            | Some v when v > 0. -> ()
+            | Some _ -> fail (Printf.sprintf "%s: non-positive %s" name field)
+            | None -> fail (Printf.sprintf "%s: missing numeric %s" name field))
+          [ "events"; "base_s"; "race_s"; "full_s"; "race_slowdown";
+            "full_slowdown"; "race_kev_s"; "full_kev_s" ])
+      workloads;
+    Printf.printf "json-verify: %s ok (table3, %d workloads)\n" path
+      (List.length workloads)
+  in
+  let verify_profile () =
+    check_jobs ();
+    let workloads = workloads_of json in
+    List.iter
+      (fun w ->
+        let name = name_of w in
+        (match Option.bind (Json.member "analysis_s" w) Json.to_float with
+        | Some v when v > 0. -> ()
+        | _ -> fail (Printf.sprintf "%s: missing positive analysis_s" name));
+        let checkers =
+          match Json.member "checkers" w with
+          | Some (Json.List (_ :: _ as cs)) -> cs
+          | _ -> fail (Printf.sprintf "%s: missing \"checkers\" array" name)
+        in
+        let share_sum =
+          List.fold_left
+            (fun acc c ->
+              (match Json.member "checker" c with
+              | Some (Json.String _) -> ()
+              | _ -> fail (Printf.sprintf "%s: checker without a name" name));
+              match Option.bind (Json.member "share" c) Json.to_float with
+              | Some s when s >= 0. && s <= 1.0001 -> acc +. s
+              | _ ->
+                  fail (Printf.sprintf "%s: checker without a valid share" name))
+            0. checkers
+        in
+        (* The attribution includes an explicit dispatch/other residual, so
+           the rows must account for (essentially) all the analysis time. *)
+        if share_sum < 0.95 || share_sum > 1.05 then
+          fail
+            (Printf.sprintf "%s: checker shares sum to %.3f (want ~1)" name
+               share_sum))
+      workloads;
+    Printf.printf "json-verify: %s ok (profile, %d workloads)\n" path
+      (List.length workloads)
+  in
+  let verify_obs_snapshot () =
+    List.iter
+      (fun field ->
+        match Json.member field json with
+        | Some (Json.Obj _) -> ()
+        | _ -> fail (Printf.sprintf "missing %S object" field))
+      [ "counters"; "gauges"; "timers"; "histograms" ];
+    let spans =
+      match Json.member "spans" json with
+      | Some (Json.List ss) -> ss
+      | _ -> fail "missing \"spans\" array"
+    in
+    List.iter
+      (fun s ->
+        match
+          ( Json.member "name" s,
+            Option.bind (Json.member "start_us" s) Json.to_float,
+            Option.bind (Json.member "dur_us" s) Json.to_float )
+        with
+        | Some (Json.String _), Some _, Some d when d >= 0. -> ()
+        | _ -> fail "span without name/start_us/dur_us")
+      spans;
+    Printf.printf "json-verify: %s ok (coop-obs snapshot, %d spans)\n" path
+      (List.length spans)
+  in
+  let verify_chrome_trace events =
+    if events = [] then fail "empty trace_event array";
+    List.iter
+      (fun e ->
+        (match
+           ( Json.member "name" e, Json.member "ph" e, Json.member "pid" e,
+             Json.member "tid" e )
+         with
+        | Some (Json.String _), Some (Json.String _), Some (Json.Int _),
+          Some (Json.Int _) ->
+            ()
+        | _ -> fail "trace event without name/ph/pid/tid");
+        match Json.member "ph" e with
+        | Some (Json.String "X") -> (
+            match (Json.member "ts" e, Json.member "dur" e) with
+            | Some (Json.Int _), Some (Json.Int d) when d >= 0 -> ()
+            | _ -> fail "complete (X) event without integer ts/dur")
+        | _ -> ())
+      events;
+    Printf.printf "json-verify: %s ok (chrome trace, %d events)\n" path
+      (List.length events)
+  in
+  match json with
+  | Json.List events -> verify_chrome_trace events
+  | _ -> (
+      match (Json.member "experiment" json, Json.member "schema" json) with
+      | Some (Json.String "table3"), _ -> verify_table3 ()
+      | Some (Json.String "profile"), _ -> verify_profile ()
+      | _, Some (Json.String "coop-obs/v1") -> verify_obs_snapshot ()
+      | _ ->
+          fail
+            "unrecognized document (want experiment=table3|profile, \
+             schema=coop-obs/v1, or a trace_event array)")
 
 (* ---------------------------------------------------------------------- *)
 (* Driver                                                                  *)
 (* ---------------------------------------------------------------------- *)
 
 let all = [ ("table1", table1); ("table2", table2); ("table3", table3);
-            ("fig1", fig1); ("fig2", fig2); ("fig3", fig3);
-            ("ablations", ablations); ("micro", micro) ]
+            ("profile", profile); ("fig1", fig1); ("fig2", fig2);
+            ("fig3", fig3); ("ablations", ablations); ("micro", micro) ]
 
 let usage () =
   Printf.eprintf

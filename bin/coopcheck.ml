@@ -36,27 +36,44 @@ let load ~threads ~size spec =
         exit 2
   end
 
+(* Every malformed numeric argument — non-numeric, out of range — gets the
+   same error shape naming the scheduler and what it wants; a quantum below
+   1 would make round-robin spin forever and is rejected explicitly. *)
 let scheduler_of = function
   | "cooperative" -> Sched.cooperative ()
   | "sequential" -> Sched.sequential
+  | "random" -> Sched.random ~seed:42 ()
+  | "rr" -> Sched.round_robin ~quantum:5 ()
   | s -> (
+      let bad_arg kind wants arg =
+        Printf.eprintf
+          "coopcheck: invalid scheduler argument %S: %s wants %s\n" arg kind
+          wants;
+        exit 2
+      in
+      let unknown () =
+        Printf.eprintf
+          "coopcheck: unknown scheduler %s (have: random[:seed], \
+           rr[:quantum], cooperative, sequential)\n"
+          s;
+        exit 2
+      in
       match String.index_opt s ':' with
       | Some i -> (
           let kind = String.sub s 0 i in
           let arg = String.sub s (i + 1) (String.length s - i - 1) in
-          match (kind, int_of_string_opt arg) with
-          | "random", Some seed -> Sched.random ~seed ()
-          | "rr", Some quantum -> Sched.round_robin ~quantum ()
-          | _ ->
-              Printf.eprintf "coopcheck: unknown scheduler %s\n" s;
-              exit 2)
-      | None -> (
-          match s with
-          | "random" -> Sched.random ~seed:42 ()
-          | "rr" -> Sched.round_robin ~quantum:5 ()
-          | _ ->
-              Printf.eprintf "coopcheck: unknown scheduler %s\n" s;
-              exit 2))
+          match kind with
+          | "random" -> (
+              match int_of_string_opt arg with
+              | Some seed when seed >= 0 -> Sched.random ~seed ()
+              | _ -> bad_arg "random" "a seed >= 0" arg)
+          | "rr" -> (
+              match int_of_string_opt arg with
+              | Some quantum when quantum >= 1 ->
+                  Sched.round_robin ~quantum ()
+              | _ -> bad_arg "rr" "a quantum >= 1" arg)
+          | _ -> unknown ())
+      | None -> unknown ())
 
 (* Common arguments *)
 
@@ -112,6 +129,75 @@ let pool_of_jobs = function
   | Some n ->
       Printf.eprintf "coopcheck: --jobs wants a positive integer, got %d\n" n;
       exit 2
+
+(* --- profiling (the Coop_obs surface) ----------------------------------- *)
+
+type profile_opts = {
+  p_table : bool;
+  p_json : string option;
+  p_chrome : string option;
+}
+
+let profile_term =
+  let table_arg =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Record in-process telemetry and print the per-checker \
+             attribution table (time per checker, share of the analysis \
+             sink time, events, ns/event) plus counters, timers and \
+             histogram digests.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the full telemetry snapshot (schema coop-obs/v1) to \
+             FILE; validate with `bench/main.exe json-verify FILE`.")
+  in
+  let chrome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the recorded spans as Chrome trace_event JSON to FILE \
+             (load in chrome://tracing or Perfetto; one thread per \
+             domain).")
+  in
+  Term.(
+    const (fun p_table p_json p_chrome -> { p_table; p_json; p_chrome })
+    $ table_arg $ json_arg $ chrome_arg)
+
+let profile_wanted p = p.p_table || p.p_json <> None || p.p_chrome <> None
+
+let profile_setup p = if profile_wanted p then Coop_obs.enable ()
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* Emit the requested telemetry views. Called before any non-zero exit so
+   a violating run still produces its profile. *)
+let profile_emit p =
+  if profile_wanted p then begin
+    let snap = Coop_obs.snapshot () in
+    if p.p_table then print_string (Coop_obs.render_summary snap);
+    Option.iter
+      (fun path ->
+        write_file path (Coop_util.Json.to_string (Coop_obs.to_json snap)))
+      p.p_json;
+    Option.iter
+      (fun path ->
+        write_file path
+          (Coop_util.Json.to_string (Coop_obs.chrome_trace snap)))
+      p.p_chrome;
+    Coop_obs.disable ()
+  end
 
 let run_outcome ~sched ~max_steps ?(yields = Coop_trace.Loc.Set.empty) prog =
   Runner.run ~yields ~max_steps ~sched:(scheduler_of sched)
@@ -201,7 +287,8 @@ let trace_cmd =
 (* --- check ------------------------------------------------------------- *)
 
 let check_cmd =
-  let action spec threads size sched max_steps from_trace =
+  let action spec threads size sched max_steps from_trace profile =
+    profile_setup profile;
     (* Both inputs are replayable sources for the fused two-phase pipeline:
        a saved trace is streamed off disk line by line, a program is
        re-executed under a fresh identically seeded scheduler — either way
@@ -244,8 +331,10 @@ let check_cmd =
     end;
     if vs = [] && dl.Coop_core.Deadlock.cycles = [] then
       Format.printf "program trace is COOPERABLE (and lock-order acyclic)@."
-    else if vs = [] then Format.printf "program trace is cooperable, but see deadlock warnings@."
-    else exit 1
+    else if vs = [] then
+      Format.printf "program trace is cooperable, but see deadlock warnings@.";
+    profile_emit profile;
+    if vs <> [] then exit 1
   in
   let from_trace_arg =
     Arg.(
@@ -261,12 +350,13 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:"Race + cooperability check of one execution. Exits 1 on violations.")
     Term.(const action $ prog_arg $ threads_arg $ size_arg $ sched_arg
-          $ max_steps_arg $ from_trace_arg)
+          $ max_steps_arg $ from_trace_arg $ profile_term)
 
 (* --- infer ------------------------------------------------------------- *)
 
 let infer_cmd =
-  let action spec threads size max_steps jobs =
+  let action spec threads size max_steps jobs profile =
+    profile_setup profile;
     let prog = load ~threads ~size spec in
     let pool = pool_of_jobs jobs in
     let inf = Coop_core.Infer.infer ~pool ~max_steps prog in
@@ -287,17 +377,19 @@ let infer_cmd =
         (Coop_core.Metrics.analysis prog ~inferred:inf.Coop_core.Infer.yields ())
         prog
     in
-    Format.printf "%a@." Coop_core.Metrics.pp m
+    Format.printf "%a@." Coop_core.Metrics.pp m;
+    profile_emit profile
   in
   Cmd.v
     (Cmd.info "infer" ~doc:"Infer the yield set and report annotation metrics.")
     Term.(const action $ prog_arg $ threads_arg $ size_arg $ max_steps_arg
-          $ jobs_arg)
+          $ jobs_arg $ profile_term)
 
 (* --- atomize ------------------------------------------------------------ *)
 
 let atomize_cmd =
-  let action spec threads size sched max_steps =
+  let action spec threads size sched max_steps profile =
+    profile_setup profile;
     let prog = load ~threads ~size spec in
     let source =
       Runner.source ~max_steps ~sched:(fun () -> scheduler_of sched) prog
@@ -322,17 +414,19 @@ let atomize_cmd =
     Format.printf
       "conflict graph: %d transactions, %d edges, serializable=%b@."
       c.Coop_atomicity.Conflict.transactions c.Coop_atomicity.Conflict.edges
-      (not c.Coop_atomicity.Conflict.cyclic)
+      (not c.Coop_atomicity.Conflict.cyclic);
+    profile_emit profile
   in
   Cmd.v
     (Cmd.info "atomize" ~doc:"Atomicity baseline (Atomizer + conflict graph).")
     Term.(const action $ prog_arg $ threads_arg $ size_arg $ sched_arg
-          $ max_steps_arg)
+          $ max_steps_arg $ profile_term)
 
 (* --- explore ------------------------------------------------------------ *)
 
 let explore_cmd =
-  let action spec threads size max_states with_inferred use_dpor jobs =
+  let action spec threads size max_states with_inferred use_dpor jobs profile =
+    profile_setup profile;
     let prog = load ~threads ~size spec in
     let pool = pool_of_jobs jobs in
     let yields =
@@ -357,7 +451,8 @@ let explore_cmd =
       Behavior.Set.iter
         (fun b -> Format.printf "  cooperative: %a@." Behavior.pp b)
         v.Coop_core.Equivalence.cooperative.Explore.behaviors
-    end
+    end;
+    profile_emit profile
   in
   let max_states_arg =
     Arg.(
@@ -382,7 +477,7 @@ let explore_cmd =
     (Cmd.info "explore"
        ~doc:"Enumerate behaviours under preemptive vs cooperative scheduling.")
     Term.(const action $ prog_arg $ threads_arg $ size_arg $ max_states_arg
-          $ with_inferred_arg $ dpor_arg $ jobs_arg)
+          $ with_inferred_arg $ dpor_arg $ jobs_arg $ profile_term)
 
 (* --- static ------------------------------------------------------------- *)
 
@@ -424,14 +519,23 @@ let static_cmd =
 
 let list_cmd =
   let action () =
+    let t =
+      Coop_util.Table.create
+        ~headers:
+          [ ("workload", Coop_util.Table.Left);
+            ("threads", Coop_util.Table.Right);
+            ("size", Coop_util.Table.Right);
+            ("description", Coop_util.Table.Left) ]
+    in
     List.iter
       (fun (e : Coop_workloads.Registry.entry) ->
-        Printf.printf "%-12s (threads=%d, size=%d)  %s\n"
-          e.Coop_workloads.Registry.name
-          e.Coop_workloads.Registry.default_threads
-          e.Coop_workloads.Registry.default_size
-          e.Coop_workloads.Registry.description)
-      Coop_workloads.Registry.all
+        Coop_util.Table.add_row t
+          [ e.Coop_workloads.Registry.name;
+            string_of_int e.Coop_workloads.Registry.default_threads;
+            string_of_int e.Coop_workloads.Registry.default_size;
+            e.Coop_workloads.Registry.description ])
+      Coop_workloads.Registry.all;
+    Coop_util.Table.print ~title:"Built-in workloads (defaults shown)" t
   in
   Cmd.v (Cmd.info "list" ~doc:"List built-in workloads.")
     Term.(const action $ const ())

@@ -22,4 +22,18 @@ COOP_JOBS=2 dune exec bench/main.exe -- table3 --only philo,crypt \
   --json _build/ci-table3.json
 dune exec bench/main.exe -- json-verify _build/ci-table3.json
 
+echo "== profile smoke (--profile-json / --chrome-trace, 2 workloads) =="
+# coopcheck check exits 1 when the workload has violations; the profile
+# files must be written and valid either way.
+dune exec bin/coopcheck.exe -- check montecarlo \
+  --profile-json _build/ci-obs-mc.json \
+  --chrome-trace _build/ci-chrome-mc.json || [ $? -eq 1 ]
+dune exec bench/main.exe -- json-verify _build/ci-obs-mc.json
+dune exec bench/main.exe -- json-verify _build/ci-chrome-mc.json
+COOP_JOBS=2 dune exec bin/coopcheck.exe -- infer philo \
+  --profile-json _build/ci-obs-philo.json \
+  --chrome-trace _build/ci-chrome-philo.json
+dune exec bench/main.exe -- json-verify _build/ci-obs-philo.json
+dune exec bench/main.exe -- json-verify _build/ci-chrome-philo.json
+
 echo "== ci ok =="

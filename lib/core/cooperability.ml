@@ -33,15 +33,24 @@ let check_with_racy ?local_locks ~racy trace =
    source through the transaction automaton with the now-final racy set.
    Nothing is materialized, so memory stays O(threads·vars). *)
 let check_source source =
+  let mark = ref 0. in
+  let instr name a =
+    Analysis.instrument ~mark ~name:("checker/" ^ name) a
+  in
   let phase1 =
-    Analysis.chain
-      (Coop_race.Fasttrack.analysis ())
-      (Analysis.chain (local_locks_analysis ()) (Analysis.count ()))
+    Analysis.instrument_phase ~name:"analysis/phase1" ~mark
+      (Analysis.chain
+         (instr "fasttrack" (Coop_race.Fasttrack.analysis ()))
+         (Analysis.chain
+            (instr "local_locks" (local_locks_analysis ()))
+            (Analysis.count ())))
   in
   let races, (local_locks, events) = Source.run source phase1 in
   let racy = Coop_race.Report.racy_vars races in
   let violations =
-    Source.run source (Automaton.analysis ~local_locks ~racy ())
+    Source.run source
+      (Analysis.instrument_phase ~name:"analysis/phase2" ~mark
+         (instr "automaton" (Automaton.analysis ~local_locks ~racy ())))
   in
   { violations; races; racy; events }
 

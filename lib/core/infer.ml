@@ -36,9 +36,15 @@ let default_portfolio =
 let portfolio_pass ~pool ~portfolio ~max_steps ~yields prog =
   let factories = Array.of_list portfolio in
   let one i =
-    let source = Runner.source ~yields ?max_steps ~sched:factories.(i) prog in
-    let r = Cooperability.check_source source in
-    (r.Cooperability.violations, r.Cooperability.events)
+    (* A span per schedule, recorded on whichever pool domain ran it — the
+       Chrome trace shows the portfolio's actual parallel shape. *)
+    Coop_obs.span ("infer/schedule:" ^ (factories.(i) ()).Sched.name)
+      (fun () ->
+        let source =
+          Runner.source ~yields ?max_steps ~sched:factories.(i) prog
+        in
+        let r = Cooperability.check_source source in
+        (r.Cooperability.violations, r.Cooperability.events))
   in
   let runs =
     Coop_util.Pool.parallel_map pool one
@@ -56,8 +62,11 @@ let infer ?pool ?(max_rounds = 20) ?(portfolio = default_portfolio) ?max_steps
   let events_total = ref 0 in
   let rec loop yields round initial =
     let violations, events =
-      portfolio_pass ~pool ~portfolio ~max_steps ~yields prog
+      Coop_obs.span
+        (Printf.sprintf "infer/round%d" round)
+        (fun () -> portfolio_pass ~pool ~portfolio ~max_steps ~yields prog)
     in
+    Coop_obs.count "infer/rounds" 1;
     events_total := !events_total + events;
     let initial =
       match initial with None -> Some (List.length violations) | some -> some
@@ -67,6 +76,8 @@ let infer ?pool ?(max_rounds = 20) ?(portfolio = default_portfolio) ?max_steps
     in
     if Loc.Set.is_empty new_locs || round >= max_rounds then begin
       let final_check_violations = List.length violations in
+      Coop_obs.gauge "infer/yields"
+        (float_of_int (Loc.Set.cardinal (Loc.Set.diff yields base_yields)));
       {
         yields = Loc.Set.diff yields base_yields;
         rounds = round;

@@ -1,0 +1,163 @@
+(** In-process telemetry for the whole analysis stack.
+
+    A zero-dependency (stdlib + unix clock) instrumentation library:
+    monotonic-intent spans with parent nesting, named counters, gauges,
+    duration-accumulating timers, and log-scale (power-of-two)
+    latency/size histograms. Everything is {e pay-for-what-you-use}:
+
+    - Disabled (the default), every recording entry point is a single
+      branch on a [bool ref] and allocates {e nothing} — no per-domain
+      state, no registry entry, no closure. The guard test asserts
+      {!domains_registered} stays [0] across a disabled run.
+    - Enabled, each domain records into its own buffer (created lazily on
+      first use, via domain-local storage) and the buffers are merged into
+      one {!snapshot} on demand — so [Coop_util.Pool] workers record
+      without taking any shared lock on the hot path.
+
+    Enabling also installs a {!Coop_util.Pool} monitor so the shared
+    domain pool exports queue depth, per-task latency and per-worker busy
+    time; disabling removes it.
+
+    {!snapshot} is a best-effort merge: call it at quiescence (after the
+    runs being profiled have completed) for exact totals. *)
+
+(** {1 Switch} *)
+
+val enabled : unit -> bool
+(** Whether telemetry is being recorded. *)
+
+val enable : unit -> unit
+(** Turn recording on (idempotent; the span epoch is set on the first
+    call after a {!reset}). Installs the pool monitor. *)
+
+val disable : unit -> unit
+(** Turn recording off and uninstall the pool monitor. Recorded data
+    survives until {!reset}. *)
+
+val reset : unit -> unit
+(** Drop all recorded data and every per-domain buffer. *)
+
+val now_s : unit -> float
+(** The clock used for all measurements, in seconds. Monotonic-intent:
+    [Unix.gettimeofday], the only in-distribution clock. *)
+
+(** {1 Recording} *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] times [f ()] as a named span. Spans nest: a span opened
+    inside another records the enclosing depth, and Chrome-trace viewers
+    reconstruct the hierarchy from the containment of [(start, dur)]
+    intervals on the same domain. Exceptions propagate; the span is
+    closed either way. *)
+
+val count : string -> int -> unit
+(** [count name n] adds [n] to the named counter. *)
+
+val gauge : string -> float -> unit
+(** [gauge name v] sets the named gauge; the merged snapshot keeps the
+    most recently written value across all domains. *)
+
+val observe : string -> float -> unit
+(** [observe name v] records one sample into the named log-scale
+    histogram (see {!Hist}). *)
+
+val timer_add : string -> float -> int -> unit
+(** [timer_add name seconds calls] folds an already-measured duration
+    into the named timer. This is the hot-path alternative to {!span}
+    for per-event instrumentation: accumulate locally, flush once (what
+    [Coop_trace.Analysis.instrument] does at finalize). *)
+
+val domains_registered : unit -> int
+(** Number of per-domain buffers currently registered — [0] while
+    disabled (the no-allocation guard). *)
+
+(** {1 Histograms} *)
+
+module Hist : sig
+  val min_exp : int
+  (** Smallest bucket exponent; samples [<= 2.^min_exp] (and non-positive
+      ones) land in this bucket. *)
+
+  val max_exp : int
+  (** Largest bucket exponent; larger samples are clamped into it. *)
+
+  val bucket_exp : float -> int
+  (** [bucket_exp v] is the exponent [e] of the bucket holding [v]:
+      the smallest [e] with [v <= 2. ** e] (i.e. bucket [e] covers
+      [(2.^(e-1), 2.^e]]), clamped to [[min_exp, max_exp]]. *)
+
+  type t = {
+    counts : (int * int) list;  (** [(exponent, count)], non-empty buckets
+                                    in increasing exponent order. *)
+    count : int;  (** Total samples. *)
+    sum : float;  (** Sum of samples. *)
+    min : float;  (** Smallest sample. *)
+    max : float;  (** Largest sample. *)
+  }
+end
+
+(** {1 Snapshots} *)
+
+type span_record = {
+  span_name : string;
+  domain : int;  (** Id of the recording domain. *)
+  start_us : float;  (** Microseconds since the recording epoch. *)
+  dur_us : float;
+  depth : int;  (** Number of enclosing open spans on the same domain. *)
+}
+
+type timer = {
+  time_s : float;  (** Accumulated seconds, all domains. *)
+  calls : int;
+  by_domain : (int * float) list;  (** Seconds per recording domain —
+                                       per-worker utilization. *)
+}
+
+type snapshot = {
+  spans : span_record list;  (** Sorted by start time. *)
+  counters : (string * int) list;  (** Sorted by name, summed over domains. *)
+  gauges : (string * float) list;  (** Sorted by name, last write wins. *)
+  timers : (string * timer) list;  (** Sorted by name. *)
+  hists : (string * Hist.t) list;  (** Sorted by name, merged over domains. *)
+}
+
+val snapshot : unit -> snapshot
+(** Merge every per-domain buffer into one consistent view. *)
+
+(** {1 Reporting} *)
+
+type attribution_row = {
+  checker : string;  (** Checker name ([checker/] prefix stripped), or
+                         ["(dispatch/other)"] for the residual. *)
+  seconds : float;
+  events : int;  (** Instrumented step calls; [0] for the residual row. *)
+  share : float;  (** Fraction of the total analysis sink time. *)
+}
+
+val attribution : snapshot -> attribution_row list * float
+(** Per-checker attribution, largest share first, from the [checker/*]
+    timers measured against the [analysis/*] phase totals (falling back
+    to the checkers' own sum when no phase timer was recorded). The
+    residual row makes the shares sum to 1, so the table accounts for
+    100% of the measured analysis time. Returns [([], 0.)] when nothing
+    was instrumented. *)
+
+val profile_table : snapshot -> string
+(** The attribution rendered as a [Coop_util.Table] (time, share, events,
+    ns/event per checker), or a one-line notice when nothing was
+    instrumented. *)
+
+val render_summary : snapshot -> string
+(** {!profile_table} followed by counters, gauges, timers (with
+    per-domain busy breakdown) and histogram digests — the [--profile]
+    output. *)
+
+val to_json : snapshot -> Coop_util.Json.t
+(** The stable machine-readable schema ([{"schema": "coop-obs/v1", ...}])
+    validated by [bench/main.exe json-verify]. *)
+
+val chrome_trace : snapshot -> Coop_util.Json.t
+(** The snapshot's spans as a Chrome [trace_event] JSON array (one
+    pseudo-process, one thread per domain, [ph:"X"] complete events with
+    [ts]/[dur] in microseconds) loadable in [chrome://tracing] and
+    Perfetto. *)

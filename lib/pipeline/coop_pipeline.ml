@@ -15,39 +15,64 @@ let opt = function
   | None -> Analysis.const None
   | Some a -> Analysis.map Option.some a
 
+(* Attribute each checker's step/finalize time to a [checker/<name>]
+   timer; the checkers of one phase share a clock mark seeded by the
+   enclosing [instrument_phase], so a chain of [k] checkers costs [k + 2]
+   clock reads per event. With telemetry disabled [instrument] returns
+   its argument, so the fused chain below is byte-identical to the
+   uninstrumented one. *)
+let instr mark name a =
+  Analysis.instrument ~mark ~name:("checker/" ^ name) a
+
 let run ?(lockset = false) ?(atomize = false) ?(conflict = false) source =
   (* Phase 1: everything that needs no prior knowledge, fused behind one
      event dispatch — happens-before race detection, the optional Eraser
      baseline, the thread-local-lock scan, lock-order deadlock edges, and
      the event counter. *)
+  let mark = ref 0. in
+  let instr name a = instr mark name a in
   let phase1 =
-    Analysis.chain
-      (Coop_race.Fasttrack.analysis ())
+    Analysis.instrument_phase ~name:"analysis/phase1" ~mark
       (Analysis.chain
-         (opt (if lockset then Some (Coop_race.Lockset.analysis ()) else None))
+         (instr "fasttrack" (Coop_race.Fasttrack.analysis ()))
          (Analysis.chain
-            (Coop_core.Cooperability.local_locks_analysis ())
-            (Analysis.chain (Coop_core.Deadlock.analysis ()) (Analysis.count ()))))
+            (opt
+               (if lockset then
+                  Some (instr "lockset" (Coop_race.Lockset.analysis ()))
+                else None))
+            (Analysis.chain
+               (instr "local_locks"
+                  (Coop_core.Cooperability.local_locks_analysis ()))
+               (Analysis.chain
+                  (instr "deadlock" (Coop_core.Deadlock.analysis ()))
+                  (Analysis.count ())))))
   in
   let races, (lockset_races, (local_locks, (deadlock, events))) =
-    Source.run source phase1
+    Coop_obs.span "pipeline/phase1" (fun () -> Source.run source phase1)
   in
   let racy = Coop_race.Report.racy_vars races in
   (* Phase 2: the mover/transaction checkers, which need the final racy set
      and local-lock predicate; the source is re-streamed, never stored. *)
   let phase2 =
-    Analysis.chain
-      (Coop_core.Automaton.analysis ~local_locks ~racy ())
+    Analysis.instrument_phase ~name:"analysis/phase2" ~mark
       (Analysis.chain
-         (opt
-            (if atomize then
-               Some (Coop_atomicity.Atomizer.analysis ~local_locks ~racy ())
-             else None))
-         (opt
-            (if conflict then Some (Coop_atomicity.Conflict.analysis ())
-             else None)))
+         (instr "automaton"
+            (Coop_core.Automaton.analysis ~local_locks ~racy ()))
+         (Analysis.chain
+            (opt
+               (if atomize then
+                  Some
+                    (instr "atomizer"
+                       (Coop_atomicity.Atomizer.analysis ~local_locks ~racy ()))
+                else None))
+            (opt
+               (if conflict then
+                  Some (instr "conflict" (Coop_atomicity.Conflict.analysis ()))
+                else None))))
   in
-  let violations, (atomizer, conflict) = Source.run source phase2 in
+  let violations, (atomizer, conflict) =
+    Coop_obs.span "pipeline/phase2" (fun () -> Source.run source phase2)
+  in
   { races; racy; lockset_races; violations; deadlock; atomizer; conflict;
     events }
 

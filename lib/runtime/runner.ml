@@ -11,7 +11,7 @@ type outcome = {
   steps : int;
 }
 
-let run ?(yields = Loc.Set.empty) ?(max_steps = 10_000_000) ~sched ~sink prog =
+let run_raw ~yields ~max_steps ~sched ~sink prog =
   let rec loop st last steps =
     if steps >= max_steps then
       { final = st; termination = Step_limit; steps }
@@ -31,6 +31,20 @@ let run ?(yields = Loc.Set.empty) ?(max_steps = 10_000_000) ~sched ~sink prog =
     end
   in
   loop (Vm.init prog) None 0
+
+let run ?(yields = Loc.Set.empty) ?(max_steps = 10_000_000) ~sched ~sink prog =
+  if not (Coop_obs.enabled ()) then run_raw ~yields ~max_steps ~sched ~sink prog
+  else
+    (* Telemetry path: one span per VM run, plus step and event-dispatch
+       counters accumulated locally and flushed once — the checked-per-run
+       branch above is the uninstrumented hot path's entire cost. *)
+    Coop_obs.span ("vm/run:" ^ sched.Sched.name) (fun () ->
+        let events = ref 0 in
+        let counting e = incr events; sink e in
+        let outcome = run_raw ~yields ~max_steps ~sched ~sink:counting prog in
+        Coop_obs.count "vm/steps" outcome.steps;
+        Coop_obs.count "vm/events" !events;
+        outcome)
 
 let record ?yields ?max_steps ~sched prog =
   let trace = Trace.create () in

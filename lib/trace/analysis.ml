@@ -35,6 +35,60 @@ let fold f init =
   let acc = ref init in
   { step = (fun e -> acc := f !acc e); finalize = (fun () -> !acc) }
 
+let instrumented ~name ~step_of =
+  let elapsed = ref 0. in
+  let events = ref 0 in
+  fun (a : _ t) ->
+    let step = step_of a elapsed events in
+    let finalize () =
+      let t0 = Coop_obs.now_s () in
+      let r = a.finalize () in
+      elapsed := !elapsed +. (Coop_obs.now_s () -. t0);
+      Coop_obs.timer_add name !elapsed !events;
+      (* Reset so a re-used analysis (two sources through one instance)
+         does not double-flush what it already reported. *)
+      elapsed := 0.;
+      events := 0;
+      r
+    in
+    { step; finalize }
+
+let instrument ?mark ~name a =
+  if not (Coop_obs.enabled ()) then a
+  else
+    instrumented ~name
+      ~step_of:(fun a elapsed events ->
+        match mark with
+        | None ->
+            fun e ->
+              let t0 = Coop_obs.now_s () in
+              a.step e;
+              elapsed := !elapsed +. (Coop_obs.now_s () -. t0);
+              incr events
+        | Some m ->
+            (* Shared-clock mode: one read per step, delta from the mark
+               the phase driver (or the previous checker) left behind. *)
+            fun e ->
+              a.step e;
+              let t = Coop_obs.now_s () in
+              elapsed := !elapsed +. (t -. !m);
+              m := t;
+              incr events)
+      a
+
+let instrument_phase ~name ~mark a =
+  if not (Coop_obs.enabled ()) then a
+  else
+    instrumented ~name
+      ~step_of:(fun a elapsed events ->
+        fun e ->
+          let t0 = Coop_obs.now_s () in
+          mark := t0;
+          a.step e;
+          elapsed := !elapsed +. (Coop_obs.now_s () -. t0);
+          incr events)
+      a
+
 let run a trace =
   Trace.iter a.step trace;
   a.finalize ()

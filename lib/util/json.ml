@@ -83,6 +83,25 @@ let to_string v =
 
 exception Fail of int * string
 
+(* Encode a Unicode scalar value as UTF-8 bytes. *)
+let add_utf8 buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
 let of_string s =
   let n = String.length s in
   let pos = ref 0 in
@@ -129,13 +148,41 @@ let of_string s =
           | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
           | Some 'u' ->
               advance ();
-              if !pos + 4 > n then fail "truncated \\u escape";
-              let hex = String.sub s !pos 4 in
-              (match int_of_string_opt ("0x" ^ hex) with
-              | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
-              | Some _ -> Buffer.add_char buf '?'  (* non-ASCII: lossy *)
-              | None -> fail "bad \\u escape");
-              pos := !pos + 4;
+              let hex4 () =
+                if !pos + 4 > n then fail "truncated \\u escape";
+                let v = ref 0 in
+                for i = !pos to !pos + 3 do
+                  let d =
+                    match s.[i] with
+                    | '0' .. '9' as c -> Char.code c - Char.code '0'
+                    | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+                    | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+                    | _ -> fail "bad \\u escape"
+                  in
+                  v := (!v lsl 4) lor d
+                done;
+                pos := !pos + 4;
+                !v
+              in
+              let code = hex4 () in
+              let code =
+                if code >= 0xD800 && code <= 0xDBFF then
+                  (* High surrogate: must pair with a following \uDC00-
+                     \uDFFF to form a supplementary-plane scalar. *)
+                  if !pos + 6 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+                  then begin
+                    pos := !pos + 2;
+                    let lo = hex4 () in
+                    if lo >= 0xDC00 && lo <= 0xDFFF then
+                      0x10000 + ((code - 0xD800) lsl 10) + (lo - 0xDC00)
+                    else fail "unpaired high surrogate in \\u escape"
+                  end
+                  else fail "unpaired high surrogate in \\u escape"
+                else if code >= 0xDC00 && code <= 0xDFFF then
+                  fail "unpaired low surrogate in \\u escape"
+                else code
+              in
+              add_utf8 buf code;
               go ()
           | _ -> fail "bad escape")
       | Some c ->

@@ -16,6 +16,18 @@ type t = {
   mutable workers : unit Domain.t list;
 }
 
+type monitor = {
+  on_submit : queued:int -> unit;
+  wrap_task : (unit -> unit) -> unit -> unit;
+}
+
+let monitor : monitor option ref = ref None
+
+let set_monitor m = monitor := m
+
+let run_task task =
+  match !monitor with None -> task () | Some m -> m.wrap_task task ()
+
 let rec worker_loop pool =
   Mutex.lock pool.mutex;
   while Queue.is_empty pool.pending && pool.live do
@@ -25,7 +37,7 @@ let rec worker_loop pool =
   else begin
     let task = Queue.pop pool.pending in
     Mutex.unlock pool.mutex;
-    task ();
+    run_task task;
     worker_loop pool
   end
 
@@ -83,8 +95,12 @@ let parallel_map (type b) pool f xs =
       for i = 0 to n - 1 do
         Queue.push (task i) pool.pending
       done;
+      let queued = Queue.length pool.pending in
       Condition.broadcast pool.nonempty;
       Mutex.unlock pool.mutex;
+      (match !monitor with
+      | Some m -> m.on_submit ~queued
+      | None -> ());
       (* Help until our batch has settled. Popped tasks may belong to other
          batches (nested calls); running them here is harmless and keeps the
          no-sleep-while-work-exists invariant. *)
@@ -101,7 +117,7 @@ let parallel_map (type b) pool f xs =
           Mutex.unlock pool.mutex;
           match next with
           | Some task ->
-              task ();
+              run_task task;
               help ()
           | None ->
               (* Everything left of this batch is running on other domains:

@@ -31,6 +31,22 @@ val shutdown : t -> unit
 (** Stop and join the workers. Outstanding tasks are drained first.
     Idempotent. *)
 
+(** Telemetry hooks. The pool itself depends on nothing, so observability
+    is injected: [Coop_obs.enable] installs a monitor that exports queue
+    depth, per-task latency and per-worker busy time; with no monitor
+    installed (the default) the dispatch path is untouched. *)
+type monitor = {
+  on_submit : queued:int -> unit;
+      (** Called once per batch submission with the deque length just
+          after the batch was pushed. *)
+  wrap_task : (unit -> unit) -> unit -> unit;
+      (** Wraps every task execution (worker or helping submitter); the
+          monitor owns the timing. Must call the task exactly once. *)
+}
+
+val set_monitor : monitor option -> unit
+(** Install or remove the process-wide monitor (affects all pools). *)
+
 val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [parallel_map pool f xs] is [List.map f xs], computed concurrently.
     Results are returned in input order. If any application raises, the

@@ -7,6 +7,8 @@ let () =
       ("util.pool", Test_pool.suite);
       ("util.stats", Test_stats.suite);
       ("util.table", Test_table.suite);
+      ("util.json", Test_json.suite);
+      ("obs", Test_obs.suite);
       ("trace", Test_trace.suite);
       ("trace.serialize", Test_serialize.suite);
       ("race.vclock", Test_vclock.suite);

@@ -1,0 +1,305 @@
+(* Unit tests for the Coop_obs telemetry library: histogram bucket
+   boundaries, span nesting and ordering, counter/timer merge across pool
+   workers at several pool sizes, the disabled-mode no-allocation guard,
+   attribution arithmetic, and the Chrome trace_event structure. *)
+
+open Coop_util
+
+(* Every test leaves telemetry off and empty, whatever happened inside —
+   the registry is process-global and other suites must not see it. *)
+let with_obs f =
+  Fun.protect
+    ~finally:(fun () ->
+      Coop_obs.disable ();
+      Coop_obs.reset ())
+    (fun () ->
+      Coop_obs.reset ();
+      f ())
+
+let test_hist_bucket_boundaries () =
+  let check what want v =
+    Alcotest.(check int) what want (Coop_obs.Hist.bucket_exp v)
+  in
+  (* Bucket [e] covers (2^(e-1), 2^e]. *)
+  check "1.0 -> 0" 0 1.0;
+  check "0.75 -> 0" 0 0.75;
+  check "0.5 -> -1" (-1) 0.5;
+  check "2.0 -> 1" 1 2.0;
+  check "2.01 -> 2" 2 2.01;
+  check "4.0 -> 2" 2 4.0;
+  check "1024 -> 10" 10 1024.;
+  check "0.25 -> -2" (-2) 0.25;
+  (* Clamping and degenerate samples. *)
+  check "0 clamps to min" Coop_obs.Hist.min_exp 0.;
+  check "negative clamps to min" Coop_obs.Hist.min_exp (-5.);
+  check "tiny clamps to min" Coop_obs.Hist.min_exp 1e-30;
+  check "nan clamps to min" Coop_obs.Hist.min_exp Float.nan;
+  check "huge clamps to max" Coop_obs.Hist.max_exp 1e300;
+  check "inf clamps to max" Coop_obs.Hist.max_exp Float.infinity;
+  Alcotest.(check bool) "min_exp < max_exp" true
+    (Coop_obs.Hist.min_exp < Coop_obs.Hist.max_exp)
+
+let test_hist_observe_and_merge () =
+  with_obs (fun () ->
+      Coop_obs.enable ();
+      List.iter (Coop_obs.observe "h") [ 1.0; 1.5; 2.0; 3.0 ];
+      let s = Coop_obs.snapshot () in
+      match List.assoc_opt "h" s.Coop_obs.hists with
+      | None -> Alcotest.fail "histogram missing from snapshot"
+      | Some h ->
+          Alcotest.(check int) "count" 4 h.Coop_obs.Hist.count;
+          Alcotest.(check (float 1e-9)) "sum" 7.5 h.Coop_obs.Hist.sum;
+          Alcotest.(check (float 1e-9)) "min" 1.0 h.Coop_obs.Hist.min;
+          Alcotest.(check (float 1e-9)) "max" 3.0 h.Coop_obs.Hist.max;
+          (* 1.0 -> bucket 0; 1.5, 2.0 -> bucket 1; 3.0 -> bucket 2. *)
+          Alcotest.(check (list (pair int int)))
+            "buckets" [ (0, 1); (1, 2); (2, 1) ] h.Coop_obs.Hist.counts)
+
+let test_span_nesting_and_order () =
+  with_obs (fun () ->
+      Coop_obs.enable ();
+      let r =
+        Coop_obs.span "outer" (fun () ->
+            Coop_obs.span "inner" (fun () -> 6 * 7))
+      in
+      Alcotest.(check int) "span returns the body's value" 42 r;
+      Coop_obs.span "later" (fun () -> ());
+      let s = Coop_obs.snapshot () in
+      let find name =
+        match
+          List.find_opt
+            (fun sp -> sp.Coop_obs.span_name = name)
+            s.Coop_obs.spans
+        with
+        | Some sp -> sp
+        | None -> Alcotest.fail ("span not recorded: " ^ name)
+      in
+      let outer = find "outer" and inner = find "inner"
+      and later = find "later" in
+      Alcotest.(check int) "outer depth" 0 outer.Coop_obs.depth;
+      Alcotest.(check int) "inner depth" 1 inner.Coop_obs.depth;
+      Alcotest.(check int) "later back to depth 0" 0 later.Coop_obs.depth;
+      (* Containment: inner lies within outer's interval. The µs values
+         are epoch-relative conversions of absolute clock readings, so
+         allow a couple of ulps (~0.5 µs at gettimeofday magnitudes). *)
+      let tol = 2. in
+      Alcotest.(check bool) "inner starts after outer" true
+        (inner.Coop_obs.start_us >= outer.Coop_obs.start_us -. tol);
+      Alcotest.(check bool) "inner ends before outer" true
+        (inner.Coop_obs.start_us +. inner.Coop_obs.dur_us
+        <= outer.Coop_obs.start_us +. outer.Coop_obs.dur_us +. tol);
+      (* Snapshot orders spans by start time. *)
+      let starts = List.map (fun sp -> sp.Coop_obs.start_us) s.Coop_obs.spans in
+      Alcotest.(check bool) "spans sorted by start" true
+        (List.sort compare starts = starts))
+
+let test_span_closes_on_exception () =
+  with_obs (fun () ->
+      Coop_obs.enable ();
+      (try Coop_obs.span "boom" (fun () -> failwith "x") with Failure _ -> ());
+      Coop_obs.span "after" (fun () -> ());
+      let s = Coop_obs.snapshot () in
+      let after =
+        List.find (fun sp -> sp.Coop_obs.span_name = "after") s.Coop_obs.spans
+      in
+      Alcotest.(check int) "depth restored after exception" 0
+        after.Coop_obs.depth;
+      Alcotest.(check bool) "failed span still recorded" true
+        (List.exists (fun sp -> sp.Coop_obs.span_name = "boom") s.Coop_obs.spans))
+
+(* Pool workers record into per-domain buffers; the snapshot merge must
+   produce identical totals whatever the parallelism. *)
+let test_counter_merge_across_pool_sizes () =
+  let totals jobs =
+    with_obs (fun () ->
+        Coop_obs.enable ();
+        let p = Pool.create ~jobs in
+        Fun.protect
+          ~finally:(fun () -> Pool.shutdown p)
+          (fun () ->
+            ignore
+              (Pool.parallel_map p
+                 (fun i ->
+                   Coop_obs.count "par/ticks" i;
+                   Coop_obs.observe "par/size" (float_of_int i);
+                   Coop_obs.timer_add "par/work" 0.001 1;
+                   i)
+                 (List.init 40 (fun i -> i + 1))));
+        let s = Coop_obs.snapshot () in
+        let counter =
+          match List.assoc_opt "par/ticks" s.Coop_obs.counters with
+          | Some n -> n
+          | None -> Alcotest.fail "counter missing"
+        in
+        let hist_count, hist_sum =
+          match List.assoc_opt "par/size" s.Coop_obs.hists with
+          | Some h -> (h.Coop_obs.Hist.count, h.Coop_obs.Hist.sum)
+          | None -> Alcotest.fail "histogram missing"
+        in
+        let timer =
+          match List.assoc_opt "par/work" s.Coop_obs.timers with
+          | Some t -> t
+          | None -> Alcotest.fail "timer missing"
+        in
+        let by_domain_sum =
+          List.fold_left (fun a (_, s) -> a +. s) 0. timer.Coop_obs.by_domain
+        in
+        Alcotest.(check (float 1e-9))
+          "timer by_domain sums to total" timer.Coop_obs.time_s by_domain_sum;
+        (counter, hist_count, hist_sum, timer.Coop_obs.calls))
+  in
+  List.iter
+    (fun jobs ->
+      let counter, hist_count, hist_sum, timer_calls = totals jobs in
+      let what fmt = Printf.sprintf "%s at jobs=%d" fmt jobs in
+      Alcotest.(check int) (what "counter total") 820 counter;
+      Alcotest.(check int) (what "histogram count") 40 hist_count;
+      Alcotest.(check (float 1e-9)) (what "histogram sum") 820. hist_sum;
+      Alcotest.(check int) (what "timer calls") 40 timer_calls)
+    [ 1; 2; 4 ]
+
+let test_disabled_is_noop () =
+  with_obs (fun () ->
+      Alcotest.(check bool) "disabled by default" false (Coop_obs.enabled ());
+      (* Recording while disabled must allocate no telemetry state. *)
+      Coop_obs.count "c" 1;
+      Coop_obs.gauge "g" 1.;
+      Coop_obs.observe "h" 1.;
+      Coop_obs.timer_add "t" 1. 1;
+      Alcotest.(check int) "span body still runs" 9
+        (Coop_obs.span "s" (fun () -> 9));
+      Alcotest.(check int) "no per-domain buffer registered" 0
+        (Coop_obs.domains_registered ());
+      let s = Coop_obs.snapshot () in
+      Alcotest.(check int) "no spans" 0 (List.length s.Coop_obs.spans);
+      Alcotest.(check int) "no counters" 0 (List.length s.Coop_obs.counters);
+      Alcotest.(check int) "no gauges" 0 (List.length s.Coop_obs.gauges);
+      Alcotest.(check int) "no timers" 0 (List.length s.Coop_obs.timers);
+      Alcotest.(check int) "no histograms" 0 (List.length s.Coop_obs.hists))
+
+let test_reset_drops_everything () =
+  with_obs (fun () ->
+      Coop_obs.enable ();
+      Coop_obs.count "c" 5;
+      Coop_obs.span "s" (fun () -> ());
+      Alcotest.(check bool) "buffer registered while enabled" true
+        (Coop_obs.domains_registered () > 0);
+      Coop_obs.disable ();
+      Coop_obs.reset ();
+      Alcotest.(check int) "reset drops buffers" 0
+        (Coop_obs.domains_registered ());
+      let s = Coop_obs.snapshot () in
+      Alcotest.(check int) "reset drops counters" 0
+        (List.length s.Coop_obs.counters);
+      Alcotest.(check int) "reset drops spans" 0 (List.length s.Coop_obs.spans))
+
+let test_attribution_shares_sum_to_one () =
+  with_obs (fun () ->
+      Coop_obs.enable ();
+      Coop_obs.timer_add "checker/fast" 0.06 10;
+      Coop_obs.timer_add "checker/slow" 0.03 5;
+      Coop_obs.timer_add "analysis/phase1" 0.1 15;
+      let rows, total = Coop_obs.attribution (Coop_obs.snapshot ()) in
+      Alcotest.(check (float 1e-9)) "total is the phase timer" 0.1 total;
+      let share name =
+        match List.find_opt (fun r -> r.Coop_obs.checker = name) rows with
+        | Some r -> r.Coop_obs.share
+        | None -> Alcotest.fail ("attribution row missing: " ^ name)
+      in
+      Alcotest.(check (float 1e-9)) "fast share" 0.6 (share "fast");
+      Alcotest.(check (float 1e-9)) "slow share" 0.3 (share "slow");
+      Alcotest.(check (float 1e-9)) "residual share" 0.1
+        (share "(dispatch/other)");
+      let sum = List.fold_left (fun a r -> a +. r.Coop_obs.share) 0. rows in
+      Alcotest.(check (float 1e-9)) "shares sum to 1" 1.0 sum;
+      (* Largest share first; the residual row carries no event count. *)
+      Alcotest.(check string) "sorted by share"
+        "fast" (List.hd rows).Coop_obs.checker;
+      Alcotest.(check int) "residual has no events" 0
+        (List.find
+           (fun r -> r.Coop_obs.checker = "(dispatch/other)")
+           rows)
+          .Coop_obs.events)
+
+let test_chrome_trace_structure () =
+  with_obs (fun () ->
+      Coop_obs.enable ();
+      Coop_obs.span "outer" (fun () -> Coop_obs.span "inner" (fun () -> ()));
+      let j = Coop_obs.chrome_trace (Coop_obs.snapshot ()) in
+      match j with
+      | Json.List items ->
+          Alcotest.(check bool) "non-empty" true (items <> []);
+          let str k o =
+            match Json.member k o with Some (Json.String s) -> Some s | _ -> None
+          in
+          let metas, events =
+            List.partition (fun o -> str "ph" o = Some "M") items
+          in
+          Alcotest.(check bool) "has process/thread metadata" true
+            (List.exists (fun o -> str "name" o = Some "process_name") metas
+            && List.exists (fun o -> str "name" o = Some "thread_name") metas);
+          Alcotest.(check int) "one X event per span" 2 (List.length events);
+          List.iter
+            (fun o ->
+              Alcotest.(check (option string)) "complete event" (Some "X")
+                (str "ph" o);
+              Alcotest.(check bool) "pseudo-pid 1" true
+                (Json.member "pid" o = Some (Json.Int 1));
+              let int_field k =
+                match Json.member k o with
+                | Some (Json.Int i) -> i
+                | _ -> Alcotest.fail (k ^ " must be an integer")
+              in
+              Alcotest.(check bool) "ts non-negative" true (int_field "ts" >= 0);
+              Alcotest.(check bool) "dur at least 1us" true
+                (int_field "dur" >= 1);
+              ignore (int_field "tid");
+              match str "name" o with
+              | Some ("outer" | "inner") -> ()
+              | _ -> Alcotest.fail "unexpected event name")
+            events;
+          (* Parse back what we print: the file written by --chrome-trace
+             must be valid JSON. *)
+          (match Json.of_string (Json.to_string j) with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail ("chrome trace not valid JSON: " ^ e))
+      | _ -> Alcotest.fail "chrome trace must be a JSON array")
+
+let test_to_json_schema () =
+  with_obs (fun () ->
+      Coop_obs.enable ();
+      Coop_obs.count "c" 3;
+      Coop_obs.span "s" (fun () -> ());
+      Coop_obs.timer_add "checker/x" 0.01 2;
+      let j = Coop_obs.to_json (Coop_obs.snapshot ()) in
+      Alcotest.(check bool) "schema tag" true
+        (Json.member "schema" j = Some (Json.String "coop-obs/v1"));
+      List.iter
+        (fun k ->
+          match Json.member k j with
+          | Some _ -> ()
+          | None -> Alcotest.fail ("missing key: " ^ k))
+        [ "spans"; "counters"; "gauges"; "timers"; "histograms" ])
+
+let suite =
+  [
+    Alcotest.test_case "histogram bucket boundaries" `Quick
+      test_hist_bucket_boundaries;
+    Alcotest.test_case "histogram observe and digest" `Quick
+      test_hist_observe_and_merge;
+    Alcotest.test_case "span nesting and ordering" `Quick
+      test_span_nesting_and_order;
+    Alcotest.test_case "span closes on exception" `Quick
+      test_span_closes_on_exception;
+    Alcotest.test_case "counter merge at pool sizes 1/2/4" `Quick
+      test_counter_merge_across_pool_sizes;
+    Alcotest.test_case "disabled mode is a true no-op" `Quick
+      test_disabled_is_noop;
+    Alcotest.test_case "reset drops everything" `Quick
+      test_reset_drops_everything;
+    Alcotest.test_case "attribution shares sum to one" `Quick
+      test_attribution_shares_sum_to_one;
+    Alcotest.test_case "chrome trace structure" `Quick
+      test_chrome_trace_structure;
+    Alcotest.test_case "snapshot json schema" `Quick test_to_json_schema;
+  ]
