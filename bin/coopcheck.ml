@@ -107,6 +107,16 @@ let max_steps_arg =
     value & opt int 10_000_000
     & info [ "max-steps" ] ~docv:"N" ~doc:"Step budget before giving up.")
 
+let two_pass_arg =
+  Arg.(
+    value & flag
+    & info [ "two-pass" ]
+        ~doc:
+          "Use the historical two-pass checker (race pass first, mover \
+           pass over a second replay) instead of the single-pass engine. \
+           Same results, twice the streaming; kept as the reference \
+           oracle. Requires a replayable input.")
+
 let jobs_arg =
   Arg.(
     value
@@ -287,22 +297,36 @@ let trace_cmd =
 (* --- check ------------------------------------------------------------- *)
 
 let check_cmd =
-  let action spec threads size sched max_steps from_trace profile =
+  let action spec threads size sched max_steps from_trace two_pass profile =
     profile_setup profile;
-    (* Both inputs are replayable sources for the fused two-phase pipeline:
-       a saved trace is streamed off disk line by line, a program is
-       re-executed under a fresh identically seeded scheduler — either way
-       no trace is materialized. *)
+    (* All inputs are streamed, never materialized: a saved trace comes
+       off disk line by line, `--trace -` reads a pipe (single-pass only
+       — a pipe cannot be replayed), and a program is re-executed under a
+       fresh identically seeded scheduler. *)
     let source =
       match from_trace with
+      | Some "-" ->
+          if two_pass then begin
+            Printf.eprintf
+              "coopcheck: --two-pass needs a replayable input; a piped \
+               trace (--trace -) can only be read once\n";
+            exit 2
+          end;
+          Coop_trace.Source.of_channel stdin
       | Some path -> Coop_trace.Source.of_file path
-      | None ->
-          let prog = load ~threads ~size spec in
-          Runner.source ~max_steps
-            ~sched:(fun () -> scheduler_of sched)
-            prog
+      | None -> (
+          match spec with
+          | Some spec ->
+              let prog = load ~threads ~size spec in
+              Runner.source ~max_steps
+                ~sched:(fun () -> scheduler_of sched)
+                prog
+          | None ->
+              Printf.eprintf
+                "coopcheck: check wants a PROGRAM or --trace FILE\n";
+              exit 2)
     in
-    let r = Coop_pipeline.run source in
+    let r = Coop_pipeline.run ~two_pass source in
     Format.printf "events: %d@." r.Coop_pipeline.events;
     Format.printf "races: %d on %d variable(s)@."
       (List.length r.Coop_pipeline.races)
@@ -344,13 +368,23 @@ let check_cmd =
           ~doc:
             "Analyze a trace saved with `trace --save` instead of running \
              the program (which is then ignored). The file is streamed \
-             incrementally, never loaded whole.")
+             incrementally, never loaded whole. Use `-` to read a \
+             serialized trace from standard input (single-pass only).")
+  in
+  let opt_prog_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"PROGRAM"
+          ~doc:
+            "A .coop file or a built-in workload name (optional when \
+             --trace is given).")
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Race + cooperability check of one execution. Exits 1 on violations.")
-    Term.(const action $ prog_arg $ threads_arg $ size_arg $ sched_arg
-          $ max_steps_arg $ from_trace_arg $ profile_term)
+    Term.(const action $ opt_prog_arg $ threads_arg $ size_arg $ sched_arg
+          $ max_steps_arg $ from_trace_arg $ two_pass_arg $ profile_term)
 
 (* --- infer ------------------------------------------------------------- *)
 
@@ -388,13 +422,13 @@ let infer_cmd =
 (* --- atomize ------------------------------------------------------------ *)
 
 let atomize_cmd =
-  let action spec threads size sched max_steps profile =
+  let action spec threads size sched max_steps two_pass profile =
     profile_setup profile;
     let prog = load ~threads ~size spec in
     let source =
       Runner.source ~max_steps ~sched:(fun () -> scheduler_of sched) prog
     in
-    let p = Coop_pipeline.run ~atomize:true ~conflict:true source in
+    let p = Coop_pipeline.run ~atomize:true ~conflict:true ~two_pass source in
     let r = Option.get p.Coop_pipeline.atomizer in
     Format.printf "transactions: %d, violated: %d@."
       r.Coop_atomicity.Atomizer.activations
@@ -420,7 +454,7 @@ let atomize_cmd =
   Cmd.v
     (Cmd.info "atomize" ~doc:"Atomicity baseline (Atomizer + conflict graph).")
     Term.(const action $ prog_arg $ threads_arg $ size_arg $ sched_arg
-          $ max_steps_arg $ profile_term)
+          $ max_steps_arg $ two_pass_arg $ profile_term)
 
 (* --- explore ------------------------------------------------------------ *)
 

@@ -14,6 +14,15 @@ dune runtest
 echo "== tests (COOP_JOBS=2: parallel analyses on the shared pool) =="
 COOP_JOBS=2 dune runtest --force
 
+echo "== differential suite (single-pass engine vs two-pass oracle) =="
+dune exec test/test_main.exe -- test differential
+
+echo "== piped-trace smoke (check --trace - on stdin, one pass) =="
+dune exec bin/coopcheck.exe -- trace philo -t 2 -s 2 \
+  --save _build/ci-pipe-smoke.tr
+dune exec bin/coopcheck.exe -- check --trace - \
+  < _build/ci-pipe-smoke.tr || [ $? -eq 1 ]
+
 echo "== bench smoke (table1) =="
 dune exec bench/main.exe -- table1
 

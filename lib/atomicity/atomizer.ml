@@ -107,10 +107,115 @@ let analysis ?(local_locks = fun _ -> false) ~racy () =
 let check_with_racy ?local_locks ~racy trace =
   Coop_trace.Analysis.run (analysis ?local_locks ~racy ()) trace
 
-let check trace =
+(* Single-pass variant on the shared engine. The engine's phase machine
+   resets on a right-mover violation where this checker's does not (once
+   violated, an activation stays violated and is never re-flagged) — but
+   the two machines run identically up to the first violation, so the
+   engine's first recorded violation is exactly this checker's warning,
+   and "any violations at all" is the same predicate in both. *)
+module Online = Coop_core.Online
+
+let online_analysis ?mark ~subscribe () =
+  let acc = ref [] in  (* (first-violation seq, txn uid, warning) *)
+  let activations = ref 0 in
+  let violated = ref 0 in
+  let engine =
+    Online.create ?mark
+      ~on_retire:(fun txn ->
+        match Online.violations txn with
+        | [] -> ()
+        | v :: _ ->
+            incr violated;
+            acc :=
+              ( v.Online.vseq,
+                Online.txn_uid txn,
+                { tid = v.Online.vtid; txn = Online.data txn;
+                  loc = v.Online.vloc; op = v.Online.vop;
+                  mover = v.Online.vmover } )
+              :: !acc)
+      ()
+  in
+  subscribe (Online.on_fact engine);
+  let stacks : (int, txn_id Online.txn list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let stack_of tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.add stacks tid s;
+        s
+  in
+  let push tid id =
+    incr activations;
+    let s = stack_of tid in
+    s := Online.open_txn engine ~tid ~data:id :: !s
+  in
+  let pop tid =
+    let s = stack_of tid in
+    match !s with
+    | t :: rest ->
+        Online.close engine t;
+        s := rest
+    | [] -> ()
+  in
+  let seq = ref 0 in
+  let step (e : Event.t) =
+    incr seq;
+    match e.op with
+    | Event.Enter f -> push e.tid (Func f)
+    | Event.Exit _ -> pop e.tid
+    | Event.Atomic_begin -> push e.tid (Block e.loc)
+    | Event.Atomic_end -> pop e.tid
+    | Event.Yield -> ()  (* not a transaction boundary for atomicity *)
+    | _ ->
+        List.iter (fun t -> Online.step engine t ~seq:!seq e) !(stack_of e.tid)
+  in
+  let finalize () =
+    Hashtbl.iter (fun _ s -> List.iter (Online.close engine) !s) stacks;
+    Hashtbl.reset stacks;
+    Online.finalize engine;
+    (* The two-pass checker emits warnings in trace order, walking each
+       stack innermost-first on the flagging event; uids grow outward-in
+       at the same position, so (seq, uid descending) reproduces it. *)
+    let warnings =
+      List.sort
+        (fun (s1, u1, _) (s2, u2, _) ->
+          match Int.compare s1 s2 with 0 -> Int.compare u2 u1 | c -> c)
+        !acc
+      |> List.map (fun (_, _, w) -> w)
+    in
+    let flagged =
+      List.fold_left
+        (fun acc w -> match w.txn with Func f -> f :: acc | Block _ -> acc)
+        [] warnings
+      |> List.sort_uniq Int.compare
+    in
+    {
+      warnings;
+      flagged_functions = flagged;
+      activations = !activations;
+      violated_activations = !violated;
+    }
+  in
+  Coop_trace.Analysis.make ~step ~finalize
+
+let check_two_pass trace =
   let racy = Coop_race.Fasttrack.racy_vars_of_trace trace in
   let local_locks = Coop_core.Cooperability.local_locks_of trace in
   check_with_racy ~local_locks ~racy trace
+
+let check ?(two_pass = false) trace =
+  if two_pass then check_two_pass trace
+  else
+    let fused =
+      Analysis.feedback
+        (fun ~publish ->
+          Coop_race.Fasttrack.analysis ~facts:(Online.facts publish) ())
+        (fun ~subscribe -> online_analysis ~subscribe ())
+    in
+    snd (Source.run (Source.of_trace trace) fused)
 
 let pp_txn ppf = function
   | Func f -> Format.fprintf ppf "fn#%d" f

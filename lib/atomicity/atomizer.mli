@@ -37,10 +37,30 @@ type result = {
   violated_activations : int;  (** How many of them were flagged. *)
 }
 
-val check : Trace.t -> result
-(** Two-pass check: FastTrack racy set, then the nested-transaction
-    automaton. Thread-local locks are both-movers, as in the cooperability
-    checker, so the two analyses compare like for like. *)
+val check : ?two_pass:bool -> Trace.t -> result
+(** Check a recorded trace. By default a single fused pass: the race
+    detector feeds racy-variable and shared-lock facts straight into the
+    nested-transaction engine ({!Coop_core.Online}), which repairs
+    affected activations on late facts. With [~two_pass:true], the
+    reference path: FastTrack racy set and lock scan first, then the
+    nested-transaction automaton (streams the trace three times). Both
+    agree exactly (property-tested). Thread-local locks are both-movers,
+    as in the cooperability checker, so the two analyses compare like
+    for like. *)
+
+val check_two_pass : Trace.t -> result
+(** [check ~two_pass:true], named for differential tests. *)
+
+val online_analysis :
+  ?mark:float ref ->
+  subscribe:Coop_core.Online.subscribe ->
+  unit ->
+  result Analysis.t
+(** The single-pass nested-transaction checker: knowledge streams in
+    through [subscribe] while events flow, and affected activations are
+    repaired when a fact arrives late. Finalizes to exactly what
+    {!analysis} reports under final knowledge. [mark] as in
+    {!Coop_core.Online.create}. *)
 
 val analysis :
   ?local_locks:(int -> bool) ->

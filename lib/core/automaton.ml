@@ -58,6 +58,52 @@ let analysis ?local_locks ~racy () =
     ~step:(fun e -> ignore (step ?local_locks t ~racy e))
     ~finalize:(fun () -> violations t)
 
+(* Single-pass variant: each thread's yield-to-yield segment becomes one
+   engine transaction, classified optimistically and repaired when facts
+   arrive. Per-transaction machines starting in Pre are equivalent to the
+   one whole-thread machine above because Yield resets it to Pre. *)
+let online_analysis ?mark ~subscribe () =
+  let acc : Online.viol list ref = ref [] in
+  let engine =
+    Online.create ?mark
+      ~on_retire:(fun txn -> acc := List.rev_append (Online.violations txn) !acc)
+      ()
+  in
+  subscribe (Online.on_fact engine);
+  let current : (int, unit Online.txn) Hashtbl.t = Hashtbl.create 8 in
+  let seq = ref 0 in
+  let step (e : Event.t) =
+    incr seq;
+    match e.op with
+    | Event.Yield -> (
+        match Hashtbl.find_opt current e.tid with
+        | Some txn ->
+            Online.close engine txn;
+            Hashtbl.remove current e.tid
+        | None -> ())
+    | _ ->
+        let txn =
+          match Hashtbl.find_opt current e.tid with
+          | Some txn -> txn
+          | None ->
+              let txn = Online.open_txn engine ~tid:e.tid ~data:() in
+              Hashtbl.add current e.tid txn;
+              txn
+        in
+        Online.step engine txn ~seq:!seq e
+  in
+  let finalize () =
+    Hashtbl.iter (fun _ txn -> Online.close engine txn) current;
+    Hashtbl.reset current;
+    Online.finalize engine;
+    List.sort
+      (fun (a : Online.viol) (b : Online.viol) -> compare a.vseq b.vseq)
+      !acc
+    |> List.map (fun (v : Online.viol) ->
+           { tid = v.vtid; loc = v.vloc; op = v.vop; mover = v.vmover })
+  in
+  Analysis.make ~step ~finalize
+
 let pp_violation ppf v =
   Format.fprintf ppf "t%d needs a yield before %a at %a (%a in post-commit)"
     v.tid Event.pp_op v.op Loc.pp v.loc Mover.pp v.mover

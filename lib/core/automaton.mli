@@ -62,6 +62,18 @@ val analysis :
     pass), which is why the fused pipeline runs this in its second
     streaming phase. *)
 
+val online_analysis :
+  ?mark:float ref ->
+  subscribe:Online.subscribe ->
+  unit ->
+  violation list Analysis.t
+(** The single-pass counterpart of {!analysis}: no prior racy set —
+    knowledge streams in through [subscribe] (see {!Online}) while the
+    events flow, and the {!Online} engine repairs affected transactions
+    when a fact arrives late. Finalizes to exactly the violations
+    {!analysis} would report under the final racy set and lock
+    knowledge, in trace order. [mark] as in {!Online.create}. *)
+
 val pp_violation : Format.formatter -> violation -> unit
 (** Human-readable description, e.g.
     ["t2 needs a yield before wr(g0) at f1:pc7(line 12) (non-mover in post-commit)"]. *)

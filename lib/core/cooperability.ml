@@ -28,11 +28,14 @@ let local_locks_of trace = Analysis.run (local_locks_analysis ()) trace
 let check_with_racy ?local_locks ~racy trace =
   Analysis.run (Automaton.analysis ?local_locks ~racy ()) trace
 
-(* The streaming core: phase 1 fuses the race detector with the
-   thread-local-lock scan (one dispatch per event); phase 2 re-streams the
-   source through the transaction automaton with the now-final racy set.
-   Nothing is materialized, so memory stays O(threads·vars). *)
-let check_source source =
+(* The two-pass reference oracle: phase 1 fuses the race detector with
+   the thread-local-lock scan (one dispatch per event); phase 2
+   re-streams the source through the transaction automaton with the
+   now-final racy set. Nothing is materialized, so memory stays
+   O(threads·vars) — but the source is executed twice, which doubles the
+   dynamic-analysis cost per inferred schedule and rules out
+   non-replayable sources (pipes). *)
+let check_two_pass source =
   let mark = ref 0. in
   let instr name a =
     Analysis.instrument ~mark ~name:("checker/" ^ name) a
@@ -54,7 +57,34 @@ let check_source source =
   in
   { violations; races; racy; events }
 
-let check trace = check_source (Source.of_trace trace)
+(* The single-pass engine: the race detector publishes racy-variable and
+   shared-lock facts into the automaton as they are discovered, and the
+   automaton classifies optimistically, repairing the affected
+   transactions on late facts (see [Online]). One streaming pass total —
+   the source is consumed exactly once, so pipes work and inference pays
+   one execution per schedule. *)
+let online_chain ~mark () =
+  let instr name a =
+    Analysis.instrument ~mark ~name:("checker/" ^ name) a
+  in
+  Analysis.instrument_phase ~name:"analysis/online" ~mark
+    (Analysis.feedback
+       (fun ~publish ->
+         Analysis.chain
+           (instr "fasttrack"
+              (Coop_race.Fasttrack.analysis ~facts:(Online.facts publish) ()))
+           (Analysis.count ()))
+       (fun ~subscribe ->
+         instr "automaton" (Automaton.online_analysis ~mark ~subscribe ())))
+
+let result_of ((races, events), violations) =
+  { violations; races; racy = Coop_race.Report.racy_vars races; events }
+
+let check_source ?(two_pass = false) source =
+  if two_pass then check_two_pass source
+  else result_of (Source.run source (online_chain ~mark:(ref 0.) ()))
+
+let check ?two_pass trace = check_source ?two_pass (Source.of_trace trace)
 
 let violation_locs vs =
   List.fold_left
@@ -64,5 +94,5 @@ let violation_locs vs =
 let cooperable r = r.violations = []
 
 let online () =
-  let buffered = Trace.create () in
-  (Trace.Sink.recording buffered, fun () -> check buffered)
+  let a = online_chain ~mark:(ref 0.) () in
+  (Analysis.sink a, fun () -> result_of (Analysis.finalize a))

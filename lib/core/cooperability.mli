@@ -1,12 +1,18 @@
 (** The cooperability checker: the paper's primary contribution.
 
-    A recorded (or streamed) trace is checked in two passes:
+    A recorded (or streamed) trace is checked by combining a FastTrack
+    race-detection pass — racy accesses are the non movers — with the
+    per-thread transaction automaton, which checks that every inter-yield
+    segment matches the reducible pattern [(R|B)* (N|L) (L|B)*].
 
-    + a FastTrack race-detection pass computes the set of racy variables —
-      the accesses that are non movers;
-    + the per-thread transaction automaton replays the trace, checking that
-      every inter-yield segment matches the reducible pattern
-      [(R|B)* (N|L) (L|B)*].
+    By default the two are fused into a {b single streaming pass}: the
+    race detector publishes racy-variable and shared-lock facts the
+    moment they are discovered, and the automaton classifies movers
+    optimistically, repairing the affected transactions when a fact
+    arrives late (see {!Online}). The historical {b two-pass} mode —
+    learn the final racy set first, re-stream through the automaton
+    second — is kept behind a flag as the reference oracle; the
+    differential test suite pins the two modes to identical results.
 
     A trace with no violations witnesses that this execution is reducible:
     it is behaviourally equivalent to a cooperative execution of the same
@@ -22,19 +28,24 @@ type result = {
   events : int;  (** Trace length. *)
 }
 
-val check : Trace.t -> result
-(** Full two-pass check of a recorded trace. Locks only ever acquired by a
-    single thread in the trace are classified as both-movers (the
+val check : ?two_pass:bool -> Trace.t -> result
+(** Full check of a recorded trace. Locks only ever touched by a single
+    thread in the trace are classified as both-movers (the
     thread-local-lock refinement). Thin wrapper over {!check_source}. *)
 
-val check_source : Source.t -> result
-(** The streaming core: phase 1 streams the source once through the fused
-    race detector + thread-local-lock scan; phase 2 re-streams it through
-    the transaction automaton with the final racy set. The trace is never
-    materialized — memory is O(threads·vars) — so the source may be a
-    serialized trace on disk or a deterministic re-execution of the
-    program ([Runner.source]). Produces exactly the same result as
-    {!check} on the recorded equivalent (property-tested). *)
+val check_source : ?two_pass:bool -> Source.t -> result
+(** The streaming core. By default ([two_pass = false]) one fused pass:
+    race detector, event counter and fact-fed transaction automaton
+    chained over a single replay, so the source is consumed exactly once
+    — it may be a serialized trace on disk, a deterministic re-execution
+    of the program ([Runner.source]), or a {e non-replayable} pipe
+    ([Source.of_channel]). With [~two_pass:true], the reference oracle:
+    phase 1 streams the fused race detector + thread-local-lock scan,
+    phase 2 re-streams the source through the automaton with the final
+    racy set (requires a replayable source). Both modes avoid
+    materializing the trace and produce identical results
+    (property-tested); single-pass memory additionally holds the digests
+    of transactions with unresolved optimistic assumptions. *)
 
 val local_locks_of : Trace.t -> int -> bool
 (** [local_locks_of tr] is the predicate of locks acquired by at most one
@@ -60,8 +71,8 @@ val cooperable : result -> bool
 (** No violations. *)
 
 val online : unit -> Trace.Sink.t * (unit -> result)
-(** A buffering online variant: a sink to attach to a single live run and
-    a function to finish the analysis. Events are buffered internally
-    (O(trace) memory) because the racy set is only complete at the end of
-    the run. Prefer {!check_source} with a replayable source — it is the
-    same two-phase structure without the buffer. *)
+(** A truly online variant of the single-pass engine: a sink to attach to
+    a single live run and a function to finish the analysis. Each event
+    is analyzed as it happens and then dropped — nothing is buffered, so
+    a run too long to record can still be checked. Memory is the
+    engine's: O(threads·vars) plus live/parked transaction digests. *)

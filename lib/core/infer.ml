@@ -9,9 +9,10 @@ type result = {
   events_analyzed : int;
 }
 
-(* Each entry is a factory: the streaming checker replays the program once
-   per phase, so it must be able to mint a fresh, identically seeded
-   scheduler instance for every replay. *)
+(* Each entry is a factory minting a fresh, identically seeded scheduler
+   instance per call. The single-pass checker consumes one execution, but
+   the two-pass oracle replays the program once per phase — factories
+   keep both modes (and the span-name peek below) deterministic. *)
 let default_portfolio =
   [
     (fun () -> Sched.random ~seed:11 ());
@@ -28,12 +29,13 @@ let default_portfolio =
 
 (* One portfolio pass: run every scheduler with the current yields and
    collect all violations. Each run is streamed straight into the fused
-   checker — no trace is recorded; the checker's second phase replays the
-   program under a fresh, identically seeded scheduler instance. The runs
-   are independent (fresh VM + fresh scheduler each), so they fan out
-   across the pool; the merge below preserves run order, making the result
+   single-pass checker — no trace is recorded and the program executes
+   exactly once per schedule (the two-pass oracle, kept for differential
+   testing, re-executes it for its automaton phase). The runs are
+   independent (fresh VM + fresh scheduler each), so they fan out across
+   the pool; the merge below preserves run order, making the result
    bit-identical to the sequential pass. *)
-let portfolio_pass ~pool ~portfolio ~max_steps ~yields prog =
+let portfolio_pass ?two_pass ~pool ~portfolio ~max_steps ~yields prog =
   let factories = Array.of_list portfolio in
   let one i =
     (* A span per schedule, recorded on whichever pool domain ran it — the
@@ -43,7 +45,7 @@ let portfolio_pass ~pool ~portfolio ~max_steps ~yields prog =
         let source =
           Runner.source ~yields ?max_steps ~sched:factories.(i) prog
         in
-        let r = Cooperability.check_source source in
+        let r = Cooperability.check_source ?two_pass source in
         (r.Cooperability.violations, r.Cooperability.events))
   in
   let runs =
@@ -55,7 +57,7 @@ let portfolio_pass ~pool ~portfolio ~max_steps ~yields prog =
   (violations, events)
 
 let infer ?pool ?(max_rounds = 20) ?(portfolio = default_portfolio) ?max_steps
-    ?(base_yields = Loc.Set.empty) prog =
+    ?(base_yields = Loc.Set.empty) ?two_pass prog =
   let pool =
     match pool with Some p -> p | None -> Coop_util.Pool.shared ()
   in
@@ -64,7 +66,8 @@ let infer ?pool ?(max_rounds = 20) ?(portfolio = default_portfolio) ?max_steps
     let violations, events =
       Coop_obs.span
         (Printf.sprintf "infer/round%d" round)
-        (fun () -> portfolio_pass ~pool ~portfolio ~max_steps ~yields prog)
+        (fun () ->
+          portfolio_pass ?two_pass ~pool ~portfolio ~max_steps ~yields prog)
     in
     Coop_obs.count "infer/rounds" 1;
     events_total := !events_total + events;

@@ -14,7 +14,11 @@
 
     Every run is analysed online through [Cooperability.check_source] — the
     fixpoint loop never materializes a trace, so memory stays flat however
-    many rounds and schedulers it takes. *)
+    many rounds and schedulers it takes. With the single-pass engine each
+    schedule is {e executed exactly once} per round; the two-pass oracle
+    (available via [?two_pass] for differential testing) re-executes every
+    schedule for its automaton phase, doubling the dynamic cost — the
+    paper's "slowdown dominated by the race detector" regime. *)
 
 open Coop_trace
 open Coop_runtime
@@ -34,8 +38,8 @@ type result = {
 val default_portfolio : (unit -> Sched.t) list
 (** Five random seeds, round-robin with quanta 1, 3 and 17, and two PCT
     schedulers (depths 3 and 5). Each entry is a factory minting a fresh,
-    identically seeded scheduler instance per call — the streaming checker
-    replays the program once per phase and needs independent instances. *)
+    identically seeded scheduler instance per call, so any checker mode
+    can replay the schedule with independent instances. *)
 
 val infer :
   ?pool:Coop_util.Pool.t ->
@@ -43,6 +47,7 @@ val infer :
   ?portfolio:(unit -> Sched.t) list ->
   ?max_steps:int ->
   ?base_yields:Loc.Set.t ->
+  ?two_pass:bool ->
   Coop_lang.Bytecode.program ->
   result
 (** [infer prog] runs the inference loop (at most [max_rounds], default 20).

@@ -6,10 +6,9 @@ type t =
   | Both
   | Non
 
-let classify ?(local_locks = fun _ -> false) ~racy (op : Event.op) =
+let classify_pred ?(local_locks = fun _ -> false) ~racy (op : Event.op) =
   match op with
-  | Event.Read v | Event.Write v ->
-      if Event.Var_set.mem v racy then Some Non else Some Both
+  | Event.Read v | Event.Write v -> if racy v then Some Non else Some Both
   | Event.Acquire l -> if local_locks l then Some Both else Some Right
   | Event.Release l -> if local_locks l then Some Both else Some Left
   | Event.Fork _ -> Some Right
@@ -18,6 +17,9 @@ let classify ?(local_locks = fun _ -> false) ~racy (op : Event.op) =
   | Event.Yield | Event.Enter _ | Event.Exit _ | Event.Atomic_begin
   | Event.Atomic_end ->
       None
+
+let classify ?local_locks ~racy op =
+  classify_pred ?local_locks ~racy:(fun v -> Event.Var_set.mem v racy) op
 
 let to_string = function
   | Right -> "right-mover"

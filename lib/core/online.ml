@@ -1,0 +1,249 @@
+open Coop_trace
+
+type fact =
+  | Racy of Event.var
+  | Shared of int
+
+type publish = fact -> unit
+type subscribe = (fact -> unit) -> unit
+
+let facts publish =
+  {
+    Coop_race.Fasttrack.on_racy_var = (fun v -> publish (Racy v));
+    on_shared_lock = (fun l -> publish (Shared l));
+  }
+
+(* What the engine currently believes. Facts are monotone — a variable
+   never stops being racy, a lock never becomes thread-local again — so
+   belief only grows and each classification can only be refined in one
+   direction (Both -> Non for accesses, Both -> Right/Left for lock ops). *)
+module Knowledge = struct
+  type t = {
+    racy : (Event.var, unit) Hashtbl.t;
+    shared : (int, unit) Hashtbl.t;
+  }
+
+  let create () = { racy = Hashtbl.create 16; shared = Hashtbl.create 8 }
+
+  let learn k = function
+    | Racy v ->
+        if Hashtbl.mem k.racy v then false
+        else begin
+          Hashtbl.add k.racy v ();
+          true
+        end
+    | Shared l ->
+        if Hashtbl.mem k.shared l then false
+        else begin
+          Hashtbl.add k.shared l ();
+          true
+        end
+
+  let classify k op =
+    Mover.classify_pred
+      ~local_locks:(fun l -> not (Hashtbl.mem k.shared l))
+      ~racy:(fun v -> Hashtbl.mem k.racy v)
+      op
+end
+
+type phase =
+  | Pre
+  | Post
+
+type viol = {
+  vseq : int;
+  vtid : int;
+  vloc : Loc.t;
+  vop : Event.op;
+  vmover : Mover.t;
+}
+
+(* The digest keeps only what a replay needs: global position, location
+   and operation of every phase-relevant op. [Out] is omitted — it is a
+   both mover under any knowledge, so it can never change the machine. *)
+type 'a txn = {
+  uid : int;
+  tid : int;
+  data : 'a;
+  mutable digest : (int * Loc.t * Event.op) array;
+  mutable len : int;
+  mutable phase : phase;
+  mutable viols : viol list;  (* reversed *)
+  pending : (fact, unit) Hashtbl.t;
+  mutable closed : bool;
+  mutable retired : bool;
+}
+
+type 'a t = {
+  knowledge : Knowledge.t;
+  index : (fact, 'a txn list ref) Hashtbl.t;
+  on_retire : 'a txn -> unit;
+  mutable parked : 'a txn list;  (* closed with unresolved pending; reversed *)
+  mutable next_uid : int;
+  mark : float ref option;
+  timed : bool;
+  mutable repair_s : float;
+  mutable repairs : int;
+}
+
+let create ?mark ~on_retire () =
+  {
+    knowledge = Knowledge.create ();
+    index = Hashtbl.create 16;
+    on_retire;
+    parked = [];
+    next_uid = 0;
+    mark;
+    timed = Coop_obs.enabled ();
+    repair_s = 0.;
+    repairs = 0;
+  }
+
+let dummy_slot = (0, Loc.make ~func:0 ~pc:0 ~line:0, Event.Yield)
+
+let open_txn t ~tid ~data =
+  let uid = t.next_uid in
+  t.next_uid <- uid + 1;
+  {
+    uid;
+    tid;
+    data;
+    digest = Array.make 4 dummy_slot;
+    len = 0;
+    phase = Pre;
+    viols = [];
+    pending = Hashtbl.create 4;
+    closed = false;
+    retired = false;
+  }
+
+let data txn = txn.data
+let txn_uid txn = txn.uid
+let violations txn = List.rev txn.viols
+
+let push txn slot =
+  let n = Array.length txn.digest in
+  if txn.len = n then begin
+    let bigger = Array.make (2 * n) dummy_slot in
+    Array.blit txn.digest 0 bigger 0 n;
+    txn.digest <- bigger
+  end;
+  txn.digest.(txn.len) <- slot;
+  txn.len <- txn.len + 1
+
+(* One move of the (R|B)* (N|L) (L|B)* machine — the exact transition
+   table of [Automaton.step], including the reset-as-if-yielded rule. *)
+let apply txn ~seq ~loc ~op m =
+  match (txn.phase, m) with
+  | Pre, (Mover.Right | Mover.Both) -> ()
+  | Pre, (Mover.Non | Mover.Left) -> txn.phase <- Post
+  | Post, (Mover.Left | Mover.Both) -> ()
+  | Post, ((Mover.Right | Mover.Non) as m) ->
+      txn.viols <-
+        { vseq = seq; vtid = txn.tid; vloc = loc; vop = op; vmover = m }
+        :: txn.viols;
+      txn.phase <- (match m with Mover.Right -> Pre | _ -> Post)
+
+(* Optimistic classification charged an assumption ("v is race-free",
+   "l is thread-local"): remember which fact would invalidate it so a
+   late arrival replays exactly the transactions that used it. *)
+let register_pending t txn op =
+  let want =
+    match (op : Event.op) with
+    | Event.Read v | Event.Write v ->
+        if Hashtbl.mem t.knowledge.Knowledge.racy v then None
+        else Some (Racy v)
+    | Event.Acquire l | Event.Release l ->
+        if Hashtbl.mem t.knowledge.Knowledge.shared l then None
+        else Some (Shared l)
+    | _ -> None
+  in
+  match want with
+  | None -> ()
+  | Some f ->
+      if not (Hashtbl.mem txn.pending f) then begin
+        Hashtbl.add txn.pending f ();
+        let bucket =
+          match Hashtbl.find_opt t.index f with
+          | Some b -> b
+          | None ->
+              let b = ref [] in
+              Hashtbl.add t.index f b;
+              b
+        in
+        bucket := txn :: !bucket
+      end
+
+let step t txn ~seq (e : Event.t) =
+  match Knowledge.classify t.knowledge e.op with
+  | None -> ()
+  | Some m -> (
+      match e.op with
+      | Event.Out _ -> ()  (* both mover forever: invisible to the machine *)
+      | op ->
+          push txn (seq, e.loc, op);
+          register_pending t txn op;
+          apply txn ~seq ~loc:e.loc ~op m)
+
+(* Violations are NOT monotone in knowledge. In [rel l1; acq l2; wr v]
+   with l1 shared and v racy, optimism about l2 (assumed thread-local,
+   so the acquire is a both mover) flags the write — a non mover after
+   the release's commit point. When shared(l2) arrives, final knowledge
+   instead flags the acquire (a right mover post-commit), and that
+   violation RESETS the machine to Pre, so the write now commits
+   quietly. One fact moved one violation and deleted another; patching
+   the violation list in place is unsound in both directions, hence
+   repair recomputes the whole machine over the digest. *)
+let replay t txn =
+  txn.phase <- Pre;
+  txn.viols <- [];
+  for i = 0 to txn.len - 1 do
+    let seq, loc, op = txn.digest.(i) in
+    match Knowledge.classify t.knowledge op with
+    | Some m -> apply txn ~seq ~loc ~op m
+    | None -> assert false
+  done
+
+let retire t txn =
+  txn.retired <- true;
+  t.on_retire txn
+
+let on_fact t f =
+  let t0 = if t.timed then Coop_obs.now_s () else 0. in
+  if Knowledge.learn t.knowledge f then begin
+    match Hashtbl.find_opt t.index f with
+    | None -> ()
+    | Some bucket ->
+        (* The fact is final: nothing will ever point at this bucket
+           again, so it is dropped wholesale after the repairs. *)
+        Hashtbl.remove t.index f;
+        List.iter
+          (fun txn ->
+            Hashtbl.remove txn.pending f;
+            replay t txn;
+            if txn.closed && (not txn.retired) && Hashtbl.length txn.pending = 0
+            then retire t txn)
+          !bucket
+  end;
+  if t.timed then begin
+    let dt = Coop_obs.now_s () -. t0 in
+    t.repair_s <- t.repair_s +. dt;
+    t.repairs <- t.repairs + 1;
+    (* Repair runs inside the publisher's instrumented step; advancing the
+       shared clock mark keeps its cost out of that checker's timer so the
+       attribution shares still sum to one. *)
+    match t.mark with Some m -> m := !m +. dt | None -> ()
+  end
+
+let close t txn =
+  txn.closed <- true;
+  if Hashtbl.length txn.pending = 0 then retire t txn
+  else t.parked <- txn :: t.parked
+
+let finalize t =
+  (* Unresolved assumptions at end of stream were all correct (the
+     invalidating fact never fired), so parked results are final as-is. *)
+  List.iter (fun txn -> if not txn.retired then retire t txn) (List.rev t.parked);
+  t.parked <- [];
+  if t.timed && t.repairs > 0 then
+    Coop_obs.timer_add "checker/repair" t.repair_s t.repairs

@@ -24,7 +24,10 @@ let opt = function
 let instr mark name a =
   Analysis.instrument ~mark ~name:("checker/" ^ name) a
 
-let run ?(lockset = false) ?(atomize = false) ?(conflict = false) source =
+(* Two-pass reference: phase 1 gathers final knowledge, phase 2
+   re-streams the source through the mover/transaction checkers. *)
+let run_two_pass ?(lockset = false) ?(atomize = false) ?(conflict = false)
+    source =
   (* Phase 1: everything that needs no prior knowledge, fused behind one
      event dispatch — happens-before race detection, the optional Eraser
      baseline, the thread-local-lock scan, lock-order deadlock edges, and
@@ -75,5 +78,57 @@ let run ?(lockset = false) ?(atomize = false) ?(conflict = false) source =
   in
   { races; racy; lockset_races; violations; deadlock; atomizer; conflict;
     events }
+
+(* Single-pass: the race detector publishes facts into the engine-backed
+   mover checkers as they stream, so every checker — knowledge producers
+   and consumers alike — rides one replay behind one event dispatch. *)
+let run_online ?(lockset = false) ?(atomize = false) ?(conflict = false)
+    source =
+  let mark = ref 0. in
+  let instr name a = instr mark name a in
+  let fused =
+    Analysis.instrument_phase ~name:"analysis/online" ~mark
+      (Analysis.feedback
+         (fun ~publish ->
+           Analysis.chain
+             (instr "fasttrack"
+                (Coop_race.Fasttrack.analysis
+                   ~facts:(Coop_core.Online.facts publish) ()))
+             (Analysis.chain
+                (opt
+                   (if lockset then
+                      Some (instr "lockset" (Coop_race.Lockset.analysis ()))
+                    else None))
+                (Analysis.chain
+                   (instr "deadlock" (Coop_core.Deadlock.analysis ()))
+                   (Analysis.count ()))))
+         (fun ~subscribe ->
+           Analysis.chain
+             (instr "automaton"
+                (Coop_core.Automaton.online_analysis ~mark ~subscribe ()))
+             (Analysis.chain
+                (opt
+                   (if atomize then
+                      Some
+                        (instr "atomizer"
+                           (Coop_atomicity.Atomizer.online_analysis ~mark
+                              ~subscribe ()))
+                    else None))
+                (opt
+                   (if conflict then
+                      Some
+                        (instr "conflict" (Coop_atomicity.Conflict.analysis ()))
+                    else None)))))
+  in
+  let (races, (lockset_races, (deadlock, events))),
+      (violations, (atomizer, conflict)) =
+    Coop_obs.span "pipeline/online" (fun () -> Source.run source fused)
+  in
+  { races; racy = Coop_race.Report.racy_vars races; lockset_races; violations;
+    deadlock; atomizer; conflict; events }
+
+let run ?lockset ?atomize ?conflict ?(two_pass = false) source =
+  if two_pass then run_two_pass ?lockset ?atomize ?conflict source
+  else run_online ?lockset ?atomize ?conflict source
 
 let cooperable r = r.violations = []

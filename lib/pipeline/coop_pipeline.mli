@@ -1,22 +1,27 @@
-(** The fused analysis pipeline: every checker in two streaming phases.
+(** The fused analysis pipeline: every checker behind one event dispatch.
 
     This is the reproduction's "RoadRunner tool chain": one driver that
-    feeds a replayable event stream ({!Coop_trace.Source.t}) through every
-    dynamic analysis with a single event dispatch per phase, and never
-    materializes a trace. Phase 1 runs the analyses that need no prior
-    knowledge — FastTrack happens-before race detection, the optional
-    Eraser-lockset baseline, the thread-local-lock scan, lock-order
-    deadlock prediction, and the event counter — fused via
-    [Analysis.chain]. Phase 2 re-streams the source through the
+    feeds an event stream ({!Coop_trace.Source.t}) through every dynamic
+    analysis, and never materializes a trace. By default everything runs
+    in a {b single streaming pass}: the knowledge-free analyses —
+    FastTrack happens-before race detection, the optional Eraser-lockset
+    baseline, lock-order deadlock prediction, the event counter — are
+    fused via [Analysis.chain], and the race detector publishes its
+    discoveries through [Analysis.feedback] into the engine-backed
     mover/transaction checkers (the cooperability automaton and the
-    optional Atomizer + conflict-graph baselines), which need the final
-    racy set and local-lock predicate from phase 1.
+    optional Atomizer baseline) riding the same replay. The historical
+    {b two-pass} mode, where phase 2 re-streams the source with the
+    final racy set, is kept behind [~two_pass:true] as the reference
+    oracle (and requires a replayable source).
 
-    Memory is O(threads·vars) throughout; the source may be a recorded
-    trace, a serialized trace streamed off disk, or a deterministic
-    re-execution of the program itself ([Runner.source]). Results are
-    identical to the per-checker offline entry points on the same event
-    sequence — property-tested in [test_pipeline]. *)
+    Memory is O(threads·vars) plus, in single-pass mode, the digests of
+    transactions with unresolved optimistic assumptions; the source may
+    be a recorded trace, a serialized trace streamed off disk, a
+    deterministic re-execution of the program itself ([Runner.source]),
+    or — single-pass only — a non-replayable pipe. Results are identical
+    to the per-checker offline entry points on the same event sequence,
+    and identical between the two modes — property-tested in
+    [test_pipeline] and [test_differential]. *)
 
 open Coop_trace
 
@@ -36,11 +41,16 @@ type result = {
 }
 
 val run :
-  ?lockset:bool -> ?atomize:bool -> ?conflict:bool -> Source.t -> result
-(** [run source] drives the two fused phases over [source] (replayed
-    exactly twice). The optional flags (all default [false]) enable the
-    Eraser baseline in phase 1 and the Atomizer / conflict-graph baselines
-    in phase 2. *)
+  ?lockset:bool ->
+  ?atomize:bool ->
+  ?conflict:bool ->
+  ?two_pass:bool ->
+  Source.t ->
+  result
+(** [run source] drives the fused chain over [source] — one replay by
+    default, exactly two with [~two_pass:true] (default [false]). The
+    optional flags (all default [false]) enable the Eraser-lockset,
+    Atomizer and conflict-graph baselines. *)
 
 val cooperable : result -> bool
 (** No cooperability violations. *)

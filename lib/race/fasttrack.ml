@@ -12,16 +12,31 @@ type var_state = {
   mutable r : read_state;
 }
 
+type facts = {
+  on_racy_var : Event.var -> unit;
+  on_shared_lock : int -> unit;
+}
+
+let no_facts = { on_racy_var = ignore; on_shared_lock = ignore }
+
 type t = {
   mutable clocks : Vclock.t array;  (* indexed by tid, grown on demand *)
   locks : (int, Vclock.t) Hashtbl.t;
   vars : (Event.var, var_state) Hashtbl.t;
   mutable reports : Report.t list;  (* reversed *)
+  facts : facts;
+  racy_fired : (Event.var, unit) Hashtbl.t;
+  (* Lock-ownership scan for the shared-lock fact: [Some tid] while only
+     one thread has touched the lock, [None] once it is shared. Mirrors
+     [Cooperability.local_locks_analysis] (acquires AND releases count)
+     so the published facts converge to the two-pass predicate. *)
+  lock_owner : (int, int option) Hashtbl.t;
 }
 
-let create () =
+let create ?(facts = no_facts) () =
   { clocks = Array.make 8 Vclock.empty; locks = Hashtbl.create 16;
-    vars = Hashtbl.create 64; reports = [] }
+    vars = Hashtbl.create 64; reports = []; facts;
+    racy_fired = Hashtbl.create 16; lock_owner = Hashtbl.create 8 }
 
 let ensure_tid t tid =
   let n = Array.length t.clocks in
@@ -49,7 +64,24 @@ let var_state t v =
 let lock_clock t l =
   match Hashtbl.find_opt t.locks l with Some c -> c | None -> Vclock.empty
 
-let report t r = t.reports <- r :: t.reports
+let report t r =
+  t.reports <- r :: t.reports;
+  (* Incremental fact channel: announce a variable the first time any
+     race is reported on it. The racy set only ever grows, so one firing
+     per variable is enough for downstream consumers. *)
+  let v = r.Report.var in
+  if not (Hashtbl.mem t.racy_fired v) then begin
+    Hashtbl.add t.racy_fired v ();
+    t.facts.on_racy_var v
+  end
+
+let touch_lock t tid l =
+  match Hashtbl.find_opt t.lock_owner l with
+  | None -> Hashtbl.add t.lock_owner l (Some tid)
+  | Some (Some owner) when owner <> tid ->
+      Hashtbl.replace t.lock_owner l None;
+      t.facts.on_shared_lock l
+  | Some _ -> ()
 
 let read_leq rs c =
   match rs with Repoch e -> Epoch.leq e c | Rvc rc -> Vclock.leq rc c
@@ -122,11 +154,13 @@ let on_write t tid loc v =
 
 let on_acquire t tid l =
   ensure_tid t tid;
+  touch_lock t tid l;
   t.clocks.(tid) <- Vclock.join t.clocks.(tid) (lock_clock t l);
   []
 
 let on_release t tid l =
   ensure_tid t tid;
+  touch_lock t tid l;
   Hashtbl.replace t.locks l t.clocks.(tid);
   t.clocks.(tid) <- Vclock.tick t.clocks.(tid) tid;
   []
@@ -163,8 +197,8 @@ let racy_vars t = Report.racy_vars t.reports
 
 let sink t : Trace.Sink.t = fun e -> ignore (handle t e)
 
-let analysis () =
-  let t = create () in
+let analysis ?facts () =
+  let t = create ?facts () in
   Analysis.make ~step:(sink t) ~finalize:(fun () -> races t)
 
 let run trace = Analysis.run (analysis ()) trace

@@ -13,8 +13,27 @@ open Coop_trace
 type t
 (** Mutable detector state. *)
 
-val create : unit -> t
-(** Fresh state: every thread clock starts at [<t:1>]. *)
+type facts = {
+  on_racy_var : Event.var -> unit;
+      (** Fired the first time any race is reported on the variable —
+          synchronously, during the [handle] call for the exposing
+          access, before that call returns. *)
+  on_shared_lock : int -> unit;
+      (** Fired the first time a second distinct thread touches the lock
+          (acquire or release — the same events the thread-locality scan
+          counts), i.e. the moment the lock stops being thread-local. *)
+}
+(** Incremental knowledge channel for single-pass consumers. The
+    two facts a mover classifier needs — "this variable races" and
+    "this lock is shared" — are monotone: once published they never
+    retract, and each fires at most once per variable/lock. *)
+
+val no_facts : facts
+(** Callbacks that ignore every fact (the default). *)
+
+val create : ?facts:facts -> unit -> t
+(** Fresh state: every thread clock starts at [<t:1>]. [facts] callbacks
+    fire as knowledge is discovered; default {!no_facts}. *)
 
 val handle : t -> Event.t -> Report.t list
 (** [handle t e] advances the detector by one event and returns the races
@@ -29,9 +48,10 @@ val racy_vars : t -> Event.Var_set.t
 val sink : t -> Trace.Sink.t
 (** An event sink that feeds the detector (reports accumulate in [t]). *)
 
-val analysis : unit -> Report.t list Analysis.t
+val analysis : ?facts:facts -> unit -> Report.t list Analysis.t
 (** A fresh detector as a single-pass online analysis: O(threads·vars)
-    state, finalizes to the races in detection order. *)
+    state, finalizes to the races in detection order. [facts] as in
+    {!create}. *)
 
 val run : Trace.t -> Report.t list
 (** Run a fresh detector over a recorded trace (offline wrapper over

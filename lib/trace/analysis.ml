@@ -25,6 +25,14 @@ let all analyses =
     finalize = (fun () -> List.map (fun a -> a.finalize ()) analyses);
   }
 
+let feedback up down =
+  let handlers = ref [] in
+  let publish fact = List.iter (fun h -> h fact) !handlers in
+  let subscribe h = handlers := !handlers @ [ h ] in
+  let a = up ~publish in
+  let b = down ~subscribe in
+  chain a b
+
 let const r = { step = (fun _ -> ()); finalize = (fun () -> r) }
 
 let count () =

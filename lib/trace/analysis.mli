@@ -43,6 +43,23 @@ val all : 'r t list -> 'r list t
 (** Fused homogeneous fan-out: every analysis sees every event, one
     dispatch per event. *)
 
+val feedback :
+  (publish:('f -> unit) -> 'a t) ->
+  (subscribe:(('f -> unit) -> unit) -> 'b t) ->
+  ('a * 'b) t
+(** Fused composition with an incremental fact channel between the two
+    sides. [feedback up down] builds the upstream analysis with a
+    [publish] function and the downstream one with a [subscribe]
+    registration; both then run fused, exactly like {!chain}. A fact
+    published by the upstream {e during its step for event [e]} is
+    delivered synchronously to every subscribed handler — i.e. {e before}
+    the downstream analysis steps on [e] — which is what lets a
+    downstream checker refine earlier optimistic classifications the
+    moment an upstream detector learns something (the single-pass
+    engine's [racy]/[shared] facts). Handlers run in subscription
+    order; facts published at finalize time are delivered too (the
+    upstream finalizes first). *)
+
 val const : 'r -> 'r t
 (** Ignores the stream and yields a constant (unit for pure side-effect
     sinks, placeholders in heterogeneous chains). *)

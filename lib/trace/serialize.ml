@@ -101,20 +101,23 @@ let of_string s =
   iter_string s (Trace.add trace);
   trace
 
+let iter_channel ic f =
+  let lineno = ref 0 in
+  try
+    while true do
+      let line = String.trim (input_line ic) in
+      incr lineno;
+      if line <> "" then f (parse_line !lineno line)
+    done
+  with End_of_file -> ()
+
 let iter_file path f =
   let ic = open_in path in
-  let lineno = ref 0 in
-  (try
-     while true do
-       let line = String.trim (input_line ic) in
-       incr lineno;
-       if line <> "" then f (parse_line !lineno line)
-     done
-   with
-  | End_of_file -> close_in ic
-  | e ->
+  match iter_channel ic f with
+  | () -> close_in ic
+  | exception e ->
       close_in_noerr ic;
-      raise e)
+      raise e
 
 let save path trace =
   let oc = open_out_bin path in

@@ -25,6 +25,12 @@ val iter_string : string -> (Event.t -> unit) -> unit
 (** [iter_string s f] parses [s] and calls [f] on each event in order,
     without building a trace. Raises {!Parse_error}. *)
 
+val iter_channel : in_channel -> (Event.t -> unit) -> unit
+(** [iter_channel ic f] reads serialized events from [ic] until
+    end-of-file, calling [f] on each — constant memory, and the only
+    entry point that works on a non-seekable channel (a pipe, stdin).
+    The channel is {e not} closed. Raises {!Parse_error}. *)
+
 val iter_file : string -> (Event.t -> unit) -> unit
 (** [iter_file path f] streams the trace file at [path] one line at a
     time, calling [f] on each event — constant memory regardless of file

@@ -6,6 +6,14 @@ let of_list events : t = fun sink -> List.iter sink events
 
 let of_file path : t = fun sink -> Serialize.iter_file path sink
 
+let of_channel ic : t =
+  let consumed = ref false in
+  fun sink ->
+    if !consumed then
+      invalid_arg "Source.of_channel: a channel source cannot be replayed";
+    consumed := true;
+    Serialize.iter_channel ic sink
+
 let replay source sink = source sink
 
 let run source analysis =

@@ -10,7 +10,10 @@
     O(threads·vars) memory.
 
     Replays must be deterministic: every invocation must produce the
-    identical event sequence, or phase results cannot be combined. *)
+    identical event sequence, or phase results cannot be combined. The
+    one deliberate exception is {!of_channel}: a live pipe cannot be
+    replayed at all, which is exactly why the single-pass engine exists —
+    it is the only consumer that needs each event once. *)
 
 type t = Trace.Sink.t -> unit
 (** [source sink] streams every event into [sink], in program order. *)
@@ -25,6 +28,17 @@ val of_file : string -> t
 (** Stream a trace saved by {!Serialize.save}, reading and parsing one
     line at a time — the file is never loaded whole. Raises [Sys_error]
     and {!Serialize.Parse_error} like {!Serialize.load}. *)
+
+val of_channel : in_channel -> t
+(** Stream a serialized trace from an open channel — stdin, a pipe, a
+    socket. Unlike every other constructor this source is {b not
+    replayable}: the underlying bytes are gone once read, so a second
+    invocation raises [Invalid_argument] instead of silently producing
+    an empty (and thus wrong) replay. Only single-pass consumers (the
+    online cooperability engine) can analyze it; the two-pass pipeline
+    needs {!of_file} or {!of_trace}. Raises [Sys_error] and
+    {!Serialize.Parse_error} while streaming. The channel is not
+    closed. *)
 
 val replay : t -> Trace.Sink.t -> unit
 (** [replay source sink] is [source sink]; the explicit name for call

@@ -224,6 +224,111 @@ let gen_trace =
 let print_trace t = Format.asprintf "%a" Trace.pp t
 
 (* ------------------------------------------------------------------ *)
+(* Late-knowledge trace generator (single-pass vs two-pass agreement). *)
+(* ------------------------------------------------------------------ *)
+
+(* Adversarial input for the single-pass engine: a long single-threaded
+   prefix opens, runs and closes many transactions (function activations,
+   atomic blocks, yield-delimited segments) while every variable still
+   looks race-free and every lock thread-local — then a second wave of
+   threads touches the same variables and locks, so the racy/shared facts
+   arrive after the transactions that depended on them were classified
+   (and often closed). Feasibility rules are those of [gen_trace]. *)
+let gen_late_trace =
+  let open Gen in
+  let* n_pre = int_range 15 70 in
+  let* n_post = int_range 15 70 in
+  let* seed = int_bound 1_000_000 in
+  return
+    (let rng = Coop_util.Rng.create seed in
+     let trace = Trace.create () in
+     let held = Hashtbl.create 8 in
+     (* lock -> tid *)
+     let depth = Hashtbl.create 8 in
+     (* tid -> open Enter/Atomic markers, innermost first *)
+     let vars = [| Event.Global 0; Event.Global 1; Event.Cell (0, 0);
+                   Event.Cell (0, 1) |] in
+     let locks = [| 0; 1; 2 |] in
+     let loc () =
+       Loc.make ~func:0 ~pc:(Coop_util.Rng.int rng 40) ~line:1
+     in
+     let emit tid op = Trace.add trace (Event.make ~tid ~op ~loc:(loc ())) in
+     let emit_one tid =
+       match Coop_util.Rng.int rng 12 with
+       | 0 | 1 -> emit tid (Event.Read (Coop_util.Rng.pick rng vars))
+       | 2 | 3 -> emit tid (Event.Write (Coop_util.Rng.pick rng vars))
+       | 4 ->
+           let l = Coop_util.Rng.pick rng locks in
+           if not (Hashtbl.mem held l) then begin
+             Hashtbl.add held l tid;
+             emit tid (Event.Acquire l)
+           end
+       | 5 -> (
+           let mine =
+             Hashtbl.fold
+               (fun l o acc -> if o = tid then l :: acc else acc)
+               held []
+           in
+           match mine with
+           | [] -> ()
+           | l :: _ ->
+               Hashtbl.remove held l;
+               emit tid (Event.Release l))
+       | 6 -> emit tid Event.Yield
+       | 7 | 8 ->
+           let opens =
+             match Hashtbl.find_opt depth tid with Some d -> d | None -> []
+           in
+           if Coop_util.Rng.int rng 3 > 0 || opens = [] then begin
+             let f = Coop_util.Rng.int rng 3 in
+             if Coop_util.Rng.int rng 2 = 0 then begin
+               Hashtbl.replace depth tid (`Func f :: opens);
+               emit tid (Event.Enter f)
+             end
+             else begin
+               Hashtbl.replace depth tid (`Atomic :: opens);
+               emit tid Event.Atomic_begin
+             end
+           end
+       | _ -> (
+           match Hashtbl.find_opt depth tid with
+           | Some (`Func f :: rest) ->
+               Hashtbl.replace depth tid rest;
+               emit tid (Event.Exit f)
+           | Some (`Atomic :: rest) ->
+               Hashtbl.replace depth tid rest;
+               emit tid Event.Atomic_end
+           | _ -> ())
+     in
+     (* Single-threaded prefix: everything optimism assumes holds. *)
+     for _ = 1 to n_pre do
+       emit_one 0
+     done;
+     (* Fork a second wave mid-stream; their accesses to the same pool
+        expose races and share the locks only now. *)
+     let children =
+       List.init (1 + Coop_util.Rng.int rng 2) (fun i -> i + 1)
+     in
+     List.iter (fun c -> emit 0 (Event.Fork c)) children;
+     let tids = Array.of_list (0 :: children) in
+     for _ = 1 to n_post do
+       emit_one (Coop_util.Rng.pick rng tids)
+     done;
+     (* Retire the children feasibly: release their locks, then join. *)
+     List.iter
+       (fun c ->
+         Hashtbl.iter
+           (fun l o ->
+             if o = c then begin
+               Hashtbl.remove held l;
+               emit c (Event.Release l)
+             end)
+           (Hashtbl.copy held);
+         emit 0 (Event.Join c))
+       children;
+     trace)
+
+(* ------------------------------------------------------------------ *)
 (* Well-formed concurrent program generator (whole-stack properties).  *)
 (* ------------------------------------------------------------------ *)
 
@@ -314,6 +419,92 @@ let gen_worker_body =
       go (k - 1) (item :: acc)
   in
   go n []
+
+(* Like [gen_item] but biased toward late knowledge: bodies may run
+   unsynchronized (no lock at all) or inside [atomic] blocks, so raciness
+   and lock-sharedness facts surface only once a second worker reaches the
+   same data — after the first worker's transactions were classified. *)
+let gen_late_item locals counter =
+  let open Gen in
+  let* body = list_size (int_range 1 3) (gen_simple locals) in
+  oneof
+    [ return (Ast.stmt (Ast.Atomic body));
+      return (Ast.stmt (Ast.Block body));
+      return (Ast.stmt (Ast.Sync ({ Ast.lock = "m"; index = None }, body)));
+      (let v = Printf.sprintf "j%d" counter in
+       let* bound = int_range 1 3 in
+       return
+         (Ast.stmt
+            (Ast.Block
+               [ Ast.stmt (Ast.Local (v, Ast.Int 0));
+                 Ast.stmt
+                   (Ast.While
+                      ( Ast.Binary (Ast.Lt, Ast.Var v, Ast.Int bound),
+                        body
+                        @ [ Ast.stmt
+                              (Ast.Assign
+                                 (v, Ast.Binary (Ast.Add, Ast.Var v, Ast.Int 1)))
+                          ] )) ]))) ]
+
+(* Fork/join-heavy programs whose main thread touches the shared globals
+   (and lock [m]) in an unsynchronized prelude before any worker exists:
+   single-threaded so far, every variable looks race-free and the lock
+   thread-local. The workers then race on the same state, delivering the
+   facts late. Same boundedness invariants as [gen_concurrent_program]. *)
+let gen_late_program =
+  let open Gen in
+  let* prelude_items =
+    list_size (int_range 2 4)
+      (oneof
+         [ gen_simple [];
+           (let* body = list_size (int_range 1 2) (gen_simple []) in
+            return (Ast.stmt (Ast.Atomic body)));
+           (let* body = list_size (int_range 1 2) (gen_simple []) in
+            return
+              (Ast.stmt (Ast.Sync ({ Ast.lock = "m"; index = None }, body)))) ])
+  in
+  let* n = int_range 2 5 in
+  let* body =
+    let rec go k acc =
+      if k = 0 then return (List.rev acc)
+      else
+        let* item = gen_late_item [ "id" ] k in
+        go (k - 1) (item :: acc)
+    in
+    go n []
+  in
+  let* workers = int_range 2 3 in
+  let decls =
+    [ Ast.Gvar ("g0", 0); Ast.Gvar ("g1", 1); Ast.Gvar ("g2", 2);
+      Ast.Garray ("arr", 4); Ast.Garray ("tids", 4); Ast.Glock ("m", 1);
+      Ast.Glock ("ls", 2) ]
+  in
+  let worker = { Ast.fname = "worker"; params = [ "id" ]; body; fline = 1 } in
+  let spawn_join =
+    prelude_items
+    @ [ Ast.stmt (Ast.Local ("i", Ast.Int 0));
+        Ast.stmt
+          (Ast.While
+             ( Ast.Binary (Ast.Lt, Ast.Var "i", Ast.Int workers),
+               [ Ast.stmt
+                   (Ast.Store
+                      ("tids", Ast.Var "i", Ast.Spawn ("worker", [ Ast.Var "i" ])));
+                 Ast.stmt
+                   (Ast.Assign ("i", Ast.Binary (Ast.Add, Ast.Var "i", Ast.Int 1)))
+               ] ));
+        Ast.stmt (Ast.Assign ("i", Ast.Int 0));
+        Ast.stmt
+          (Ast.While
+             ( Ast.Binary (Ast.Lt, Ast.Var "i", Ast.Int workers),
+               [ Ast.stmt (Ast.Join_stmt (Ast.Index ("tids", Ast.Var "i")));
+                 Ast.stmt
+                   (Ast.Assign ("i", Ast.Binary (Ast.Add, Ast.Var "i", Ast.Int 1)))
+               ] ));
+        Ast.stmt (Ast.Print (Ast.Var "g0"))
+      ]
+  in
+  let main = { Ast.fname = "main"; params = []; body = spawn_join; fline = 1 } in
+  return { Ast.decls; funcs = [ worker; main ] }
 
 let gen_concurrent_program =
   let open Gen in

@@ -33,6 +33,7 @@ let () =
       ("core.deadlock", Test_deadlock.suite);
       ("atomicity", Test_atomicity.suite);
       ("pipeline", Test_pipeline.suite);
+      ("differential", Test_differential.suite);
       ("static", Test_static.suite);
       ("workloads", Test_workloads.suite);
       ("fuzz", Test_fuzz.suite);
