@@ -166,26 +166,47 @@ type table3_row = {
   t3_full : float;  (* single-pass engine: one execution per schedule *)
   t3_two : float;  (* two-pass oracle: re-executes for the mover phase *)
   t3_events : int;
+  t3_minor_w_per_event : float;  (* full-pipeline minor words / event *)
+  t3_major_collections : int;  (* major collections during that run *)
 }
+
+(* GC cost of one full-pipeline pass, sampled on a dedicated run so the
+   timed medians above stay unperturbed. OCaml 5 GC counters are
+   per-domain; the pipeline runs on the calling domain, so the delta is
+   the run's own allocation. *)
+let alloc_sample f =
+  let g0 = Gc.quick_stat () in
+  let r = f () in
+  let g1 = Gc.quick_stat () in
+  ( r,
+    g1.Gc.minor_words -. g0.Gc.minor_words,
+    g1.Gc.major_collections - g0.Gc.major_collections )
 
 let table3_measure r =
   let sched () = Sched.random ~seed:5 () in
+  (* Timed at 32x the default workload size: the default-size streams run
+     in single-digit milliseconds, where scheduler noise and per-run
+     setup drown a median of 5; the scaled streams put every timed
+     section in the tens of milliseconds. *)
+  let prog =
+    Registry.program_of ~size:(32 * r.entry.Registry.default_size) r.entry
+  in
   let base =
     time_median (fun () ->
-        Runner.run ~sched:(sched ()) ~sink:Coop_trace.Trace.Sink.ignore r.prog)
+        Runner.run ~sched:(sched ()) ~sink:Coop_trace.Trace.Sink.ignore prog)
   in
   (* Race-only: the FastTrack analysis alone, fed straight from the VM
      sink (single pass, nothing recorded). *)
   let race =
     time_median (fun () ->
         Runner.analyze ~sched:(sched ()) (Coop_race.Fasttrack.analysis ())
-          r.prog)
+          prog)
   in
   (* Full pipeline, single-pass engine: races + deadlock + counter feeding
      facts into the engine-backed cooperability automaton + Atomizer over
      ONE execution — the same fused driver the CLI uses by default. *)
   let events = ref 0 in
-  let source = Runner.source ~sched r.prog in
+  let source = Runner.source ~sched prog in
   let full =
     time_median (fun () ->
         let res = Coop_pipeline.run ~atomize:true source in
@@ -199,8 +220,13 @@ let table3_measure r =
     time_median (fun () ->
         Coop_pipeline.run ~atomize:true ~two_pass:true source)
   in
+  let _, minor_w, majors =
+    alloc_sample (fun () -> Coop_pipeline.run ~atomize:true source)
+  in
   { t3_name = r.entry.Registry.name; t3_base = base; t3_race = race;
-    t3_full = full; t3_two = two; t3_events = !events }
+    t3_full = full; t3_two = two; t3_events = !events;
+    t3_minor_w_per_event = minor_w /. float_of_int (max 1 !events);
+    t3_major_collections = majors }
 
 let table3_json rows =
   Json.Obj
@@ -225,7 +251,19 @@ let table3_json rows =
                   ("two_pass_slowdown", Json.Float (w.t3_two /. w.t3_base));
                   ("race_kev_s", Json.Float (kev w.t3_race));
                   ("full_kev_s", Json.Float (kev w.t3_full));
-                  ("two_pass_kev_s", Json.Float (kev w.t3_two)) ])
+                  ("two_pass_kev_s", Json.Float (kev w.t3_two));
+                  (* Throughput of the analysis stack alone: events over
+                     the time the full pipeline adds on top of the
+                     uninstrumented run. The epsilon floor keeps the
+                     division sane when analysis cost is within noise of
+                     zero (full ~ base). *)
+                  ("analysis_kev_s",
+                   Json.Float
+                     (float_of_int w.t3_events /. 1000.
+                     /. Float.max 1e-6 (w.t3_full -. w.t3_base)));
+                  ("minor_words_per_event",
+                   Json.Float w.t3_minor_w_per_event);
+                  ("major_collections", Json.Int w.t3_major_collections) ])
             rows)) ]
 
 let table3 () =
@@ -236,7 +274,7 @@ let table3 () =
           ("events", Table.Right); ("race only", Table.Right);
           ("1-pass full", Table.Right); ("2-pass full", Table.Right);
           ("race kev/s", Table.Right); ("1-pass kev/s", Table.Right);
-          ("2-pass kev/s", Table.Right) ]
+          ("2-pass kev/s", Table.Right); ("minor w/ev", Table.Right) ]
   in
   let measured = Pool.map table3_measure (Lazy.force rows) in
   List.iter
@@ -248,7 +286,7 @@ let table3 () =
       Table.add_row t
         [ w.t3_name; ms w.t3_base; string_of_int w.t3_events; slow w.t3_race;
           slow w.t3_full; slow w.t3_two; kev w.t3_race; kev w.t3_full;
-          kev w.t3_two ])
+          kev w.t3_two; Printf.sprintf "%.1f" w.t3_minor_w_per_event ])
     measured;
   Table.print
     ~title:
@@ -855,6 +893,185 @@ let micro () =
   Table.print ~title:"Bechamel micro-benchmarks" t
 
 (* ---------------------------------------------------------------------- *)
+(* Vector-clock microbenchmark: flat arrays vs the persistent map oracle   *)
+(* ---------------------------------------------------------------------- *)
+
+(* The detector's three hot loops, isolated per representation: ticks
+   (release/fork), the acquire/release join-copy dance against a lock
+   clock, and epoch/clock leq probes (every read and write). Thread
+   counts bracket the suite's real spread (2) through a pathological
+   wide run (64). Writes BENCH_vclock.json (or --json PATH), shaped for
+   json-verify. *)
+let vclock () =
+  let module V = Coop_race.Vclock in
+  let module P = Coop_race.Vclock.Persistent in
+  let module E = Coop_race.Epoch in
+  let ops = 200_000 in
+  let flat_clocks t =
+    Array.init t (fun i ->
+        let c = V.create ~capacity:t () in
+        V.set c i 1;
+        c)
+  in
+  let pers_clocks t = Array.init t (fun i -> P.set P.empty i 1) in
+  let flat mix t () =
+    match mix with
+    | "tick" ->
+        let cs = flat_clocks t in
+        for i = 0 to ops - 1 do
+          V.tick_in_place cs.(i mod t) (i mod t)
+        done
+    | "join" ->
+        let cs = flat_clocks t in
+        let lock = V.create ~capacity:t () in
+        for i = 0 to ops - 1 do
+          let tid = i mod t in
+          let c = cs.(tid) in
+          V.join_into ~into:c lock;
+          V.copy_into ~into:lock c;
+          V.tick_in_place c tid
+        done
+    | _ ->
+        let cs = flat_clocks t in
+        let hits = ref 0 in
+        for i = 0 to ops - 1 do
+          let tid = i mod t in
+          let c = cs.(tid) in
+          if E.leq (E.make ~tid ~clock:1) c then incr hits;
+          if V.leq c cs.((tid + 1) mod t) then incr hits;
+          V.tick_in_place c tid
+        done;
+        ignore (Sys.opaque_identity !hits)
+  in
+  let pers mix t () =
+    match mix with
+    | "tick" ->
+        let cs = pers_clocks t in
+        for i = 0 to ops - 1 do
+          let tid = i mod t in
+          cs.(tid) <- P.tick cs.(tid) tid
+        done
+    | "join" ->
+        let cs = pers_clocks t in
+        let lock = ref P.empty in
+        for i = 0 to ops - 1 do
+          let tid = i mod t in
+          cs.(tid) <- P.join cs.(tid) !lock;
+          lock := cs.(tid);
+          cs.(tid) <- P.tick cs.(tid) tid
+        done
+    | _ ->
+        let cs = pers_clocks t in
+        let hits = ref 0 in
+        for i = 0 to ops - 1 do
+          let tid = i mod t in
+          if 1 <= P.get cs.(tid) tid then incr hits;
+          if P.leq cs.(tid) cs.((tid + 1) mod t) then incr hits;
+          cs.(tid) <- P.tick cs.(tid) tid
+        done;
+        ignore (Sys.opaque_identity !hits)
+  in
+  let cases =
+    List.concat_map
+      (fun mix ->
+        List.concat_map
+          (fun t ->
+            [ ("flat", mix, t, flat mix t); ("persistent", mix, t, pers mix t) ])
+          [ 2; 8; 64 ])
+      [ "tick"; "join"; "leq" ]
+  in
+  let table =
+    Table.create
+      ~headers:
+        [ ("mix", Table.Left); ("threads", Table.Right);
+          ("flat Mops/s", Table.Right); ("persistent Mops/s", Table.Right);
+          ("speedup", Table.Right) ]
+  in
+  let measured =
+    List.map
+      (fun (impl, mix, t, f) ->
+        let s = time_median ~reps:3 f in
+        (impl, mix, t, s, float_of_int ops /. 1e6 /. s))
+      cases
+  in
+  let find impl mix t =
+    List.find_map
+      (fun (i, m, th, _, mops) ->
+        if i = impl && m = mix && th = t then Some mops else None)
+      measured
+    |> Option.get
+  in
+  List.iter
+    (fun mix ->
+      List.iter
+        (fun t ->
+          let f = find "flat" mix t and p = find "persistent" mix t in
+          Table.add_row table
+            [ mix; string_of_int t; Printf.sprintf "%.1f" f;
+              Printf.sprintf "%.1f" p; Printf.sprintf "%.1fx" (f /. p) ])
+        [ 2; 8; 64 ])
+    [ "tick"; "join"; "leq" ];
+  Table.print
+    ~title:"Vector-clock microbenchmark: flat in-place vs persistent map"
+    table;
+  let json =
+    Json.Obj
+      [ ("experiment", Json.String "vclock");
+        ("ops_per_case", Json.Int ops);
+        ("cases",
+         Json.List
+           (List.map
+              (fun (impl, mix, t, s, mops) ->
+                Json.Obj
+                  [ ("impl", Json.String impl); ("mix", Json.String mix);
+                    ("threads", Json.Int t); ("ops", Json.Int ops);
+                    ("seconds", Json.Float s); ("mops_s", Json.Float mops) ])
+              measured)) ]
+  in
+  let path = match !json_out with Some p -> p | None -> "BENCH_vclock.json" in
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  close_out oc;
+  Printf.printf "(wrote %s)\n" path
+
+(* ---------------------------------------------------------------------- *)
+(* Allocation-budget smoke: fail CI when the hot path regresses            *)
+(* ---------------------------------------------------------------------- *)
+
+(* Budget for the full single-pass pipeline, in minor words per event on
+   the montecarlo workload (seed 5, size 40 — long enough that per-event
+   steady state dominates per-run setup). The figure covers VM execution
+   plus every checker. Recorded after the flat-clock/interning rework
+   (measured: ~1789 words/event, deterministic for this seed); the bound
+   carries ~2x headroom so only a genuine regression of the per-event
+   allocation discipline trips it, not GC noise. *)
+let alloc_budget_minor_words_per_event = 3_500.
+
+let alloc_smoke () =
+  let e = Option.get (Registry.find "montecarlo") in
+  let prog = Registry.program_of ~size:40 e in
+  let source =
+    Runner.source ~sched:(fun () -> Sched.random ~seed:5 ()) prog
+  in
+  (* Warm one run so program caches and checker tables exist, then sample. *)
+  ignore (Coop_pipeline.run ~atomize:true source);
+  let r, minor_w, majors =
+    alloc_sample (fun () -> Coop_pipeline.run ~atomize:true source)
+  in
+  let per_event = minor_w /. float_of_int (max 1 r.Coop_pipeline.events) in
+  Printf.printf
+    "alloc-smoke: montecarlo %d events, %.1f minor words/event (budget %.1f), \
+     %d major collections\n"
+    r.Coop_pipeline.events per_event alloc_budget_minor_words_per_event majors;
+  if per_event > alloc_budget_minor_words_per_event then begin
+    Printf.eprintf
+      "alloc-smoke: FAIL — %.1f minor words/event exceeds the %.1f budget\n"
+      per_event alloc_budget_minor_words_per_event;
+    exit 1
+  end;
+  print_endline "alloc-smoke: ok"
+
+(* ---------------------------------------------------------------------- *)
 (* JSON validation (the CI gate for the machine-readable output)           *)
 (* ---------------------------------------------------------------------- *)
 
@@ -909,7 +1126,13 @@ let json_verify path =
           [ "events"; "base_s"; "race_s"; "full_s"; "two_pass_s";
             "passes_per_schedule"; "two_pass_passes"; "race_slowdown";
             "full_slowdown"; "two_pass_slowdown"; "race_kev_s"; "full_kev_s";
-            "two_pass_kev_s" ])
+            "two_pass_kev_s"; "analysis_kev_s"; "minor_words_per_event" ];
+        (* Allocation counters: zero is legitimate for major collections. *)
+        match Option.bind (Json.member "major_collections" w) Json.to_float with
+        | Some v when v >= 0. -> ()
+        | Some _ -> fail (Printf.sprintf "%s: negative major_collections" name)
+        | None ->
+            fail (Printf.sprintf "%s: missing numeric major_collections" name))
       workloads;
     Printf.printf "json-verify: %s ok (table3, %d workloads)\n" path
       (List.length workloads)
@@ -997,16 +1220,56 @@ let json_verify path =
     Printf.printf "json-verify: %s ok (chrome trace, %d events)\n" path
       (List.length events)
   in
+  let verify_vclock () =
+    (match Option.bind (Json.member "ops_per_case" json) Json.to_float with
+    | Some v when v > 0. -> ()
+    | _ -> fail "missing positive \"ops_per_case\"");
+    let cases =
+      match Json.member "cases" json with
+      | Some (Json.List (_ :: _ as cs)) -> cs
+      | _ -> fail "missing non-empty \"cases\" array"
+    in
+    let impls = Hashtbl.create 4 and mixes = Hashtbl.create 4 in
+    List.iter
+      (fun c ->
+        (match (Json.member "impl" c, Json.member "mix" c) with
+        | Some (Json.String i), Some (Json.String m) ->
+            Hashtbl.replace impls i ();
+            Hashtbl.replace mixes m ()
+        | _ -> fail "case without impl/mix strings");
+        List.iter
+          (fun field ->
+            match Option.bind (Json.member field c) Json.to_float with
+            | Some v when v > 0. -> ()
+            | _ -> fail (Printf.sprintf "case without positive %s" field))
+          [ "threads"; "ops"; "seconds"; "mops_s" ])
+      cases;
+    (* The experiment is a comparison: both representations and all three
+       operation mixes must actually be present. *)
+    List.iter
+      (fun i ->
+        if not (Hashtbl.mem impls i) then
+          fail (Printf.sprintf "no cases for impl %S" i))
+      [ "flat"; "persistent" ];
+    List.iter
+      (fun m ->
+        if not (Hashtbl.mem mixes m) then
+          fail (Printf.sprintf "no cases for mix %S" m))
+      [ "tick"; "join"; "leq" ];
+    Printf.printf "json-verify: %s ok (vclock, %d cases)\n" path
+      (List.length cases)
+  in
   match json with
   | Json.List events -> verify_chrome_trace events
   | _ -> (
       match (Json.member "experiment" json, Json.member "schema" json) with
       | Some (Json.String "table3"), _ -> verify_table3 ()
       | Some (Json.String "profile"), _ -> verify_profile ()
+      | Some (Json.String "vclock"), _ -> verify_vclock ()
       | _, Some (Json.String "coop-obs/v1") -> verify_obs_snapshot ()
       | _ ->
           fail
-            "unrecognized document (want experiment=table3|profile, \
+            "unrecognized document (want experiment=table3|profile|vclock, \
              schema=coop-obs/v1, or a trace_event array)")
 
 (* ---------------------------------------------------------------------- *)
@@ -1015,7 +1278,8 @@ let json_verify path =
 
 let all = [ ("table1", table1); ("table2", table2); ("table3", table3);
             ("profile", profile); ("fig1", fig1); ("fig2", fig2);
-            ("fig3", fig3); ("ablations", ablations); ("micro", micro) ]
+            ("fig3", fig3); ("ablations", ablations); ("micro", micro);
+            ("vclock", vclock); ("alloc-smoke", alloc_smoke) ]
 
 let usage () =
   Printf.eprintf

@@ -31,6 +31,13 @@ COOP_JOBS=2 dune exec bench/main.exe -- table3 --only philo,crypt \
   --json _build/ci-table3.json
 dune exec bench/main.exe -- json-verify _build/ci-table3.json
 
+echo "== vclock bench smoke (flat vs persistent, json-verified) =="
+dune exec bench/main.exe -- vclock --json _build/ci-vclock.json
+dune exec bench/main.exe -- json-verify _build/ci-vclock.json
+
+echo "== allocation-budget smoke (minor words/event vs recorded budget) =="
+dune exec bench/main.exe -- alloc-smoke
+
 echo "== profile smoke (--profile-json / --chrome-trace, 2 workloads) =="
 # coopcheck check exits 1 when the workload has violations; the profile
 # files must be written and valid either way.

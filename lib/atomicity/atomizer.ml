@@ -115,12 +115,12 @@ let check_with_racy ?local_locks ~racy trace =
    and "any violations at all" is the same predicate in both. *)
 module Online = Coop_core.Online
 
-let online_analysis ?mark ~subscribe () =
+let online_analysis ?mark ~interner ~subscribe () =
   let acc = ref [] in  (* (first-violation seq, txn uid, warning) *)
   let activations = ref 0 in
   let violated = ref 0 in
   let engine =
-    Online.create ?mark
+    Online.create ?mark ~interner
       ~on_retire:(fun txn ->
         match Online.violations txn with
         | [] -> ()
@@ -136,45 +136,45 @@ let online_analysis ?mark ~subscribe () =
       ()
   in
   subscribe (Online.on_fact engine);
-  let stacks : (int, txn_id Online.txn list ref) Hashtbl.t =
-    Hashtbl.create 8
+  (* dense tid -> stack of open activations, innermost first *)
+  let stacks : txn_id Online.txn list array ref = ref (Array.make 8 []) in
+  let ensure tid =
+    if tid >= Array.length !stacks then begin
+      let bigger = Array.make (max (tid + 1) (2 * Array.length !stacks)) [] in
+      Array.blit !stacks 0 bigger 0 (Array.length !stacks);
+      stacks := bigger
+    end
   in
-  let stack_of tid =
-    match Hashtbl.find_opt stacks tid with
-    | Some s -> s
-    | None ->
-        let s = ref [] in
-        Hashtbl.add stacks tid s;
-        s
-  in
-  let push tid id =
+  let push tid orig_tid id =
     incr activations;
-    let s = stack_of tid in
-    s := Online.open_txn engine ~tid ~data:id :: !s
+    ensure tid;
+    !stacks.(tid) <- Online.open_txn engine ~tid:orig_tid ~data:id :: !stacks.(tid)
   in
   let pop tid =
-    let s = stack_of tid in
-    match !s with
+    ensure tid;
+    match !stacks.(tid) with
     | t :: rest ->
         Online.close engine t;
-        s := rest
+        !stacks.(tid) <- rest
     | [] -> ()
   in
   let seq = ref 0 in
   let step (e : Event.t) =
     incr seq;
+    let tid = Interner.cur_tid interner in
     match e.op with
-    | Event.Enter f -> push e.tid (Func f)
-    | Event.Exit _ -> pop e.tid
-    | Event.Atomic_begin -> push e.tid (Block e.loc)
-    | Event.Atomic_end -> pop e.tid
+    | Event.Enter f -> push tid e.tid (Func f)
+    | Event.Exit _ -> pop tid
+    | Event.Atomic_begin -> push tid e.tid (Block e.loc)
+    | Event.Atomic_end -> pop tid
     | Event.Yield -> ()  (* not a transaction boundary for atomicity *)
     | _ ->
-        List.iter (fun t -> Online.step engine t ~seq:!seq e) !(stack_of e.tid)
+        if tid < Array.length !stacks then
+          List.iter (fun t -> Online.step engine t ~seq:!seq e) !stacks.(tid)
   in
   let finalize () =
-    Hashtbl.iter (fun _ s -> List.iter (Online.close engine) !s) stacks;
-    Hashtbl.reset stacks;
+    Array.iter (List.iter (Online.close engine)) !stacks;
+    stacks := [||];
     Online.finalize engine;
     (* The two-pass checker emits warnings in trace order, walking each
        stack innermost-first on the flagging event; uids grow outward-in
@@ -209,13 +209,16 @@ let check_two_pass trace =
 let check ?(two_pass = false) trace =
   if two_pass then check_two_pass trace
   else
+    let itn = Interner.create () in
     let fused =
-      Analysis.feedback
-        (fun ~publish ->
-          Coop_race.Fasttrack.analysis ~facts:(Online.facts publish) ())
-        (fun ~subscribe -> online_analysis ~subscribe ())
+      Analysis.chain (Interner.analysis itn)
+        (Analysis.feedback
+           (fun ~publish ->
+             Coop_race.Fasttrack.analysis ~interner:itn
+               ~facts:(Online.facts publish) ())
+           (fun ~subscribe -> online_analysis ~interner:itn ~subscribe ()))
     in
-    snd (Source.run (Source.of_trace trace) fused)
+    snd (snd (Source.run (Source.of_trace trace) fused))
 
 let pp_txn ppf = function
   | Func f -> Format.fprintf ppf "fn#%d" f

@@ -53,14 +53,16 @@ val check_two_pass : Trace.t -> result
 
 val online_analysis :
   ?mark:float ref ->
+  interner:Interner.t ->
   subscribe:Coop_core.Online.subscribe ->
   unit ->
   result Analysis.t
 (** The single-pass nested-transaction checker: knowledge streams in
     through [subscribe] while events flow, and affected activations are
     repaired when a fact arrives late. Finalizes to exactly what
-    {!analysis} reports under final knowledge. [mark] as in
-    {!Coop_core.Online.create}. *)
+    {!analysis} reports under final knowledge. [interner] must be the
+    chain's shared interner (events noted upstream, same interner as the
+    publishing detector); [mark] as in {!Coop_core.Online.create}. *)
 
 val analysis :
   ?local_locks:(int -> bool) ->

@@ -18,65 +18,92 @@ type var_state = {
   mutable readers : int list;  (* txns reading since last write *)
 }
 
-let analysis () =
+(* Shared placeholder for unoccupied variable slots; never mutated. *)
+let dummy_var = { last_writer = -1; readers = [] }
+
+let analysis ?interner () =
+  let own_interner = interner = None in
+  let itn = match interner with Some itn -> itn | None -> Interner.create () in
   let next_txn = ref 0 in
   let fresh () =
     let n = !next_txn in
     incr next_txn;
     n
   in
-  (* Per-thread: call depth and current top-level transaction. *)
-  let depth : (int, int) Hashtbl.t = Hashtbl.create 8 in
-  let current : (int, int) Hashtbl.t = Hashtbl.create 8 in
-  let last_txn_of_thread : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  (* Per-thread (dense tid): call depth, current top-level transaction
+     (-1 when outside any activation) and latest transaction (-1 when
+     none yet). Grown together on demand. *)
+  let depth = ref (Array.make 8 0) in
+  let current = ref (Array.make 8 (-1)) in
+  let last_txn = ref (Array.make 8 (-1)) in
+  let ensure_tid tid =
+    if tid >= Array.length !depth then begin
+      let grow a fill =
+        let bigger = Array.make (max (tid + 1) (2 * Array.length a)) fill in
+        Array.blit a 0 bigger 0 (Array.length a);
+        bigger
+      in
+      depth := grow !depth 0;
+      current := grow !current (-1);
+      last_txn := grow !last_txn (-1)
+    end
+  in
   let edges = ref Edge_set.empty in
   let add_edge a b = if a <> b && a >= 0 then edges := Edge_set.add (a, b) !edges in
-  let vars : (Event.var, var_state) Hashtbl.t = Hashtbl.create 64 in
-  let var_of v =
-    match Hashtbl.find_opt vars v with
-    | Some s -> s
-    | None ->
-        let s = { last_writer = -1; readers = [] } in
-        Hashtbl.add vars v s;
-        s
+  let vars = ref (Array.make 64 dummy_var) in
+  let var_of vid =
+    if vid >= Array.length !vars then begin
+      let bigger = Array.make (max (vid + 1) (2 * Array.length !vars)) dummy_var in
+      Array.blit !vars 0 bigger 0 (Array.length !vars);
+      vars := bigger
+    end;
+    let s = !vars.(vid) in
+    if s != dummy_var then s
+    else begin
+      let s = { last_writer = -1; readers = [] } in
+      !vars.(vid) <- s;
+      s
+    end
   in
   let txn_of tid =
-    match Hashtbl.find_opt current tid with
-    | Some t -> t
-    | None ->
-        (* Events outside any activation get a unary transaction. *)
-        let t = fresh () in
-        (match Hashtbl.find_opt last_txn_of_thread tid with
-        | Some p -> add_edge p t
-        | None -> ());
-        Hashtbl.replace last_txn_of_thread tid t;
-        t
+    let t = !current.(tid) in
+    if t >= 0 then t
+    else begin
+      (* Events outside any activation get a unary transaction. *)
+      let t = fresh () in
+      let p = !last_txn.(tid) in
+      if p >= 0 then add_edge p t;
+      !last_txn.(tid) <- t;
+      t
+    end
   in
   let step (e : Event.t) =
-      let tid = e.tid in
-      let d = match Hashtbl.find_opt depth tid with Some d -> d | None -> 0 in
+      if own_interner then Interner.note itn e;
+      let tid = Interner.cur_tid itn in
+      ensure_tid tid;
       match e.op with
       | Event.Enter _ ->
+          let d = !depth.(tid) in
           if d = 0 then begin
             let t = fresh () in
-            (match Hashtbl.find_opt last_txn_of_thread tid with
-            | Some p -> add_edge p t
-            | None -> ());
-            Hashtbl.replace last_txn_of_thread tid t;
-            Hashtbl.replace current tid t
+            let p = !last_txn.(tid) in
+            if p >= 0 then add_edge p t;
+            !last_txn.(tid) <- t;
+            !current.(tid) <- t
           end;
-          Hashtbl.replace depth tid (d + 1)
+          !depth.(tid) <- d + 1
       | Event.Exit _ ->
-          Hashtbl.replace depth tid (max 0 (d - 1));
-          if d - 1 <= 0 then Hashtbl.remove current tid
-      | Event.Read v ->
+          let d = !depth.(tid) in
+          !depth.(tid) <- max 0 (d - 1);
+          if d - 1 <= 0 then !current.(tid) <- -1
+      | Event.Read _ ->
           let t = txn_of tid in
-          let s = var_of v in
+          let s = var_of (Interner.cur_operand itn) in
           if s.last_writer >= 0 then add_edge s.last_writer t;
           if not (List.mem t s.readers) then s.readers <- t :: s.readers
-      | Event.Write v ->
+      | Event.Write _ ->
           let t = txn_of tid in
-          let s = var_of v in
+          let s = var_of (Interner.cur_operand itn) in
           if s.last_writer >= 0 then add_edge s.last_writer t;
           List.iter (fun r -> add_edge r t) s.readers;
           s.last_writer <- t;
@@ -129,3 +156,4 @@ let analysis () =
   Analysis.make ~step ~finalize
 
 let check trace = Analysis.run (analysis ()) trace
+

@@ -13,9 +13,14 @@ type result = {
   cycle_witness : int list;  (** Node ids on one cycle, empty if acyclic. *)
 }
 
-val analysis : unit -> result Coop_trace.Analysis.t
+val analysis :
+  ?interner:Coop_trace.Interner.t -> unit -> result Coop_trace.Analysis.t
 (** The conflict-graph builder as a single-pass online analysis: edges
-    accrue per event; the cycle search runs at finalize. *)
+    accrue per event; the cycle search runs at finalize. Per-thread and
+    per-variable state is kept in flat arrays over an {!Coop_trace.Interner}'s
+    dense ids; with [~interner] the builder shares a fused chain's
+    interner (events noted upstream), without it it notes events
+    itself. *)
 
 val check : Coop_trace.Trace.t -> result
 (** Build the conflict graph of a recorded trace and search for cycles.

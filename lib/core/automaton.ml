@@ -62,39 +62,51 @@ let analysis ?local_locks ~racy () =
    engine transaction, classified optimistically and repaired when facts
    arrive. Per-transaction machines starting in Pre are equivalent to the
    one whole-thread machine above because Yield resets it to Pre. *)
-let online_analysis ?mark ~subscribe () =
+let online_analysis ?mark ~interner ~subscribe () =
   let acc : Online.viol list ref = ref [] in
   let engine =
-    Online.create ?mark
+    Online.create ?mark ~interner
       ~on_retire:(fun txn -> acc := List.rev_append (Online.violations txn) !acc)
       ()
   in
   subscribe (Online.on_fact engine);
-  let current : (int, unit Online.txn) Hashtbl.t = Hashtbl.create 8 in
+  (* dense tid -> open transaction; None between a yield and the next op *)
+  let current : unit Online.txn option array ref = ref (Array.make 8 None) in
+  let slot tid =
+    if tid >= Array.length !current then begin
+      let bigger = Array.make (max (tid + 1) (2 * Array.length !current)) None in
+      Array.blit !current 0 bigger 0 (Array.length !current);
+      current := bigger
+    end;
+    !current.(tid)
+  in
   let seq = ref 0 in
   let step (e : Event.t) =
     incr seq;
+    let tid = Interner.cur_tid interner in
     match e.op with
     | Event.Yield -> (
-        match Hashtbl.find_opt current e.tid with
+        match slot tid with
         | Some txn ->
             Online.close engine txn;
-            Hashtbl.remove current e.tid
+            !current.(tid) <- None
         | None -> ())
     | _ ->
         let txn =
-          match Hashtbl.find_opt current e.tid with
+          match slot tid with
           | Some txn -> txn
           | None ->
               let txn = Online.open_txn engine ~tid:e.tid ~data:() in
-              Hashtbl.add current e.tid txn;
+              !current.(tid) <- Some txn;
               txn
         in
         Online.step engine txn ~seq:!seq e
   in
   let finalize () =
-    Hashtbl.iter (fun _ txn -> Online.close engine txn) current;
-    Hashtbl.reset current;
+    Array.iter
+      (function Some txn -> Online.close engine txn | None -> ())
+      !current;
+    current := [||];
     Online.finalize engine;
     List.sort
       (fun (a : Online.viol) (b : Online.viol) -> compare a.vseq b.vseq)

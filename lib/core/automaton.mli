@@ -64,6 +64,7 @@ val analysis :
 
 val online_analysis :
   ?mark:float ref ->
+  interner:Interner.t ->
   subscribe:Online.subscribe ->
   unit ->
   violation list Analysis.t
@@ -72,7 +73,10 @@ val online_analysis :
     events flow, and the {!Online} engine repairs affected transactions
     when a fact arrives late. Finalizes to exactly the violations
     {!analysis} would report under the final racy set and lock
-    knowledge, in trace order. [mark] as in {!Online.create}. *)
+    knowledge, in trace order. [interner] must be the chain's shared
+    interner — the same one the publishing race detector uses — and
+    every event must be noted on it upstream ({!Interner.analysis}).
+    [mark] as in {!Online.create}. *)
 
 val pp_violation : Format.formatter -> violation -> unit
 (** Human-readable description, e.g.

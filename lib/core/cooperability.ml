@@ -7,21 +7,38 @@ type result = {
   events : int;
 }
 
-(* A lock is thread-local when at most one thread ever acquires it. *)
-let local_locks_analysis () =
-  let owners = Hashtbl.create 8 in
+(* A lock is thread-local when at most one thread ever acquires it. The
+   ownership table is a flat array over dense lock ids: [unseen] before
+   the first touch, [shared] once two threads have touched the lock, the
+   owning dense tid otherwise. *)
+let unseen = -1
+
+let shared = -2
+
+let local_locks_analysis ?interner () =
+  let own_interner = interner = None in
+  let itn = match interner with Some itn -> itn | None -> Interner.create () in
+  let owners = ref (Array.make 8 unseen) in
   Analysis.make
     ~step:(fun (e : Event.t) ->
+      if own_interner then Interner.note itn e;
       match e.op with
-      | Event.Acquire l | Event.Release l -> (
-          match Hashtbl.find_opt owners l with
-          | None -> Hashtbl.add owners l (Some e.tid)
-          | Some (Some t) when t = e.tid -> ()
-          | Some (Some _) -> Hashtbl.replace owners l None
-          | Some None -> ())
+      | Event.Acquire _ | Event.Release _ ->
+          let l = Interner.cur_operand itn in
+          if l >= Array.length !owners then begin
+            let bigger =
+              Array.make (max (l + 1) (2 * Array.length !owners)) unseen
+            in
+            Array.blit !owners 0 bigger 0 (Array.length !owners);
+            owners := bigger
+          end;
+          let o = !owners.(l) in
+          if o = unseen then !owners.(l) <- Interner.cur_tid itn
+          else if o >= 0 && o <> Interner.cur_tid itn then !owners.(l) <- shared
       | _ -> ())
     ~finalize:(fun () l ->
-      match Hashtbl.find_opt owners l with Some (Some _) -> true | _ -> false)
+      let id = Interner.find_lock itn l in
+      id >= 0 && id < Array.length !owners && !owners.(id) >= 0)
 
 let local_locks_of trace = Analysis.run (local_locks_analysis ()) trace
 
@@ -40,15 +57,20 @@ let check_two_pass source =
   let instr name a =
     Analysis.instrument ~mark ~name:("checker/" ^ name) a
   in
+  (* One interner serves the fused phase-1 chain: the note stage interns
+     each event's operands once, and both checkers index by the ids. *)
+  let itn = Interner.create () in
   let phase1 =
     Analysis.instrument_phase ~name:"analysis/phase1" ~mark
       (Analysis.chain
-         (instr "fasttrack" (Coop_race.Fasttrack.analysis ()))
+         (instr "intern" (Interner.analysis itn))
          (Analysis.chain
-            (instr "local_locks" (local_locks_analysis ()))
-            (Analysis.count ())))
+            (instr "fasttrack" (Coop_race.Fasttrack.analysis ~interner:itn ()))
+            (Analysis.chain
+               (instr "local_locks" (local_locks_analysis ~interner:itn ()))
+               (Analysis.count ()))))
   in
-  let races, (local_locks, events) = Source.run source phase1 in
+  let (), (races, (local_locks, events)) = Source.run source phase1 in
   let racy = Coop_race.Report.racy_vars races in
   let violations =
     Source.run source
@@ -67,17 +89,25 @@ let online_chain ~mark () =
   let instr name a =
     Analysis.instrument ~mark ~name:("checker/" ^ name) a
   in
+  (* The shared interner of the fused chain: the head stage notes each
+     event once; detector and engine read the dense ids, and the fact
+     channel speaks in those ids. *)
+  let itn = Interner.create () in
   Analysis.instrument_phase ~name:"analysis/online" ~mark
-    (Analysis.feedback
-       (fun ~publish ->
-         Analysis.chain
-           (instr "fasttrack"
-              (Coop_race.Fasttrack.analysis ~facts:(Online.facts publish) ()))
-           (Analysis.count ()))
-       (fun ~subscribe ->
-         instr "automaton" (Automaton.online_analysis ~mark ~subscribe ())))
+    (Analysis.chain
+       (instr "intern" (Interner.analysis itn))
+       (Analysis.feedback
+          (fun ~publish ->
+            Analysis.chain
+              (instr "fasttrack"
+                 (Coop_race.Fasttrack.analysis ~interner:itn
+                    ~facts:(Online.facts publish) ()))
+              (Analysis.count ()))
+          (fun ~subscribe ->
+            instr "automaton"
+              (Automaton.online_analysis ~mark ~interner:itn ~subscribe ()))))
 
-let result_of ((races, events), violations) =
+let result_of ((), ((races, events), violations)) =
   { violations; races; racy = Coop_race.Report.racy_vars races; events }
 
 let check_source ?(two_pass = false) source =

@@ -51,9 +51,12 @@ val local_locks_of : Trace.t -> int -> bool
 (** [local_locks_of tr] is the predicate of locks acquired by at most one
     thread over the whole trace. *)
 
-val local_locks_analysis : unit -> (int -> bool) Analysis.t
+val local_locks_analysis : ?interner:Interner.t -> unit -> (int -> bool) Analysis.t
 (** The thread-local-lock scan as an online analysis; finalizes to the
-    predicate {!local_locks_of} would compute. *)
+    predicate {!local_locks_of} would compute. Ownership lives in a flat
+    array over dense lock ids; with [~interner] the scan shares a fused
+    chain's interner (events must be noted upstream), without it it
+    notes events itself. *)
 
 val check_with_racy :
   ?local_locks:(int -> bool) ->

@@ -1,7 +1,10 @@
 open Coop_trace
 
+(* Facts name variables and locks by the dense ids of the run's shared
+   [Interner] — the same interner the publishing race detector and every
+   engine client must use, so ids agree across the feedback loop. *)
 type fact =
-  | Racy of Event.var
+  | Racy of int
   | Shared of int
 
 type publish = fact -> unit
@@ -9,41 +12,69 @@ type subscribe = (fact -> unit) -> unit
 
 let facts publish =
   {
-    Coop_race.Fasttrack.on_racy_var = (fun v -> publish (Racy v));
-    on_shared_lock = (fun l -> publish (Shared l));
+    Coop_race.Fasttrack.on_racy_var = (fun _v id -> publish (Racy id));
+    on_shared_lock = (fun _l id -> publish (Shared id));
   }
+
+(* Facts packed into one non-negative int for pending lists and the
+   fact-to-transaction index: id*2 for Racy, id*2+1 for Shared. *)
+let pack = function Racy id -> 2 * id | Shared id -> (2 * id) + 1
 
 (* What the engine currently believes. Facts are monotone — a variable
    never stops being racy, a lock never becomes thread-local again — so
    belief only grows and each classification can only be refined in one
-   direction (Both -> Non for accesses, Both -> Right/Left for lock ops). *)
+   direction (Both -> Non for accesses, Both -> Right/Left for lock ops).
+   Membership is one byte per dense id, grown on demand. *)
 module Knowledge = struct
   type t = {
-    racy : (Event.var, unit) Hashtbl.t;
-    shared : (int, unit) Hashtbl.t;
+    mutable racy : Bytes.t;  (* dense var id -> known racy *)
+    mutable shared : Bytes.t;  (* dense lock id -> known shared *)
   }
 
-  let create () = { racy = Hashtbl.create 16; shared = Hashtbl.create 8 }
+  let create () = { racy = Bytes.make 64 '\000'; shared = Bytes.make 16 '\000' }
+
+  let mem b id = id < Bytes.length b && Bytes.get b id = '\001'
+
+  let grown b n =
+    let bigger = Bytes.make (max n (2 * Bytes.length b)) '\000' in
+    Bytes.blit b 0 bigger 0 (Bytes.length b);
+    bigger
 
   let learn k = function
-    | Racy v ->
-        if Hashtbl.mem k.racy v then false
+    | Racy id ->
+        if mem k.racy id then false
         else begin
-          Hashtbl.add k.racy v ();
+          if id >= Bytes.length k.racy then k.racy <- grown k.racy (id + 1);
+          Bytes.set k.racy id '\001';
           true
         end
-    | Shared l ->
-        if Hashtbl.mem k.shared l then false
+    | Shared id ->
+        if mem k.shared id then false
         else begin
-          Hashtbl.add k.shared l ();
+          if id >= Bytes.length k.shared then
+            k.shared <- grown k.shared (id + 1);
+          Bytes.set k.shared id '\001';
           true
         end
 
-  let classify k op =
-    Mover.classify_pred
-      ~local_locks:(fun l -> not (Hashtbl.mem k.shared l))
-      ~racy:(fun v -> Hashtbl.mem k.racy v)
-      op
+  let racy k id = mem k.racy id
+  let shared k id = mem k.shared id
+
+  (* The mover of [op] (whose interned operand is [id]) under current
+     belief — [Mover.classify_pred] with the predicates inlined as byte
+     probes. [None] for ops the phase machine never looks at. *)
+  let classify k (op : Event.op) id =
+    match op with
+    | Event.Read _ | Event.Write _ ->
+        Some (if racy k id then Mover.Non else Mover.Both)
+    | Event.Acquire _ -> Some (if shared k id then Mover.Right else Mover.Both)
+    | Event.Release _ -> Some (if shared k id then Mover.Left else Mover.Both)
+    | Event.Fork _ -> Some Mover.Right
+    | Event.Join _ -> Some Mover.Left
+    | Event.Out _ -> Some Mover.Both
+    | Event.Yield | Event.Enter _ | Event.Exit _ | Event.Atomic_begin
+    | Event.Atomic_end ->
+        None
 end
 
 type phase =
@@ -58,25 +89,41 @@ type viol = {
   vmover : Mover.t;
 }
 
-(* The digest keeps only what a replay needs: global position, location
-   and operation of every phase-relevant op. [Out] is omitted — it is a
-   both mover under any knowledge, so it can never change the machine. *)
+(* The digest keeps only what a replay needs: global position, location,
+   operation and interned operand of every phase-relevant op, as parallel
+   arrays (no per-entry tuple). [Out] is omitted — it is a both mover
+   under any knowledge, so it can never change the machine. *)
 type 'a txn = {
   uid : int;
   tid : int;
   data : 'a;
-  mutable digest : (int * Loc.t * Event.op) array;
+  mutable seqs : int array;
+  mutable locs : Loc.t array;
+  mutable ops : Event.op array;
+  mutable ids : int array;  (* interned operand per digest slot *)
   mutable len : int;
   mutable phase : phase;
   mutable viols : viol list;  (* reversed *)
-  pending : (fact, unit) Hashtbl.t;
+  (* Packed facts this txn's classification optimistically assumed away.
+     A transaction can touch thousands of distinct operands (matrix
+     sweeps between yields), so membership must be O(1) — a list scan
+     here turns registration quadratic in the transaction's footprint. *)
+  pending : (int, unit) Hashtbl.t;
   mutable closed : bool;
   mutable retired : bool;
 }
 
 type 'a t = {
+  itn : Interner.t;
   knowledge : Knowledge.t;
-  index : (fact, 'a txn list ref) Hashtbl.t;
+  (* packed fact -> transactions that optimistically assumed its negation *)
+  mutable index : 'a txn list array;
+  (* packed fact -> uid of the last txn that registered it: a cache in
+     front of the per-txn pending table. Uids are never reused, so a
+     stamp hit is authoritative; on a miss the table decides. Loops and
+     repeated sweeps re-touch the same operands, so the hot path is one
+     array probe instead of a hash lookup. *)
+  mutable reg_stamp : int array;
   on_retire : 'a txn -> unit;
   mutable parked : 'a txn list;  (* closed with unresolved pending; reversed *)
   mutable next_uid : int;
@@ -86,10 +133,12 @@ type 'a t = {
   mutable repairs : int;
 }
 
-let create ?mark ~on_retire () =
+let create ?mark ~interner ~on_retire () =
   {
+    itn = interner;
     knowledge = Knowledge.create ();
-    index = Hashtbl.create 16;
+    index = Array.make 64 [];
+    reg_stamp = Array.make 64 (-1);
     on_retire;
     parked = [];
     next_uid = 0;
@@ -99,8 +148,6 @@ let create ?mark ~on_retire () =
     repairs = 0;
   }
 
-let dummy_slot = (0, Loc.make ~func:0 ~pc:0 ~line:0, Event.Yield)
-
 let open_txn t ~tid ~data =
   let uid = t.next_uid in
   t.next_uid <- uid + 1;
@@ -108,7 +155,10 @@ let open_txn t ~tid ~data =
     uid;
     tid;
     data;
-    digest = Array.make 4 dummy_slot;
+    seqs = Array.make 4 0;
+    locs = Array.make 4 Loc.none;
+    ops = Array.make 4 Event.Yield;
+    ids = Array.make 4 (-1);
     len = 0;
     phase = Pre;
     viols = [];
@@ -121,14 +171,23 @@ let data txn = txn.data
 let txn_uid txn = txn.uid
 let violations txn = List.rev txn.viols
 
-let push txn slot =
-  let n = Array.length txn.digest in
+let push txn ~seq ~loc ~op ~id =
+  let n = Array.length txn.seqs in
   if txn.len = n then begin
-    let bigger = Array.make (2 * n) dummy_slot in
-    Array.blit txn.digest 0 bigger 0 n;
-    txn.digest <- bigger
+    let grow a fill =
+      let bigger = Array.make (2 * n) fill in
+      Array.blit a 0 bigger 0 n;
+      bigger
+    in
+    txn.seqs <- grow txn.seqs 0;
+    txn.locs <- grow txn.locs Loc.none;
+    txn.ops <- grow txn.ops Event.Yield;
+    txn.ids <- grow txn.ids (-1)
   end;
-  txn.digest.(txn.len) <- slot;
+  txn.seqs.(txn.len) <- seq;
+  txn.locs.(txn.len) <- loc;
+  txn.ops.(txn.len) <- op;
+  txn.ids.(txn.len) <- id;
   txn.len <- txn.len + 1
 
 (* One move of the (R|B)* (N|L) (L|B)* machine — the exact transition
@@ -144,45 +203,53 @@ let apply txn ~seq ~loc ~op m =
         :: txn.viols;
       txn.phase <- (match m with Mover.Right -> Pre | _ -> Post)
 
+let bucket_add t packed txn =
+  if packed >= Array.length t.index then begin
+    let bigger = Array.make (max (packed + 1) (2 * Array.length t.index)) [] in
+    Array.blit t.index 0 bigger 0 (Array.length t.index);
+    t.index <- bigger
+  end;
+  t.index.(packed) <- txn :: t.index.(packed)
+
 (* Optimistic classification charged an assumption ("v is race-free",
    "l is thread-local"): remember which fact would invalidate it so a
    late arrival replays exactly the transactions that used it. *)
-let register_pending t txn op =
+let register_pending t txn (op : Event.op) id =
   let want =
-    match (op : Event.op) with
-    | Event.Read v | Event.Write v ->
-        if Hashtbl.mem t.knowledge.Knowledge.racy v then None
-        else Some (Racy v)
-    | Event.Acquire l | Event.Release l ->
-        if Hashtbl.mem t.knowledge.Knowledge.shared l then None
-        else Some (Shared l)
-    | _ -> None
+    match op with
+    | Event.Read _ | Event.Write _ ->
+        if Knowledge.racy t.knowledge id then -1 else pack (Racy id)
+    | Event.Acquire _ | Event.Release _ ->
+        if Knowledge.shared t.knowledge id then -1 else pack (Shared id)
+    | _ -> -1
   in
-  match want with
-  | None -> ()
-  | Some f ->
-      if not (Hashtbl.mem txn.pending f) then begin
-        Hashtbl.add txn.pending f ();
-        let bucket =
-          match Hashtbl.find_opt t.index f with
-          | Some b -> b
-          | None ->
-              let b = ref [] in
-              Hashtbl.add t.index f b;
-              b
+  if want >= 0 then
+    if want < Array.length t.reg_stamp && t.reg_stamp.(want) = txn.uid then ()
+    else begin
+      if want >= Array.length t.reg_stamp then begin
+        let bigger =
+          Array.make (max (want + 1) (2 * Array.length t.reg_stamp)) (-1)
         in
-        bucket := txn :: !bucket
+        Array.blit t.reg_stamp 0 bigger 0 (Array.length t.reg_stamp);
+        t.reg_stamp <- bigger
+      end;
+      t.reg_stamp.(want) <- txn.uid;
+      if not (Hashtbl.mem txn.pending want) then begin
+        Hashtbl.add txn.pending want ();
+        bucket_add t want txn
       end
+    end
 
 let step t txn ~seq (e : Event.t) =
-  match Knowledge.classify t.knowledge e.op with
+  let id = Interner.cur_operand t.itn in
+  match Knowledge.classify t.knowledge e.op id with
   | None -> ()
   | Some m -> (
       match e.op with
       | Event.Out _ -> ()  (* both mover forever: invisible to the machine *)
       | op ->
-          push txn (seq, e.loc, op);
-          register_pending t txn op;
+          push txn ~seq ~loc:e.loc ~op ~id;
+          register_pending t txn op id;
           apply txn ~seq ~loc:e.loc ~op m)
 
 (* Violations are NOT monotone in knowledge. In [rel l1; acq l2; wr v]
@@ -198,9 +265,9 @@ let replay t txn =
   txn.phase <- Pre;
   txn.viols <- [];
   for i = 0 to txn.len - 1 do
-    let seq, loc, op = txn.digest.(i) in
-    match Knowledge.classify t.knowledge op with
-    | Some m -> apply txn ~seq ~loc ~op m
+    let op = txn.ops.(i) in
+    match Knowledge.classify t.knowledge op txn.ids.(i) with
+    | Some m -> apply txn ~seq:txn.seqs.(i) ~loc:txn.locs.(i) ~op m
     | None -> assert false
   done
 
@@ -211,19 +278,20 @@ let retire t txn =
 let on_fact t f =
   let t0 = if t.timed then Coop_obs.now_s () else 0. in
   if Knowledge.learn t.knowledge f then begin
-    match Hashtbl.find_opt t.index f with
-    | None -> ()
-    | Some bucket ->
-        (* The fact is final: nothing will ever point at this bucket
-           again, so it is dropped wholesale after the repairs. *)
-        Hashtbl.remove t.index f;
-        List.iter
-          (fun txn ->
-            Hashtbl.remove txn.pending f;
-            replay t txn;
-            if txn.closed && (not txn.retired) && Hashtbl.length txn.pending = 0
-            then retire t txn)
-          !bucket
+    let packed = pack f in
+    if packed < Array.length t.index then begin
+      let bucket = t.index.(packed) in
+      (* The fact is final: nothing will ever point at this bucket
+         again, so it is dropped wholesale after the repairs. *)
+      t.index.(packed) <- [];
+      List.iter
+        (fun txn ->
+          Hashtbl.remove txn.pending packed;
+          replay t txn;
+          if txn.closed && (not txn.retired) && Hashtbl.length txn.pending = 0
+          then retire t txn)
+        bucket
+    end
   end;
   if t.timed then begin
     let dt = Coop_obs.now_s () -. t0 in

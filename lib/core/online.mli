@@ -14,12 +14,19 @@
     move, {e and delete} violations (a late non-mover that used to be
     flagged may instead commit quietly once an earlier op becomes the
     reset point). So each open transaction keeps a compact {e digest} —
-    (position, location, operation) of its phase-relevant ops — and a
-    late fact {e replays} only the transactions whose optimistic
-    assumptions it invalidates, never the trace. Closed transactions with
-    unresolved assumptions stay parked until the assumption resolves or
-    the stream ends; those whose ops were all classified with final
-    knowledge retire immediately.
+    (position, location, operation, operand id) of its phase-relevant
+    ops in parallel arrays — and a late fact {e replays} only the
+    transactions whose optimistic assumptions it invalidates, never the
+    trace. Closed transactions with unresolved assumptions stay parked
+    until the assumption resolves or the stream ends; those whose ops
+    were all classified with final knowledge retire immediately.
+
+    Knowledge, the fact-to-transaction index and the digests all key on
+    the dense ids of the run's shared {!Interner} — the engine, the
+    publishing detector and the transaction driver must use the {e same}
+    interner, and every event must be noted on it (via
+    {!Interner.analysis} at the head of the chain) before it reaches
+    {!step}.
 
     Memory is O(threads·vars) for the detector plus the digests of live
     and parked transactions. Yield-disciplined programs close and retire
@@ -33,15 +40,16 @@ open Coop_trace
 (** {1 The fact channel} *)
 
 type fact =
-  | Racy of Event.var  (** The variable is involved in some race. *)
-  | Shared of int  (** The lock has been touched by a second thread. *)
+  | Racy of int  (** The variable (by dense id) is involved in some race. *)
+  | Shared of int  (** The lock (by dense id) is shared by two threads. *)
 
 type publish = fact -> unit
 type subscribe = (fact -> unit) -> unit
 
 val facts : publish -> Coop_race.Fasttrack.facts
 (** Adapt a publisher into the race detector's callback record, for
-    wiring through {!Analysis.feedback}. *)
+    wiring through {!Analysis.feedback}. The detector must share the
+    engine's interner for the published ids to mean the same thing. *)
 
 (** {1 The engine}
 
@@ -66,10 +74,13 @@ type 'a txn
 type 'a t
 (** Engine state: current knowledge plus the fact-to-transaction index. *)
 
-val create : ?mark:float ref -> on_retire:('a txn -> unit) -> unit -> 'a t
+val create :
+  ?mark:float ref -> interner:Interner.t -> on_retire:('a txn -> unit) ->
+  unit -> 'a t
 (** [on_retire] fires exactly once per transaction, when its results are
     final — at {!close} if no optimistic assumption is outstanding,
     otherwise when the last one resolves, at latest during {!finalize}.
+    [interner] is the run's shared interner (see the module preamble).
     [mark] is the shared clock mark of the enclosing instrumented chain;
     repair time advances it so it is billed to [checker/repair] and not
     to the checker whose step triggered the fact. *)
@@ -80,11 +91,13 @@ val on_fact : 'a t -> fact -> unit
     to be passed to a [subscribe]. *)
 
 val open_txn : 'a t -> tid:int -> data:'a -> 'a txn
-(** Start a transaction in the pre-commit phase. *)
+(** Start a transaction in the pre-commit phase. [tid] is the original
+    (uninterned) thread id, reported back verbatim in violations. *)
 
 val step : 'a t -> 'a txn -> seq:int -> Event.t -> unit
 (** Classify the event under current knowledge and advance the
     transaction's phase machine; phase-irrelevant events are ignored.
+    The event must be the latest one noted on the engine's interner.
     [seq] is the event's global position — violation order and repair
     both depend on it being strictly increasing along the trace. *)
 

@@ -34,23 +34,32 @@ let run_two_pass ?(lockset = false) ?(atomize = false) ?(conflict = false)
      the event counter. *)
   let mark = ref 0. in
   let instr name a = instr mark name a in
+  (* Both phases share one interner (and so one dense-id space): each
+     phase's chain is headed by a note stage that interns an event's
+     operands once for every checker behind it. *)
+  let itn = Interner.create () in
   let phase1 =
     Analysis.instrument_phase ~name:"analysis/phase1" ~mark
       (Analysis.chain
-         (instr "fasttrack" (Coop_race.Fasttrack.analysis ()))
+         (instr "intern" (Interner.analysis itn))
          (Analysis.chain
-            (opt
-               (if lockset then
-                  Some (instr "lockset" (Coop_race.Lockset.analysis ()))
-                else None))
+            (instr "fasttrack" (Coop_race.Fasttrack.analysis ~interner:itn ()))
             (Analysis.chain
-               (instr "local_locks"
-                  (Coop_core.Cooperability.local_locks_analysis ()))
+               (opt
+                  (if lockset then
+                     Some
+                       (instr "lockset"
+                          (Coop_race.Lockset.analysis ~interner:itn ()))
+                   else None))
                (Analysis.chain
-                  (instr "deadlock" (Coop_core.Deadlock.analysis ()))
-                  (Analysis.count ())))))
+                  (instr "local_locks"
+                     (Coop_core.Cooperability.local_locks_analysis
+                        ~interner:itn ()))
+                  (Analysis.chain
+                     (instr "deadlock" (Coop_core.Deadlock.analysis ()))
+                     (Analysis.count ()))))))
   in
-  let races, (lockset_races, (local_locks, (deadlock, events))) =
+  let (), (races, (lockset_races, (local_locks, (deadlock, events)))) =
     Coop_obs.span "pipeline/phase1" (fun () -> Source.run source phase1)
   in
   let racy = Coop_race.Report.racy_vars races in
@@ -59,21 +68,26 @@ let run_two_pass ?(lockset = false) ?(atomize = false) ?(conflict = false)
   let phase2 =
     Analysis.instrument_phase ~name:"analysis/phase2" ~mark
       (Analysis.chain
-         (instr "automaton"
-            (Coop_core.Automaton.analysis ~local_locks ~racy ()))
+         (instr "intern" (Interner.analysis itn))
          (Analysis.chain
-            (opt
-               (if atomize then
-                  Some
-                    (instr "atomizer"
-                       (Coop_atomicity.Atomizer.analysis ~local_locks ~racy ()))
-                else None))
-            (opt
-               (if conflict then
-                  Some (instr "conflict" (Coop_atomicity.Conflict.analysis ()))
-                else None))))
+            (instr "automaton"
+               (Coop_core.Automaton.analysis ~local_locks ~racy ()))
+            (Analysis.chain
+               (opt
+                  (if atomize then
+                     Some
+                       (instr "atomizer"
+                          (Coop_atomicity.Atomizer.analysis ~local_locks ~racy
+                             ()))
+                   else None))
+               (opt
+                  (if conflict then
+                     Some
+                       (instr "conflict"
+                          (Coop_atomicity.Conflict.analysis ~interner:itn ()))
+                   else None)))))
   in
-  let violations, (atomizer, conflict) =
+  let (), (violations, (atomizer, conflict)) =
     Coop_obs.span "pipeline/phase2" (fun () -> Source.run source phase2)
   in
   { races; racy; lockset_races; violations; deadlock; atomizer; conflict;
@@ -86,42 +100,54 @@ let run_online ?(lockset = false) ?(atomize = false) ?(conflict = false)
     source =
   let mark = ref 0. in
   let instr name a = instr mark name a in
+  (* One interner for the whole fused chain: the head note stage interns
+     each event's operands once, every checker indexes by the dense ids,
+     and the fact channel between detector and engines speaks in them. *)
+  let itn = Interner.create () in
   let fused =
     Analysis.instrument_phase ~name:"analysis/online" ~mark
-      (Analysis.feedback
-         (fun ~publish ->
-           Analysis.chain
-             (instr "fasttrack"
-                (Coop_race.Fasttrack.analysis
-                   ~facts:(Coop_core.Online.facts publish) ()))
-             (Analysis.chain
-                (opt
-                   (if lockset then
-                      Some (instr "lockset" (Coop_race.Lockset.analysis ()))
-                    else None))
+      (Analysis.chain
+         (instr "intern" (Interner.analysis itn))
+         (Analysis.feedback
+            (fun ~publish ->
+              Analysis.chain
+                (instr "fasttrack"
+                   (Coop_race.Fasttrack.analysis ~interner:itn
+                      ~facts:(Coop_core.Online.facts publish) ()))
                 (Analysis.chain
-                   (instr "deadlock" (Coop_core.Deadlock.analysis ()))
-                   (Analysis.count ()))))
-         (fun ~subscribe ->
-           Analysis.chain
-             (instr "automaton"
-                (Coop_core.Automaton.online_analysis ~mark ~subscribe ()))
-             (Analysis.chain
-                (opt
-                   (if atomize then
-                      Some
-                        (instr "atomizer"
-                           (Coop_atomicity.Atomizer.online_analysis ~mark
-                              ~subscribe ()))
-                    else None))
-                (opt
-                   (if conflict then
-                      Some
-                        (instr "conflict" (Coop_atomicity.Conflict.analysis ()))
-                    else None)))))
+                   (opt
+                      (if lockset then
+                         Some
+                           (instr "lockset"
+                              (Coop_race.Lockset.analysis ~interner:itn ()))
+                       else None))
+                   (Analysis.chain
+                      (instr "deadlock" (Coop_core.Deadlock.analysis ()))
+                      (Analysis.count ()))))
+            (fun ~subscribe ->
+              Analysis.chain
+                (instr "automaton"
+                   (Coop_core.Automaton.online_analysis ~mark ~interner:itn
+                      ~subscribe ()))
+                (Analysis.chain
+                   (opt
+                      (if atomize then
+                         Some
+                           (instr "atomizer"
+                              (Coop_atomicity.Atomizer.online_analysis ~mark
+                                 ~interner:itn ~subscribe ()))
+                       else None))
+                   (opt
+                      (if conflict then
+                         Some
+                           (instr "conflict"
+                              (Coop_atomicity.Conflict.analysis ~interner:itn
+                                 ()))
+                       else None))))))
   in
-  let (races, (lockset_races, (deadlock, events))),
-      (violations, (atomizer, conflict)) =
+  let ( (),
+        ( (races, (lockset_races, (deadlock, events))),
+          (violations, (atomizer, conflict)) ) ) =
     Coop_obs.span "pipeline/online" (fun () -> Source.run source fused)
   in
   { races; racy = Coop_race.Report.racy_vars races; lockset_races; violations;

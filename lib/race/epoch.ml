@@ -6,10 +6,17 @@ let tid_bits = 20
 
 let tid_mask = (1 lsl tid_bits) - 1
 
+let max_clock = max_int lsr tid_bits
+
 let bottom = 0
 
 let make ~tid ~clock =
   if tid < 0 || tid > tid_mask - 1 then invalid_arg "Epoch.make: tid out of range";
+  (* [clock lsl tid_bits] silently wraps into the sign bit once [clock]
+     exceeds the bits left above the tid field; packed epochs would then
+     compare nonsensically, so refuse loudly instead. *)
+  if clock < 0 || clock > max_clock then
+    invalid_arg "Epoch.make: clock out of range";
   (clock lsl tid_bits) lor (tid + 1)
 
 let is_bottom e = e = 0

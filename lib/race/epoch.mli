@@ -12,7 +12,12 @@ val bottom : t
 (** The minimal epoch; [leq bottom c] holds for every clock [c]. *)
 
 val make : tid:int -> clock:int -> t
-(** [make ~tid ~clock] is the epoch [clock@tid]. *)
+(** [make ~tid ~clock] is the epoch [clock@tid]. Raises [Invalid_argument]
+    when [tid] does not fit the tid field or [clock] exceeds {!max_clock}
+    (the packed representation would overflow). *)
+
+val max_clock : int
+(** The largest clock value an epoch can carry. *)
 
 val tid : t -> int
 (** The thread of a non-bottom epoch. Raises [Invalid_argument] on

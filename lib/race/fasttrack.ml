@@ -2,7 +2,13 @@ open Coop_trace
 
 (* Per-variable access metadata. Reads start as an epoch and are promoted to
    a full vector clock when concurrent reads are observed, exactly as in the
-   FastTrack paper. *)
+   FastTrack paper.
+
+   All internal state is keyed by the dense ids of a per-run [Interner]:
+   thread clocks, lock clocks and variable slots live in flat arrays grown
+   on demand, vector-clock components are indexed by dense thread id, and
+   epochs pack dense tids. Original names resurface only on the cold
+   paths — reports and fact callbacks. *)
 type read_state =
   | Repoch of Epoch.t
   | Rvc of Vclock.t
@@ -13,82 +19,111 @@ type var_state = {
 }
 
 type facts = {
-  on_racy_var : Event.var -> unit;
-  on_shared_lock : int -> unit;
+  on_racy_var : Event.var -> int -> unit;
+  on_shared_lock : int -> int -> unit;
 }
 
-let no_facts = { on_racy_var = ignore; on_shared_lock = ignore }
+let no_facts = { on_racy_var = (fun _ _ -> ()); on_shared_lock = (fun _ _ -> ()) }
+
+(* Never-mutated sentinels for unoccupied array slots. [dummy_clock] has
+   zero capacity, so reading it as the all-zeros clock is sound as long as
+   nothing writes through it. *)
+let dummy_clock = Vclock.create ()
+
+let dummy_var = { w = Epoch.bottom; r = Repoch Epoch.bottom }
 
 type t = {
-  mutable clocks : Vclock.t array;  (* indexed by tid, grown on demand *)
-  locks : (int, Vclock.t) Hashtbl.t;
-  vars : (Event.var, var_state) Hashtbl.t;
+  itn : Interner.t;
+  own_interner : bool;  (* [handle] notes events itself *)
+  mutable clocks : Vclock.t array;  (* dense tid -> thread clock *)
+  mutable locks : Vclock.t array;  (* dense lock id -> release clock *)
+  mutable vars : var_state array;  (* dense var id -> access metadata *)
   mutable reports : Report.t list;  (* reversed *)
   facts : facts;
-  racy_fired : (Event.var, unit) Hashtbl.t;
-  (* Lock-ownership scan for the shared-lock fact: [Some tid] while only
-     one thread has touched the lock, [None] once it is shared. Mirrors
+  mutable racy_fired : Bytes.t;  (* dense var id -> fact already fired *)
+  (* Lock-ownership scan for the shared-lock fact: the owning dense tid
+     while only one thread has touched the lock, [shared_lock] once it is
+     shared, [no_owner] before the first touch. Mirrors
      [Cooperability.local_locks_analysis] (acquires AND releases count)
      so the published facts converge to the two-pass predicate. *)
-  lock_owner : (int, int option) Hashtbl.t;
+  mutable lock_owner : int array;
 }
 
-let create ?(facts = no_facts) () =
-  { clocks = Array.make 8 Vclock.empty; locks = Hashtbl.create 16;
-    vars = Hashtbl.create 64; reports = []; facts;
-    racy_fired = Hashtbl.create 16; lock_owner = Hashtbl.create 8 }
+let no_owner = -1
 
-let ensure_tid t tid =
-  let n = Array.length t.clocks in
-  if tid >= n then begin
-    let bigger = Array.make (max (tid + 1) (2 * n)) Vclock.empty in
-    Array.blit t.clocks 0 bigger 0 n;
-    t.clocks <- bigger
-  end;
-  (* A thread's clock starts with its own component at 1. *)
-  if Vclock.get t.clocks.(tid) tid = 0 then
-    t.clocks.(tid) <- Vclock.set t.clocks.(tid) tid 1
+let shared_lock = -2
 
+let create ?(facts = no_facts) ?interner () =
+  let own_interner = interner = None in
+  let itn = match interner with Some itn -> itn | None -> Interner.create () in
+  { itn; own_interner;
+    clocks = Array.make 8 dummy_clock;
+    locks = Array.make 8 dummy_clock;
+    vars = Array.make 64 dummy_var;
+    reports = []; facts;
+    racy_fired = Bytes.make 64 '\000';
+    lock_owner = Array.make 8 no_owner }
+
+let grown_slots a n ~fill =
+  let bigger = Array.make (max n (2 * Array.length a)) fill in
+  Array.blit a 0 bigger 0 (Array.length a);
+  bigger
+
+(* A thread's clock starts with its own (dense-id) component at 1. *)
 let clock_of t tid =
-  ensure_tid t tid;
-  t.clocks.(tid)
+  if tid >= Array.length t.clocks then
+    t.clocks <- grown_slots t.clocks (tid + 1) ~fill:dummy_clock;
+  let c = t.clocks.(tid) in
+  if c != dummy_clock then c
+  else begin
+    let c = Vclock.create ~capacity:(tid + 1) () in
+    Vclock.set c tid 1;
+    t.clocks.(tid) <- c;
+    c
+  end
 
-let var_state t v =
-  match Hashtbl.find_opt t.vars v with
-  | Some s -> s
-  | None ->
-      let s = { w = Epoch.bottom; r = Repoch Epoch.bottom } in
-      Hashtbl.add t.vars v s;
-      s
+let var_state t vid =
+  if vid >= Array.length t.vars then
+    t.vars <- grown_slots t.vars (vid + 1) ~fill:dummy_var;
+  let s = t.vars.(vid) in
+  if s != dummy_var then s
+  else begin
+    let s = { w = Epoch.bottom; r = Repoch Epoch.bottom } in
+    t.vars.(vid) <- s;
+    s
+  end
 
-let lock_clock t l =
-  match Hashtbl.find_opt t.locks l with Some c -> c | None -> Vclock.empty
-
-let report t r =
+let report t vid r =
   t.reports <- r :: t.reports;
   (* Incremental fact channel: announce a variable the first time any
      race is reported on it. The racy set only ever grows, so one firing
      per variable is enough for downstream consumers. *)
-  let v = r.Report.var in
-  if not (Hashtbl.mem t.racy_fired v) then begin
-    Hashtbl.add t.racy_fired v ();
-    t.facts.on_racy_var v
+  if vid >= Bytes.length t.racy_fired then begin
+    let bigger = Bytes.make (max (vid + 1) (2 * Bytes.length t.racy_fired)) '\000' in
+    Bytes.blit t.racy_fired 0 bigger 0 (Bytes.length t.racy_fired);
+    t.racy_fired <- bigger
+  end;
+  if Bytes.get t.racy_fired vid = '\000' then begin
+    Bytes.set t.racy_fired vid '\001';
+    t.facts.on_racy_var r.Report.var vid
   end
 
-let touch_lock t tid l =
-  match Hashtbl.find_opt t.lock_owner l with
-  | None -> Hashtbl.add t.lock_owner l (Some tid)
-  | Some (Some owner) when owner <> tid ->
-      Hashtbl.replace t.lock_owner l None;
-      t.facts.on_shared_lock l
-  | Some _ -> ()
+let touch_lock t tid lid l =
+  if lid >= Array.length t.lock_owner then
+    t.lock_owner <- grown_slots t.lock_owner (lid + 1) ~fill:no_owner;
+  let owner = t.lock_owner.(lid) in
+  if owner = no_owner then t.lock_owner.(lid) <- tid
+  else if owner >= 0 && owner <> tid then begin
+    t.lock_owner.(lid) <- shared_lock;
+    t.facts.on_shared_lock l lid
+  end
 
-let read_leq rs c =
-  match rs with Repoch e -> Epoch.leq e c | Rvc rc -> Vclock.leq rc c
+(* Dense tid back to the caller's thread id, for reports only. *)
+let orig_tid t tid = Interner.tid_of_id t.itn tid
 
-let on_read t tid loc v =
+let on_read t tid vid v (e : Event.t) =
   let c = clock_of t tid in
-  let s = var_state t v in
+  let s = var_state t vid in
   let mine = Epoch.of_thread tid c in
   let same_epoch =
     match s.r with Repoch e -> Epoch.equal e mine | Rvc _ -> false
@@ -99,24 +134,27 @@ let on_read t tid loc v =
       if Epoch.leq s.w c then []
       else
         [ { Report.var = v; kind = Report.Write_read;
-            first_tid = Epoch.tid s.w; second_tid = tid; second_loc = loc } ]
+            first_tid = orig_tid t (Epoch.tid s.w); second_tid = e.tid;
+            second_loc = e.loc } ]
     in
     (match s.r with
-    | Repoch e ->
-        if Epoch.leq e c then s.r <- Repoch mine
+    | Repoch e0 ->
+        if Epoch.leq e0 c then s.r <- Repoch mine
         else begin
           (* Concurrent reads: promote to a read vector. *)
-          let rc = Vclock.set Vclock.empty (Epoch.tid e) (Epoch.clock e) in
-          s.r <- Rvc (Vclock.set rc tid (Vclock.get c tid))
+          let rc = Vclock.create ~capacity:(max tid (Epoch.tid e0) + 1) () in
+          Vclock.set rc (Epoch.tid e0) (Epoch.clock e0);
+          Vclock.set rc tid (Vclock.get c tid);
+          s.r <- Rvc rc
         end
-    | Rvc rc -> s.r <- Rvc (Vclock.set rc tid (Vclock.get c tid)));
-    List.iter (report t) races;
+    | Rvc rc -> Vclock.set rc tid (Vclock.get c tid));
+    List.iter (report t vid) races;
     races
   end
 
-let on_write t tid loc v =
+let on_write t tid vid v (e : Event.t) =
   let c = clock_of t tid in
-  let s = var_state t v in
+  let s = var_state t vid in
   let mine = Epoch.of_thread tid c in
   if Epoch.equal s.w mine then []
   else begin
@@ -124,14 +162,16 @@ let on_write t tid loc v =
     if not (Epoch.leq s.w c) then
       races :=
         { Report.var = v; kind = Report.Write_write;
-          first_tid = Epoch.tid s.w; second_tid = tid; second_loc = loc }
+          first_tid = orig_tid t (Epoch.tid s.w); second_tid = e.tid;
+          second_loc = e.loc }
         :: !races;
     (match s.r with
-    | Repoch e ->
-        if not (Epoch.leq e c) then
+    | Repoch e0 ->
+        if not (Epoch.leq e0 c) then
           races :=
             { Report.var = v; kind = Report.Read_write;
-              first_tid = Epoch.tid e; second_tid = tid; second_loc = loc }
+              first_tid = orig_tid t (Epoch.tid e0); second_tid = e.tid;
+              second_loc = e.loc }
             :: !races
     | Rvc rc ->
         if not (Vclock.leq rc c) then begin
@@ -139,54 +179,67 @@ let on_write t tid loc v =
           let offender =
             List.find_opt (fun (u, n) -> n > Vclock.get c u) (Vclock.to_list rc)
           in
-          let first_tid = match offender with Some (u, _) -> u | None -> -1 in
+          let first_tid =
+            match offender with Some (u, _) -> orig_tid t u | None -> -1
+          in
           races :=
             { Report.var = v; kind = Report.Read_write; first_tid;
-              second_tid = tid; second_loc = loc }
+              second_tid = e.tid; second_loc = e.loc }
             :: !races
         end);
     s.w <- mine;
     s.r <- Repoch Epoch.bottom;
     let races = List.rev !races in
-    List.iter (report t) races;
+    List.iter (report t vid) races;
     races
   end
 
-let on_acquire t tid l =
-  ensure_tid t tid;
-  touch_lock t tid l;
-  t.clocks.(tid) <- Vclock.join t.clocks.(tid) (lock_clock t l);
+let lock_slot t lid =
+  if lid >= Array.length t.locks then
+    t.locks <- grown_slots t.locks (lid + 1) ~fill:dummy_clock;
+  t.locks.(lid)
+
+let on_acquire t tid lid l =
+  touch_lock t tid lid l;
+  let lc = lock_slot t lid in
+  if lc != dummy_clock then Vclock.join_into ~into:(clock_of t tid) lc
+  else ignore (clock_of t tid);
   []
 
-let on_release t tid l =
-  ensure_tid t tid;
-  touch_lock t tid l;
-  Hashtbl.replace t.locks l t.clocks.(tid);
-  t.clocks.(tid) <- Vclock.tick t.clocks.(tid) tid;
+let on_release t tid lid l =
+  touch_lock t tid lid l;
+  let c = clock_of t tid in
+  let lc = lock_slot t lid in
+  if lc == dummy_clock then t.locks.(lid) <- Vclock.copy c
+  else Vclock.copy_into ~into:lc c;
+  Vclock.tick_in_place c tid;
   []
 
 let on_fork t tid child =
-  ensure_tid t tid;
-  ensure_tid t child;
-  t.clocks.(child) <- Vclock.join t.clocks.(child) t.clocks.(tid);
-  t.clocks.(tid) <- Vclock.tick t.clocks.(tid) tid;
+  let c = clock_of t tid in
+  let cc = clock_of t child in
+  Vclock.join_into ~into:cc c;
+  Vclock.tick_in_place c tid;
   []
 
 let on_join t tid child =
-  ensure_tid t tid;
-  ensure_tid t child;
-  t.clocks.(tid) <- Vclock.join t.clocks.(tid) t.clocks.(child);
-  t.clocks.(child) <- Vclock.tick t.clocks.(child) child;
+  let c = clock_of t tid in
+  let cc = clock_of t child in
+  Vclock.join_into ~into:c cc;
+  Vclock.tick_in_place cc child;
   []
 
 let handle t (e : Event.t) =
+  if t.own_interner then Interner.note t.itn e;
+  let tid = Interner.cur_tid t.itn in
+  let x = Interner.cur_operand t.itn in
   match e.op with
-  | Event.Read v -> on_read t e.tid e.loc v
-  | Event.Write v -> on_write t e.tid e.loc v
-  | Event.Acquire l -> on_acquire t e.tid l
-  | Event.Release l -> on_release t e.tid l
-  | Event.Fork u -> on_fork t e.tid u
-  | Event.Join u -> on_join t e.tid u
+  | Event.Read v -> on_read t tid x v e
+  | Event.Write v -> on_write t tid x v e
+  | Event.Acquire l -> on_acquire t tid x l
+  | Event.Release l -> on_release t tid x l
+  | Event.Fork _ -> on_fork t tid x
+  | Event.Join _ -> on_join t tid x
   | Event.Yield | Event.Enter _ | Event.Exit _ | Event.Atomic_begin
   | Event.Atomic_end | Event.Out _ ->
       []
@@ -197,14 +250,11 @@ let racy_vars t = Report.racy_vars t.reports
 
 let sink t : Trace.Sink.t = fun e -> ignore (handle t e)
 
-let analysis ?facts () =
-  let t = create ?facts () in
+let analysis ?facts ?interner () =
+  let t = create ?facts ?interner () in
   Analysis.make ~step:(sink t) ~finalize:(fun () -> races t)
 
 let run trace = Analysis.run (analysis ()) trace
 
 let racy_vars_of_trace trace =
   Report.racy_vars (Analysis.run (analysis ()) trace)
-
-(* Silence an unused-value warning for the exported helper. *)
-let _ = read_leq

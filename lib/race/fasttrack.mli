@@ -6,7 +6,14 @@
     per lock, and per-variable adaptive read metadata (a single epoch in the
     common thread-local case, a full read vector when reads are genuinely
     shared). The detector continues past races ("continue-after-race"), so a
-    single run yields the complete set of racy variables. *)
+    single run yields the complete set of racy variables.
+
+    All per-thread, per-lock and per-variable state is kept in flat arrays
+    indexed by the dense ids of an {!Interner} (vector-clock components and
+    epochs use dense thread ids too); reports translate back to original
+    names. Pass [~interner] to share one interner — and its per-event
+    {!Interner.note} — across a fused chain headed by
+    {!Interner.analysis}; without it the detector notes events itself. *)
 
 open Coop_trace
 
@@ -14,14 +21,16 @@ type t
 (** Mutable detector state. *)
 
 type facts = {
-  on_racy_var : Event.var -> unit;
+  on_racy_var : Event.var -> int -> unit;
       (** Fired the first time any race is reported on the variable —
           synchronously, during the [handle] call for the exposing
-          access, before that call returns. *)
-  on_shared_lock : int -> unit;
+          access, before that call returns. Arguments: the variable and
+          its dense id in the detector's interner. *)
+  on_shared_lock : int -> int -> unit;
       (** Fired the first time a second distinct thread touches the lock
           (acquire or release — the same events the thread-locality scan
-          counts), i.e. the moment the lock stops being thread-local. *)
+          counts), i.e. the moment the lock stops being thread-local.
+          Arguments: the lock handle and its dense id. *)
 }
 (** Incremental knowledge channel for single-pass consumers. The
     two facts a mover classifier needs — "this variable races" and
@@ -31,9 +40,12 @@ type facts = {
 val no_facts : facts
 (** Callbacks that ignore every fact (the default). *)
 
-val create : ?facts:facts -> unit -> t
+val create : ?facts:facts -> ?interner:Interner.t -> unit -> t
 (** Fresh state: every thread clock starts at [<t:1>]. [facts] callbacks
-    fire as knowledge is discovered; default {!no_facts}. *)
+    fire as knowledge is discovered; default {!no_facts}. With
+    [~interner], {!handle} assumes each event has already been noted on
+    that interner (chain use); without it the detector owns a private
+    interner and notes events itself. *)
 
 val handle : t -> Event.t -> Report.t list
 (** [handle t e] advances the detector by one event and returns the races
@@ -48,10 +60,10 @@ val racy_vars : t -> Event.Var_set.t
 val sink : t -> Trace.Sink.t
 (** An event sink that feeds the detector (reports accumulate in [t]). *)
 
-val analysis : ?facts:facts -> unit -> Report.t list Analysis.t
+val analysis : ?facts:facts -> ?interner:Interner.t -> unit -> Report.t list Analysis.t
 (** A fresh detector as a single-pass online analysis: O(threads·vars)
-    state, finalizes to the races in detection order. [facts] as in
-    {!create}. *)
+    state, finalizes to the races in detection order. [facts] and
+    [interner] as in {!create}. *)
 
 val run : Trace.t -> Report.t list
 (** Run a fresh detector over a recorded trace (offline wrapper over

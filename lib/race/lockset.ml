@@ -4,13 +4,13 @@ module Iset = Set.Make (Int)
 
 type var_state =
   | Virgin
-  | Exclusive of int
+  | Exclusive of int  (* dense tid of the owner *)
   | Shared
   | Shared_modified
 
 type var_info = {
   mutable state : var_state;
-  mutable candidates : Iset.t;
+  mutable candidates : Iset.t;  (* original lock handles *)
   mutable have_candidates : bool;
       (* false until the first access initializes the set; an explicit flag
          avoids conflating "all locks" with "no locks". *)
@@ -18,31 +18,55 @@ type var_info = {
   mutable warned : bool;
 }
 
+(* Shared placeholder for unoccupied slots; never mutated. *)
+let dummy_info =
+  { state = Virgin; candidates = Iset.empty; have_candidates = false;
+    written = false; warned = false }
+
 type t = {
-  held : (int, Iset.t) Hashtbl.t;  (* tid -> locks currently held *)
-  vars : (Event.var, var_info) Hashtbl.t;
+  itn : Interner.t;
+  own_interner : bool;
+  mutable held : Iset.t array;  (* dense tid -> locks currently held *)
+  mutable vars : var_info array;  (* dense var id -> info *)
   mutable reports : Report.t list;  (* reversed *)
 }
 
-let create () =
-  { held = Hashtbl.create 8; vars = Hashtbl.create 64; reports = [] }
+let create ?interner () =
+  let own_interner = interner = None in
+  let itn = match interner with Some itn -> itn | None -> Interner.create () in
+  { itn; own_interner;
+    held = Array.make 8 Iset.empty;
+    vars = Array.make 64 dummy_info;
+    reports = [] }
+
+let grown_slots a n ~fill =
+  let bigger = Array.make (max n (2 * Array.length a)) fill in
+  Array.blit a 0 bigger 0 (Array.length a);
+  bigger
 
 let held_by t tid =
-  match Hashtbl.find_opt t.held tid with Some s -> s | None -> Iset.empty
+  if tid < Array.length t.held then t.held.(tid) else Iset.empty
 
-let info_of t v =
-  match Hashtbl.find_opt t.vars v with
-  | Some i -> i
-  | None ->
-      let i =
-        { state = Virgin; candidates = Iset.empty; have_candidates = false;
-          written = false; warned = false }
-      in
-      Hashtbl.add t.vars v i;
-      i
+let set_held t tid s =
+  if tid >= Array.length t.held then
+    t.held <- grown_slots t.held (tid + 1) ~fill:Iset.empty;
+  t.held.(tid) <- s
 
-let warn t tid v kind =
-  let i = info_of t v in
+let info_of t vid =
+  if vid >= Array.length t.vars then
+    t.vars <- grown_slots t.vars (vid + 1) ~fill:dummy_info;
+  let i = t.vars.(vid) in
+  if i != dummy_info then i
+  else begin
+    let i =
+      { state = Virgin; candidates = Iset.empty; have_candidates = false;
+        written = false; warned = false }
+    in
+    t.vars.(vid) <- i;
+    i
+  end
+
+let warn t i tid v kind =
   if i.warned then []
   else begin
     i.warned <- true;
@@ -67,9 +91,8 @@ let refine i locks =
     i.candidates <- locks
   end
 
-let access t tid loc v ~is_write =
-  ignore loc;
-  let i = info_of t v in
+let access t tid vid v ~orig_tid ~is_write =
+  let i = info_of t vid in
   let locks = held_by t tid in
   refine i locks;
   if is_write then i.written <- true;
@@ -83,39 +106,51 @@ let access t tid loc v ~is_write =
         (if is_write || i.state = Shared_modified then Shared_modified
          else Shared);
       if i.written && Iset.is_empty i.candidates then
-        warn t tid v
+        warn t i orig_tid v
           (if is_write then Report.Write_write else Report.Write_read)
       else []
 
 let handle t (e : Event.t) =
+  if t.own_interner then Interner.note t.itn e;
+  let tid = Interner.cur_tid t.itn in
   match e.op with
-  | Event.Read v -> access t e.tid e.loc v ~is_write:false
-  | Event.Write v -> access t e.tid e.loc v ~is_write:true
+  | Event.Read v ->
+      access t tid (Interner.cur_operand t.itn) v ~orig_tid:e.tid
+        ~is_write:false
+  | Event.Write v ->
+      access t tid (Interner.cur_operand t.itn) v ~orig_tid:e.tid
+        ~is_write:true
   | Event.Acquire l ->
-      Hashtbl.replace t.held e.tid (Iset.add l (held_by t e.tid));
+      set_held t tid (Iset.add l (held_by t tid));
       []
   | Event.Release l ->
-      Hashtbl.replace t.held e.tid (Iset.remove l (held_by t e.tid));
+      set_held t tid (Iset.remove l (held_by t tid));
       []
   | Event.Fork _ | Event.Join _ | Event.Yield | Event.Enter _ | Event.Exit _
   | Event.Atomic_begin | Event.Atomic_end | Event.Out _ ->
       []
 
 let state_of t v =
-  match Hashtbl.find_opt t.vars v with Some i -> i.state | None -> Virgin
+  let vid = Interner.var_id t.itn v in
+  if vid >= Array.length t.vars then Virgin
+  else
+    match t.vars.(vid).state with
+    | Exclusive owner -> Exclusive (Interner.tid_of_id t.itn owner)
+    | s -> s
 
 let candidate_locks t v =
-  match Hashtbl.find_opt t.vars v with
-  | Some i -> (
-      match i.state with
-      | Virgin | Exclusive _ -> None
-      | Shared | Shared_modified -> Some (Iset.elements i.candidates))
-  | None -> None
+  let vid = Interner.var_id t.itn v in
+  if vid >= Array.length t.vars then None
+  else
+    let i = t.vars.(vid) in
+    match i.state with
+    | Virgin | Exclusive _ -> None
+    | Shared | Shared_modified -> Some (Iset.elements i.candidates)
 
 let racy_vars t = Report.racy_vars t.reports
 
-let analysis () =
-  let t = create () in
+let analysis ?interner () =
+  let t = create ?interner () in
   Analysis.make
     ~step:(fun e -> ignore (handle t e))
     ~finalize:(fun () -> List.rev t.reports)

@@ -31,8 +31,11 @@ type var_state =
 type t
 (** Mutable detector state. *)
 
-val create : unit -> t
-(** Fresh detector. *)
+val create : ?interner:Interner.t -> unit -> t
+(** Fresh detector. Per-thread and per-variable state lives in flat
+    arrays indexed by an {!Interner}'s dense ids; with [~interner] the
+    detector shares a chain's interner and assumes events are noted
+    upstream ({!Interner.analysis}), without it it notes events itself. *)
 
 val handle : t -> Event.t -> Report.t list
 (** Advance by one event; returns the races this event exposes (at most one
@@ -48,8 +51,9 @@ val candidate_locks : t -> Event.var -> int list option
 val racy_vars : t -> Event.Var_set.t
 (** Variables warned about so far. *)
 
-val analysis : unit -> Report.t list Analysis.t
-(** A fresh detector as a single-pass online analysis. *)
+val analysis : ?interner:Interner.t -> unit -> Report.t list Analysis.t
+(** A fresh detector as a single-pass online analysis. [interner] as in
+    {!create}. *)
 
 val run : Trace.t -> Report.t list
 (** Run a fresh detector over a recorded trace (offline wrapper over

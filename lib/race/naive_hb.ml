@@ -1,42 +1,67 @@
 open Coop_trace
 
+(* The oracle deliberately uses the persistent reference implementation of
+   vector clocks: pass 1 snapshots a clock per event, and persistence makes
+   those snapshots free. Components are keyed by original thread ids. *)
+module P = Vclock.Persistent
+
 (* Pass 1: replay the synchronization state machine, recording each event's
-   thread clock at execution time. *)
+   thread clock at execution time. Thread and lock clock tables are flat
+   arrays indexed by a private interner's dense ids. *)
 let event_clocks trace =
-  let clocks = Hashtbl.create 8 in
-  let locks = Hashtbl.create 8 in
-  let clock_of tid =
-    match Hashtbl.find_opt clocks tid with
-    | Some c -> c
-    | None ->
-        let c = Vclock.set Vclock.empty tid 1 in
-        Hashtbl.replace clocks tid c;
-        c
+  let itn = Interner.create () in
+  let clocks = ref (Array.make 8 P.empty) in
+  let inited = ref (Array.make 8 false) in
+  let locks = ref (Array.make 8 P.empty) in
+  let grown a n ~fill =
+    let bigger = Array.make (max n (2 * Array.length a)) fill in
+    Array.blit a 0 bigger 0 (Array.length a);
+    bigger
   in
-  let out = Array.make (Trace.length trace) Vclock.empty in
+  (* dense tid -> clock; a thread starts with its own component at 1 *)
+  let clock_of i tid =
+    if i >= Array.length !clocks then begin
+      clocks := grown !clocks (i + 1) ~fill:P.empty;
+      inited := grown !inited (i + 1) ~fill:false
+    end;
+    if not !inited.(i) then begin
+      !clocks.(i) <- P.set P.empty tid 1;
+      !inited.(i) <- true
+    end;
+    !clocks.(i)
+  in
+  let set_clock i c = !clocks.(i) <- c in
+  let lock_clock i =
+    if i >= Array.length !locks then locks := grown !locks (i + 1) ~fill:P.empty;
+    !locks.(i)
+  in
+  let out = Array.make (Trace.length trace) P.empty in
   Trace.iteri
     (fun i (e : Event.t) ->
-      let c = clock_of e.tid in
+      Interner.note itn e;
+      let ti = Interner.cur_tid itn in
+      let c = clock_of ti e.tid in
       out.(i) <- c;
       match e.op with
-      | Event.Acquire l ->
-          let lc =
-            match Hashtbl.find_opt locks l with
-            | Some lc -> lc
-            | None -> Vclock.empty
-          in
-          Hashtbl.replace clocks e.tid (Vclock.join c lc);
-          out.(i) <- Hashtbl.find clocks e.tid
-      | Event.Release l ->
-          Hashtbl.replace locks l c;
-          Hashtbl.replace clocks e.tid (Vclock.tick c e.tid)
+      | Event.Acquire _ ->
+          let li = Interner.cur_operand itn in
+          let c = P.join c (lock_clock li) in
+          set_clock ti c;
+          out.(i) <- c
+      | Event.Release _ ->
+          let li = Interner.cur_operand itn in
+          ignore (lock_clock li);
+          !locks.(li) <- c;
+          set_clock ti (P.tick c e.tid)
       | Event.Fork u ->
-          let cu = clock_of u in
-          Hashtbl.replace clocks u (Vclock.join cu c);
-          Hashtbl.replace clocks e.tid (Vclock.tick c e.tid)
+          let ui = Interner.cur_operand itn in
+          let cu = clock_of ui u in
+          set_clock ui (P.join cu c);
+          set_clock ti (P.tick c e.tid)
       | Event.Join u ->
-          let cu = clock_of u in
-          Hashtbl.replace clocks e.tid (Vclock.join c cu)
+          let ui = Interner.cur_operand itn in
+          let cu = clock_of ui u in
+          set_clock ti (P.join c cu)
       | Event.Read _ | Event.Write _ | Event.Yield | Event.Enter _
       | Event.Exit _ | Event.Atomic_begin | Event.Atomic_end | Event.Out _ ->
           ())
@@ -51,7 +76,7 @@ let happens_before trace i j =
     let clocks = event_clocks trace in
     (* Event i happens-before j iff thread i's component at time of i is
        visible in j's clock. *)
-    Vclock.get clocks.(i) ei.Event.tid <= Vclock.get clocks.(j) ei.Event.tid
+    P.get clocks.(i) ei.Event.tid <= P.get clocks.(j) ei.Event.tid
   end
 
 let accesses trace =
@@ -68,7 +93,7 @@ let accesses trace =
 let race_pairs trace =
   let clocks = event_clocks trace in
   let accs = Array.of_list (accesses trace) in
-  let hb i ti j = Vclock.get clocks.(i) ti <= Vclock.get clocks.(j) ti in
+  let hb i ti j = P.get clocks.(i) ti <= P.get clocks.(j) ti in
   let pairs = ref [] in
   let n = Array.length accs in
   for a = 0 to n - 1 do

@@ -7,10 +7,13 @@
 
 open Coop_trace
 
-val event_clocks : Trace.t -> Vclock.t array
+val event_clocks : Trace.t -> Vclock.Persistent.t array
 (** [event_clocks tr] is the vector clock of each event's thread at the
     moment the event executed (same synchronization model as FastTrack:
-    locks, fork, join). *)
+    locks, fork, join). Clocks use the persistent reference
+    implementation — snapshots are shared, and the oracle exercises the
+    code path the flat representation is differentially tested against.
+    Components are keyed by original thread ids. *)
 
 val happens_before : Trace.t -> int -> int -> bool
 (** [happens_before tr i j] for [i < j] decides whether event [i]

@@ -1,33 +1,152 @@
-module M = Map.Make (Int)
+(* Flat mutable representation: component [t] lives at [a.(t)], and every
+   index at or beyond [Array.length a] reads as 0. Operations mutate in
+   place and grow the backing array on demand, so the detector hot path
+   (tick / join / copy, millions of times per run) never touches the GC
+   except when a clock genuinely grows. *)
 
-(* Invariant: no explicit zero entries are stored, so structural map equality
-   coincides with clock equality. *)
-type t = int M.t
+type t = { mutable a : int array }
 
-let empty = M.empty
+let create ?(capacity = 0) () = { a = Array.make capacity 0 }
 
-let get c t = match M.find_opt t c with Some n -> n | None -> 0
+let get c t = if t < Array.length c.a then c.a.(t) else 0
 
-let set c t n = if n = 0 then M.remove t c else M.add t n c
+let ensure c n =
+  let len = Array.length c.a in
+  if n > len then begin
+    let bigger = Array.make (max n (2 * len)) 0 in
+    Array.blit c.a 0 bigger 0 len;
+    c.a <- bigger
+  end
 
-let tick c t = M.add t (get c t + 1) c
+(* Whole-clock operations size the destination to exactly the source's
+   backing length. Over-growing here (as [ensure] does for amortized
+   index growth) would let two clocks that copy/join into each other
+   ping-pong their capacities upward without bound. *)
+let ensure_exact c n =
+  let len = Array.length c.a in
+  if n > len then begin
+    let bigger = Array.make n 0 in
+    Array.blit c.a 0 bigger 0 len;
+    c.a <- bigger
+  end
 
-let join a b = M.union (fun _ x y -> Some (max x y)) a b
+let set c t n =
+  if t < 0 then invalid_arg "Vclock.set: negative thread id";
+  if n = 0 then begin
+    if t < Array.length c.a then c.a.(t) <- 0
+  end
+  else begin
+    ensure c (t + 1);
+    c.a.(t) <- n
+  end
 
-let leq a b = M.for_all (fun t n -> n <= get b t) a
+let tick_in_place c t =
+  if t < 0 then invalid_arg "Vclock.tick_in_place: negative thread id";
+  ensure c (t + 1);
+  c.a.(t) <- c.a.(t) + 1
 
-let equal = M.equal Int.equal
+let join_into ~into src =
+  let n = Array.length src.a in
+  ensure_exact into n;
+  let dst = into.a and sa = src.a in
+  for i = 0 to n - 1 do
+    let v = Array.unsafe_get sa i in
+    if v > Array.unsafe_get dst i then Array.unsafe_set dst i v
+  done
 
-let compare = M.compare Int.compare
+let copy c = { a = Array.copy c.a }
 
-let of_list l = List.fold_left (fun c (t, n) -> set c t n) empty l
+let copy_into ~into src =
+  let n = Array.length src.a in
+  ensure_exact into n;
+  Array.blit src.a 0 into.a 0 n;
+  Array.fill into.a n (Array.length into.a - n) 0
 
-let to_list c = M.bindings c
+let clear c = Array.fill c.a 0 (Array.length c.a) 0
+
+let leq a b =
+  let la = Array.length a.a and lb = Array.length b.a in
+  let n = min la lb in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < n do
+    if Array.unsafe_get a.a !i > Array.unsafe_get b.a !i then ok := false;
+    incr i
+  done;
+  (* Components of [a] beyond [b]'s capacity compare against 0. *)
+  while !ok && !i < la do
+    if Array.unsafe_get a.a !i > 0 then ok := false;
+    incr i
+  done;
+  !ok
+
+let equal a b =
+  let la = Array.length a.a and lb = Array.length b.a in
+  let n = max la lb in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < n do
+    if get a !i <> get b !i then ok := false;
+    incr i
+  done;
+  !ok
+
+let compare a b =
+  let n = max (Array.length a.a) (Array.length b.a) in
+  let rec go i =
+    if i >= n then 0
+    else begin
+      let c = Int.compare (get a i) (get b i) in
+      if c <> 0 then c else go (i + 1)
+    end
+  in
+  go 0
+
+let of_list l =
+  let c = create () in
+  List.iter (fun (t, n) -> set c t n) l;
+  c
+
+let to_list c =
+  let acc = ref [] in
+  for i = Array.length c.a - 1 downto 0 do
+    if c.a.(i) <> 0 then acc := (i, c.a.(i)) :: !acc
+  done;
+  !acc
 
 let pp ppf c =
-  let bindings = to_list c in
   Format.fprintf ppf "<%a>"
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
        (fun ppf (t, n) -> Format.fprintf ppf "%d:%d" t n))
-    bindings
+    (to_list c)
+
+module Persistent = struct
+  module M = Map.Make (Int)
+
+  (* Invariant: no explicit zero entries are stored, so structural map
+     equality coincides with clock equality. *)
+  type t = int M.t
+
+  let empty = M.empty
+  let get c t = match M.find_opt t c with Some n -> n | None -> 0
+  let set c t n = if n = 0 then M.remove t c else M.add t n c
+  let tick c t = M.add t (get c t + 1) c
+  let join a b = M.union (fun _ x y -> Some (max x y)) a b
+  let leq a b = M.for_all (fun t n -> n <= get b t) a
+  let equal = M.equal Int.equal
+  let compare = M.compare Int.compare
+  let of_list l = List.fold_left (fun c (t, n) -> set c t n) empty l
+  let to_list c = M.bindings c
+
+  let pp ppf c =
+    Format.fprintf ppf "<%a>"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf (t, n) -> Format.fprintf ppf "%d:%d" t n))
+      (to_list c)
+end
+
+let to_persistent c = Persistent.of_list (to_list c)
+
+let of_persistent p = of_list (Persistent.to_list p)

@@ -1,34 +1,55 @@
 (** Vector clocks.
 
-    A vector clock maps thread ids to logical times. Clocks are persistent:
-    every operation returns a new clock, which keeps the FastTrack detector
-    simple to snapshot and to test. Missing entries read as 0, so clocks over
-    different thread populations compare naturally. *)
+    A vector clock maps thread ids to logical times. The primary
+    representation is a mutable flat [int array] indexed by (dense) thread
+    id with implicit trailing zeros — the race-detector hot path ticks,
+    joins and copies clocks millions of times per run, and the flat layout
+    makes every one of those an O(threads) array walk with zero allocation
+    (ticks are O(1)). Thread ids index directly, so callers are expected to
+    feed dense ids (see {!Coop_trace.Interner}).
+
+    The previous persistent-map representation survives as {!Persistent}:
+    an immutable reference oracle for differential tests and for analyses
+    that want free snapshots (e.g. [Naive_hb]). *)
 
 type t
-(** A persistent vector clock. *)
+(** A mutable flat vector clock. Missing (out-of-capacity) entries read
+    as 0, so clocks over different thread populations compare naturally. *)
 
-val empty : t
-(** The all-zeros clock. *)
+val create : ?capacity:int -> unit -> t
+(** A fresh all-zeros clock. [capacity] pre-sizes the backing array. *)
 
 val get : t -> int -> int
 (** [get c t] is thread [t]'s component (0 when absent). *)
 
-val set : t -> int -> int -> t
-(** [set c t n] replaces thread [t]'s component with [n]. *)
+val set : t -> int -> int -> unit
+(** [set c t n] replaces thread [t]'s component with [n], in place,
+    growing the backing array on demand. *)
 
-val tick : t -> int -> t
-(** [tick c t] increments thread [t]'s component. *)
+val tick_in_place : t -> int -> unit
+(** [tick_in_place c t] increments thread [t]'s component, in place. *)
 
-val join : t -> t -> t
-(** Pointwise maximum. *)
+val join_into : into:t -> t -> unit
+(** [join_into ~into src] sets [into] to the pointwise maximum of [into]
+    and [src], in place. *)
+
+val copy : t -> t
+(** A fresh clock equal to the argument; further mutation of either does
+    not affect the other. *)
+
+val copy_into : into:t -> t -> unit
+(** [copy_into ~into src] overwrites [into] with [src]'s components
+    (clearing any components [src] lacks), reusing [into]'s storage. *)
+
+val clear : t -> unit
+(** Reset every component to 0, keeping the storage. *)
 
 val leq : t -> t -> bool
 (** [leq a b] iff [a] is pointwise <= [b]; this is the happens-before
     order between the times the clocks represent. *)
 
 val equal : t -> t -> bool
-(** Pointwise equality (ignoring explicit zeros). *)
+(** Pointwise equality (ignoring trailing zeros / capacity). *)
 
 val compare : t -> t -> int
 (** An arbitrary total order consistent with {!equal}, for use in maps. *)
@@ -41,3 +62,29 @@ val to_list : t -> (int * int) list
 
 val pp : Format.formatter -> t -> unit
 (** Renders as ["<0:3, 2:1>"]. *)
+
+(** The persistent-map reference implementation (the representation this
+    module had before the flat-array rewrite). Every operation returns a
+    new clock; snapshots are free. Kept as the differential-testing oracle
+    and for offline analyses that store one clock per event. *)
+module Persistent : sig
+  type t
+
+  val empty : t
+  val get : t -> int -> int
+  val set : t -> int -> int -> t
+  val tick : t -> int -> t
+  val join : t -> t -> t
+  val leq : t -> t -> bool
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val of_list : (int * int) list -> t
+  val to_list : t -> (int * int) list
+  val pp : Format.formatter -> t -> unit
+end
+
+val to_persistent : t -> Persistent.t
+(** The persistent clock with the same components. *)
+
+val of_persistent : Persistent.t -> t
+(** A fresh flat clock with the same components. *)

@@ -26,8 +26,28 @@ type thread = {
   wait_depth : int;  (* reentrancy depth to restore after a wait *)
 }
 
+(* Event payloads the program can ever emit, precomputed once per program
+   so the interpreter's hot loop allocates no [Loc.t] and no operation
+   variant for the common events. Built in [init], immutable afterwards —
+   derived states share one [caches] record, which also makes it safe to
+   share across domains (exploration shards states over a pool). Fork,
+   Join and Out payloads stay dynamic: their arguments are run-time values
+   and the events are rare. *)
+type caches = {
+  locs : Loc.t array array;  (* func -> pc -> location *)
+  enter_ops : Event.op array;  (* func -> Enter *)
+  exit_ops : Event.op array;  (* func -> Exit *)
+  acquire_ops : Event.op array;  (* handle -> Acquire *)
+  release_ops : Event.op array;  (* handle -> Release *)
+  read_global_ops : Event.op array;  (* slot -> Read (Global _) *)
+  write_global_ops : Event.op array;  (* slot -> Write (Global _) *)
+  read_cell_ops : Event.op array array;  (* aid -> idx -> Read (Cell _) *)
+  write_cell_ops : Event.op array array;
+}
+
 type state = {
   prog : Bytecode.program;
+  caches : caches;
   globals : int Imap.t;
   arrays : int Imap.t Imap.t;  (* array id -> index -> value *)
   locks : (int * int) Imap.t;  (* handle -> (owner, depth) *)
@@ -41,6 +61,33 @@ type state = {
 }
 
 exception Fault of string
+
+let build_caches (prog : Bytecode.program) =
+  let n_funcs = Array.length prog.funcs in
+  {
+    locs =
+      Array.init n_funcs (fun func ->
+          Array.init
+            (Array.length prog.funcs.(func).Bytecode.code)
+            (fun pc -> Bytecode.loc prog ~func ~pc));
+    enter_ops = Array.init n_funcs (fun f -> Event.Enter f);
+    exit_ops = Array.init n_funcs (fun f -> Event.Exit f);
+    acquire_ops = Array.init prog.n_locks (fun h -> Event.Acquire h);
+    release_ops = Array.init prog.n_locks (fun h -> Event.Release h);
+    read_global_ops =
+      Array.init prog.n_globals (fun g -> Event.Read (Event.Global g));
+    write_global_ops =
+      Array.init prog.n_globals (fun g -> Event.Write (Event.Global g));
+    read_cell_ops =
+      Array.mapi
+        (fun aid size -> Array.init size (fun i -> Event.Read (Event.Cell (aid, i))))
+        prog.array_sizes;
+    write_cell_ops =
+      Array.mapi
+        (fun aid size ->
+          Array.init size (fun i -> Event.Write (Event.Cell (aid, i))))
+        prog.array_sizes;
+  }
 
 let init prog =
   let globals =
@@ -56,6 +103,7 @@ let init prog =
   in
   {
     prog;
+    caches = build_caches prog;
     globals;
     arrays = Imap.empty;
     locks = Imap.empty;
@@ -190,6 +238,21 @@ let check_lock st handle =
   if handle < 0 || handle >= st.prog.Bytecode.n_locks then
     raise (Fault (Printf.sprintf "invalid lock handle %d" handle))
 
+(* Per-domain scratch event, reused for every emission: sinks receive the
+   same record with fields rewritten (the [Trace.Sink] contract — a sink
+   that retains events must [Event.copy]). Domain-local because
+   exploration steps disjoint states from several domains at once. *)
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      Event.make ~tid:(-1) ~op:Event.Yield ~loc:Loc.none)
+
+let emit_to sink (scratch : Event.t) tid loc op =
+  scratch.Event.tid <- tid;
+  scratch.Event.op <- op;
+  scratch.Event.loc <- loc;
+  sink scratch
+  [@@inline]
+
 (* Execute one instruction of [tid]. Precondition: the thread can run. *)
 let step ?(yields = Loc.Set.empty) st tid ~sink =
   let t =
@@ -204,14 +267,19 @@ let step ?(yields = Loc.Set.empty) st tid ~sink =
     | [] -> invalid_arg "Vm.step: thread has no frame"
   in
   let code = st.prog.Bytecode.funcs.(frame.func).code in
-  let loc = Bytecode.loc st.prog ~func:frame.func ~pc:frame.pc in
+  let caches = st.caches in
+  let loc =
+    let table = caches.locs.(frame.func) in
+    if frame.pc >= 0 && frame.pc < Array.length table then table.(frame.pc)
+    else Bytecode.loc st.prog ~func:frame.func ~pc:frame.pc
+  in
   let st = { st with steps = st.steps + 1; last_yielded = false } in
-  let emit _st op = sink (Event.make ~tid ~op ~loc) in
+  let scratch = Domain.DLS.get scratch_key in
   (* Root-frame Enter event, once per thread. *)
   let st, t =
     if t.entered then (st, t)
     else begin
-      emit st (Event.Enter frame.func);
+      emit_to sink scratch tid loc caches.enter_ops.(frame.func);
       (st, { t with entered = true })
     end
   in
@@ -219,7 +287,7 @@ let step ?(yields = Loc.Set.empty) st tid ~sink =
      reentrancy depth; no instruction executes this step. *)
   match t.status with
   | Reacquiring handle ->
-      emit st (Event.Acquire handle);
+      emit_to sink scratch tid loc caches.acquire_ops.(handle);
       let st =
         { st with locks = Imap.add handle (tid, max 1 t.wait_depth) st.locks }
       in
@@ -227,7 +295,7 @@ let step ?(yields = Loc.Set.empty) st tid ~sink =
   | _ ->
   (* Injected yield: its own scheduling point, before the instruction. *)
   if Loc.Set.mem loc yields && not t.pending_yield then begin
-    emit st Event.Yield;
+    emit_to sink scratch tid loc Event.Yield;
     let t = { t with pending_yield = true; status = Runnable } in
     { (set_thread st tid t) with last_yielded = true }
   end
@@ -241,13 +309,19 @@ let step ?(yields = Loc.Set.empty) st tid ~sink =
           let frame = advance { frame with stack = n :: frame.stack } in
           finish_with st { t with frames = frame :: outer_frames; status = Runnable }
       | Bytecode.Load_global g ->
-          emit st (Event.Read (Event.Global g));
+          emit_to sink scratch tid loc
+            (if g >= 0 && g < Array.length caches.read_global_ops then
+               caches.read_global_ops.(g)
+             else Event.Read (Event.Global g));
           let v = global_value st g in
           let frame = advance { frame with stack = v :: frame.stack } in
           finish_with st { t with frames = frame :: outer_frames; status = Runnable }
       | Bytecode.Store_global g ->
           let v, stack = pop frame.stack in
-          emit st (Event.Write (Event.Global g));
+          emit_to sink scratch tid loc
+            (if g >= 0 && g < Array.length caches.write_global_ops then
+               caches.write_global_ops.(g)
+             else Event.Write (Event.Global g));
           let st = { st with globals = Imap.add g v st.globals } in
           let frame = advance { frame with stack } in
           finish_with st { t with frames = frame :: outer_frames; status = Runnable }
@@ -262,14 +336,14 @@ let step ?(yields = Loc.Set.empty) st tid ~sink =
       | Bytecode.Load_elem aid ->
           let idx, stack = pop frame.stack in
           check_array st aid idx;
-          emit st (Event.Read (Event.Cell (aid, idx)));
+          emit_to sink scratch tid loc caches.read_cell_ops.(aid).(idx);
           let v = array_get st aid idx in
           let frame = advance { frame with stack = v :: stack } in
           finish_with st { t with frames = frame :: outer_frames; status = Runnable }
       | Bytecode.Store_elem aid ->
           let idx, v, stack = pop2 frame.stack in
           check_array st aid idx;
-          emit st (Event.Write (Event.Cell (aid, idx)));
+          emit_to sink scratch tid loc caches.write_cell_ops.(aid).(idx);
           let st = array_set st aid idx v in
           let frame = advance { frame with stack } in
           finish_with st { t with frames = frame :: outer_frames; status = Runnable }
@@ -317,7 +391,7 @@ let step ?(yields = Loc.Set.empty) st tid ~sink =
               (* Held by someone else: park without consuming the handle. *)
               finish_with st { t with status = Blocked_on_lock handle }
           | None ->
-              emit st (Event.Acquire handle);
+              emit_to sink scratch tid loc caches.acquire_ops.(handle);
               let st = { st with locks = Imap.add handle (tid, 1) st.locks } in
               let _, stack = pop frame.stack in
               let frame = advance { frame with stack } in
@@ -329,7 +403,7 @@ let step ?(yields = Loc.Set.empty) st tid ~sink =
           | Some (owner, depth) when owner = tid ->
               let st =
                 if depth = 1 then begin
-                  emit st (Event.Release handle);
+                  emit_to sink scratch tid loc caches.release_ops.(handle);
                   { st with locks = Imap.remove handle st.locks }
                 end
                 else { st with locks = Imap.add handle (tid, depth - 1) st.locks }
@@ -351,8 +425,8 @@ let step ?(yields = Loc.Set.empty) st tid ~sink =
                  which makes wait a scheduling point for the cooperative
                  semantics and gives the analyses the right happens-before
                  edges with no new event kinds. *)
-              emit st (Event.Release handle);
-              emit st Event.Yield;
+              emit_to sink scratch tid loc caches.release_ops.(handle);
+              emit_to sink scratch tid loc Event.Yield;
               let queue =
                 match Imap.find_opt handle st.conditions with
                 | Some q -> q
@@ -412,16 +486,16 @@ let step ?(yields = Loc.Set.empty) st tid ~sink =
                    (Printf.sprintf "notify on lock %s not held"
                       st.prog.Bytecode.lock_names.(handle))))
       | Bytecode.Yield_instr ->
-          emit st Event.Yield;
+          emit_to sink scratch tid loc Event.Yield;
           let frame = advance frame in
           let st = finish_with st { t with frames = frame :: outer_frames; status = Runnable } in
           { st with last_yielded = true }
       | Bytecode.Atomic_begin ->
-          emit st Event.Atomic_begin;
+          emit_to sink scratch tid loc Event.Atomic_begin;
           let frame = advance frame in
           finish_with st { t with frames = frame :: outer_frames; status = Runnable }
       | Bytecode.Atomic_end ->
-          emit st Event.Atomic_end;
+          emit_to sink scratch tid loc Event.Atomic_end;
           let frame = advance frame in
           finish_with st { t with frames = frame :: outer_frames; status = Runnable }
       | Bytecode.Spawn (fi, nargs) ->
@@ -434,7 +508,7 @@ let step ?(yields = Loc.Set.empty) st tid ~sink =
           in
           let args, stack = take nargs frame.stack [] in
           let child = st.next_tid in
-          emit st (Event.Fork child);
+          emit_to sink scratch tid loc (Event.Fork child);
           let locals =
             List.fold_left
               (fun (i, m) v -> (i + 1, Imap.add i v m))
@@ -464,7 +538,7 @@ let step ?(yields = Loc.Set.empty) st tid ~sink =
           | Some u -> (
               match u.status with
               | Finished | Faulted _ ->
-                  emit st (Event.Join target);
+                  emit_to sink scratch tid loc (Event.Join target);
                   let _, stack = pop frame.stack in
                   let frame = advance { frame with stack } in
                   finish_with st { t with frames = frame :: outer_frames; status = Runnable }
@@ -478,7 +552,7 @@ let step ?(yields = Loc.Set.empty) st tid ~sink =
               | [] -> raise (Fault "operand stack underflow")
           in
           let args, stack = take nargs frame.stack [] in
-          emit st (Event.Enter fi);
+          emit_to sink scratch tid loc caches.enter_ops.(fi);
           let locals =
             List.fold_left
               (fun (i, m) v -> (i + 1, Imap.add i v m))
@@ -491,7 +565,7 @@ let step ?(yields = Loc.Set.empty) st tid ~sink =
             { t with frames = callee :: caller :: outer_frames; status = Runnable }
       | Bytecode.Ret -> (
           let v, _ = pop frame.stack in
-          emit st (Event.Exit frame.func);
+          emit_to sink scratch tid loc caches.exit_ops.(frame.func);
           match outer_frames with
           | [] -> finish_with st { t with frames = []; status = Finished }
           | caller :: rest ->
@@ -499,7 +573,7 @@ let step ?(yields = Loc.Set.empty) st tid ~sink =
               finish_with st { t with frames = caller :: rest; status = Runnable })
       | Bytecode.Print ->
           let v, stack = pop frame.stack in
-          emit st (Event.Out v);
+          emit_to sink scratch tid loc (Event.Out v);
           let st = { st with output_rev = v :: st.output_rev } in
           let frame = advance { frame with stack } in
           finish_with st { t with frames = frame :: outer_frames; status = Runnable }

@@ -18,9 +18,15 @@ type op =
   | Atomic_end
   | Out of int
 
-type t = { tid : tid; op : op; loc : Loc.t }
+(* Fields are mutable so event producers (the VM) can reuse one scratch
+   record per emission instead of allocating per event; see the "scratch
+   events" contract in [Event.copy]'s doc. Ordinary construction via
+   [make] is unaffected. *)
+type t = { mutable tid : tid; mutable op : op; mutable loc : Loc.t }
 
 let make ~tid ~op ~loc = { tid; op; loc }
+
+let copy e = { tid = e.tid; op = e.op; loc = e.loc }
 
 let compare_var a b =
   match (a, b) with

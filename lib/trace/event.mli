@@ -30,13 +30,23 @@ type op =
   | Out of int  (** Observable output of a [print] statement. *)
 
 type t = {
-  tid : tid;  (** Executing thread. *)
-  op : op;  (** The operation. *)
-  loc : Loc.t;  (** Where it happened. *)
+  mutable tid : tid;  (** Executing thread. *)
+  mutable op : op;  (** The operation. *)
+  mutable loc : Loc.t;  (** Where it happened. *)
 }
+(** Fields are mutable to support scratch-event reuse by producers; see
+    {!copy} for the resulting ownership contract. *)
 
 val make : tid:tid -> op:op -> loc:Loc.t -> t
 (** Build an event. *)
+
+val copy : t -> t
+(** A defensive copy. Scratch-event contract: an event passed to a sink or
+    an [Analysis] step is owned by the producer and only valid for the
+    duration of the call — the VM reuses one scratch record for every
+    event it emits. Consumers that retain the event itself (rather than
+    its immutable [op] / [loc] / [tid] field values) must [copy] it;
+    recording sinks do this automatically. *)
 
 val compare_var : var -> var -> int
 (** Total order on variables. *)

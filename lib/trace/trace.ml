@@ -70,5 +70,7 @@ module Sink = struct
     | [ s ] -> s
     | sinks -> fun e -> List.iter (fun s -> s e) sinks
 
-  let recording trace : t = fun e -> add trace e
+  (* Producers may reuse one scratch record per emission (see
+     [Event.copy]); a sink that retains events must copy them. *)
+  let recording trace : t = fun e -> add trace (Event.copy e)
 end

@@ -60,5 +60,6 @@ module Sink : sig
       on the degenerate cases, which sit on the VM's hot path. *)
 
   val recording : trace -> t
-  (** Appends every event to the given trace. *)
+  (** Appends a defensive {!Event.copy} of every event to the given trace
+      (producers may reuse one scratch record per emission). *)
 end
