@@ -1072,6 +1072,181 @@ let alloc_smoke () =
   print_endline "alloc-smoke: ok"
 
 (* ---------------------------------------------------------------------- *)
+(* Pool microbenchmark: static sharding vs work stealing                   *)
+(* ---------------------------------------------------------------------- *)
+
+(* Scheduler load-balancing probe: the same task tree executed (a) as
+   [domains] statically pre-sharded chunk tasks and (b) as one task per
+   leaf, fork-join spawned so the work-stealing deques re-balance it.
+   Leaves are timed waits rather than CPU spins, so the measured
+   wall-clock is a pure function of distribution quality — domains
+   overlap sleeps the same way they would overlap real blocking work,
+   independent of the host's core count. The balanced tree cannot be
+   improved by stealing (equal chunks are already optimal), so its
+   steal-vs-static delta is the scheduler's overhead budget; the
+   Zipf-sized tree front-loads its heavy leaves into the first static
+   chunk — exactly the irregularity of DPOR root subtrees and explore
+   frontiers that motivated the work-stealing rebuild. *)
+
+let pool_leaves = 64
+let pool_unit_s = 0.004
+
+let pool_weights = function
+  | "balanced" -> List.init pool_leaves (fun _ -> 1.0)
+  | _ (* skewed *) ->
+      (* Zipf(s=1) sizes, heaviest first: leaf i costs 8/(i+1) units. *)
+      List.init pool_leaves (fun i -> 8.0 /. float_of_int (i + 1))
+
+let pool_sleep w = Unix.sleepf (w *. pool_unit_s)
+
+(* Contiguous split into [n] chunks — the static pre-sharding a
+   parallel_map over pre-chunked inputs would do. *)
+let pool_chunks n leaves =
+  let arr = Array.of_list leaves in
+  let len = Array.length arr in
+  List.init n (fun k ->
+      let lo = k * len / n and hi = (k + 1) * len / n in
+      Array.to_list (Array.sub arr lo (hi - lo)))
+  |> List.filter (fun c -> c <> [])
+
+let pool_run_static pool domains leaves =
+  let promises =
+    List.map
+      (fun chunk -> Pool.spawn pool (fun () -> List.iter pool_sleep chunk))
+      (pool_chunks domains leaves)
+  in
+  List.iter (Pool.await pool) promises
+
+let pool_run_steal pool leaves =
+  let arr = Array.of_list leaves in
+  (* Fork-join over the leaf range: every leaf its own task, spawned
+     from inside tasks, so idle domains steal the un-started half-trees. *)
+  let rec go lo hi =
+    if hi - lo <= 1 then (if hi > lo then pool_sleep arr.(lo))
+    else begin
+      let mid = (lo + hi) / 2 in
+      let right = Pool.spawn pool (fun () -> go mid hi) in
+      go lo mid;
+      Pool.await pool right
+    end
+  in
+  go 0 (Array.length arr)
+
+let pool_case shape impl domains =
+  let pool = Pool.create ~jobs:domains () in
+  let leaves = pool_weights shape in
+  Coop_obs.reset ();
+  Coop_obs.enable ();
+  let t0 = Unix.gettimeofday () in
+  (match impl with
+  | "static" -> pool_run_static pool domains leaves
+  | _ -> pool_run_steal pool leaves);
+  let seconds = Unix.gettimeofday () -. t0 in
+  let snap = Coop_obs.snapshot () in
+  let steals =
+    match List.assoc_opt "pool/steals" snap.Coop_obs.counters with
+    | Some n -> n
+    | None -> 0
+  in
+  Coop_obs.disable ();
+  Coop_obs.reset ();
+  Pool.shutdown pool;
+  (seconds, steals)
+
+let pool_bench () =
+  let domains_list = [ 1; 2; 4; 8 ] in
+  let shapes = [ "balanced"; "skewed" ] in
+  let impls = [ "static"; "steal" ] in
+  let results =
+    List.concat_map
+      (fun shape ->
+        List.concat_map
+          (fun domains ->
+            List.map
+              (fun impl ->
+                let seconds, steals = pool_case shape impl domains in
+                (shape, impl, domains, seconds, steals))
+              impls)
+          domains_list)
+      shapes
+  in
+  let find shape impl domains =
+    List.find_map
+      (fun (s, i, d, secs, steals) ->
+        if s = shape && i = impl && d = domains then Some (secs, steals)
+        else None)
+      results
+    |> Option.get
+  in
+  let table =
+    Table.create
+      ~headers:
+        [ ("tree", Table.Left); ("domains", Table.Right);
+          ("static (ms)", Table.Right); ("steal (ms)", Table.Right);
+          ("speedup", Table.Right); ("steals", Table.Right) ]
+  in
+  List.iter
+    (fun shape ->
+      List.iter
+        (fun d ->
+          let st, _ = find shape "static" d in
+          let ws, steals = find shape "steal" d in
+          Table.add_row table
+            [ shape; string_of_int d; ms st; ms ws;
+              Printf.sprintf "%.2fx" (st /. ws); string_of_int steals ])
+        domains_list)
+    shapes;
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "Pool microbenchmark: static shards vs work stealing (%d timed-wait \
+          leaves, unit %.1f ms)"
+         pool_leaves (1000. *. pool_unit_s))
+    table;
+  let skewed_speedup_8 =
+    let st, _ = find "skewed" "static" 8 and ws, _ = find "skewed" "steal" 8 in
+    st /. ws
+  in
+  let balanced_overhead_8 =
+    let st, _ = find "balanced" "static" 8
+    and ws, _ = find "balanced" "steal" 8 in
+    (ws /. st) -. 1.
+  in
+  Printf.printf
+    "pool: skewed speedup at 8 domains %.2fx, balanced overhead %+.1f%%\n"
+    skewed_speedup_8
+    (100. *. balanced_overhead_8);
+  let json =
+    Json.Obj
+      [ ("experiment", Json.String "pool");
+        ("leaves", Json.Int pool_leaves);
+        ("unit_ms", Json.Float (1000. *. pool_unit_s));
+        ("cases",
+         Json.List
+           (List.map
+              (fun (shape, impl, domains, seconds, steals) ->
+                Json.Obj
+                  [ ("shape", Json.String shape); ("impl", Json.String impl);
+                    ("domains", Json.Int domains);
+                    ("tasks",
+                     Json.Int
+                       (if impl = "steal" then pool_leaves
+                        else min domains pool_leaves));
+                    ("seconds", Json.Float seconds);
+                    ("steals", Json.Int steals) ])
+              results));
+        ("summary",
+         Json.Obj
+           [ ("skewed_speedup_8", Json.Float skewed_speedup_8);
+             ("balanced_overhead_8", Json.Float balanced_overhead_8) ]) ]
+  in
+  let path = match !json_out with Some p -> p | None -> "BENCH_pool.json" in
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  close_out oc;
+  Printf.printf "(wrote %s)\n" path
+
+(* ---------------------------------------------------------------------- *)
 (* JSON validation (the CI gate for the machine-readable output)           *)
 (* ---------------------------------------------------------------------- *)
 
@@ -1259,6 +1434,57 @@ let json_verify path =
     Printf.printf "json-verify: %s ok (vclock, %d cases)\n" path
       (List.length cases)
   in
+  let verify_pool () =
+    (match Json.member "leaves" json with
+    | Some (Json.Int n) when n > 0 -> ()
+    | _ -> fail "missing positive \"leaves\"");
+    let cases =
+      match Json.member "cases" json with
+      | Some (Json.List (_ :: _ as cs)) -> cs
+      | _ -> fail "missing non-empty \"cases\" array"
+    in
+    let shapes = Hashtbl.create 4 and impls = Hashtbl.create 4 in
+    List.iter
+      (fun c ->
+        (match (Json.member "shape" c, Json.member "impl" c) with
+        | Some (Json.String s), Some (Json.String i) ->
+            Hashtbl.replace shapes s ();
+            Hashtbl.replace impls i ()
+        | _ -> fail "case without shape/impl strings");
+        List.iter
+          (fun field ->
+            match Option.bind (Json.member field c) Json.to_float with
+            | Some v when v > 0. -> ()
+            | _ -> fail (Printf.sprintf "case without positive %s" field))
+          [ "domains"; "tasks"; "seconds" ];
+        match Json.member "steals" c with
+        | Some (Json.Int s) when s >= 0 -> ()
+        | _ -> fail "case without a non-negative \"steals\" count")
+      cases;
+    (* The experiment is a comparison: both tree shapes and both
+       scheduling strategies must actually be present. *)
+    List.iter
+      (fun s ->
+        if not (Hashtbl.mem shapes s) then
+          fail (Printf.sprintf "no cases for shape %S" s))
+      [ "balanced"; "skewed" ];
+    List.iter
+      (fun i ->
+        if not (Hashtbl.mem impls i) then
+          fail (Printf.sprintf "no cases for impl %S" i))
+      [ "static"; "steal" ];
+    (match Json.member "summary" json with
+    | Some summary ->
+        List.iter
+          (fun field ->
+            match Option.bind (Json.member field summary) Json.to_float with
+            | Some v when Float.is_finite v -> ()
+            | _ -> fail (Printf.sprintf "summary without finite %s" field))
+          [ "skewed_speedup_8"; "balanced_overhead_8" ]
+    | None -> fail "missing \"summary\" object");
+    Printf.printf "json-verify: %s ok (pool, %d cases)\n" path
+      (List.length cases)
+  in
   match json with
   | Json.List events -> verify_chrome_trace events
   | _ -> (
@@ -1266,11 +1492,13 @@ let json_verify path =
       | Some (Json.String "table3"), _ -> verify_table3 ()
       | Some (Json.String "profile"), _ -> verify_profile ()
       | Some (Json.String "vclock"), _ -> verify_vclock ()
+      | Some (Json.String "pool"), _ -> verify_pool ()
       | _, Some (Json.String "coop-obs/v1") -> verify_obs_snapshot ()
       | _ ->
           fail
-            "unrecognized document (want experiment=table3|profile|vclock, \
-             schema=coop-obs/v1, or a trace_event array)")
+            "unrecognized document (want \
+             experiment=table3|profile|vclock|pool, schema=coop-obs/v1, or a \
+             trace_event array)")
 
 (* ---------------------------------------------------------------------- *)
 (* Driver                                                                  *)
@@ -1279,7 +1507,8 @@ let json_verify path =
 let all = [ ("table1", table1); ("table2", table2); ("table3", table3);
             ("profile", profile); ("fig1", fig1); ("fig2", fig2);
             ("fig3", fig3); ("ablations", ablations); ("micro", micro);
-            ("vclock", vclock); ("alloc-smoke", alloc_smoke) ]
+            ("vclock", vclock); ("pool", pool_bench);
+            ("alloc-smoke", alloc_smoke) ]
 
 let usage () =
   Printf.eprintf
@@ -1289,7 +1518,22 @@ let usage () =
     (String.concat ", " (List.map fst all));
   exit 2
 
+(* Same diagnostic shape as coopcheck's: the one jobs-validation message,
+   parameterized only by where the bad value came from. *)
+let bad_jobs source arg =
+  Printf.eprintf "bench: invalid jobs argument %S: %s wants a positive \
+                  integer\n" arg source;
+  exit 2
+
+(* A malformed COOP_JOBS is rejected up front rather than silently falling
+   back to the machine's domain count. *)
+let validate_env_jobs () =
+  match Sys.getenv_opt "COOP_JOBS" with
+  | Some s when Coop_util.Pool.parse_jobs s = None -> bad_jobs "COOP_JOBS" s
+  | _ -> ()
+
 let () =
+  validate_env_jobs ();
   match Array.to_list Sys.argv with
   | _ :: "json-verify" :: rest -> (
       match rest with [ path ] -> json_verify path | _ -> usage ())
@@ -1298,13 +1542,11 @@ let () =
       let rec parse = function
         | [] -> ()
         | "--jobs" :: n :: rest -> (
-            match int_of_string_opt n with
-            | Some n when n >= 1 ->
+            match Coop_util.Pool.parse_jobs n with
+            | Some n ->
                 Coop_util.Pool.set_default_jobs n;
                 parse rest
-            | _ ->
-                Printf.eprintf "--jobs wants a positive integer, got %s\n" n;
-                exit 2)
+            | None -> bad_jobs "--jobs" n)
         | "--json" :: path :: rest ->
             json_out := Some path;
             parse rest

@@ -117,10 +117,14 @@ let two_pass_arg =
            Same results, twice the streaming; kept as the reference \
            oracle. Requires a replayable input.")
 
+(* --jobs is taken as a raw string so every malformed spelling (0, -3,
+   "abc") funnels through the same Pool.parse_jobs validation and exits 2
+   in the scheduler-argument error style — cmdliner's own int conversion
+   would exit 124 instead. *)
 let jobs_arg =
   Arg.(
     value
-    & opt (some int) None
+    & opt (some string) None
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Worker domains for the parallel analyses (yield inference runs \
@@ -129,16 +133,30 @@ let jobs_arg =
            domain count. 1 forces the sequential path; results are \
            identical either way.")
 
+let bad_jobs_arg source arg =
+  Printf.eprintf
+    "coopcheck: invalid jobs argument %S: %s wants a positive integer\n" arg
+    source;
+  exit 2
+
 (* Resolve --jobs (> COOP_JOBS > recommended_domain_count) into the shared
    pool every parallel backend draws from. *)
 let pool_of_jobs = function
   | None -> Coop_util.Pool.shared ()
-  | Some n when n >= 1 ->
-      Coop_util.Pool.set_default_jobs n;
-      Coop_util.Pool.shared ()
-  | Some n ->
-      Printf.eprintf "coopcheck: --jobs wants a positive integer, got %d\n" n;
-      exit 2
+  | Some s -> (
+      match Coop_util.Pool.parse_jobs s with
+      | Some n ->
+          Coop_util.Pool.set_default_jobs n;
+          Coop_util.Pool.shared ()
+      | None -> bad_jobs_arg "--jobs" s)
+
+(* A malformed COOP_JOBS is rejected up front rather than silently falling
+   back to the machine's domain count. *)
+let validate_env_jobs () =
+  match Sys.getenv_opt "COOP_JOBS" with
+  | Some s when Coop_util.Pool.parse_jobs s = None ->
+      bad_jobs_arg "COOP_JOBS" s
+  | _ -> ()
 
 (* --- profiling (the Coop_obs surface) ----------------------------------- *)
 
@@ -583,6 +601,7 @@ let dump_cmd =
     Term.(const action $ prog_arg $ threads_arg $ size_arg)
 
 let () =
+  validate_env_jobs ();
   let info =
     Cmd.info "coopcheck" ~version:"1.0.0"
       ~doc:"Cooperative reasoning for preemptive execution"

@@ -1,6 +1,6 @@
 #!/bin/sh
-# The CI entry point: full build, test suite (sequential and with a
-# 2-domain shared pool), bench smoke tests including the machine-readable
+# The CI entry point: full build, test suite (sequential and with 2- and
+# 4-domain shared pools), bench smoke tests including the machine-readable
 # JSON output. Equivalent to `dune build @ci`, but with per-stage output.
 set -eu
 cd "$(dirname "$0")"
@@ -13,6 +13,9 @@ dune runtest
 
 echo "== tests (COOP_JOBS=2: parallel analyses on the shared pool) =="
 COOP_JOBS=2 dune runtest --force
+
+echo "== tests (COOP_JOBS=4: deeper work-stealing interleavings) =="
+COOP_JOBS=4 dune runtest --force
 
 echo "== differential suite (single-pass engine vs two-pass oracle) =="
 dune exec test/test_main.exe -- test differential
@@ -34,6 +37,10 @@ dune exec bench/main.exe -- json-verify _build/ci-table3.json
 echo "== vclock bench smoke (flat vs persistent, json-verified) =="
 dune exec bench/main.exe -- vclock --json _build/ci-vclock.json
 dune exec bench/main.exe -- json-verify _build/ci-vclock.json
+
+echo "== pool bench smoke (static shards vs work stealing, json-verified) =="
+dune exec bench/main.exe -- pool --json _build/ci-pool.json
+dune exec bench/main.exe -- json-verify _build/ci-pool.json
 
 echo "== allocation-budget smoke (minor words/event vs recorded budget) =="
 dune exec bench/main.exe -- alloc-smoke

@@ -8,14 +8,21 @@ type verdict = {
 }
 
 let compare ?pool ?yields ?max_states prog =
-  (* The two explorations are themselves independent; with a pool they run
-     concurrently, and each also shards its own frontier inside it. *)
+  (* The two explorations are themselves independent; with a pool each
+     mode is spawned as its own task (which then spawns per-frontier
+     subtasks inside it — nested spawning on one pool), and awaited in a
+     fixed order for a deterministic verdict. *)
   let both =
     match pool with
     | Some p when Coop_util.Pool.jobs p > 1 ->
-        Coop_util.Pool.parallel_map p
-          (fun mode -> Explore.run ~pool:p ?yields ?max_states mode prog)
-          [ Explore.Preemptive; Explore.Cooperative ]
+        let promises =
+          List.map
+            (fun mode ->
+              Coop_util.Pool.spawn p (fun () ->
+                  Explore.run ~pool:p ?yields ?max_states mode prog))
+            [ Explore.Preemptive; Explore.Cooperative ]
+        in
+        List.map (Coop_util.Pool.await p) promises
     | _ ->
         List.map
           (fun mode -> Explore.run ?yields ?max_states mode prog)

@@ -48,9 +48,15 @@ let portfolio_pass ?two_pass ~pool ~portfolio ~max_steps ~yields prog =
         let r = Cooperability.check_source ?two_pass source in
         (r.Cooperability.violations, r.Cooperability.events))
   in
+  (* Each schedule is submitted as its own task (not a pre-sharded
+     batch), so a slow schedule re-balances across domains; awaiting in
+     index order keeps the merge deterministic. *)
   let runs =
-    Coop_util.Pool.parallel_map pool one
-      (List.init (Array.length factories) Fun.id)
+    let promises =
+      List.init (Array.length factories) (fun i ->
+          Coop_util.Pool.spawn pool (fun () -> one i))
+    in
+    List.map (Coop_util.Pool.await pool) promises
   in
   let violations = List.concat_map fst runs in
   let events = List.fold_left (fun acc (_, e) -> acc + e) 0 runs in

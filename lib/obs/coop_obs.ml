@@ -71,6 +71,8 @@ type span_record = {
 
 type open_span = { os_name : string; os_t0 : float }
 
+type sample_record = { s_domain : int; ts_us : float; value : float }
+
 type domain_state = {
   dom : int;
   mutable stack : open_span list;  (* innermost first *)
@@ -79,6 +81,7 @@ type domain_state = {
   d_gauges : (string, (int * float) ref) Hashtbl.t;  (* (write seq, value) *)
   d_timers : (string, float ref * int ref) Hashtbl.t;
   d_hists : (string, hist_state) Hashtbl.t;
+  d_samples : (string, sample_record list ref) Hashtbl.t;  (* reversed *)
 }
 
 let on = ref false
@@ -107,6 +110,7 @@ let state () =
           d_gauges = Hashtbl.create 16;
           d_timers = Hashtbl.create 16;
           d_hists = Hashtbl.create 16;
+          d_samples = Hashtbl.create 16;
         }
       in
       Mutex.lock registry_mutex;
@@ -133,39 +137,6 @@ let reset () =
   registry := [];
   epoch_us := 0.;
   Mutex.unlock registry_mutex
-
-(* The pool monitor: queue depth on every batch submit, per-task latency
-   and per-worker busy time on every executed task. *)
-let observe_fwd = ref (fun (_ : string) (_ : float) -> ())
-let timer_add_fwd = ref (fun (_ : string) (_ : float) (_ : int) -> ())
-
-let pool_monitor =
-  {
-    Coop_util.Pool.on_submit =
-      (fun ~queued -> !observe_fwd "pool/queue_depth" (float_of_int queued));
-    wrap_task =
-      (fun task () ->
-        let t0 = now_s () in
-        let finish () =
-          let dt = now_s () -. t0 in
-          !timer_add_fwd "pool/worker_busy" dt 1;
-          !observe_fwd "pool/task_us" (1e6 *. dt)
-        in
-        Fun.protect ~finally:finish task);
-  }
-
-let enable () =
-  if not !on then begin
-    if !epoch_us = 0. then epoch_us := 1e6 *. now_s ();
-    on := true;
-    Coop_util.Pool.set_monitor (Some pool_monitor)
-  end
-
-let disable () =
-  if !on then begin
-    on := false;
-    Coop_util.Pool.set_monitor None
-  end
 
 (* ------------------------------------------------------------------ *)
 (* Recording                                                           *)
@@ -246,9 +217,82 @@ let timer_add name seconds calls =
     | None -> Hashtbl.add st.d_timers name (ref seconds, ref calls)
   end
 
-let () =
-  observe_fwd := observe;
-  timer_add_fwd := timer_add
+let sample name v =
+  if !on then begin
+    let st = state () in
+    let r =
+      match Hashtbl.find_opt st.d_samples name with
+      | Some r -> r
+      | None ->
+          let r = ref [] in
+          Hashtbl.add st.d_samples name r;
+          r
+    in
+    r :=
+      { s_domain = st.dom; ts_us = (1e6 *. now_s ()) -. !epoch_us; value = v }
+      :: !r
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The pool monitor                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Queue depth on every spawn, per-task latency and per-worker busy time
+   on every executed task, plus the work-stealing seam: steal counts and
+   latency, and per-deque depth both as gauges and as timestamped
+   samples (the chrome-trace counter lanes). *)
+let pool_monitor =
+  {
+    Coop_util.Pool.on_submit =
+      (fun ~queued -> observe "pool/queue_depth" (float_of_int queued));
+    wrap_task =
+      (fun task () ->
+        let t0 = now_s () in
+        let finish () =
+          let dt = now_s () -. t0 in
+          timer_add "pool/worker_busy" dt 1;
+          observe "pool/task_us" (1e6 *. dt)
+        in
+        Fun.protect ~finally:finish task);
+    on_steal =
+      (fun ~thief:_ ~victim:_ ~latency_s ->
+        count "pool/steals" 1;
+        observe "pool/steal_latency_us" (1e6 *. latency_s);
+        if !on then begin
+          (* Cumulative per-domain steal count as a counter lane. *)
+          let st = state () in
+          let n =
+            match Hashtbl.find_opt st.d_counters "pool/steals" with
+            | Some r -> !r
+            | None -> 0
+          in
+          sample "pool/steals" (float_of_int n)
+        end);
+    on_deque_depth =
+      (fun ~slot ~depth ->
+        let name = "pool/deque_depth/d" ^ string_of_int slot in
+        let v = float_of_int depth in
+        gauge name v;
+        sample name v);
+  }
+
+[@@@warning "-3"]  (* Pool.set_global_monitor: the documented shim for
+                      process-wide enable/disable. *)
+
+let enable () =
+  if not !on then begin
+    if !epoch_us = 0. then epoch_us := 1e6 *. now_s ();
+    on := true;
+    Coop_util.Pool.set_global_monitor (Some pool_monitor)
+  end
+
+let disable () =
+  if !on then begin
+    on := false;
+    Coop_util.Pool.set_global_monitor None
+  end
+
+[@@@warning "+3"]
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot (merge)                                                    *)
@@ -262,6 +306,7 @@ type snapshot = {
   gauges : (string * float) list;
   timers : (string * timer) list;
   hists : (string * Hist.t) list;
+  samples : (string * sample_record list) list;
 }
 
 let snapshot () =
@@ -279,6 +324,7 @@ let snapshot () =
   let gauges = Hashtbl.create 16 in
   let timers = Hashtbl.create 16 in
   let hists = Hashtbl.create 16 in
+  let samples = Hashtbl.create 16 in
   List.iter
     (fun st ->
       Hashtbl.iter
@@ -328,16 +374,54 @@ let snapshot () =
           acc.hsum <- acc.hsum +. h.hsum;
           if h.hmin < acc.hmin then acc.hmin <- h.hmin;
           if h.hmax > acc.hmax then acc.hmax <- h.hmax)
-        st.d_hists)
+        st.d_hists;
+      Hashtbl.iter
+        (fun name r ->
+          let acc =
+            match Hashtbl.find_opt samples name with
+            | Some a -> a
+            | None ->
+                let a = ref [] in
+                Hashtbl.add samples name a;
+                a
+          in
+          acc := List.rev_append !r !acc)
+        st.d_samples)
     states;
   let sorted_bindings tbl f =
     Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
+  let counters_l = sorted_bindings counters (fun r -> !r) in
+  let hists_l =
+    sorted_bindings hists (fun h ->
+        let counts = ref [] in
+        for i = n_buckets - 1 downto 0 do
+          if h.buckets.(i) > 0 then
+            counts := (i + Hist.min_exp, h.buckets.(i)) :: !counts
+        done;
+        { Hist.counts = !counts; count = h.hcount; sum = h.hsum;
+          min = h.hmin; max = h.hmax })
+  in
+  let gauges_l = sorted_bindings gauges (fun r -> snd !r) in
+  (* Derived: how much re-balancing the scheduler did per executed task.
+     Present exactly when at least one steal was recorded. *)
+  let gauges_l =
+    match
+      (List.assoc_opt "pool/steals" counters_l,
+       List.assoc_opt "pool/task_us" hists_l)
+    with
+    | Some steals, Some h when h.Hist.count > 0 ->
+        (("pool/steals_per_task",
+          float_of_int steals /. float_of_int h.Hist.count)
+         :: gauges_l)
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+    | _ -> gauges_l
+  in
   {
     spans;
-    counters = sorted_bindings counters (fun r -> !r);
-    gauges = sorted_bindings gauges (fun r -> snd !r);
+    counters = counters_l;
+    gauges = gauges_l;
     timers =
       sorted_bindings timers (fun (s, c, by_dom) ->
           {
@@ -346,15 +430,10 @@ let snapshot () =
             by_domain =
               List.sort (fun (a, _) (b, _) -> compare a b) !by_dom;
           });
-    hists =
-      sorted_bindings hists (fun h ->
-          let counts = ref [] in
-          for i = n_buckets - 1 downto 0 do
-            if h.buckets.(i) > 0 then
-              counts := (i + Hist.min_exp, h.buckets.(i)) :: !counts
-          done;
-          { Hist.counts = !counts; count = h.hcount; sum = h.hsum;
-            min = h.hmin; max = h.hmax });
+    hists = hists_l;
+    samples =
+      sorted_bindings samples (fun r ->
+          List.sort (fun a b -> compare a.ts_us b.ts_us) !r);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -487,6 +566,14 @@ let render_summary snap =
         (h.Hist.sum /. float_of_int (max 1 h.Hist.count))
         h.Hist.min h.Hist.max)
     snap.hists;
+  section "sample series"
+    (fun (name, samples) ->
+      let last =
+        match List.rev samples with [] -> 0. | s :: _ -> s.value
+      in
+      Printf.sprintf "  %-28s n=%d last=%g\n" name (List.length samples)
+        last)
+    snap.samples;
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -540,6 +627,20 @@ let to_json snap =
                   ("start_us", Float s.start_us); ("dur_us", Float s.dur_us);
                   ("depth", Int s.depth) ])
             snap.spans));
+      ("samples",
+       Obj
+         (List.map
+            (fun (n, samples) ->
+              ( n,
+                List
+                  (List.map
+                     (fun s ->
+                       Obj
+                         [ ("domain", Int s.s_domain);
+                           ("ts_us", Float s.ts_us);
+                           ("value", Float s.value) ])
+                     samples) ))
+            snap.samples));
     ]
 
 let chrome_trace snap =
@@ -570,4 +671,19 @@ let chrome_trace snap =
             ("dur", Int (max 1 (int_of_float s.dur_us))) ])
       snap.spans
   in
-  List (meta @ events)
+  (* Timestamped sample series (steal counts, per-deque depth) become
+     counter lanes: one [ph:"C"] track per (name, recording domain). *)
+  let counter_lanes =
+    List.concat_map
+      (fun (name, samples) ->
+        List.map
+          (fun s ->
+            Obj
+              [ ("name", String name); ("cat", String "scheduler");
+                ("ph", String "C"); ("pid", Int 1);
+                ("tid", Int s.s_domain); ("ts", Int (int_of_float s.ts_us));
+                ("args", Obj [ ("value", Float s.value) ]) ])
+          samples)
+      snap.samples
+  in
+  List (meta @ events @ counter_lanes)

@@ -14,9 +14,14 @@
       one {!snapshot} on demand — so [Coop_util.Pool] workers record
       without taking any shared lock on the hot path.
 
-    Enabling also installs a {!Coop_util.Pool} monitor so the shared
-    domain pool exports queue depth, per-task latency and per-worker busy
-    time; disabling removes it.
+    Enabling also installs a process-wide {!Coop_util.Pool} monitor (via
+    the deprecated global shim — pools with a per-pool monitor keep
+    their own) so every pool exports queue depth, per-task latency,
+    per-worker busy time, and the work-stealing seam: a [pool/steals]
+    counter, a [pool/steal_latency_us] histogram, per-deque depth gauges
+    ([pool/deque_depth/d<slot>]) with timestamped {!sample} series
+    behind them, and a derived [pool/steals_per_task] gauge in the
+    snapshot. Disabling removes the monitor.
 
     {!snapshot} is a best-effort merge: call it at quiescence (after the
     runs being profiled have completed) for exact totals. *)
@@ -67,6 +72,13 @@ val timer_add : string -> float -> int -> unit
     for per-event instrumentation: accumulate locally, flush once (what
     [Coop_trace.Analysis.instrument] does at finalize). *)
 
+val sample : string -> float -> unit
+(** [sample name v] appends a timestamped point to the named series on
+    the recording domain. Series merge by concatenation (sorted by
+    timestamp) rather than by aggregation, and render as [ph:"C"]
+    counter lanes in {!chrome_trace} — the pool monitor uses them for
+    cumulative steal counts and per-deque depth over time. *)
+
 val domains_registered : unit -> int
 (** Number of per-domain buffers currently registered — [0] while
     disabled (the no-allocation guard). *)
@@ -113,12 +125,23 @@ type timer = {
                                        per-worker utilization. *)
 }
 
+type sample_record = {
+  s_domain : int;  (** Id of the recording domain. *)
+  ts_us : float;  (** Microseconds since the recording epoch. *)
+  value : float;
+}
+
 type snapshot = {
   spans : span_record list;  (** Sorted by start time. *)
   counters : (string * int) list;  (** Sorted by name, summed over domains. *)
-  gauges : (string * float) list;  (** Sorted by name, last write wins. *)
+  gauges : (string * float) list;
+      (** Sorted by name, last write wins. Includes the derived
+          [pool/steals_per_task] when at least one steal was recorded. *)
   timers : (string * timer) list;  (** Sorted by name. *)
   hists : (string * Hist.t) list;  (** Sorted by name, merged over domains. *)
+  samples : (string * sample_record list) list;
+      (** Sorted by name; each series concatenated over domains and
+          sorted by timestamp. *)
 }
 
 val snapshot : unit -> snapshot
@@ -159,5 +182,7 @@ val to_json : snapshot -> Coop_util.Json.t
 val chrome_trace : snapshot -> Coop_util.Json.t
 (** The snapshot's spans as a Chrome [trace_event] JSON array (one
     pseudo-process, one thread per domain, [ph:"X"] complete events with
-    [ts]/[dur] in microseconds) loadable in [chrome://tracing] and
-    Perfetto. *)
+    [ts]/[dur] in microseconds), plus one [ph:"C"] counter lane per
+    sample series (cumulative steals, per-deque depth) so scheduler
+    behaviour graphs alongside the span timeline. Loadable in
+    [chrome://tracing] and Perfetto. *)

@@ -112,15 +112,21 @@ type frame = {
 }
 
 (* One DPOR exploration. [root_only = Some p] restricts the root frame to
-   the single first choice [p]: its siblings are pre-marked tried, so lazy
-   backtrack additions at the root are ignored — they are some other
-   shard's first choice. Sharding the root over every enabled tid is a
-   superset of the sequential root backtrack set, hence sound; the shards
-   lose the root-level sleep sets, so they may re-explore executions a
-   sequential run would have pruned (counted in [executions]/[steps]), but
-   the behaviour set is exact either way. *)
-let run_seq ?root_only ?(yields = Loc.Set.empty) ?(max_executions = 50_000)
-    ?(max_depth = 10_000) ?(max_segment = 100_000) prog =
+   the single first choice [p]: its siblings are pre-marked tried, so a
+   shard explores exactly the subtree rooted at first step [p]. Lazy
+   backtrack additions at the root — the persistent-set requests DPOR
+   discovers while exploring that subtree — are reported through
+   [root_notify] instead of being mutated into the (already restricted)
+   root frame: [run] turns each newly requested root choice into a fresh
+   pool task, so shards are spawned on demand rather than pre-sharded
+   over every enabled tid. The spawned set is a deterministic fixpoint (a
+   superset of the sequential root persistent set, hence sound); the
+   shards lose the root-level sleep sets, so they may re-explore
+   executions a sequential run would have pruned (counted in
+   [executions]/[steps]), but the behaviour set is exact either way. *)
+let run_seq ?root_only ?root_notify ?(yields = Loc.Set.empty)
+    ?(max_executions = 50_000) ?(max_depth = 10_000) ?(max_segment = 100_000)
+    prog =
   let behaviors = ref Behavior.Set.empty in
   let executions = ref 0 in
   let steps = ref 0 in
@@ -165,9 +171,13 @@ let run_seq ?root_only ?(yields = Loc.Set.empty) ?(max_executions = 50_000)
         match !stack.(i).taken with
         | Some prior when dependent prior info ->
             let fr = !stack.(i) in
-            if Iset.mem info.tid fr.enabled then
-              fr.backtrack <- Iset.add info.tid fr.backtrack
-            else fr.backtrack <- Iset.union fr.backtrack fr.enabled
+            let additions =
+              if Iset.mem info.tid fr.enabled then Iset.singleton info.tid
+              else fr.enabled
+            in
+            (match (i, root_notify) with
+            | 0, Some notify -> notify additions
+            | _ -> fr.backtrack <- Iset.union fr.backtrack additions)
         | _ -> find (i - 1)
       end
     in
@@ -240,12 +250,62 @@ let run ?pool ?yields ?max_executions ?max_depth ?max_segment prog =
     run_seq ?yields ?max_executions ?max_depth ?max_segment prog
   else begin
     let pool = Option.get pool in
+    (* Dynamic root sharding: start from the root choice the sequential
+       run would take first, and spawn a task for every further root
+       choice the shards' persistent-set requests discover, exactly
+       once each. The set so spawned is the least fixpoint of those
+       (deterministic) requests, so it does not depend on pool size or
+       on which domain ran which shard — the determinism suites rely on
+       this. Tasks spawn from inside tasks, which is what the
+       work-stealing pool is for. *)
+    let mutex = Mutex.create () in
+    let spawned = ref Iset.empty in
+    let promises : (int * result Coop_util.Pool.promise) list ref =
+      ref []
+    in
+    let rec launch p =
+      if not (Iset.mem p !spawned) then begin
+        spawned := Iset.add p !spawned;
+        let promise =
+          Coop_util.Pool.spawn pool (fun () ->
+              run_seq ~root_only:p ~root_notify ?yields ?max_executions
+                ?max_depth ?max_segment prog)
+        in
+        promises := (p, promise) :: !promises
+      end
+    and root_notify tids =
+      Mutex.lock mutex;
+      Iset.iter launch tids;
+      Mutex.unlock mutex
+    in
+    root_notify (Iset.singleton (List.fold_left min (List.hd roots) roots));
+    (* Await until no shard has requested anything new: results are
+       keyed by root tid and merged in tid order below, so the fold is
+       deterministic whatever order the shards finished in. *)
+    let collected = ref [] in
+    let awaited = ref Iset.empty in
+    let rec drain () =
+      let todo =
+        Mutex.lock mutex;
+        let l =
+          List.filter (fun (t, _) -> not (Iset.mem t !awaited)) !promises
+        in
+        Mutex.unlock mutex;
+        l
+      in
+      if todo <> [] then begin
+        List.iter
+          (fun (t, promise) ->
+            awaited := Iset.add t !awaited;
+            collected := (t, Coop_util.Pool.await pool promise) :: !collected)
+          todo;
+        drain ()
+      end
+    in
+    drain ();
     let shards =
-      Coop_util.Pool.parallel_map pool
-        (fun p ->
-          run_seq ~root_only:p ?yields ?max_executions ?max_depth ?max_segment
-            prog)
-        roots
+      List.sort (fun (a, _) (b, _) -> compare a b) !collected
+      |> List.map snd
     in
     List.fold_left
       (fun acc r ->

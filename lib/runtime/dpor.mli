@@ -50,9 +50,14 @@ val run :
     prefix.
 
     With a [pool] of more than one domain and at least two threads
-    runnable initially, the root choice is sharded: every enabled root tid
-    is explored in its own worker (a superset of the lazy root backtrack
-    set, hence sound). On complete explorations the merged [behaviors] set
+    runnable initially, the root choice is sharded {e dynamically}: the
+    first shard is the root choice the sequential run would take, and
+    every further root backtrack point a shard discovers is spawned as a
+    fresh pool task the moment it is requested (exactly once each). The
+    spawned set is the least fixpoint of those requests — a superset of
+    the lazy sequential root backtrack set, hence sound, and independent
+    of pool size or scheduling, so results merge deterministically in
+    root-tid order. On complete explorations the merged [behaviors] set
     is identical to the sequential run's (property-tested);
     [executions]/[steps] may be larger because root-level sleep sets do
     not prune across shards, and each shard gets the full

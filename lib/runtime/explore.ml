@@ -225,14 +225,21 @@ let run ?pool ?(yields = Loc.Set.empty) ?(max_states = 200_000)
     let frontier, expansion =
       expand_frontier ~segment ~target:(4 * jobs) init
     in
-    (* Each shard explores its subtree with its own memo table and the full
-       state budget; cross-shard duplicates cost extra visits but never
-       change the behaviour set. *)
-    let shards =
-      Coop_util.Pool.parallel_map pool
-        (explore_from ~segment ~max_states)
+    (* Every frontier node becomes its own pool task, so a node owning a
+       disproportionate subtree re-balances onto idle domains via work
+       stealing instead of serializing its static shard. Each task
+       explores with its own memo table and the full state budget;
+       cross-shard duplicates cost extra visits but never change the
+       behaviour set. Awaiting in frontier order keeps the merge
+       deterministic. *)
+    let promises =
+      List.map
+        (fun st ->
+          Coop_util.Pool.spawn pool (fun () ->
+              explore_from ~segment ~max_states st))
         frontier
     in
+    let shards = List.map (Coop_util.Pool.await pool) promises in
     result_of_partial (List.fold_left merge_partial expansion shards)
   end
 

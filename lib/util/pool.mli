@@ -1,72 +1,126 @@
-(** A shared domain work pool.
+(** A work-stealing domain pool.
 
-    A fixed set of worker domains pulls thunks off a mutex+condition
-    protected deque. Every independent-run layer of the system (the
-    inference portfolio, the explorers' shard frontiers, the bench
-    harness's per-workload rows) fans out through {!parallel_map}, which
-    preserves input order and re-raises worker exceptions — so a parallel
-    run is observably identical to the sequential one, just faster.
+    Each pool owns one {!Spmc_deque} per attached domain: the creating
+    domain (slot 0) plus [jobs - 1] spawned workers. {!spawn} from an
+    attached domain pushes onto that domain's own deque with no
+    interlocked operations; idle domains pop their own deque first, then
+    drain a small injector queue (submissions from foreign domains),
+    then steal from random victims with exponential backoff, and only
+    sleep when a whole backoff episode finds nothing. Irregular task
+    trees — one DPOR root owning 100x the subtree of another — therefore
+    re-balance dynamically instead of leaving domains idle behind a
+    static shard boundary.
 
-    Submitters {e help}: while a batch is outstanding, the submitting
-    domain also executes queued tasks. This makes nested [parallel_map]
-    calls (a parallel bench row whose [Infer.infer] fans out its own
-    portfolio) deadlock-free by construction — a waiter never sleeps while
-    there is runnable work, and a batch whose tasks are all in flight on
-    other domains completes by induction on nesting depth.
+    Every independent-run layer of the system (the inference portfolio,
+    the explorers' frontier shards, DPOR's root subtrees, the bench
+    harness's per-workload rows) fans out through {!spawn}/{!await} or
+    {!parallel_map}. Determinism is the callers' contract: results are
+    collected keyed by task identity and merged in a deterministic
+    order, so a parallel run is observably identical to the sequential
+    one, just faster.
 
-    A pool of [jobs = 1] spawns no domains and degrades [parallel_map] to
-    [List.map]: the sequential path stays the default and is exercised by
-    exactly the same code the callers always run. *)
+    Awaiters {e help}: while a promise is outstanding, the awaiting
+    domain executes queued tasks (its own deque, the injector, steals).
+    This makes nested {!spawn}/{!await} — a pool task spawning and
+    awaiting subtasks on the same pool — deadlock-free by construction:
+    a waiter never sleeps while there is runnable work, and a promise
+    whose task is in flight on another domain completes by induction on
+    nesting depth, broadcasting on completion.
+
+    A pool of [jobs = 1] spawns no domains; {!parallel_map} degrades to
+    [List.map] and {!await} runs queued tasks inline on the calling
+    domain. *)
 
 type t
 
-val create : jobs:int -> t
-(** [create ~jobs] spawns [jobs - 1] worker domains ([jobs >= 1]; the
-    submitting domain is the remaining worker). *)
+(** Telemetry hooks. The pool only depends on the stdlib clock, so
+    observability is injected: [Coop_obs.enable] installs a monitor that
+    exports queue depth, per-task latency, per-worker busy time, steal
+    counts, steal latency and per-deque depth; with no monitor installed
+    (the default) the dispatch path takes no timestamps. *)
+type monitor = {
+  on_submit : queued:int -> unit;
+      (** Called once per {!spawn} with the owning deque's (or the
+          injector's) length just after the push. *)
+  wrap_task : (unit -> unit) -> unit -> unit;
+      (** Wraps every task execution (worker or helping awaiter); the
+          monitor owns the timing. Must call the task exactly once. *)
+  on_steal : thief:int -> victim:int -> latency_s:float -> unit;
+      (** Called after each successful steal. [thief]/[victim] are deque
+          slots ([-1] for a foreign helping domain); [latency_s] is the
+          time from running out of local work to acquiring the stolen
+          task. *)
+  on_deque_depth : slot:int -> depth:int -> unit;
+      (** Called with a deque's depth right after it changed size on the
+          submission or steal path (a racy snapshot — a gauge, not an
+          invariant). *)
+}
+
+val create : ?monitor:monitor -> jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains ([jobs >= 1]; the
+    creating domain owns slot 0 and participates when it awaits).
+    [monitor] installs a per-pool monitor from the start. *)
 
 val jobs : t -> int
-(** Parallelism of the pool (including the submitting domain). *)
+(** Parallelism of the pool (including the creating domain). *)
 
 val shutdown : t -> unit
 (** Stop and join the workers. Outstanding tasks are drained first.
     Idempotent. *)
 
-(** Telemetry hooks. The pool itself depends on nothing, so observability
-    is injected: [Coop_obs.enable] installs a monitor that exports queue
-    depth, per-task latency and per-worker busy time; with no monitor
-    installed (the default) the dispatch path is untouched. *)
-type monitor = {
-  on_submit : queued:int -> unit;
-      (** Called once per batch submission with the deque length just
-          after the batch was pushed. *)
-  wrap_task : (unit -> unit) -> unit -> unit;
-      (** Wraps every task execution (worker or helping submitter); the
-          monitor owns the timing. Must call the task exactly once. *)
-}
+val set_monitor : t -> monitor option -> unit
+(** Install or remove this pool's monitor. Takes precedence over the
+    deprecated global monitor. *)
 
-val set_monitor : monitor option -> unit
-(** Install or remove the process-wide monitor (affects all pools). *)
+val set_global_monitor : monitor option -> unit
+  [@@ocaml.deprecated
+    "use per-pool monitors: Pool.create ?monitor or Pool.set_monitor"]
+(** Install or remove the process-wide fallback monitor, consulted by
+    pools with no per-pool monitor. Deprecated shim for
+    [Coop_obs.enable]; new code should scope monitors to a pool. *)
+
+type 'a promise
+(** The result of a {!spawn}ed task: pending, a value, or an exception
+    with its backtrace. *)
+
+val spawn : t -> (unit -> 'a) -> 'a promise
+(** Submit [f] as a task. Safe from any domain, including from inside a
+    task running on the same pool (nested spawning is how the dynamic
+    fan-out layers feed the scheduler). *)
+
+val await : t -> 'a promise -> 'a
+(** Block until the promise settles, helping with queued work while
+    waiting. Returns the task's value or re-raises its exception with
+    the original backtrace. Safe to call from inside a pool task. *)
 
 val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
-(** [parallel_map pool f xs] is [List.map f xs], computed concurrently.
-    Results are returned in input order. If any application raises, the
-    first (in completion order) exception is re-raised in the caller with
-    its backtrace, after all tasks of the batch have settled. Safe to call
+(** [parallel_map pool f xs] is [List.map f xs], computed concurrently
+    ({!spawn} per element, {!await} in input order). Results are
+    returned in input order. If any application raises, the first (in
+    input order) exception is re-raised in the caller with its
+    backtrace, after all tasks of the batch have settled. Safe to call
     from inside a pool task (nesting). *)
+
+val parse_jobs : string -> int option
+(** Parse a parallelism argument: a positive integer, or [None] for
+    anything else ([0], negatives, garbage). CLIs share this so
+    [--jobs] and [COOP_JOBS] reject bad values identically. *)
 
 val default_jobs : unit -> int
 (** Size for the shared pool when nothing explicit is given: the
     [COOP_JOBS] environment variable if it parses to a positive integer,
-    else {!Domain.recommended_domain_count}. *)
+    else {!Domain.recommended_domain_count}. (CLIs validate [COOP_JOBS]
+    up front with {!parse_jobs} and exit 2 on garbage; the library
+    itself stays tolerant.) *)
 
 val set_default_jobs : int -> unit
-(** Override the shared pool size (the CLI's [--jobs] lands here). If the
-    shared pool already exists at a different size it is shut down and
-    recreated lazily. *)
+(** Override the shared pool size (the CLI's [--jobs] lands here). If
+    the shared pool already exists at a different size it is shut down
+    and recreated lazily. *)
 
 val shared : unit -> t
-(** The process-wide pool, created on first use at {!default_jobs} (or the
-    {!set_default_jobs} override). *)
+(** The process-wide pool, created on first use at {!default_jobs} (or
+    the {!set_default_jobs} override). *)
 
 val map : ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs] is [parallel_map (shared ()) f xs]. *)

@@ -1,0 +1,110 @@
+(* Chase–Lev work-stealing deque on OCaml 5 atomics.
+
+   Layout: [top] and [bottom] are monotonically growing logical indices
+   into a circular buffer of size 2^k; the deque holds the slots in
+   [top, bottom). The owner moves [bottom] (push increments, pop
+   decrements), thieves advance [top] by compare-and-set. All three
+   control words are sequentially consistent atomics, which is the
+   textbook-correct (if conservative) memory ordering for this
+   algorithm; the buffer cells themselves are plain mutable slots.
+
+   Why stale reads are safe:
+   - A thief reads [top], then [bottom], then the buffer pointer, then
+     the cell. Because the owner publishes a cell (and any grown buffer)
+     *before* the [bottom] store that makes it visible, a thief that
+     observed that [bottom] also observes the cell contents and the new
+     buffer. The final CAS on [top] fails if any other thief (or the
+     owner, racing for the last element) already consumed the slot, so a
+     cell is never returned twice.
+   - Growth copies the logical range [top, bottom) into a doubled
+     buffer. A thief still holding the old buffer pointer can only
+     succeed its CAS for an index it read consistently before the swap;
+     indices recycled in the old buffer are protected by that CAS.
+
+   The owner's pop of the *last* element races thieves for it and
+   arbitrates with the same CAS on [top]. *)
+
+type 'a t = {
+  dummy : 'a;
+  top : int Atomic.t;     (* next index to steal *)
+  bottom : int Atomic.t;  (* next index to push *)
+  buf : 'a array Atomic.t;
+}
+
+let round_pow2 n =
+  let rec go k = if k >= n then k else go (k * 2) in
+  go 8
+
+let create ?(capacity = 16) ~dummy () =
+  {
+    dummy;
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (Array.make (round_pow2 (max capacity 2)) dummy);
+  }
+
+let mask buf = Array.length buf - 1
+
+(* Double the buffer, copying the live logical range. Owner only, so
+   [bottom] is stable; [top] may advance concurrently, which at worst
+   copies a few already-stolen slots that no one will read again. *)
+let grow d ~top ~bottom old =
+  let fresh = Array.make (2 * Array.length old) d.dummy in
+  for i = top to bottom - 1 do
+    fresh.(i land mask fresh) <- old.(i land mask old)
+  done;
+  Atomic.set d.buf fresh;
+  fresh
+
+let push d v =
+  let b = Atomic.get d.bottom in
+  let t = Atomic.get d.top in
+  let buf = Atomic.get d.buf in
+  let buf =
+    if b - t >= Array.length buf then grow d ~top:t ~bottom:b buf else buf
+  in
+  buf.(b land mask buf) <- v;
+  Atomic.set d.bottom (b + 1)
+
+let pop d =
+  let b = Atomic.get d.bottom - 1 in
+  let buf = Atomic.get d.buf in
+  Atomic.set d.bottom b;
+  let t = Atomic.get d.top in
+  if b < t then begin
+    (* Already empty: undo the speculative decrement. *)
+    Atomic.set d.bottom t;
+    None
+  end
+  else begin
+    let v = buf.(b land mask buf) in
+    if b > t then begin
+      buf.(b land mask buf) <- d.dummy;
+      Some v
+    end
+    else begin
+      (* Last element: race thieves for it via [top]. *)
+      let won = Atomic.compare_and_set d.top t (t + 1) in
+      Atomic.set d.bottom (t + 1);
+      if won then begin
+        buf.(b land mask buf) <- d.dummy;
+        Some v
+      end
+      else None
+    end
+  end
+
+let steal d =
+  let t = Atomic.get d.top in
+  let b = Atomic.get d.bottom in
+  if t >= b then None
+  else begin
+    let buf = Atomic.get d.buf in
+    let v = buf.(t land mask buf) in
+    if Atomic.compare_and_set d.top t (t + 1) then Some v else None
+  end
+
+let length d =
+  let t = Atomic.get d.top in
+  let b = Atomic.get d.bottom in
+  if b > t then b - t else 0

@@ -1,0 +1,42 @@
+(** A lock-free single-producer multi-consumer work-stealing deque
+    (Chase–Lev).
+
+    One distinguished {e owner} domain pushes and pops at the bottom of
+    the deque (LIFO, cheap, no interlocked operations on the fast path);
+    any number of {e thief} domains steal from the top (FIFO, one
+    compare-and-set per successful steal). The buffer is a growable
+    circular array, so [push] never fails and never blocks.
+
+    The sequential specification — the model the qcheck suite checks the
+    implementation against — is a plain list: [push] appends at the back,
+    [pop] removes from the back, [steal] removes from the front. Under
+    concurrency every pushed element is returned by exactly one [pop] or
+    [steal] (no lost or duplicated tasks); [steal] may spuriously return
+    [None] when racing another thief, so thieves retry.
+
+    Ownership is by convention, not enforcement: callers must ensure only
+    one domain ever calls [push]/[pop] on a given deque. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] is an empty deque. [dummy] fills vacated slots so
+    popped elements are not retained by the buffer; it is never returned.
+    [capacity] (default 16, rounded up to a power of two) is only the
+    initial buffer size — the deque grows on demand. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only. Append at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner only. Remove the most recently pushed remaining element, or
+    [None] if the deque is empty. *)
+
+val steal : 'a t -> 'a option
+(** Any domain. Remove the oldest remaining element. [None] means empty
+    {e or} lost a race with a concurrent thief (callers treat both as
+    "look elsewhere, maybe retry"). *)
+
+val length : 'a t -> int
+(** Snapshot of the current size. Racy by nature — only useful as a
+    telemetry gauge or an emptiness heuristic, never for synchronisation. *)

@@ -114,8 +114,8 @@ let pipeline_on_late_programs =
 
 (* --- Inference: identical fixpoints, half the executions ------------ *)
 
-let pools = [ (1, Pool.create ~jobs:1); (2, Pool.create ~jobs:2);
-              (4, Pool.create ~jobs:4) ]
+let pools = [ (1, Pool.create ~jobs:1 ()); (2, Pool.create ~jobs:2 ());
+              (4, Pool.create ~jobs:4 ()) ]
 
 let loc_set =
   Alcotest.testable

@@ -1,7 +1,9 @@
 (* Unit tests for the Coop_obs telemetry library: histogram bucket
    boundaries, span nesting and ordering, counter/timer merge across pool
    workers at several pool sizes, the disabled-mode no-allocation guard,
-   attribution arithmetic, and the Chrome trace_event structure. *)
+   attribution arithmetic, the Chrome trace_event structure, and the
+   work-stealing telemetry (sample series, counter lanes, the derived
+   steals-per-task gauge, and the live pool integration). *)
 
 open Coop_util
 
@@ -113,7 +115,7 @@ let test_counter_merge_across_pool_sizes () =
   let totals jobs =
     with_obs (fun () ->
         Coop_obs.enable ();
-        let p = Pool.create ~jobs in
+        let p = Pool.create ~jobs () in
         Fun.protect
           ~finally:(fun () -> Pool.shutdown p)
           (fun () ->
@@ -279,7 +281,116 @@ let test_to_json_schema () =
           match Json.member k j with
           | Some _ -> ()
           | None -> Alcotest.fail ("missing key: " ^ k))
-        [ "spans"; "counters"; "gauges"; "timers"; "histograms" ])
+        [ "spans"; "counters"; "gauges"; "timers"; "histograms"; "samples" ])
+
+(* The derived steals-per-task gauge: pure arithmetic over the merged
+   snapshot, checked with hand-planted inputs. *)
+let test_steals_per_task_gauge () =
+  with_obs (fun () ->
+      Coop_obs.enable ();
+      Coop_obs.observe "pool/task_us" 10.;
+      let before = Coop_obs.snapshot () in
+      Alcotest.(check (option (float 1e-9)))
+        "absent without any steal" None
+        (List.assoc_opt "pool/steals_per_task" before.Coop_obs.gauges);
+      Coop_obs.count "pool/steals" 6;
+      Coop_obs.observe "pool/task_us" 20.;
+      Coop_obs.observe "pool/task_us" 30.;
+      let s = Coop_obs.snapshot () in
+      Alcotest.(check (option (float 1e-9)))
+        "steals / tasks = 6/3" (Some 2.0)
+        (List.assoc_opt "pool/steals_per_task" s.Coop_obs.gauges))
+
+(* Timestamped sample series: per-domain append, snapshot merge in time
+   order, and the ph:"C" counter lanes in the Chrome trace. *)
+let test_sample_series () =
+  with_obs (fun () ->
+      Coop_obs.enable ();
+      Coop_obs.sample "lane" 1.;
+      Coop_obs.sample "lane" 2.;
+      Coop_obs.sample "lane" 3.;
+      let s = Coop_obs.snapshot () in
+      (match List.assoc_opt "lane" s.Coop_obs.samples with
+      | None -> Alcotest.fail "sample series missing from snapshot"
+      | Some records ->
+          Alcotest.(check (list (float 1e-9)))
+            "values in record order" [ 1.; 2.; 3. ]
+            (List.map (fun r -> r.Coop_obs.value) records);
+          let ts = List.map (fun r -> r.Coop_obs.ts_us) records in
+          Alcotest.(check bool) "timestamps nondecreasing" true
+            (List.sort compare ts = ts));
+      match Coop_obs.chrome_trace s with
+      | Json.List items ->
+          let lanes =
+            List.filter
+              (fun o ->
+                Json.member "ph" o = Some (Json.String "C")
+                && Json.member "name" o = Some (Json.String "lane"))
+              items
+          in
+          Alcotest.(check int) "one counter event per sample" 3
+            (List.length lanes);
+          List.iter
+            (fun o ->
+              match Json.member "args" o with
+              | Some args -> (
+                  match Json.member "value" args with
+                  | Some (Json.Float _ | Json.Int _) -> ()
+                  | _ -> Alcotest.fail "counter lane without numeric value")
+              | None -> Alcotest.fail "counter lane without args")
+            lanes
+      | _ -> Alcotest.fail "chrome trace must be a JSON array")
+
+(* End-to-end steal telemetry: real pool, timed-wait tasks (so idle
+   domains actually steal), invariants that hold whatever the
+   interleaving: one task_us observation per task, steal count = steal
+   latency observations, and the derived gauge present exactly when a
+   steal happened. *)
+let test_pool_steal_telemetry () =
+  with_obs (fun () ->
+      Coop_obs.enable ();
+      let p = Pool.create ~jobs:4 () in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown p)
+        (fun () ->
+          ignore
+            (Pool.parallel_map p
+               (fun i -> Unix.sleepf (0.001 *. float_of_int (1 + (i mod 3))))
+               (List.init 16 Fun.id)));
+      let s = Coop_obs.snapshot () in
+      (match List.assoc_opt "pool/task_us" s.Coop_obs.hists with
+      | None -> Alcotest.fail "pool/task_us histogram missing"
+      | Some h ->
+          Alcotest.(check int) "one task_us observation per task" 16
+            h.Coop_obs.Hist.count);
+      let steals =
+        match List.assoc_opt "pool/steals" s.Coop_obs.counters with
+        | Some n -> n
+        | None -> 0
+      in
+      let latencies =
+        match List.assoc_opt "pool/steal_latency_us" s.Coop_obs.hists with
+        | Some h -> h.Coop_obs.Hist.count
+        | None -> 0
+      in
+      Alcotest.(check int) "steal count = steal latency observations" steals
+        latencies;
+      Alcotest.(check bool) "steals_per_task present iff steals happened"
+        (steals > 0)
+        (List.mem_assoc "pool/steals_per_task" s.Coop_obs.gauges);
+      (* And nothing records once telemetry is off again. *)
+      Coop_obs.disable ();
+      Coop_obs.reset ();
+      let p = Pool.create ~jobs:2 () in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown p)
+        (fun () ->
+          ignore (Pool.parallel_map p (fun i -> i + 1) (List.init 8 Fun.id)));
+      let off = Coop_obs.snapshot () in
+      Alcotest.(check bool) "no task_us when disabled" false
+        (List.mem_assoc "pool/task_us" off.Coop_obs.hists);
+      Alcotest.(check int) "no counters when disabled" 0
+        (List.length off.Coop_obs.counters))
 
 let suite =
   [
@@ -302,4 +413,10 @@ let suite =
     Alcotest.test_case "chrome trace structure" `Quick
       test_chrome_trace_structure;
     Alcotest.test_case "snapshot json schema" `Quick test_to_json_schema;
+    Alcotest.test_case "derived steals-per-task gauge" `Quick
+      test_steals_per_task_gauge;
+    Alcotest.test_case "sample series and counter lanes" `Quick
+      test_sample_series;
+    Alcotest.test_case "pool steal telemetry end to end" `Quick
+      test_pool_steal_telemetry;
   ]

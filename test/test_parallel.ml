@@ -18,10 +18,14 @@ open Coop_core
 open Coop_workloads
 
 (* Module-level pools, shared across test cases; alcotest runs cases
-   sequentially so there is no cross-test interference. *)
-let pool2 = Pool.create ~jobs:2
-let pool4 = Pool.create ~jobs:4
-let pools = [ (1, Pool.create ~jobs:1); (2, pool2); (4, pool4) ]
+   sequentially so there is no cross-test interference. Size 4 appears
+   twice so every determinism check also compares two runs at the same
+   size — work stealing makes the task interleaving different every run,
+   and the answers must not be. *)
+let pool2 = Pool.create ~jobs:2 ()
+let pool4 = Pool.create ~jobs:4 ()
+let pools =
+  [ (1, Pool.create ~jobs:1 ()); (2, pool2); (4, pool4); (4, pool4) ]
 
 let micro_programs =
   [ ("racy_counter 2x2", Micro.racy_counter ~threads:2 ~incs:2);

@@ -1,12 +1,13 @@
-(* Unit tests for the shared domain work pool (Coop_util.Pool): order
-   preservation at several pool sizes, exception propagation, nested
-   submission on one pool (the helping invariant), and a queue-contention
-   stress run. *)
+(* Unit tests for the work-stealing domain pool (Coop_util.Pool): order
+   preservation at several pool sizes, exception propagation through both
+   parallel_map and spawn/await, nested submission on one pool (the
+   helping invariant), skewed fork-join spawn trees, per-pool monitors,
+   jobs-argument parsing, and a queue-contention stress run. *)
 
 open Coop_util
 
 let with_pool jobs f =
-  let p = Pool.create ~jobs in
+  let p = Pool.create ~jobs () in
   Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
 
 let test_order_preserved () =
@@ -80,6 +81,94 @@ let test_stress () =
         (List.fold_left ( + ) 0
            (Pool.parallel_map p (fun i -> (i * i) + 1) (List.init n Fun.id))))
 
+(* Recursive fork-join over a deliberately skewed tree: tasks spawn
+   subtasks from inside tasks at every level and await them, so any
+   domain can end up waiting on work another domain stole. No deadlock
+   and the right total at every pool size is the core work-stealing
+   invariant. *)
+let test_skewed_spawn_tree () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun p ->
+          let rec sum lo hi =
+            if hi - lo <= 1 then lo
+            else begin
+              (* Uneven split: the left subtree stays small while the
+                 right one carries most of the range. *)
+              let mid = lo + 1 + ((hi - lo) / 4) in
+              let right = Pool.spawn p (fun () -> sum mid hi) in
+              let left = sum lo mid in
+              left + Pool.await p right
+            end
+          in
+          let n = 600 in
+          Alcotest.(check int)
+            (Printf.sprintf "skewed spawn tree sums, jobs=%d" jobs)
+            (n * (n - 1) / 2)
+            (sum 0 n)))
+    [ 1; 2; 4; 8 ]
+
+(* Exceptions from spawned tasks surface at the matching await, with the
+   pool still usable afterwards. *)
+let test_spawn_await_exception () =
+  with_pool 2 (fun p ->
+      let bad = Pool.spawn p (fun () -> raise (Boom 42)) in
+      let good = Pool.spawn p (fun () -> 7) in
+      (match Pool.await p bad with
+      | _ -> Alcotest.fail "expected Boom from await"
+      | exception Boom n -> Alcotest.(check int) "payload intact" 42 n);
+      Alcotest.(check int) "later promise unaffected" 7 (Pool.await p good))
+
+(* A monitor attached to one pool sees that pool's traffic and nothing
+   from other pools; detaching it stops the reports. *)
+let test_per_pool_monitor () =
+  let submits = Atomic.make 0 and wrapped = Atomic.make 0 in
+  let monitor =
+    {
+      Pool.on_submit = (fun ~queued:_ -> Atomic.incr submits);
+      wrap_task =
+        (fun f () ->
+          Atomic.incr wrapped;
+          f ());
+      on_steal = (fun ~thief:_ ~victim:_ ~latency_s:_ -> ());
+      on_deque_depth = (fun ~slot:_ ~depth:_ -> ());
+    }
+  in
+  let p = Pool.create ~monitor ~jobs:2 () in
+  let other = Pool.create ~jobs:2 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.shutdown p;
+      Pool.shutdown other)
+    (fun () ->
+      ignore (Pool.parallel_map p (fun x -> x + 1) (List.init 50 Fun.id));
+      let seen = Atomic.get submits in
+      Alcotest.(check bool) "monitored pool reports submissions" true
+        (seen >= 50);
+      Alcotest.(check bool) "wrap_task ran around the tasks" true
+        (Atomic.get wrapped >= 50);
+      ignore (Pool.parallel_map other (fun x -> x + 1) (List.init 50 Fun.id));
+      Alcotest.(check int) "unmonitored pool stays silent" seen
+        (Atomic.get submits);
+      Pool.set_monitor other (Some monitor);
+      ignore (Pool.parallel_map other (fun x -> x + 1) (List.init 10 Fun.id));
+      Alcotest.(check bool) "set_monitor attaches after create" true
+        (Atomic.get submits >= seen + 10);
+      Pool.set_monitor other None;
+      let seen = Atomic.get submits in
+      ignore (Pool.parallel_map other (fun x -> x + 1) (List.init 10 Fun.id));
+      Alcotest.(check int) "set_monitor None detaches" seen
+        (Atomic.get submits))
+
+let test_parse_jobs () =
+  List.iter
+    (fun (s, expect) ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "parse_jobs %S" s)
+        expect (Pool.parse_jobs s))
+    [ ("1", Some 1); ("8", Some 8); (" 4 ", Some 4); ("0", None);
+      ("-3", None); ("abc", None); ("", None); ("2x", None) ]
+
 let test_default_jobs_override () =
   Pool.set_default_jobs 3;
   Alcotest.(check int) "override wins" 3 (Pool.default_jobs ());
@@ -100,6 +189,13 @@ let suite =
     Alcotest.test_case "nested batches on one pool" `Quick
       test_nested_same_pool;
     Alcotest.test_case "2000-task stress" `Quick test_stress;
+    Alcotest.test_case "skewed spawn tree at 1/2/4/8 domains" `Quick
+      test_skewed_spawn_tree;
+    Alcotest.test_case "spawned task exceptions surface at await" `Quick
+      test_spawn_await_exception;
+    Alcotest.test_case "per-pool monitors" `Quick test_per_pool_monitor;
+    Alcotest.test_case "parse_jobs accepts exactly positive ints" `Quick
+      test_parse_jobs;
     Alcotest.test_case "set_default_jobs resizes the shared pool" `Quick
       test_default_jobs_override;
   ]
