@@ -158,6 +158,42 @@ let validate_env_jobs () =
       bad_jobs_arg "COOP_JOBS" s
   | _ -> ()
 
+(* --shards shares --jobs' raw-string funnel: 0, negatives and garbage all
+   exit 2 through the same validation, for the flag and the COOP_SHARDS
+   override alike. *)
+let shards_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "shards" ] ~docv:"K"
+        ~doc:
+          "Shard the single-pass analysis across K ownership sub-engines \
+           scheduled on the shared pool: variables, locks and threads \
+           route to shard id-mod-K, synchronization events broadcast as \
+           clock-sync messages, and racy/shared facts gossip across \
+           shards. Defaults to \\$(b,COOP_SHARDS), then 1 — the \
+           sequential engine, which stays the differential oracle. \
+           Results are identical at every K. Ignored with --two-pass.")
+
+let bad_shards_arg source arg =
+  Printf.eprintf
+    "coopcheck: invalid shards argument %S: %s wants a positive integer\n" arg
+    source;
+  exit 2
+
+let shards_of = function
+  | None -> Coop_core.Sharded.default_shards ()
+  | Some s -> (
+      match Coop_util.Pool.parse_jobs s with
+      | Some n -> n
+      | None -> bad_shards_arg "--shards" s)
+
+let validate_env_shards () =
+  match Sys.getenv_opt "COOP_SHARDS" with
+  | Some s when Coop_util.Pool.parse_jobs s = None ->
+      bad_shards_arg "COOP_SHARDS" s
+  | _ -> ()
+
 (* --- profiling (the Coop_obs surface) ----------------------------------- *)
 
 type profile_opts = {
@@ -315,8 +351,10 @@ let trace_cmd =
 (* --- check ------------------------------------------------------------- *)
 
 let check_cmd =
-  let action spec threads size sched max_steps from_trace two_pass profile =
+  let action spec threads size sched max_steps from_trace two_pass shards
+      profile =
     profile_setup profile;
+    let shards = shards_of shards in
     (* All inputs are streamed, never materialized: a saved trace comes
        off disk line by line, `--trace -` reads a pipe (single-pass only
        — a pipe cannot be replayed), and a program is re-executed under a
@@ -344,7 +382,7 @@ let check_cmd =
                 "coopcheck: check wants a PROGRAM or --trace FILE\n";
               exit 2)
     in
-    let r = Coop_pipeline.run ~two_pass source in
+    let r = Coop_pipeline.run ~two_pass ~shards source in
     Format.printf "events: %d@." r.Coop_pipeline.events;
     Format.printf "races: %d on %d variable(s)@."
       (List.length r.Coop_pipeline.races)
@@ -402,7 +440,8 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:"Race + cooperability check of one execution. Exits 1 on violations.")
     Term.(const action $ opt_prog_arg $ threads_arg $ size_arg $ sched_arg
-          $ max_steps_arg $ from_trace_arg $ two_pass_arg $ profile_term)
+          $ max_steps_arg $ from_trace_arg $ two_pass_arg $ shards_arg
+          $ profile_term)
 
 (* --- infer ------------------------------------------------------------- *)
 
@@ -440,13 +479,16 @@ let infer_cmd =
 (* --- atomize ------------------------------------------------------------ *)
 
 let atomize_cmd =
-  let action spec threads size sched max_steps two_pass profile =
+  let action spec threads size sched max_steps two_pass shards profile =
     profile_setup profile;
+    let shards = shards_of shards in
     let prog = load ~threads ~size spec in
     let source =
       Runner.source ~max_steps ~sched:(fun () -> scheduler_of sched) prog
     in
-    let p = Coop_pipeline.run ~atomize:true ~conflict:true ~two_pass source in
+    let p =
+      Coop_pipeline.run ~atomize:true ~conflict:true ~two_pass ~shards source
+    in
     let r = Option.get p.Coop_pipeline.atomizer in
     Format.printf "transactions: %d, violated: %d@."
       r.Coop_atomicity.Atomizer.activations
@@ -472,7 +514,7 @@ let atomize_cmd =
   Cmd.v
     (Cmd.info "atomize" ~doc:"Atomicity baseline (Atomizer + conflict graph).")
     Term.(const action $ prog_arg $ threads_arg $ size_arg $ sched_arg
-          $ max_steps_arg $ two_pass_arg $ profile_term)
+          $ max_steps_arg $ two_pass_arg $ shards_arg $ profile_term)
 
 (* --- explore ------------------------------------------------------------ *)
 
@@ -602,6 +644,7 @@ let dump_cmd =
 
 let () =
   validate_env_jobs ();
+  validate_env_shards ();
   let info =
     Cmd.info "coopcheck" ~version:"1.0.0"
       ~doc:"Cooperative reasoning for preemptive execution"

@@ -1,7 +1,8 @@
 #!/bin/sh
-# The CI entry point: full build, test suite (sequential and with 2- and
-# 4-domain shared pools), bench smoke tests including the machine-readable
-# JSON output. Equivalent to `dune build @ci`, but with per-stage output.
+# The CI entry point: full build, test suite (sequential, with 2- and
+# 4-domain shared pools, and with the analysis sharded 2 ways), bench
+# smoke tests including the machine-readable JSON output. Equivalent to
+# `dune build @ci`, but with per-stage output.
 set -eu
 cd "$(dirname "$0")"
 
@@ -17,8 +18,14 @@ COOP_JOBS=2 dune runtest --force
 echo "== tests (COOP_JOBS=4: deeper work-stealing interleavings) =="
 COOP_JOBS=4 dune runtest --force
 
+echo "== tests (COOP_SHARDS=2: ownership-sharded analysis repo-wide) =="
+COOP_SHARDS=2 dune runtest --force
+
 echo "== differential suite (single-pass engine vs two-pass oracle) =="
 dune exec test/test_main.exe -- test differential
+
+echo "== sharded differential suite (sharded 1/2/4/8 vs sequential) =="
+dune exec test/test_main.exe -- test sharded
 
 echo "== piped-trace smoke (check --trace - on stdin, one pass) =="
 dune exec bin/coopcheck.exe -- trace philo -t 2 -s 2 \
@@ -41,6 +48,11 @@ dune exec bench/main.exe -- json-verify _build/ci-vclock.json
 echo "== pool bench smoke (static shards vs work stealing, json-verified) =="
 dune exec bench/main.exe -- pool --json _build/ci-pool.json
 dune exec bench/main.exe -- json-verify _build/ci-pool.json
+
+echo "== scaling bench smoke (ownership-sharded analysis, json-verified) =="
+dune exec bench/main.exe -- scaling --only philo,crypt --shards 1,2 \
+  --json _build/ci-scaling.json
+dune exec bench/main.exe -- json-verify _build/ci-scaling.json
 
 echo "== allocation-budget smoke (minor words/event vs recorded budget) =="
 dune exec bench/main.exe -- alloc-smoke

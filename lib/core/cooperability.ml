@@ -110,11 +110,25 @@ let online_chain ~mark () =
 let result_of ((), ((races, events), violations)) =
   { violations; races; racy = Coop_race.Report.racy_vars races; events }
 
-let check_source ?(two_pass = false) source =
+let check_sharded ~shards source =
+  let o = Sharded.run ~shards source in
+  {
+    violations = o.Sharded.violations;
+    races = o.Sharded.races;
+    racy = o.Sharded.racy;
+    events = o.Sharded.events;
+  }
+
+let check_source ?(two_pass = false) ?shards source =
+  let shards =
+    match shards with Some k -> k | None -> Sharded.default_shards ()
+  in
   if two_pass then check_two_pass source
+  else if shards > 1 then check_sharded ~shards source
   else result_of (Source.run source (online_chain ~mark:(ref 0.) ()))
 
-let check ?two_pass trace = check_source ?two_pass (Source.of_trace trace)
+let check ?two_pass ?shards trace =
+  check_source ?two_pass ?shards (Source.of_trace trace)
 
 let violation_locs vs =
   List.fold_left

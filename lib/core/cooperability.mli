@@ -28,12 +28,12 @@ type result = {
   events : int;  (** Trace length. *)
 }
 
-val check : ?two_pass:bool -> Trace.t -> result
+val check : ?two_pass:bool -> ?shards:int -> Trace.t -> result
 (** Full check of a recorded trace. Locks only ever touched by a single
     thread in the trace are classified as both-movers (the
     thread-local-lock refinement). Thin wrapper over {!check_source}. *)
 
-val check_source : ?two_pass:bool -> Source.t -> result
+val check_source : ?two_pass:bool -> ?shards:int -> Source.t -> result
 (** The streaming core. By default ([two_pass = false]) one fused pass:
     race detector, event counter and fact-fed transaction automaton
     chained over a single replay, so the source is consumed exactly once
@@ -45,7 +45,13 @@ val check_source : ?two_pass:bool -> Source.t -> result
     racy set (requires a replayable source). Both modes avoid
     materializing the trace and produce identical results
     (property-tested); single-pass memory additionally holds the digests
-    of transactions with unresolved optimistic assumptions. *)
+    of transactions with unresolved optimistic assumptions.
+
+    [shards] (default: {!Sharded.default_shards}, i.e. [COOP_SHARDS] or
+    [1]) runs the fused single-pass engine ownership-sharded across that
+    many {!Sharded} sub-engines; [1] is exactly today's sequential
+    engine, which stays the differential oracle. Ignored in two-pass
+    mode. *)
 
 val local_locks_of : Trace.t -> int -> bool
 (** [local_locks_of tr] is the predicate of locks acquired by at most one

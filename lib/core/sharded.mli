@@ -1,0 +1,122 @@
+(** Ownership-sharded single-trace analysis.
+
+    One trace, K engines: a router interns each event once and partitions
+    the stream by {e ownership} of the interned operand — variable and
+    lock ids route to shard [id mod K] ({!Interner.owner}), thread ids
+    likewise for the per-thread transaction engines. Each shard runs its
+    own FastTrack detector and {!Online} engine over flat arrays indexed
+    by the global dense-id space, of which it only ever touches its own
+    congruence class — disjoint ranges, no sharing, no locks on the
+    per-event path.
+
+    {b Clock-sync broadcast.} Synchronization events (acquire, release,
+    fork, join) update thread clocks, which every shard reads when it
+    checks an access it owns. They are therefore broadcast: every shard
+    applies the same deterministic clock updates to its private copies of
+    all thread and lock clocks, so at each point of its sub-stream a
+    shard's clocks agree exactly with the sequential detector's. Accesses
+    — the bulk of a trace — are routed only to their owner, which is
+    where the speedup comes from. Lock-ownership facts are published by
+    the lock's owner shard alone, so each fact still fires exactly once.
+
+    {b Fact gossip and merge.} Racy-variable and shared-lock facts are
+    published to a shared board; shards poll it at batch boundaries and
+    feed cross-shard facts into their engines (which repair parked
+    transactions, exactly as for late facts in the sequential engine).
+    The final result does not depend on delivery timing — only on every
+    fact being delivered before an engine finalizes, which the join
+    guarantees — so the merge reproduces the sequential fused engine's
+    output: races in trace order (per-report global sequence tags),
+    violations sorted by global position, the same racy set.
+
+    {b Scheduling.} Shards drain bounded batch queues as
+    {!Coop_util.Pool} tasks, so sharded analysis composes with
+    schedule-level parallelism. The router never blocks: when a queue is
+    over its bound and no drainer is active it takes the shard's drain
+    flag and processes batches inline — on a single-domain pool the whole
+    analysis degrades to sequential draining with routing overhead, and
+    no configuration can deadlock (the drain flag is only ever held by
+    running code).
+
+    K = 1 is deliberately {e not} special-cased into the sequential
+    engine here: callers ({!Cooperability.check_source},
+    [Coop_pipeline.run]) treat [shards = 1] as "today's engine", which
+    remains the differential oracle for this module. *)
+
+open Coop_trace
+
+(** {1 Per-shard clients}
+
+    Checkers that live outside [coop_core] (the Atomizer baseline, the
+    conflict-graph analysis) plug into the shard drain loop through a
+    client record, one per shard. Both step callbacks receive a {e
+    scratch} event — valid only during the call — after the shard's shim
+    interner has been set ({!Interner.set_cur}), so [~interner] checkers
+    work unchanged. *)
+
+type client = {
+  cl_engine_step : seq:int -> Event.t -> unit;
+      (** Called for every event owned by this shard's threads (the
+          per-thread engine sub-stream: accesses, lock ops, fork/join,
+          yield, enter/exit, atomic begin/end of threads with
+          [dtid mod K = shard]). [seq] is the event's global position. *)
+  cl_aux_step : seq:int -> Event.t -> unit;
+      (** Shard 0 only, when the run was built with [~aux_access:true]:
+          every access and enter/exit event of the whole trace, in global
+          order — the stream a globally-ordered auxiliary analysis (the
+          conflict graph) needs. *)
+  cl_fact : Online.fact -> unit;
+      (** A racy-variable / shared-lock fact (local discovery or
+          cross-shard gossip). May be delivered more than once; engines
+          already dedupe. *)
+  cl_finish : unit -> unit;
+      (** Called at merge time, on the joining domain, after all events
+          and facts are in. Store the shard's contribution somewhere the
+          caller can merge. *)
+}
+
+val null_client : client
+(** Ignores everything. *)
+
+val combine_clients : client -> client -> client
+(** Both clients see every callback, first argument first. *)
+
+(** {1 Running} *)
+
+type outcome = {
+  races : Coop_race.Report.t list;  (** Merged, in global trace order. *)
+  racy : Event.Var_set.t;
+  violations : Automaton.violation list;
+      (** Merged and sorted by global position; [[]] when the run was
+          built with [~automaton:false]. *)
+  lockset_races : Coop_race.Report.t list option;
+      (** Merged Eraser warnings, when [~lockset:true]. *)
+  deadlock : Deadlock.result option;  (** When [~deadlock:true]. *)
+  events : int;  (** Stream length, counted at the router. *)
+}
+
+val default_shards : unit -> int
+(** The [COOP_SHARDS] environment variable if it parses to a positive
+    integer, else [1] (the sequential engine). CLIs validate the
+    variable up front with {!Coop_util.Pool.parse_jobs} and exit 2 on
+    garbage, mirroring [COOP_JOBS]; the library itself stays tolerant. *)
+
+val run :
+  ?pool:Coop_util.Pool.t ->
+  ?automaton:bool ->
+  ?lockset:bool ->
+  ?deadlock:bool ->
+  ?aux_access:bool ->
+  ?client:(shard:int -> interner:Interner.t -> client) ->
+  shards:int ->
+  Source.t ->
+  outcome
+(** Drive the source through the router once and merge the per-shard
+    results. [pool] defaults to {!Coop_util.Pool.shared}[ ()];
+    [automaton] (default [true]) runs the cooperability transaction
+    engine on each shard; [lockset] / [deadlock] (default [false]) add
+    the Eraser baseline (per-shard) and the lock-order scan (shard 0);
+    [aux_access] (default [false]) routes all accesses and enter/exit
+    events to shard 0 for the clients' [cl_aux_step]. [client] builds
+    one {!client} per shard around the shard's shim [interner]. Raises
+    [Invalid_argument] when [shards < 1]. *)

@@ -45,12 +45,21 @@ val run :
   ?atomize:bool ->
   ?conflict:bool ->
   ?two_pass:bool ->
+  ?shards:int ->
   Source.t ->
   result
 (** [run source] drives the fused chain over [source] — one replay by
     default, exactly two with [~two_pass:true] (default [false]). The
     optional flags (all default [false]) enable the Eraser-lockset,
-    Atomizer and conflict-graph baselines. *)
+    Atomizer and conflict-graph baselines.
+
+    [shards] (default {!Coop_core.Sharded.default_shards}) runs the
+    single pass ownership-sharded across that many sub-engines: the
+    cooperability engine, race detectors and Atomizer shard by
+    variable/thread ownership, while deadlock and conflict-graph run at
+    shard 0 on their globally-ordered sub-streams. [1] is the sequential
+    chain; results are identical at every shard count
+    (property-tested). Ignored in two-pass mode. *)
 
 val cooperable : result -> bool
 (** No cooperability violations. *)

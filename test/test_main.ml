@@ -35,6 +35,7 @@ let () =
       ("atomicity", Test_atomicity.suite);
       ("pipeline", Test_pipeline.suite);
       ("differential", Test_differential.suite);
+      ("sharded", Test_sharded.suite);
       ("static", Test_static.suite);
       ("workloads", Test_workloads.suite);
       ("fuzz", Test_fuzz.suite);

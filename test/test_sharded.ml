@@ -1,0 +1,261 @@
+(* Differential suite: the ownership-sharded engine against the
+   sequential fused engine.
+
+   [Coop_core.Sharded] partitions one trace across K sub-engines by
+   interned variable/lock/thread ownership, broadcasts synchronization
+   events as clock-sync messages and gossips racy/shared facts across
+   shards. Sequential (shards = 1, today's engine) stays the oracle: the
+   sharded run must be extensionally identical — same races in the same
+   order, same racy set, same violations, same atomizer warnings,
+   deadlock and conflict results — at every shard count, on every input.
+   This suite pins that at K ∈ {1, 2, 4, 8} on random feasible traces,
+   on late-knowledge traces (facts crossing shards mid-stream), on
+   re-executed generated programs, and on a broadcast-heavy adversary
+   where every lock is touched by every thread, so the router's
+   clock-sync path dominates. It also pins the [Interner.owner] map's
+   stability: ids assigned after a snapshot still route consistently. *)
+
+let gen_trace = Gen.gen_trace
+let gen_late_trace = Gen.gen_late_trace
+let print_trace = Gen.print_trace
+let gen_late_program = Gen.gen_late_program
+
+open QCheck2
+open Coop_trace
+open Coop_runtime
+open Coop_core
+
+let shard_counts = [ 1; 2; 4; 8 ]
+
+let coop_result_equal (a : Cooperability.result) (b : Cooperability.result) =
+  a.Cooperability.violations = b.Cooperability.violations
+  && a.Cooperability.races = b.Cooperability.races
+  && Event.Var_set.equal a.Cooperability.racy b.Cooperability.racy
+  && a.Cooperability.events = b.Cooperability.events
+
+let pipeline_result_equal (a : Coop_pipeline.result) (b : Coop_pipeline.result)
+    =
+  a.Coop_pipeline.races = b.Coop_pipeline.races
+  && Event.Var_set.equal a.Coop_pipeline.racy b.Coop_pipeline.racy
+  && a.Coop_pipeline.lockset_races = b.Coop_pipeline.lockset_races
+  && a.Coop_pipeline.violations = b.Coop_pipeline.violations
+  && a.Coop_pipeline.deadlock = b.Coop_pipeline.deadlock
+  && a.Coop_pipeline.atomizer = b.Coop_pipeline.atomizer
+  && a.Coop_pipeline.conflict = b.Coop_pipeline.conflict
+  && a.Coop_pipeline.events = b.Coop_pipeline.events
+
+(* The oracle is always the explicit [~shards:1] sequential engine, so
+   the suite stays meaningful under a [COOP_SHARDS] environment
+   override. *)
+let coop_agrees trace =
+  let reference =
+    Cooperability.check_source ~shards:1 (Source.of_trace trace)
+  in
+  List.for_all
+    (fun k ->
+      coop_result_equal reference
+        (Cooperability.check_source ~shards:k (Source.of_trace trace)))
+    shard_counts
+
+let atomizer_agrees trace =
+  let reference = Coop_atomicity.Atomizer.check ~shards:1 trace in
+  List.for_all
+    (fun k -> Coop_atomicity.Atomizer.check ~shards:k trace = reference)
+    shard_counts
+
+let pipeline_agrees mk_source =
+  let run k =
+    Coop_pipeline.run ~lockset:true ~atomize:true ~conflict:true ~shards:k
+      (mk_source ())
+  in
+  let reference = run 1 in
+  List.for_all (fun k -> pipeline_result_equal reference (run k)) shard_counts
+
+let prop gen name count f =
+  QCheck_alcotest.to_alcotest
+    (Test.make ~name ~count ~print:print_trace gen f)
+
+(* --- Broadcast-heavy adversary -------------------------------------- *)
+
+(* Worst case for the router: every lock is acquired and released by
+   every thread, over and over, so nearly every event is a clock-sync
+   broadcast replicated to all K shards and every lock is shared (each
+   publishing a cross-shard fact). Accesses under the locks keep the
+   detectors busy; occasional unprotected writes make variables racy;
+   yields, function activations and atomic blocks exercise the engines.
+   All lock operations are well-paired per thread, so the trace stays
+   feasible. *)
+let gen_broadcast_trace =
+  let open Gen in
+  let* rounds = int_range 5 25 in
+  let* seed = int_bound 1_000_000 in
+  return
+    (let rng = Coop_util.Rng.create seed in
+     let trace = Trace.create () in
+     let loc () = Loc.make ~func:0 ~pc:(Coop_util.Rng.int rng 40) ~line:1 in
+     let emit tid op = Trace.add trace (Event.make ~tid ~op ~loc:(loc ())) in
+     let n_threads = 4 in
+     let locks = [| 0; 1; 2 |] in
+     let vars =
+       [| Event.Global 0; Event.Global 1; Event.Cell (0, 0) |]
+     in
+     for t = 1 to n_threads - 1 do
+       emit 0 (Event.Fork t)
+     done;
+     let tids = Array.init n_threads Fun.id in
+     for _ = 1 to rounds do
+       (* Each round every thread walks the whole lock array, in a
+          freshly shuffled thread order. *)
+       let order = Array.copy tids in
+       for i = n_threads - 1 downto 1 do
+         let j = Coop_util.Rng.int rng (i + 1) in
+         let tmp = order.(i) in
+         order.(i) <- order.(j);
+         order.(j) <- tmp
+       done;
+       Array.iter
+         (fun t ->
+           let entered = Coop_util.Rng.int rng 3 = 0 in
+           if entered then emit t (Event.Enter (t mod 2));
+           Array.iter
+             (fun l ->
+               emit t (Event.Acquire l);
+               if Coop_util.Rng.int rng 2 = 0 then
+                 emit t (Event.Write (Coop_util.Rng.pick rng vars))
+               else emit t (Event.Read (Coop_util.Rng.pick rng vars));
+               emit t (Event.Release l))
+             locks;
+           (* Unprotected access: races, hence cross-shard facts. *)
+           if Coop_util.Rng.int rng 3 = 0 then
+             emit t (Event.Write (Coop_util.Rng.pick rng vars));
+           if entered then emit t (Event.Exit (t mod 2));
+           if Coop_util.Rng.int rng 2 = 0 then emit t Event.Yield)
+         order
+     done;
+     for t = 1 to n_threads - 1 do
+       emit 0 (Event.Join t)
+     done;
+     trace)
+
+(* --- Equivalence properties ------------------------------------------ *)
+
+let coop_on_traces =
+  prop gen_trace "cooperability: sharded(1/2/4/8) = sequential on traces" 40
+    coop_agrees
+
+let coop_on_late_traces =
+  prop gen_late_trace
+    "cooperability: sharded(1/2/4/8) = sequential on late-knowledge traces" 40
+    coop_agrees
+
+let coop_on_broadcast_traces =
+  prop gen_broadcast_trace
+    "cooperability: sharded(1/2/4/8) = sequential on broadcast-heavy traces"
+    40 coop_agrees
+
+let atomizer_on_late_traces =
+  prop gen_late_trace
+    "atomizer: sharded(1/2/4/8) = sequential on late-knowledge traces" 30
+    atomizer_agrees
+
+let atomizer_on_broadcast_traces =
+  prop gen_broadcast_trace
+    "atomizer: sharded(1/2/4/8) = sequential on broadcast-heavy traces" 30
+    atomizer_agrees
+
+let pipeline_on_late_traces =
+  prop gen_late_trace
+    "full pipeline: sharded(1/2/4/8) = sequential on late-knowledge traces"
+    20 (fun trace -> pipeline_agrees (fun () -> Source.of_trace trace))
+
+let pipeline_on_broadcast_traces =
+  prop gen_broadcast_trace
+    "full pipeline: sharded(1/2/4/8) = sequential on broadcast-heavy traces"
+    20 (fun trace -> pipeline_agrees (fun () -> Source.of_trace trace))
+
+let pipeline_on_late_programs =
+  QCheck_alcotest.to_alcotest
+    (Test.make
+       ~name:"full pipeline: sharded(1/2/4/8) = sequential on late programs"
+       ~count:10 ~print:Coop_lang.Pretty.program gen_late_program (fun p ->
+         let prog = Coop_lang.Compile.program p in
+         let sched () = Sched.random ~seed:31 () in
+         pipeline_agrees (fun () ->
+             Runner.source ~max_steps:300_000 ~sched prog)))
+
+(* --- The ownership map ------------------------------------------------ *)
+
+(* The router takes no snapshot of the interner — it may not: ids keep
+   being assigned mid-trace. This pins the property that makes that
+   sound: [owner] depends only on the id, so the routing of every id
+   observed at any prefix is unchanged by later growth. *)
+let test_owner_stable () =
+  let itn = Interner.create () in
+  let loc = Loc.make ~func:0 ~pc:0 ~line:1 in
+  for i = 0 to 9 do
+    Interner.note itn
+      (Event.make ~tid:i ~op:(Event.Read (Event.Global i)) ~loc)
+  done;
+  let snapshot =
+    List.init (Interner.n_vars itn) (fun id -> Interner.owner itn id ~shard:4)
+  in
+  (* Grow the id space mid-trace, well past the snapshot. *)
+  for i = 10 to 199 do
+    Interner.note itn
+      (Event.make ~tid:(i mod 7) ~op:(Event.Write (Event.Global i)) ~loc)
+  done;
+  let after = List.init 10 (fun id -> Interner.owner itn id ~shard:4) in
+  Alcotest.(check (list int))
+    "ids assigned before the snapshot still route identically" snapshot after;
+  for id = 0 to Interner.n_vars itn - 1 do
+    Alcotest.(check int) "modular map" (id mod 4)
+      (Interner.owner itn id ~shard:4)
+  done;
+  Alcotest.(check int) "one shard owns everything" 0
+    (Interner.owner itn 7 ~shard:1);
+  let raised =
+    try
+      ignore (Interner.owner itn (-1) ~shard:4);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "negative id rejected" true raised
+
+(* --- default_shards --------------------------------------------------- *)
+
+let test_default_shards () =
+  let with_env v f =
+    let old = Sys.getenv_opt "COOP_SHARDS" in
+    (match v with
+    | Some v -> Unix.putenv "COOP_SHARDS" v
+    | None -> Unix.putenv "COOP_SHARDS" "");
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.putenv "COOP_SHARDS" (Option.value old ~default:""))
+      f
+  in
+  with_env (Some "4") (fun () ->
+      Alcotest.(check int) "COOP_SHARDS=4" 4 (Sharded.default_shards ()));
+  with_env (Some "garbage") (fun () ->
+      Alcotest.(check int) "garbage falls back to 1" 1
+        (Sharded.default_shards ()));
+  with_env (Some "0") (fun () ->
+      Alcotest.(check int) "0 falls back to 1" 1 (Sharded.default_shards ()));
+  with_env None (fun () ->
+      Alcotest.(check int) "unset is 1" 1 (Sharded.default_shards ()))
+
+let suite =
+  [
+    coop_on_traces;
+    coop_on_late_traces;
+    coop_on_broadcast_traces;
+    atomizer_on_late_traces;
+    atomizer_on_broadcast_traces;
+    pipeline_on_late_traces;
+    pipeline_on_broadcast_traces;
+    pipeline_on_late_programs;
+    Alcotest.test_case "Interner.owner: stable under mid-trace growth" `Quick
+      test_owner_stable;
+    Alcotest.test_case "Sharded.default_shards: COOP_SHARDS parsing" `Quick
+      test_default_shards;
+  ]
