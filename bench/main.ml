@@ -338,11 +338,14 @@ let profile_json measured =
       ("workloads",
        Json.List
          (List.map
-            (fun (name, events, rows, total) ->
+            (fun (name, events, rows, total, (w_off, w_on)) ->
               Json.Obj
                 [ ("name", Json.String name);
                   ("events", Json.Int events);
                   ("analysis_s", Json.Float total);
+                  ("witness_off_s", Json.Float w_off);
+                  ("witness_on_s", Json.Float w_on);
+                  ("witness_overhead", Json.Float ((w_on -. w_off) /. w_off));
                   ("checkers",
                    Json.List
                      (List.map
@@ -360,11 +363,35 @@ let profile () =
      telemetry, so the attribution below times exactly one pipeline run per
      workload. *)
   let entries = List.map (fun r -> r.entry) (Lazy.force rows) in
-  let measured = List.map profile_measure entries in
+  (* Witness capture cost: the same fused pipeline timed with provenance
+     off (the default) and on, uninstrumented so the numbers are clean.
+     Off pays only a dead branch per access in the detectors; on pays
+     the per-variable side tables and the witness allocation per race. *)
+  let witness_cost (e : Registry.entry) =
+    let prog = Registry.program_of e in
+    let source () =
+      Runner.source ~sched:(fun () -> Sched.random ~seed:5 ()) prog
+    in
+    let off =
+      time_median ~reps:3 (fun () -> Coop_pipeline.run ~atomize:true (source ()))
+    in
+    let on =
+      time_median ~reps:3 (fun () ->
+          Coop_pipeline.run ~atomize:true ~witness:true (source ()))
+    in
+    (off, on)
+  in
+  let measured =
+    List.map
+      (fun e ->
+        let name, events, rows, total = profile_measure e in
+        (name, events, rows, total, witness_cost e))
+      entries
+  in
   let checkers =
     List.sort_uniq compare
       (List.concat_map
-         (fun (_, _, rows, _) ->
+         (fun (_, _, rows, _, _) ->
            List.filter_map
              (fun (r : Coop_obs.attribution_row) ->
                if r.Coop_obs.events > 0 then Some r.Coop_obs.checker else None)
@@ -381,7 +408,7 @@ let profile () =
         @ [ ("dispatch/other", Table.Right) ])
   in
   List.iter
-    (fun (name, events, rows, total) ->
+    (fun (name, events, rows, total, _) ->
       let share c =
         match
           List.find_opt
@@ -412,6 +439,28 @@ let profile () =
      share. The race-detection row [fasttrack] carrying the largest checker\n\
      share on the Java-Grande-style workloads is the paper's \"slowdown\n\
      dominated by the race detector\".)\n";
+  let wt =
+    Table.create
+      ~headers:
+        [ ("benchmark", Table.Left); ("witness off (ms)", Table.Right);
+          ("witness on (ms)", Table.Right); ("overhead", Table.Right) ]
+  in
+  List.iter
+    (fun (name, _, _, _, (off, on)) ->
+      Table.add_row wt
+        [ name;
+          Printf.sprintf "%.2f" (1000. *. off);
+          Printf.sprintf "%.2f" (1000. *. on);
+          Printf.sprintf "%+.1f%%" (100. *. ((on -. off) /. off)) ])
+    measured;
+  Table.print
+    ~title:
+      "Witness overhead: full pipeline with provenance capture off vs on"
+    wt;
+  print_endline
+    "(off is the default hot path — the only cost the refactor may add is a\n\
+     dead branch per access; on adds the per-variable witness side tables\n\
+     and one record per race. Both runs include program execution.)\n";
   let path =
     match !json_out with Some p -> p | None -> "BENCH_profile.json"
   in
@@ -1317,24 +1366,36 @@ let scaling () =
     let cases =
       List.map
         (fun k ->
-          let seconds =
-            if k = 1 then
+          if k = 1 then
+            let seconds =
               time_median ~reps:3 (fun () ->
                   Cooperability.check_source ~shards:1 (source ()))
-            else begin
-              (* A dedicated K-domain pool, so the measurement reflects K
-                 shards on K domains rather than whatever the shared pool
-                 happens to be sized to. *)
-              let pool = Pool.create ~jobs:k () in
-              let dt =
-                time_median ~reps:3 (fun () ->
-                    Sharded.run ~pool ~shards:k (source ()))
-              in
-              Pool.shutdown pool;
-              dt
-            end
-          in
-          (k, seconds))
+            in
+            (* The sequential engine routes nothing, so its replication
+               ratio is 0 by definition. *)
+            (k, (seconds, 0.0))
+          else begin
+            (* A dedicated K-domain pool, so the measurement reflects K
+               shards on K domains rather than whatever the shared pool
+               happens to be sized to. *)
+            let pool = Pool.create ~jobs:k () in
+            (* One non-timed run reads the router's traffic counters:
+               broadcasts / messages is the share of routed deliveries
+               that are clock-sync replication at this K. *)
+            let o = Sharded.run ~pool ~shards:k (source ()) in
+            let ratio =
+              if o.Sharded.messages = 0 then 0.0
+              else
+                float_of_int o.Sharded.broadcasts
+                /. float_of_int o.Sharded.messages
+            in
+            let dt =
+              time_median ~reps:3 (fun () ->
+                  Sharded.run ~pool ~shards:k (source ()))
+            in
+            Pool.shutdown pool;
+            (k, (dt, ratio))
+          end)
         shard_counts
     in
     (e.Registry.name, reference.Cooperability.events, verified, cases)
@@ -1346,17 +1407,18 @@ let scaling () =
         [ ("benchmark", Table.Left); ("events", Table.Right);
           ("shards", Table.Right); ("analysis (ms)", Table.Right);
           ("Mev/s", Table.Right); ("speedup", Table.Right);
-          ("ok", Table.Right) ]
+          ("repl", Table.Right); ("ok", Table.Right) ]
   in
   List.iter
     (fun (name, events, verified, cases) ->
-      let t1 = List.assoc 1 cases in
+      let t1, _ = List.assoc 1 cases in
       List.iter
-        (fun (k, dt) ->
+        (fun (k, (dt, ratio)) ->
           Table.add_row t
             [ name; string_of_int events; string_of_int k; ms dt;
               Printf.sprintf "%.2f" (float_of_int events /. 1e6 /. dt);
               Printf.sprintf "%.2fx" (t1 /. dt);
+              Printf.sprintf "%.2f" ratio;
               (if verified then "=" else "DIFF") ])
         cases)
     measured;
@@ -1367,7 +1429,7 @@ let scaling () =
     t;
   let max_shards = List.fold_left max 1 shard_counts in
   let speedup_at_max (_, _, _, cases) =
-    List.assoc 1 cases /. List.assoc max_shards cases
+    fst (List.assoc 1 cases) /. fst (List.assoc max_shards cases)
   in
   let best_speedup =
     List.fold_left (fun acc w -> Float.max acc (speedup_at_max w)) 0. measured
@@ -1390,7 +1452,7 @@ let scaling () =
          Json.List
            (List.map
               (fun (name, events, verified, cases) ->
-                let t1 = List.assoc 1 cases in
+                let t1, _ = List.assoc 1 cases in
                 Json.Obj
                   [ ("name", Json.String name);
                     ("events", Json.Int events);
@@ -1398,14 +1460,15 @@ let scaling () =
                     ("cases",
                      Json.List
                        (List.map
-                          (fun (k, dt) ->
+                          (fun (k, (dt, ratio)) ->
                             Json.Obj
                               [ ("shards", Json.Int k);
                                 ("seconds", Json.Float dt);
                                 ("mev_s",
                                  Json.Float
                                    (float_of_int events /. 1e6 /. dt));
-                                ("speedup", Json.Float (t1 /. dt)) ])
+                                ("speedup", Json.Float (t1 /. dt));
+                                ("broadcast_ratio", Json.Float ratio) ])
                           cases)) ])
               measured));
         ("summary",
@@ -1497,6 +1560,19 @@ let json_verify path =
         (match Option.bind (Json.member "analysis_s" w) Json.to_float with
         | Some v when v > 0. -> ()
         | _ -> fail (Printf.sprintf "%s: missing positive analysis_s" name));
+        (* Witness cost columns: both timings positive, the relative
+           overhead finite (it may be slightly negative — timer noise). *)
+        List.iter
+          (fun field ->
+            match Option.bind (Json.member field w) Json.to_float with
+            | Some v when v > 0. && Float.is_finite v -> ()
+            | _ -> fail (Printf.sprintf "%s: missing positive %s" name field))
+          [ "witness_off_s"; "witness_on_s" ];
+        (match
+           Option.bind (Json.member "witness_overhead" w) Json.to_float
+         with
+        | Some v when Float.is_finite v -> ()
+        | _ -> fail (Printf.sprintf "%s: missing finite witness_overhead" name));
         let checkers =
           match Json.member "checkers" w with
           | Some (Json.List (_ :: _ as cs)) -> cs
@@ -1730,7 +1806,18 @@ let json_verify path =
                     fail
                       (Printf.sprintf "%s: case without positive %s" name
                          field))
-              [ "seconds"; "mev_s"; "speedup" ])
+              [ "seconds"; "mev_s"; "speedup" ];
+            (* Replication traffic: 0 at shards = 1, a finite share of the
+               routed messages otherwise. *)
+            match
+              Option.bind (Json.member "broadcast_ratio" c) Json.to_float
+            with
+            | Some v when v >= 0. && Float.is_finite v -> ()
+            | _ ->
+                fail
+                  (Printf.sprintf
+                     "%s: case without finite non-negative broadcast_ratio"
+                     name))
           cases;
         List.iter
           (fun k ->
@@ -1751,6 +1838,134 @@ let json_verify path =
     Printf.printf "json-verify: %s ok (analysis_scaling, %d workloads)\n"
       path (List.length workloads)
   in
+  (* coop-witness/v1: the causal-evidence documents coopcheck's --witness
+     json emits. Shapes per command: check/explain carry races (each with
+     an embedded race or locks witness) and violations (each with a
+     commit cause); atomize carries warnings; infer carries yields with
+     their forcing violation. explain documents additionally assert the
+     HB self-check passed — an unverified witness is a CI failure, not a
+     formatting nit. *)
+  let verify_witness () =
+    let command =
+      match Json.member "command" json with
+      | Some (Json.String c) -> c
+      | _ -> fail "missing \"command\" string"
+    in
+    let check_access ctx a =
+      match (Json.member "tid" a, Json.member "seq" a, Json.member "loc" a)
+      with
+      | Some (Json.Int t), Some (Json.Int s), Some (Json.String _)
+        when t >= 0 && s >= 1 ->
+          ()
+      | _ -> fail (ctx ^ ": access without tid/seq/loc")
+    in
+    let check_witness ctx = function
+      | Json.Null -> ()
+      | w -> (
+          match (Json.member "race" w, Json.member "locks" w) with
+          | Some r, None ->
+              (match (Json.member "first" r, Json.member "second" r) with
+              | Some f, Some s ->
+                  check_access ctx f;
+                  check_access ctx s
+              | _ -> fail (ctx ^ ": race witness without first/second"));
+              List.iter
+                (fun field ->
+                  match Json.member field r with
+                  | Some (Json.Int _) -> ()
+                  | _ -> fail (ctx ^ ": race witness without " ^ field))
+                [ "first_clock"; "second_sees" ]
+          | None, Some l -> (
+              (match Json.member "access" l with
+              | Some a -> check_access ctx a
+              | None -> fail (ctx ^ ": locks witness without access"));
+              match (Json.member "prior" l, Json.member "held" l) with
+              | Some (Json.List _), Some (Json.List _) -> ()
+              | _ -> fail (ctx ^ ": locks witness without prior/held"))
+          | _ -> fail (ctx ^ ": witness is neither race nor locks"))
+    in
+    let check_cause ctx = function
+      | Json.Null -> ()
+      | c -> (
+          match
+            ( Json.member "seq" c, Json.member "loc" c, Json.member "op" c,
+              Json.member "mover" c )
+          with
+          | Some (Json.Int s), Some (Json.String _), Some (Json.String _),
+            Some (Json.String _)
+            when s >= 1 ->
+              ()
+          | _ -> fail (ctx ^ ": cause without seq/loc/op/mover"))
+    in
+    let check_violation ctx v =
+      match
+        ( Json.member "tid" v, Json.member "loc" v, Json.member "op" v,
+          Json.member "mover" v )
+      with
+      | Some (Json.Int _), Some (Json.String _), Some (Json.String _),
+        Some (Json.String _) ->
+          check_cause ctx
+            (Option.value ~default:Json.Null (Json.member "cause" v))
+      | _ -> fail (ctx ^ ": violation without tid/loc/op/mover")
+    in
+    let list_of field =
+      match Json.member field json with
+      | Some (Json.List l) -> l
+      | _ -> fail (Printf.sprintf "missing %S array" field)
+    in
+    let counted =
+      match command with
+      | "check" | "explain" ->
+          let races = list_of "races" in
+          List.iteri
+            (fun i r ->
+              let ctx = Printf.sprintf "race %d" i in
+              (match (Json.member "var" r, Json.member "kind" r) with
+              | Some (Json.String _), Some (Json.String _) -> ()
+              | _ -> fail (ctx ^ ": missing var/kind"));
+              check_witness ctx
+                (Option.value ~default:Json.Null (Json.member "witness" r));
+              if command = "explain" then
+                match Json.member "verified" r with
+                | Some (Json.Bool true) -> ()
+                | Some (Json.Bool false) ->
+                    fail (ctx ^ ": witness failed the HB self-check")
+                | _ -> fail (ctx ^ ": explain race without verified"))
+            races;
+          let vs = list_of "violations" in
+          List.iteri
+            (fun i v -> check_violation (Printf.sprintf "violation %d" i) v)
+            vs;
+          List.length races + List.length vs
+      | "atomize" ->
+          let ws = list_of "warnings" in
+          List.iteri
+            (fun i w -> check_violation (Printf.sprintf "warning %d" i) w)
+            ws;
+          List.length ws
+      | "infer" ->
+          let ys = list_of "yields" in
+          List.iteri
+            (fun i y ->
+              let ctx = Printf.sprintf "yield %d" i in
+              (match
+                 ( Json.member "loc" y, Json.member "round" y,
+                   Json.member "sched" y )
+               with
+              | Some (Json.String _), Some (Json.Int r), Some (Json.String _)
+                when r >= 1 ->
+                  ()
+              | _ -> fail (ctx ^ ": missing loc/round/sched"));
+              match Json.member "violation" y with
+              | Some v -> check_violation ctx v
+              | None -> fail (ctx ^ ": missing violation"))
+            ys;
+          List.length ys
+      | c -> fail (Printf.sprintf "unknown witness command %S" c)
+    in
+    Printf.printf "json-verify: %s ok (coop-witness/v1 %s, %d witness(es))\n"
+      path command counted
+  in
   match json with
   | Json.List events -> verify_chrome_trace events
   | _ -> (
@@ -1761,11 +1976,12 @@ let json_verify path =
       | Some (Json.String "pool"), _ -> verify_pool ()
       | Some (Json.String "analysis_scaling"), _ -> verify_scaling ()
       | _, Some (Json.String "coop-obs/v1") -> verify_obs_snapshot ()
+      | _, Some (Json.String "coop-witness/v1") -> verify_witness ()
       | _ ->
           fail
             "unrecognized document (want \
              experiment=table3|profile|vclock|pool|analysis_scaling, \
-             schema=coop-obs/v1, or a trace_event array)")
+             schema=coop-obs/v1|coop-witness/v1, or a trace_event array)")
 
 (* ---------------------------------------------------------------------- *)
 (* Driver                                                                  *)

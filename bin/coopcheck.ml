@@ -4,6 +4,7 @@
      run      - execute a program under a scheduler and print its output
      trace    - execute and dump the event trace
      check    - run the cooperability checker (races + violations)
+     explain  - check and print the causal evidence behind every verdict
      infer    - infer the yield set and report annotation metrics
      atomize  - run the Atomizer-style atomicity baseline
      explore  - enumerate behaviours preemptively vs cooperatively
@@ -194,6 +195,125 @@ let validate_env_shards () =
       bad_shards_arg "COOP_SHARDS" s
   | _ -> ()
 
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* --- witnesses (the Coop_provenance surface) ---------------------------- *)
+
+module Witness = Coop_provenance.Witness
+module Json = Coop_util.Json
+
+(* --witness shares the --jobs/--shards raw-string funnel: any spelling
+   parse_mode rejects exits 2 with the same error shape. *)
+let witness_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "witness" ] ~docv:"MODE"
+        ~doc:
+          "Attach causal evidence to every verdict: the unordered access \
+           pair and clock comparison behind each race, the commit point \
+           behind each violation or atomicity warning, the forcing \
+           violation behind each inferred yield. MODE is $(b,text) \
+           (append the evidence to the report), $(b,json) (emit a \
+           coop-witness/v1 document on stdout) or $(b,json:FILE) (write \
+           the document to FILE; validate with `bench/main.exe \
+           json-verify FILE`).")
+
+let bad_witness_arg source arg =
+  Printf.eprintf
+    "coopcheck: invalid witness argument %S: %s wants text, json or \
+     json:FILE\n"
+    arg source;
+  exit 2
+
+let witness_mode_of = function
+  | None -> None
+  | Some s -> (
+      match Witness.parse_mode s with
+      | Some m -> Some m
+      | None -> bad_witness_arg "--witness" s)
+
+(* Every coop-witness/v1 document leads with its schema and the
+   subcommand that produced it, mirroring coop-obs/v1. *)
+let witness_doc ~command fields =
+  Json.Obj
+    (("schema", Json.String Witness.schema)
+    :: ("command", Json.String command)
+    :: fields)
+
+let emit_witness_doc dest doc =
+  let s = Json.to_string doc in
+  match dest with
+  | None ->
+      print_string s;
+      print_newline ()
+  | Some path -> write_file path s
+
+let loc_string = Coop_trace.Loc.to_string
+
+let cause_json (c : Coop_core.Online.cause) =
+  Json.Obj
+    [ ("seq", Json.Int c.Coop_core.Online.cseq);
+      ("loc", Json.String (loc_string c.Coop_core.Online.cloc));
+      ("op",
+       Json.String
+         (Format.asprintf "%a" Coop_trace.Event.pp_op c.Coop_core.Online.cop));
+      ("mover", Json.String (Coop_core.Mover.to_string c.Coop_core.Online.cmover))
+    ]
+
+let opt_cause_json = function None -> Json.Null | Some c -> cause_json c
+
+let pp_cause ppf (c : Coop_core.Online.cause) =
+  Format.fprintf ppf "commit at %a (%s %a, event #%d)" Coop_trace.Loc.pp
+    c.Coop_core.Online.cloc
+    (Coop_core.Mover.to_string c.Coop_core.Online.cmover)
+    Coop_trace.Event.pp_op c.Coop_core.Online.cop c.Coop_core.Online.cseq
+
+let kind_string = function
+  | Coop_race.Report.Write_write -> "write-write"
+  | Coop_race.Report.Read_write -> "read-write"
+  | Coop_race.Report.Write_read -> "write-read"
+
+let race_json (r : Coop_race.Report.t) =
+  Json.Obj
+    [ ("var",
+       Json.String
+         (Format.asprintf "%a" Coop_trace.Event.pp_var r.Coop_race.Report.var));
+      ("kind", Json.String (kind_string r.Coop_race.Report.kind));
+      ("first_tid", Json.Int r.Coop_race.Report.first_tid);
+      ("second_tid", Json.Int r.Coop_race.Report.second_tid);
+      ("second_loc", Json.String (loc_string r.Coop_race.Report.second_loc));
+      ("witness",
+       match r.Coop_race.Report.witness with
+       | Some w -> Witness.to_json w
+       | None -> Json.Null) ]
+
+let violation_json (v : Coop_core.Automaton.violation) =
+  Json.Obj
+    [ ("tid", Json.Int v.Coop_core.Automaton.tid);
+      ("loc", Json.String (loc_string v.Coop_core.Automaton.loc));
+      ("op",
+       Json.String
+         (Format.asprintf "%a" Coop_trace.Event.pp_op v.Coop_core.Automaton.op));
+      ("mover",
+       Json.String (Coop_core.Mover.to_string v.Coop_core.Automaton.mover));
+      ("cause", opt_cause_json v.Coop_core.Automaton.cause) ]
+
+(* Text-mode rendering: the evidence rides under its verdict, indented,
+   so the default report shape is unchanged when --witness is off. *)
+let print_race_witness wmode (race : Coop_race.Report.t) =
+  match (wmode, race.Coop_race.Report.witness) with
+  | Some Witness.Text, Some w -> Format.printf "    witness: %a@." Witness.pp w
+  | _ -> ()
+
+let print_cause wmode = function
+  | Some c when wmode = Some Witness.Text ->
+      Format.printf "    cause: %a@." pp_cause c
+  | _ -> ()
+
 (* --- profiling (the Coop_obs surface) ----------------------------------- *)
 
 type profile_opts = {
@@ -239,11 +359,6 @@ let profile_term =
 let profile_wanted p = p.p_table || p.p_json <> None || p.p_chrome <> None
 
 let profile_setup p = if profile_wanted p then Coop_obs.enable ()
-
-let write_file path contents =
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc
 
 (* Emit the requested telemetry views. Called before any non-zero exit so
    a violating run still produces its profile. *)
@@ -352,9 +467,10 @@ let trace_cmd =
 
 let check_cmd =
   let action spec threads size sched max_steps from_trace two_pass shards
-      profile =
+      witness profile =
     profile_setup profile;
     let shards = shards_of shards in
+    let wmode = witness_mode_of witness in
     (* All inputs are streamed, never materialized: a saved trace comes
        off disk line by line, `--trace -` reads a pipe (single-pass only
        — a pipe cannot be replayed), and a program is re-executed under a
@@ -382,13 +498,17 @@ let check_cmd =
                 "coopcheck: check wants a PROGRAM or --trace FILE\n";
               exit 2)
     in
-    let r = Coop_pipeline.run ~two_pass ~shards source in
+    let r =
+      Coop_pipeline.run ~two_pass ~shards ~witness:(wmode <> None) source
+    in
     Format.printf "events: %d@." r.Coop_pipeline.events;
     Format.printf "races: %d on %d variable(s)@."
       (List.length r.Coop_pipeline.races)
       (Coop_trace.Event.Var_set.cardinal r.Coop_pipeline.racy);
     List.iter
-      (fun race -> Format.printf "  %a@." Coop_race.Report.pp race)
+      (fun race ->
+        Format.printf "  %a@." Coop_race.Report.pp race;
+        print_race_witness wmode race)
       r.Coop_pipeline.races;
     let vs = r.Coop_pipeline.violations in
     Format.printf "cooperability violations: %d at %d location(s)@."
@@ -399,7 +519,8 @@ let check_cmd =
       (fun (v : Coop_core.Automaton.violation) ->
         if not (Hashtbl.mem seen v.Coop_core.Automaton.loc) then begin
           Hashtbl.add seen v.Coop_core.Automaton.loc ();
-          Format.printf "  %a@." Coop_core.Automaton.pp_violation v
+          Format.printf "  %a@." Coop_core.Automaton.pp_violation v;
+          print_cause wmode v.Coop_core.Automaton.cause
         end)
       vs;
     let dl = r.Coop_pipeline.deadlock in
@@ -413,6 +534,14 @@ let check_cmd =
       Format.printf "program trace is COOPERABLE (and lock-order acyclic)@."
     else if vs = [] then
       Format.printf "program trace is cooperable, but see deadlock warnings@.";
+    (match wmode with
+    | Some (Witness.Json dest) ->
+        emit_witness_doc dest
+          (witness_doc ~command:"check"
+             [ ("events", Json.Int r.Coop_pipeline.events);
+               ("races", Json.List (List.map race_json r.Coop_pipeline.races));
+               ("violations", Json.List (List.map violation_json vs)) ])
+    | _ -> ());
     profile_emit profile;
     if vs <> [] then exit 1
   in
@@ -441,13 +570,114 @@ let check_cmd =
        ~doc:"Race + cooperability check of one execution. Exits 1 on violations.")
     Term.(const action $ opt_prog_arg $ threads_arg $ size_arg $ sched_arg
           $ max_steps_arg $ from_trace_arg $ two_pass_arg $ shards_arg
+          $ witness_arg $ profile_term)
+
+(* --- explain ------------------------------------------------------------ *)
+
+(* check with witnesses always on, plus the self-check: the trace is
+   recorded (not streamed) so every race witness can be replayed through
+   the vector-clock oracle — a verdict whose evidence fails there is a
+   detector bug, and explain says so loudly. *)
+let explain_cmd =
+  let action spec threads size sched max_steps two_pass shards witness
+      profile =
+    profile_setup profile;
+    let shards = shards_of shards in
+    let wmode = witness_mode_of witness in
+    let prog = load ~threads ~size spec in
+    let _, trace = Runner.record ~max_steps ~sched:(scheduler_of sched) prog in
+    let r = Coop_core.Cooperability.check ~two_pass ~shards ~witness:true trace in
+    (* One oracle replay serves every witness on this trace. *)
+    let clocks = Coop_race.Witness_check.oracle trace in
+    let verdicts =
+      List.map
+        (fun race ->
+          (race, Coop_race.Witness_check.check_report ~clocks trace race))
+        r.Coop_core.Cooperability.races
+    in
+    Format.printf "events: %d@." r.Coop_core.Cooperability.events;
+    Format.printf "races: %d on %d variable(s)@."
+      (List.length r.Coop_core.Cooperability.races)
+      (Coop_trace.Event.Var_set.cardinal r.Coop_core.Cooperability.racy);
+    List.iter
+      (fun ((race : Coop_race.Report.t), verdict) ->
+        Format.printf "  %a@." Coop_race.Report.pp race;
+        (match race.Coop_race.Report.witness with
+        | Some w -> Format.printf "    witness: %a@." Witness.pp w
+        | None -> ());
+        match verdict with
+        | Ok () -> Format.printf "    hb-check: verified@."
+        | Error e -> Format.printf "    hb-check: FAILED (%s)@." e)
+      verdicts;
+    let vs = r.Coop_core.Cooperability.violations in
+    Format.printf "cooperability violations: %d at %d location(s)@."
+      (List.length vs)
+      (Coop_trace.Loc.Set.cardinal (Coop_core.Cooperability.violation_locs vs));
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun (v : Coop_core.Automaton.violation) ->
+        if not (Hashtbl.mem seen v.Coop_core.Automaton.loc) then begin
+          Hashtbl.add seen v.Coop_core.Automaton.loc ();
+          Format.printf "  %a@." Coop_core.Automaton.pp_violation v;
+          match v.Coop_core.Automaton.cause with
+          | Some c -> Format.printf "    cause: %a@." pp_cause c
+          | None -> ()
+        end)
+      vs;
+    let failed =
+      List.filter (fun (_, verdict) -> Result.is_error verdict) verdicts
+    in
+    Format.printf "witness self-check: %d/%d race witness(es) verified@."
+      (List.length verdicts - List.length failed)
+      (List.length verdicts);
+    (match wmode with
+    | Some (Witness.Json dest) ->
+        let race_entry (race, verdict) =
+          match race_json race with
+          | Json.Obj fields ->
+              Json.Obj
+                (fields @ [ ("verified", Json.Bool (Result.is_ok verdict)) ])
+          | j -> j
+        in
+        emit_witness_doc dest
+          (witness_doc ~command:"explain"
+             [ ("events", Json.Int r.Coop_core.Cooperability.events);
+               ("races", Json.List (List.map race_entry verdicts));
+               ("violations", Json.List (List.map violation_json vs)) ])
+    | _ -> ());
+    profile_emit profile;
+    if failed <> [] then begin
+      List.iter
+        (fun ((race : Coop_race.Report.t), verdict) ->
+          match verdict with
+          | Error e ->
+              Format.eprintf "coopcheck: witness self-check failed for %a: %s@."
+                Coop_race.Report.pp race e
+          | Ok () -> ())
+        failed;
+      exit 1
+    end;
+    if vs <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Check one execution with witnesses on and print the causal \
+          evidence behind every verdict: the unordered access pair (and \
+          clock comparison) behind each race — replayed through the \
+          happens-before oracle as a self-check — and the commit point \
+          behind each violation. Exits 1 on violations or a failed \
+          self-check.")
+    Term.(const action $ prog_arg $ threads_arg $ size_arg $ sched_arg
+          $ max_steps_arg $ two_pass_arg $ shards_arg $ witness_arg
           $ profile_term)
 
 (* --- infer ------------------------------------------------------------- *)
 
 let infer_cmd =
-  let action spec threads size max_steps jobs profile =
+  let action spec threads size max_steps jobs witness profile =
     profile_setup profile;
+    let wmode = witness_mode_of witness in
     let prog = load ~threads ~size spec in
     let pool = pool_of_jobs jobs in
     let inf = Coop_core.Infer.infer ~pool ~max_steps prog in
@@ -456,12 +686,43 @@ let infer_cmd =
     Format.printf "inference rounds: %d@." inf.Coop_core.Infer.rounds;
     Format.printf "inferred yields: %d@."
       (Coop_trace.Loc.Set.cardinal inf.Coop_core.Infer.yields);
+    (* The witness chain lives on the inference result: per yield, the
+       round, schedule and first violation that forced it. *)
+    let witness_of_loc l =
+      List.find_opt
+        (fun (yw : Coop_core.Infer.yield_witness) ->
+          Coop_trace.Loc.equal yw.Coop_core.Infer.yw_loc l)
+        inf.Coop_core.Infer.witnesses
+    in
     Coop_trace.Loc.Set.iter
       (fun l ->
         let f = (Vm.program (Vm.init prog)).Coop_lang.Bytecode.funcs.(l.Coop_trace.Loc.func) in
         Format.printf "  yield before %s line %d (%a)@."
-          f.Coop_lang.Bytecode.name l.Coop_trace.Loc.line Coop_trace.Loc.pp l)
+          f.Coop_lang.Bytecode.name l.Coop_trace.Loc.line Coop_trace.Loc.pp l;
+        match (wmode, witness_of_loc l) with
+        | Some Witness.Text, Some yw ->
+            Format.printf "    forced by %s in round %d: %a@."
+              yw.Coop_core.Infer.yw_sched yw.Coop_core.Infer.yw_round
+              Coop_core.Automaton.pp_violation yw.Coop_core.Infer.yw_viol;
+            print_cause wmode yw.Coop_core.Infer.yw_viol.Coop_core.Automaton.cause
+        | _ -> ())
       inf.Coop_core.Infer.yields;
+    (match wmode with
+    | Some (Witness.Json dest) ->
+        let yield_json (yw : Coop_core.Infer.yield_witness) =
+          Json.Obj
+            [ ("loc", Json.String (loc_string yw.Coop_core.Infer.yw_loc));
+              ("round", Json.Int yw.Coop_core.Infer.yw_round);
+              ("sched", Json.String yw.Coop_core.Infer.yw_sched);
+              ("violation", violation_json yw.Coop_core.Infer.yw_viol) ]
+        in
+        emit_witness_doc dest
+          (witness_doc ~command:"infer"
+             [ ("rounds", Json.Int inf.Coop_core.Infer.rounds);
+               ("yields",
+                Json.List
+                  (List.map yield_json inf.Coop_core.Infer.witnesses)) ])
+    | _ -> ());
     let _, m =
       Runner.analyze ~yields:inf.Coop_core.Infer.yields ~max_steps
         ~sched:(Sched.random ~seed:17 ())
@@ -474,20 +735,23 @@ let infer_cmd =
   Cmd.v
     (Cmd.info "infer" ~doc:"Infer the yield set and report annotation metrics.")
     Term.(const action $ prog_arg $ threads_arg $ size_arg $ max_steps_arg
-          $ jobs_arg $ profile_term)
+          $ jobs_arg $ witness_arg $ profile_term)
 
 (* --- atomize ------------------------------------------------------------ *)
 
 let atomize_cmd =
-  let action spec threads size sched max_steps two_pass shards profile =
+  let action spec threads size sched max_steps two_pass shards witness
+      profile =
     profile_setup profile;
     let shards = shards_of shards in
+    let wmode = witness_mode_of witness in
     let prog = load ~threads ~size spec in
     let source =
       Runner.source ~max_steps ~sched:(fun () -> scheduler_of sched) prog
     in
     let p =
-      Coop_pipeline.run ~atomize:true ~conflict:true ~two_pass ~shards source
+      Coop_pipeline.run ~atomize:true ~conflict:true ~two_pass ~shards
+        ~witness:(wmode <> None) source
     in
     let r = Option.get p.Coop_pipeline.atomizer in
     Format.printf "transactions: %d, violated: %d@."
@@ -498,10 +762,11 @@ let atomize_cmd =
       (List.length r.Coop_atomicity.Atomizer.flagged_functions);
     let shown = ref 0 in
     List.iter
-      (fun w ->
+      (fun (w : Coop_atomicity.Atomizer.warning) ->
         if !shown < 20 then begin
           incr shown;
-          Format.printf "  %a@." Coop_atomicity.Atomizer.pp_warning w
+          Format.printf "  %a@." Coop_atomicity.Atomizer.pp_warning w;
+          print_cause wmode w.Coop_atomicity.Atomizer.cause
         end)
       r.Coop_atomicity.Atomizer.warnings;
     let c = Option.get p.Coop_pipeline.conflict in
@@ -509,12 +774,41 @@ let atomize_cmd =
       "conflict graph: %d transactions, %d edges, serializable=%b@."
       c.Coop_atomicity.Conflict.transactions c.Coop_atomicity.Conflict.edges
       (not c.Coop_atomicity.Conflict.cyclic);
+    (match wmode with
+    | Some (Witness.Json dest) ->
+        let txn_json = function
+          | Coop_atomicity.Atomizer.Func i -> Json.Obj [ ("func", Json.Int i) ]
+          | Coop_atomicity.Atomizer.Block l ->
+              Json.Obj [ ("block", Json.String (loc_string l)) ]
+        in
+        let warning_json (w : Coop_atomicity.Atomizer.warning) =
+          Json.Obj
+            [ ("tid", Json.Int w.Coop_atomicity.Atomizer.tid);
+              ("txn", txn_json w.Coop_atomicity.Atomizer.txn);
+              ("loc", Json.String (loc_string w.Coop_atomicity.Atomizer.loc));
+              ("op",
+               Json.String
+                 (Format.asprintf "%a" Coop_trace.Event.pp_op
+                    w.Coop_atomicity.Atomizer.op));
+              ("mover",
+               Json.String
+                 (Coop_core.Mover.to_string w.Coop_atomicity.Atomizer.mover));
+              ("cause", opt_cause_json w.Coop_atomicity.Atomizer.cause) ]
+        in
+        emit_witness_doc dest
+          (witness_doc ~command:"atomize"
+             [ ("warnings",
+                Json.List
+                  (List.map warning_json r.Coop_atomicity.Atomizer.warnings))
+             ])
+    | _ -> ());
     profile_emit profile
   in
   Cmd.v
     (Cmd.info "atomize" ~doc:"Atomicity baseline (Atomizer + conflict graph).")
     Term.(const action $ prog_arg $ threads_arg $ size_arg $ sched_arg
-          $ max_steps_arg $ two_pass_arg $ shards_arg $ profile_term)
+          $ max_steps_arg $ two_pass_arg $ shards_arg $ witness_arg
+          $ profile_term)
 
 (* --- explore ------------------------------------------------------------ *)
 
@@ -652,5 +946,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; trace_cmd; check_cmd; infer_cmd; atomize_cmd; explore_cmd;
-            static_cmd; list_cmd; dump_cmd ]))
+          [ run_cmd; trace_cmd; check_cmd; explain_cmd; infer_cmd; atomize_cmd;
+            explore_cmd; static_cmd; list_cmd; dump_cmd ]))

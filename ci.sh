@@ -27,6 +27,17 @@ dune exec test/test_main.exe -- test differential
 echo "== sharded differential suite (sharded 1/2/4/8 vs sequential) =="
 dune exec test/test_main.exe -- test sharded
 
+echo "== witness differential suite (HB self-check, cross-mode identity) =="
+dune exec test/test_main.exe -- test witness
+
+echo "== witness smoke (explain + check --witness, coop-witness/v1) =="
+dune exec bin/coopcheck.exe -- explain tsp \
+  --witness json:_build/ci-witness-tsp.json || [ $? -eq 1 ]
+dune exec bench/main.exe -- json-verify _build/ci-witness-tsp.json
+dune exec bin/coopcheck.exe -- check philo \
+  --witness json:_build/ci-witness-philo.json || [ $? -eq 1 ]
+dune exec bench/main.exe -- json-verify _build/ci-witness-philo.json
+
 echo "== piped-trace smoke (check --trace - on stdin, one pass) =="
 dune exec bin/coopcheck.exe -- trace philo -t 2 -s 2 \
   --save _build/ci-pipe-smoke.tr

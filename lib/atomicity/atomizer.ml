@@ -11,6 +11,7 @@ type warning = {
   loc : Loc.t;
   op : Event.op;
   mover : Mover.t;
+  cause : Coop_core.Online.cause option;
 }
 
 type result = {
@@ -24,10 +25,17 @@ type phase =
   | Pre
   | Post
 
+(* Per-activation phase machine, with the commit point of the current
+   Post phase mirrored from the engine (cm_seq = 0 = none) so both paths
+   blame the warning on the same op. *)
 type txn = {
   id : txn_id;
   mutable phase : phase;
   mutable violated : bool;
+  mutable cm_seq : int;
+  mutable cm_loc : Loc.t;
+  mutable cm_op : Event.op;
+  mutable cm_mover : Mover.t;
 }
 
 let analysis ?(local_locks = fun _ -> false) ~racy () =
@@ -35,6 +43,7 @@ let analysis ?(local_locks = fun _ -> false) ~racy () =
   let warnings = ref [] in
   let activations = ref 0 in
   let violated = ref 0 in
+  let seq = ref 0 in  (* 1-based global position, counts every event *)
   let stack_of tid =
     match Hashtbl.find_opt stacks tid with
     | Some s -> s
@@ -46,7 +55,10 @@ let analysis ?(local_locks = fun _ -> false) ~racy () =
   let push tid id =
     incr activations;
     let s = stack_of tid in
-    s := { id; phase = Pre; violated = false } :: !s
+    s :=
+      { id; phase = Pre; violated = false; cm_seq = 0; cm_loc = Loc.none;
+        cm_op = Event.Yield; cm_mover = Mover.Both }
+      :: !s
   in
   let pop tid =
     let s = stack_of tid in
@@ -62,16 +74,30 @@ let analysis ?(local_locks = fun _ -> false) ~racy () =
       (fun t ->
         match (t.phase, m) with
         | Pre, (Mover.Right | Mover.Both) -> ()
-        | Pre, (Mover.Non | Mover.Left) -> t.phase <- Post
+        | Pre, ((Mover.Non | Mover.Left) as m) ->
+            t.phase <- Post;
+            t.cm_seq <- !seq;
+            t.cm_loc <- loc;
+            t.cm_op <- op;
+            t.cm_mover <- m
         | Post, (Mover.Left | Mover.Both) -> ()
         | Post, ((Mover.Right | Mover.Non) as m) ->
             if not t.violated then begin
               t.violated <- true;
-              warnings := { tid; txn = t.id; loc; op; mover = m } :: !warnings
+              let cause =
+                if t.cm_seq > 0 then
+                  Some
+                    { Coop_core.Online.cseq = t.cm_seq; cloc = t.cm_loc;
+                      cop = t.cm_op; cmover = t.cm_mover }
+                else None
+              in
+              warnings :=
+                { tid; txn = t.id; loc; op; mover = m; cause } :: !warnings
             end)
       !s
   in
   let step (e : Event.t) =
+    incr seq;
     match e.op with
     | Event.Enter f -> push e.tid (Func f)
     | Event.Exit _ -> pop e.tid
@@ -131,7 +157,7 @@ let online_analysis ?mark ~interner ~subscribe () =
                 Online.txn_uid txn,
                 { tid = v.Online.vtid; txn = Online.data txn;
                   loc = v.Online.vloc; op = v.Online.vop;
-                  mover = v.Online.vmover } )
+                  mover = v.Online.vmover; cause = v.Online.vcause } )
               :: !acc)
       ()
   in
@@ -240,7 +266,7 @@ module Sharded_driver = struct
                   Online.txn_uid txn,
                   { tid = v.Online.vtid; txn = Online.data txn;
                     loc = v.Online.vloc; op = v.Online.vop;
-                    mover = v.Online.vmover } )
+                    mover = v.Online.vmover; cause = v.Online.vcause } )
                 :: !acc)
         ()
     in

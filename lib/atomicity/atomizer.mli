@@ -28,6 +28,10 @@ type warning = {
   loc : Loc.t;  (** The operation that broke the pattern. *)
   op : Event.op;
   mover : Coop_core.Mover.t;
+  cause : Coop_core.Online.cause option;
+      (** The commit point of the activation — the causal pair's first
+          half; [loc]/[op] is the second. Identical across two-pass,
+          single-pass and sharded drivers. *)
 }
 
 type result = {

@@ -9,44 +9,83 @@ type violation = {
   loc : Loc.t;
   op : Event.op;
   mover : Mover.t;
+  cause : Online.cause option;
+}
+
+(* Per-thread phase plus the commit point of the current Post phase,
+   mirroring the engine's per-transaction fields (cm_seq = 0 = none) so
+   both paths blame violations on the same op. *)
+type tstate = {
+  mutable ph : phase;
+  mutable cm_seq : int;
+  mutable cm_loc : Loc.t;
+  mutable cm_op : Event.op;
+  mutable cm_mover : Mover.t;
 }
 
 type t = {
-  phases : (int, phase) Hashtbl.t;
+  threads : (int, tstate) Hashtbl.t;
+  mutable seq : int;  (* 1-based global position; counts every step call *)
   mutable violations : violation list;  (* reversed *)
 }
 
-let create () = { phases = Hashtbl.create 8; violations = [] }
+let create () = { threads = Hashtbl.create 8; seq = 0; violations = [] }
+
+let tstate t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | Some st -> st
+  | None ->
+      let st =
+        { ph = Pre; cm_seq = 0; cm_loc = Loc.none; cm_op = Event.Yield;
+          cm_mover = Mover.Both }
+      in
+      Hashtbl.add t.threads tid st;
+      st
 
 let phase t tid =
-  match Hashtbl.find_opt t.phases tid with Some p -> p | None -> Pre
-
-let set t tid p = Hashtbl.replace t.phases tid p
+  match Hashtbl.find_opt t.threads tid with Some st -> st.ph | None -> Pre
 
 let step ?local_locks t ~racy (e : Event.t) =
+  t.seq <- t.seq + 1;
   match e.op with
   | Event.Yield ->
-      set t e.tid Pre;
+      let st = tstate t e.tid in
+      st.ph <- Pre;
+      st.cm_seq <- 0;
       None
   | op -> (
       match Mover.classify ?local_locks ~racy op with
       | None -> None
       | Some m -> (
-          match (phase t e.tid, m) with
+          let st = tstate t e.tid in
+          match (st.ph, m) with
           | Pre, (Mover.Right | Mover.Both) -> None
-          | Pre, (Mover.Non | Mover.Left) ->
+          | Pre, ((Mover.Non | Mover.Left) as m) ->
               (* The commit point of this transaction. *)
-              set t e.tid Post;
+              st.ph <- Post;
+              st.cm_seq <- t.seq;
+              st.cm_loc <- e.loc;
+              st.cm_op <- op;
+              st.cm_mover <- m;
               None
           | Post, (Mover.Left | Mover.Both) -> None
           | Post, ((Mover.Right | Mover.Non) as m) ->
               (* Irreducible: a yield is missing right before this
                  operation. Reset as if it had been there. *)
-              let v = { tid = e.tid; loc = e.loc; op; mover = m } in
+              let cause =
+                if st.cm_seq > 0 then
+                  Some
+                    { Online.cseq = st.cm_seq; cloc = st.cm_loc;
+                      cop = st.cm_op; cmover = st.cm_mover }
+                else None
+              in
+              let v = { tid = e.tid; loc = e.loc; op; mover = m; cause } in
               t.violations <- v :: t.violations;
               (match m with
-              | Mover.Right -> set t e.tid Pre
-              | Mover.Non -> set t e.tid Post
+              | Mover.Right ->
+                  st.ph <- Pre;
+                  st.cm_seq <- 0
+              | Mover.Non -> st.ph <- Post
               | _ -> assert false);
               Some v))
 
@@ -112,7 +151,8 @@ let online_analysis ?mark ~interner ~subscribe () =
       (fun (a : Online.viol) (b : Online.viol) -> compare a.vseq b.vseq)
       !acc
     |> List.map (fun (v : Online.viol) ->
-           { tid = v.vtid; loc = v.vloc; op = v.vop; mover = v.vmover })
+           { tid = v.vtid; loc = v.vloc; op = v.vop; mover = v.vmover;
+             cause = v.vcause })
   in
   Analysis.make ~step ~finalize
 

@@ -28,6 +28,10 @@ type violation = {
   loc : Loc.t;  (** Location needing a yield before it. *)
   op : Event.op;  (** The offending operation. *)
   mover : Mover.t;  (** Its mover class ([Right] or [Non]). *)
+  cause : Online.cause option;
+      (** The commit point this violation is blamed on — the (N|L) op
+          that put the thread in Post. Identical across the two-pass,
+          online and sharded paths (the differential suite pins it). *)
 }
 
 type t

@@ -52,7 +52,7 @@ let check_with_racy ?local_locks ~racy trace =
    O(threads·vars) — but the source is executed twice, which doubles the
    dynamic-analysis cost per inferred schedule and rules out
    non-replayable sources (pipes). *)
-let check_two_pass source =
+let check_two_pass ?(witness = false) source =
   let mark = ref 0. in
   let instr name a =
     Analysis.instrument ~mark ~name:("checker/" ^ name) a
@@ -65,7 +65,8 @@ let check_two_pass source =
       (Analysis.chain
          (instr "intern" (Interner.analysis itn))
          (Analysis.chain
-            (instr "fasttrack" (Coop_race.Fasttrack.analysis ~interner:itn ()))
+            (instr "fasttrack"
+               (Coop_race.Fasttrack.analysis ~interner:itn ~witness ()))
             (Analysis.chain
                (instr "local_locks" (local_locks_analysis ~interner:itn ()))
                (Analysis.count ()))))
@@ -85,7 +86,7 @@ let check_two_pass source =
    transactions on late facts (see [Online]). One streaming pass total —
    the source is consumed exactly once, so pipes work and inference pays
    one execution per schedule. *)
-let online_chain ~mark () =
+let online_chain ?(witness = false) ~mark () =
   let instr name a =
     Analysis.instrument ~mark ~name:("checker/" ^ name) a
   in
@@ -100,7 +101,7 @@ let online_chain ~mark () =
           (fun ~publish ->
             Analysis.chain
               (instr "fasttrack"
-                 (Coop_race.Fasttrack.analysis ~interner:itn
+                 (Coop_race.Fasttrack.analysis ~interner:itn ~witness
                     ~facts:(Online.facts publish) ()))
               (Analysis.count ()))
           (fun ~subscribe ->
@@ -110,8 +111,8 @@ let online_chain ~mark () =
 let result_of ((), ((races, events), violations)) =
   { violations; races; racy = Coop_race.Report.racy_vars races; events }
 
-let check_sharded ~shards source =
-  let o = Sharded.run ~shards source in
+let check_sharded ?witness ~shards source =
+  let o = Sharded.run ?witness ~shards source in
   {
     violations = o.Sharded.violations;
     races = o.Sharded.races;
@@ -119,16 +120,16 @@ let check_sharded ~shards source =
     events = o.Sharded.events;
   }
 
-let check_source ?(two_pass = false) ?shards source =
+let check_source ?(two_pass = false) ?shards ?witness source =
   let shards =
     match shards with Some k -> k | None -> Sharded.default_shards ()
   in
-  if two_pass then check_two_pass source
-  else if shards > 1 then check_sharded ~shards source
-  else result_of (Source.run source (online_chain ~mark:(ref 0.) ()))
+  if two_pass then check_two_pass ?witness source
+  else if shards > 1 then check_sharded ?witness ~shards source
+  else result_of (Source.run source (online_chain ?witness ~mark:(ref 0.) ()))
 
-let check ?two_pass ?shards trace =
-  check_source ?two_pass ?shards (Source.of_trace trace)
+let check ?two_pass ?shards ?witness trace =
+  check_source ?two_pass ?shards ?witness (Source.of_trace trace)
 
 let violation_locs vs =
   List.fold_left

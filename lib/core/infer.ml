@@ -1,12 +1,20 @@
 open Coop_trace
 open Coop_runtime
 
+type yield_witness = {
+  yw_loc : Loc.t;
+  yw_round : int;
+  yw_sched : string;
+  yw_viol : Automaton.violation;
+}
+
 type result = {
   yields : Loc.Set.t;
   rounds : int;
   initial_violations : int;
   final_check_violations : int;
   events_analyzed : int;
+  witnesses : yield_witness list;
 }
 
 (* Each entry is a factory minting a fresh, identically seeded scheduler
@@ -39,28 +47,26 @@ let portfolio_pass ?two_pass ~pool ~portfolio ~max_steps ~yields prog =
   let factories = Array.of_list portfolio in
   let one i =
     (* A span per schedule, recorded on whichever pool domain ran it — the
-       Chrome trace shows the portfolio's actual parallel shape. *)
-    Coop_obs.span ("infer/schedule:" ^ (factories.(i) ()).Sched.name)
+       Chrome trace shows the portfolio's actual parallel shape. The
+       schedule name also labels the run's violations, so an inferred
+       yield's witness names the schedule that forced it. *)
+    let name = (factories.(i) ()).Sched.name in
+    Coop_obs.span ("infer/schedule:" ^ name)
       (fun () ->
         let source =
           Runner.source ~yields ?max_steps ~sched:factories.(i) prog
         in
         let r = Cooperability.check_source ?two_pass source in
-        (r.Cooperability.violations, r.Cooperability.events))
+        (name, r.Cooperability.violations, r.Cooperability.events))
   in
   (* Each schedule is submitted as its own task (not a pre-sharded
      batch), so a slow schedule re-balances across domains; awaiting in
      index order keeps the merge deterministic. *)
-  let runs =
-    let promises =
-      List.init (Array.length factories) (fun i ->
-          Coop_util.Pool.spawn pool (fun () -> one i))
-    in
-    List.map (Coop_util.Pool.await pool) promises
+  let promises =
+    List.init (Array.length factories) (fun i ->
+        Coop_util.Pool.spawn pool (fun () -> one i))
   in
-  let violations = List.concat_map fst runs in
-  let events = List.fold_left (fun acc (_, e) -> acc + e) 0 runs in
-  (violations, events)
+  List.map (Coop_util.Pool.await pool) promises
 
 let infer ?pool ?(max_rounds = 20) ?(portfolio = default_portfolio) ?max_steps
     ?(base_yields = Loc.Set.empty) ?two_pass prog =
@@ -68,14 +74,16 @@ let infer ?pool ?(max_rounds = 20) ?(portfolio = default_portfolio) ?max_steps
     match pool with Some p -> p | None -> Coop_util.Pool.shared ()
   in
   let events_total = ref 0 in
-  let rec loop yields round initial =
-    let violations, events =
+  let rec loop yields round initial witnesses =
+    let runs =
       Coop_obs.span
         (Printf.sprintf "infer/round%d" round)
         (fun () ->
           portfolio_pass ?two_pass ~pool ~portfolio ~max_steps ~yields prog)
     in
     Coop_obs.count "infer/rounds" 1;
+    let violations = List.concat_map (fun (_, vs, _) -> vs) runs in
+    let events = List.fold_left (fun acc (_, _, e) -> acc + e) 0 runs in
     events_total := !events_total + events;
     let initial =
       match initial with None -> Some (List.length violations) | some -> some
@@ -83,6 +91,32 @@ let infer ?pool ?(max_rounds = 20) ?(portfolio = default_portfolio) ?max_steps
     let new_locs =
       Loc.Set.diff (Cooperability.violation_locs violations) yields
     in
+    (* Per new location, the first violation that named it — in run order,
+       then trace order, so the witness chain is deterministic across
+       pool sizes (the merge preserves run order). *)
+    let round_witnesses =
+      if Loc.Set.is_empty new_locs then []
+      else begin
+        let seen = ref Loc.Set.empty in
+        List.concat_map
+          (fun (sched, vs, _) ->
+            List.filter_map
+              (fun (v : Automaton.violation) ->
+                if
+                  Loc.Set.mem v.Automaton.loc new_locs
+                  && not (Loc.Set.mem v.Automaton.loc !seen)
+                then begin
+                  seen := Loc.Set.add v.Automaton.loc !seen;
+                  Some
+                    { yw_loc = v.Automaton.loc; yw_round = round;
+                      yw_sched = sched; yw_viol = v }
+                end
+                else None)
+              vs)
+          runs
+      end
+    in
+    let witnesses = witnesses @ round_witnesses in
     if Loc.Set.is_empty new_locs || round >= max_rounds then begin
       let final_check_violations = List.length violations in
       Coop_obs.gauge "infer/yields"
@@ -93,8 +127,9 @@ let infer ?pool ?(max_rounds = 20) ?(portfolio = default_portfolio) ?max_steps
         initial_violations = (match initial with Some n -> n | None -> 0);
         final_check_violations;
         events_analyzed = !events_total;
+        witnesses;
       }
     end
-    else loop (Loc.Set.union yields new_locs) (round + 1) initial
+    else loop (Loc.Set.union yields new_locs) (round + 1) initial witnesses
   in
-  loop base_yields 1 None
+  loop base_yields 1 None []

@@ -23,6 +23,20 @@
 open Coop_trace
 open Coop_runtime
 
+type yield_witness = {
+  yw_loc : Loc.t;  (** The inferred yield location. *)
+  yw_round : int;  (** The round that first forced it (1-based). *)
+  yw_sched : string;  (** Name of the schedule whose run violated there. *)
+  yw_viol : Automaton.violation;
+      (** The first violation naming the location, in run order then
+          trace order — carries the commit {!Online.cause}, so the
+          witness chain reads: this schedule committed at the cause and
+          then hit this op, hence the yield. *)
+}
+(** Why an inferred yield exists. Deterministic across pool sizes: the
+    portfolio merge preserves run order, so "first violation" is
+    well-defined (property-tested alongside the inference result). *)
+
 type result = {
   yields : Loc.Set.t;  (** Inferred yield locations. *)
   rounds : int;  (** Inference iterations until fixpoint. *)
@@ -33,6 +47,9 @@ type result = {
       (** Violations on a fresh portfolio after fixpoint; 0 when the
           inferred set is stable. *)
   events_analyzed : int;  (** Total events across all analysed runs. *)
+  witnesses : yield_witness list;
+      (** One per inferred yield, in inference order (round, then first
+          occurrence). *)
 }
 
 val default_portfolio : (unit -> Sched.t) list

@@ -10,15 +10,25 @@ type fact =
 type publish = fact -> unit
 type subscribe = (fact -> unit) -> unit
 
-let facts publish =
-  {
-    Coop_race.Fasttrack.on_racy_var = (fun _v id -> publish (Racy id));
-    on_shared_lock = (fun _l id -> publish (Shared id));
-  }
-
 (* Facts packed into one non-negative int for pending lists and the
    fact-to-transaction index: id*2 for Racy, id*2+1 for Shared. *)
 let pack = function Racy id -> 2 * id | Shared id -> (2 * id) + 1
+
+let flow_name = function Racy _ -> "fact/racy" | Shared _ -> "fact/shared"
+
+let facts publish =
+  {
+    Coop_race.Fasttrack.on_racy_var =
+      (fun _v id ->
+        let f = Racy id in
+        Coop_obs.flow_begin (flow_name f) ~id:(pack f);
+        publish f);
+    on_shared_lock =
+      (fun _l id ->
+        let f = Shared id in
+        Coop_obs.flow_begin (flow_name f) ~id:(pack f);
+        publish f);
+  }
 
 (* What the engine currently believes. Facts are monotone — a variable
    never stops being racy, a lock never becomes thread-local again — so
@@ -81,12 +91,20 @@ type phase =
   | Pre
   | Post
 
+type cause = {
+  cseq : int;
+  cloc : Loc.t;
+  cop : Event.op;
+  cmover : Mover.t;
+}
+
 type viol = {
   vseq : int;
   vtid : int;
   vloc : Loc.t;
   vop : Event.op;
   vmover : Mover.t;
+  vcause : cause option;
 }
 
 (* The digest keeps only what a replay needs: global position, location,
@@ -103,6 +121,14 @@ type 'a txn = {
   mutable ids : int array;  (* interned operand per digest slot *)
   mutable len : int;
   mutable phase : phase;
+  (* The commit point of the current Post phase — the (N|L) op that moved
+     the machine out of Pre. Unpacked mutable fields (cm_seq = 0 means
+     "none") so cause tracking allocates nothing unless a violation
+     actually fires. *)
+  mutable cm_seq : int;
+  mutable cm_loc : Loc.t;
+  mutable cm_op : Event.op;
+  mutable cm_mover : Mover.t;
   mutable viols : viol list;  (* reversed *)
   (* Packed facts this txn's classification optimistically assumed away.
      A transaction can touch thousands of distinct operands (matrix
@@ -161,6 +187,10 @@ let open_txn t ~tid ~data =
     ids = Array.make 4 (-1);
     len = 0;
     phase = Pre;
+    cm_seq = 0;
+    cm_loc = Loc.none;
+    cm_op = Event.Yield;
+    cm_mover = Mover.Both;
     viols = [];
     pending = Hashtbl.create 4;
     closed = false;
@@ -195,13 +225,33 @@ let push txn ~seq ~loc ~op ~id =
 let apply txn ~seq ~loc ~op m =
   match (txn.phase, m) with
   | Pre, (Mover.Right | Mover.Both) -> ()
-  | Pre, (Mover.Non | Mover.Left) -> txn.phase <- Post
+  | Pre, ((Mover.Non | Mover.Left) as m) ->
+      txn.phase <- Post;
+      (* This op is the commit point: it is the cause of every violation
+         until the machine resets. *)
+      txn.cm_seq <- seq;
+      txn.cm_loc <- loc;
+      txn.cm_op <- op;
+      txn.cm_mover <- m
   | Post, (Mover.Left | Mover.Both) -> ()
   | Post, ((Mover.Right | Mover.Non) as m) ->
+      let vcause =
+        if txn.cm_seq > 0 then
+          Some
+            { cseq = txn.cm_seq; cloc = txn.cm_loc; cop = txn.cm_op;
+              cmover = txn.cm_mover }
+        else None
+      in
       txn.viols <-
-        { vseq = seq; vtid = txn.tid; vloc = loc; vop = op; vmover = m }
+        { vseq = seq; vtid = txn.tid; vloc = loc; vop = op; vmover = m; vcause }
         :: txn.viols;
-      txn.phase <- (match m with Mover.Right -> Pre | _ -> Post)
+      (match m with
+      | Mover.Right ->
+          (* Reset-as-if-yielded: the commit the violation was blamed on
+             is spent; the next violation needs a fresh one. *)
+          txn.phase <- Pre;
+          txn.cm_seq <- 0
+      | _ -> ())
 
 let bucket_add t packed txn =
   if packed >= Array.length t.index then begin
@@ -263,6 +313,7 @@ let step t txn ~seq (e : Event.t) =
    repair recomputes the whole machine over the digest. *)
 let replay t txn =
   txn.phase <- Pre;
+  txn.cm_seq <- 0;
   txn.viols <- [];
   for i = 0 to txn.len - 1 do
     let op = txn.ops.(i) in
@@ -279,6 +330,8 @@ let on_fact t f =
   let t0 = if t.timed then Coop_obs.now_s () else 0. in
   if Knowledge.learn t.knowledge f then begin
     let packed = pack f in
+    (* The receiving end of the propagation flow the publisher began. *)
+    Coop_obs.flow_end (flow_name f) ~id:packed;
     if packed < Array.length t.index then begin
       let bucket = t.index.(packed) in
       (* The fact is final: nothing will ever point at this bucket

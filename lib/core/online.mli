@@ -46,10 +46,23 @@ type fact =
 type publish = fact -> unit
 type subscribe = (fact -> unit) -> unit
 
+val pack : fact -> int
+(** Stable injective packing of facts into non-negative ints ([id*2] for
+    [Racy], [id*2+1] for [Shared]) — the engine's index key, also used
+    as the flow correlation id in telemetry. *)
+
+val flow_name : fact -> string
+(** The telemetry flow-event name of a fact's propagation edge
+    ([fact/racy] / [fact/shared]); see {!Coop_obs.flow_begin}. *)
+
 val facts : publish -> Coop_race.Fasttrack.facts
 (** Adapt a publisher into the race detector's callback record, for
     wiring through {!Analysis.feedback}. The detector must share the
-    engine's interner for the published ids to mean the same thing. *)
+    engine's interner for the published ids to mean the same thing.
+    When telemetry is on, each publication opens a
+    {!Coop_obs.flow_begin} ([fact/racy] or [fact/shared], id = the
+    packed fact) whose matching end fires where an engine learns the
+    fact — the fact-propagation arrows of the chrome trace. *)
 
 (** {1 The engine}
 
@@ -58,12 +71,30 @@ val facts : publish -> Coop_race.Fasttrack.facts
     activations and atomic blocks — via the ['a] payload and the caller
     driving {!open_txn}/{!step}/{!close}. *)
 
+type cause = {
+  cseq : int;  (** Global position of the commit-point event. *)
+  cloc : Loc.t;
+  cop : Event.op;
+  cmover : Mover.t;  (** Its mover class — [Non] or [Left]. *)
+}
+(** The commit point a violation is blamed on: the (N|L) op that moved
+    the transaction's phase machine out of Pre. Everything after it must
+    be a left or both mover; the violating op is the first one that is
+    not. Causes are recomputed on every replay, so a retired
+    transaction's causes reflect final knowledge — which late fact
+    flipped a classification is visible as the flow events, while the
+    cause names the op the final machine actually committed on. *)
+
 type viol = {
   vseq : int;  (** Global position of the offending event. *)
   vtid : int;
   vloc : Loc.t;
   vop : Event.op;
   vmover : Mover.t;
+  vcause : cause option;
+      (** The commit point in force when the violation fired. Always
+          [Some] for violations the machine produces (Post implies a
+          commit happened); an option for defensive construction. *)
 }
 (** A violation of the (R|B)* (N|L) (L|B)* shape, as [Automaton.step]
     would have reported it under final knowledge. *)

@@ -134,6 +134,8 @@ type outcome = {
   lockset_races : Coop_race.Report.t list option;
   deadlock : Deadlock.result option;
   events : int;
+  messages : int;
+  broadcasts : int;
 }
 
 let default_shards () =
@@ -203,6 +205,13 @@ let process_batch sh b =
     Interner.bind_tid sh.shim b.tids.(i) ~id:dtid;
     Interner.set_cur sh.shim ~tid:dtid ~operand:b.oids.(i);
     if roles land r_ft <> 0 then begin
+      (* Inject the true global position: an owner shard only sees a
+         sub-stream, and witness evidence must be byte-identical to the
+         sequential detector's. *)
+      Coop_race.Fasttrack.set_seq sh.ft b.seqs.(i);
+      (match sh.ls with
+      | Some ls -> Coop_race.Lockset.set_seq ls b.seqs.(i)
+      | None -> ());
       (match Coop_race.Fasttrack.handle sh.ft scratch with
       | [] -> ()
       | rs ->
@@ -271,9 +280,15 @@ let rec drain_task board sh =
 
 (* --- Router ----------------------------------------------------------- *)
 
-let make_shard ~board ~lockset ~deadlock ~automaton ~client ~shards sid =
+let make_shard ~board ~lockset ~deadlock ~automaton ~witness ~client ~shards
+    sid =
   let shim = Interner.create () in
-  let publish f = board_publish board f in
+  let publish f =
+    (* The sending end of the fact-propagation flow; each shard that
+       learns the fact records a matching end (K-way fan-out). *)
+    Coop_obs.flow_begin (Online.flow_name f) ~id:(Online.pack f);
+    board_publish board f
+  in
   (* Every shard replays all broadcast lock events through its own
      detector (clock bookkeeping), so the lock-ownership scan fires on
      every shard: only the lock's owner publishes, keeping each fact
@@ -288,14 +303,15 @@ let make_shard ~board ~lockset ~deadlock ~automaton ~client ~shards sid =
             publish (Online.Shared id));
     }
   in
-  let ft = Coop_race.Fasttrack.create ~facts ~interner:shim () in
+  let ft = Coop_race.Fasttrack.create ~facts ~interner:shim ~witness () in
   let sh =
     {
       sid;
       shim;
       ft;
       ls =
-        (if lockset then Some (Coop_race.Lockset.create ~interner:shim ())
+        (if lockset then
+           Some (Coop_race.Lockset.create ~interner:shim ~witness ())
          else None);
       dl = (if deadlock && sid = 0 then Some (Deadlock.analysis ()) else None);
       engine = None;
@@ -328,7 +344,7 @@ let make_shard ~board ~lockset ~deadlock ~automaton ~client ~shards sid =
   sh
 
 let run ?pool ?(automaton = true) ?(lockset = false) ?(deadlock = false)
-    ?(aux_access = false)
+    ?(aux_access = false) ?(witness = false)
     ?(client = fun ~shard:_ ~interner:_ -> null_client) ~shards source =
   if shards < 1 then invalid_arg "Sharded.run: shards must be >= 1";
   let k = shards in
@@ -336,7 +352,9 @@ let run ?pool ?(automaton = true) ?(lockset = false) ?(deadlock = false)
   let obs = Coop_obs.enabled () in
   let board = board_create () in
   let shs =
-    Array.init k (make_shard ~board ~lockset ~deadlock ~automaton ~client ~shards:k)
+    Array.init k
+      (make_shard ~board ~lockset ~deadlock ~automaton ~witness ~client
+         ~shards:k)
   in
   let itn = Interner.create () in
   let promises = ref [] in
@@ -490,6 +508,7 @@ let run ?pool ?(automaton = true) ?(lockset = false) ?(deadlock = false)
                loc = v.vloc;
                op = v.vop;
                mover = v.vmover;
+               cause = v.vcause;
              })
     in
     let deadlock =
@@ -502,6 +521,8 @@ let run ?pool ?(automaton = true) ?(lockset = false) ?(deadlock = false)
       lockset_races;
       deadlock;
       events = !seq;
+      messages = !messages;
+      broadcasts = !broadcasts;
     }
   in
   let out =

@@ -93,6 +93,14 @@ type outcome = {
       (** Merged Eraser warnings, when [~lockset:true]. *)
   deadlock : Deadlock.result option;  (** When [~deadlock:true]. *)
   events : int;  (** Stream length, counted at the router. *)
+  messages : int;
+      (** Routed messages, counted at the router: one per (event, shard)
+          delivery, so [messages >= events] and the excess is replication
+          traffic. *)
+  broadcasts : int;
+      (** Extra copies created by clock-sync broadcast (sync events go to
+          all K shards: K-1 extras each). [broadcasts / messages] is the
+          replication ratio the scaling bench reports per row. *)
 }
 
 val default_shards : unit -> int
@@ -107,6 +115,7 @@ val run :
   ?lockset:bool ->
   ?deadlock:bool ->
   ?aux_access:bool ->
+  ?witness:bool ->
   ?client:(shard:int -> interner:Interner.t -> client) ->
   shards:int ->
   Source.t ->
@@ -117,6 +126,10 @@ val run :
     engine on each shard; [lockset] / [deadlock] (default [false]) add
     the Eraser baseline (per-shard) and the lock-order scan (shard 0);
     [aux_access] (default [false]) routes all accesses and enter/exit
-    events to shard 0 for the clients' [cl_aux_step]. [client] builds
-    one {!client} per shard around the shard's shim [interner]. Raises
-    [Invalid_argument] when [shards < 1]. *)
+    events to shard 0 for the clients' [cl_aux_step]; [witness] (default
+    [false]) makes every race report carry provenance — the router
+    injects true global positions into each shard's detectors
+    ({!Coop_race.Fasttrack.set_seq}), so witnesses are byte-identical to
+    the sequential detector's (the differential suite pins this).
+    [client] builds one {!client} per shard around the shard's shim
+    [interner]. Raises [Invalid_argument] when [shards < 1]. *)

@@ -73,6 +73,16 @@ type open_span = { os_name : string; os_t0 : float }
 
 type sample_record = { s_domain : int; ts_us : float; value : float }
 
+type flow_phase = Flow_begin | Flow_end
+
+type flow_record = {
+  fl_name : string;
+  fl_id : int;
+  fl_domain : int;
+  fl_ts_us : float;
+  fl_phase : flow_phase;
+}
+
 type domain_state = {
   dom : int;
   mutable stack : open_span list;  (* innermost first *)
@@ -82,6 +92,7 @@ type domain_state = {
   d_timers : (string, float ref * int ref) Hashtbl.t;
   d_hists : (string, hist_state) Hashtbl.t;
   d_samples : (string, sample_record list ref) Hashtbl.t;  (* reversed *)
+  mutable d_flows : flow_record list;  (* reversed *)
 }
 
 let on = ref false
@@ -111,6 +122,7 @@ let state () =
           d_timers = Hashtbl.create 16;
           d_hists = Hashtbl.create 16;
           d_samples = Hashtbl.create 16;
+          d_flows = [];
         }
       in
       Mutex.lock registry_mutex;
@@ -233,6 +245,18 @@ let sample name v =
       :: !r
   end
 
+let flow_event name ~id phase =
+  if !on then begin
+    let st = state () in
+    st.d_flows <-
+      { fl_name = name; fl_id = id; fl_domain = st.dom;
+        fl_ts_us = (1e6 *. now_s ()) -. !epoch_us; fl_phase = phase }
+      :: st.d_flows
+  end
+
+let flow_begin name ~id = flow_event name ~id Flow_begin
+let flow_end name ~id = flow_event name ~id Flow_end
+
 (* ------------------------------------------------------------------ *)
 (* The pool monitor                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -307,6 +331,7 @@ type snapshot = {
   timers : (string * timer) list;
   hists : (string * Hist.t) list;
   samples : (string * sample_record list) list;
+  flows : flow_record list;
 }
 
 let snapshot () =
@@ -434,6 +459,12 @@ let snapshot () =
     samples =
       sorted_bindings samples (fun r ->
           List.sort (fun a b -> compare a.ts_us b.ts_us) !r);
+    flows =
+      List.concat_map (fun st -> st.d_flows) states
+      |> List.sort (fun a b ->
+             match compare a.fl_ts_us b.fl_ts_us with
+             | 0 -> compare a.fl_id b.fl_id
+             | c -> c);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -641,12 +672,27 @@ let to_json snap =
                            ("value", Float s.value) ])
                      samples) ))
             snap.samples));
+      ("flows",
+       List
+         (List.map
+            (fun f ->
+              Obj
+                [ ("name", String f.fl_name); ("id", Int f.fl_id);
+                  ("domain", Int f.fl_domain); ("ts_us", Float f.fl_ts_us);
+                  ("phase",
+                   String
+                     (match f.fl_phase with
+                     | Flow_begin -> "begin"
+                     | Flow_end -> "end")) ])
+            snap.flows));
     ]
 
 let chrome_trace snap =
   let open Coop_util.Json in
   let tids =
-    List.sort_uniq compare (List.map (fun s -> s.domain) snap.spans)
+    List.sort_uniq compare
+      (List.map (fun s -> s.domain) snap.spans
+      @ List.map (fun f -> f.fl_domain) snap.flows)
   in
   let meta =
     Obj
@@ -686,4 +732,23 @@ let chrome_trace snap =
           samples)
       snap.samples
   in
-  List (meta @ events @ counter_lanes)
+  (* Fact-propagation edges: a flow starts where knowledge is published
+     and finishes where it is learned, drawing an arrow between the two
+     domain lanes. [bp:"e"] binds the finish to the enclosing slice. *)
+  let flow_events =
+    List.map
+      (fun f ->
+        let base =
+          [ ("name", String f.fl_name); ("cat", String "flow");
+            ("ph",
+             String (match f.fl_phase with Flow_begin -> "s" | Flow_end -> "f"));
+            ("id", Int f.fl_id); ("pid", Int 1); ("tid", Int f.fl_domain);
+            ("ts", Int (int_of_float f.fl_ts_us)) ]
+        in
+        Obj
+          (match f.fl_phase with
+          | Flow_begin -> base
+          | Flow_end -> base @ [ ("bp", String "e") ]))
+      snap.flows
+  in
+  List (meta @ events @ counter_lanes @ flow_events)

@@ -79,6 +79,18 @@ val sample : string -> float -> unit
     counter lanes in {!chrome_trace} — the pool monitor uses them for
     cumulative steal counts and per-deque depth over time. *)
 
+val flow_begin : string -> id:int -> unit
+(** [flow_begin name ~id] records the start of a cross-domain flow — a
+    causal edge from the recording domain to wherever the matching
+    {!flow_end} fires. The provenance layer uses flows for fact
+    propagation: a flow starts where a race/shared-lock fact is
+    published and ends where an engine learns it. [id] correlates the
+    two ends (the fact's packed id); one begin may have several ends
+    (sharded runs broadcast facts to every owner). *)
+
+val flow_end : string -> id:int -> unit
+(** The receiving end of a flow; see {!flow_begin}. *)
+
 val domains_registered : unit -> int
 (** Number of per-domain buffers currently registered — [0] while
     disabled (the no-allocation guard). *)
@@ -131,6 +143,16 @@ type sample_record = {
   value : float;
 }
 
+type flow_phase = Flow_begin | Flow_end
+
+type flow_record = {
+  fl_name : string;
+  fl_id : int;  (** Correlates begin and end(s) of one flow. *)
+  fl_domain : int;  (** Id of the recording domain. *)
+  fl_ts_us : float;  (** Microseconds since the recording epoch. *)
+  fl_phase : flow_phase;
+}
+
 type snapshot = {
   spans : span_record list;  (** Sorted by start time. *)
   counters : (string * int) list;  (** Sorted by name, summed over domains. *)
@@ -142,6 +164,7 @@ type snapshot = {
   samples : (string * sample_record list) list;
       (** Sorted by name; each series concatenated over domains and
           sorted by timestamp. *)
+  flows : flow_record list;  (** Sorted by timestamp. *)
 }
 
 val snapshot : unit -> snapshot
@@ -184,5 +207,7 @@ val chrome_trace : snapshot -> Coop_util.Json.t
     pseudo-process, one thread per domain, [ph:"X"] complete events with
     [ts]/[dur] in microseconds), plus one [ph:"C"] counter lane per
     sample series (cumulative steals, per-deque depth) so scheduler
-    behaviour graphs alongside the span timeline. Loadable in
-    [chrome://tracing] and Perfetto. *)
+    behaviour graphs alongside the span timeline, plus flow events
+    ([ph:"s"]/[ph:"f"], matched by [id]) drawing fact-propagation
+    arrows between domain lanes. Loadable in [chrome://tracing] and
+    Perfetto. *)

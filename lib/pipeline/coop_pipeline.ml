@@ -27,7 +27,7 @@ let instr mark name a =
 (* Two-pass reference: phase 1 gathers final knowledge, phase 2
    re-streams the source through the mover/transaction checkers. *)
 let run_two_pass ?(lockset = false) ?(atomize = false) ?(conflict = false)
-    source =
+    ?(witness = false) source =
   (* Phase 1: everything that needs no prior knowledge, fused behind one
      event dispatch — happens-before race detection, the optional Eraser
      baseline, the thread-local-lock scan, lock-order deadlock edges, and
@@ -43,13 +43,14 @@ let run_two_pass ?(lockset = false) ?(atomize = false) ?(conflict = false)
       (Analysis.chain
          (instr "intern" (Interner.analysis itn))
          (Analysis.chain
-            (instr "fasttrack" (Coop_race.Fasttrack.analysis ~interner:itn ()))
+            (instr "fasttrack"
+               (Coop_race.Fasttrack.analysis ~interner:itn ~witness ()))
             (Analysis.chain
                (opt
                   (if lockset then
                      Some
                        (instr "lockset"
-                          (Coop_race.Lockset.analysis ~interner:itn ()))
+                          (Coop_race.Lockset.analysis ~interner:itn ~witness ()))
                    else None))
                (Analysis.chain
                   (instr "local_locks"
@@ -97,7 +98,7 @@ let run_two_pass ?(lockset = false) ?(atomize = false) ?(conflict = false)
    mover checkers as they stream, so every checker — knowledge producers
    and consumers alike — rides one replay behind one event dispatch. *)
 let run_online ?(lockset = false) ?(atomize = false) ?(conflict = false)
-    source =
+    ?(witness = false) source =
   let mark = ref 0. in
   let instr name a = instr mark name a in
   (* One interner for the whole fused chain: the head note stage interns
@@ -112,14 +113,15 @@ let run_online ?(lockset = false) ?(atomize = false) ?(conflict = false)
             (fun ~publish ->
               Analysis.chain
                 (instr "fasttrack"
-                   (Coop_race.Fasttrack.analysis ~interner:itn
+                   (Coop_race.Fasttrack.analysis ~interner:itn ~witness
                       ~facts:(Coop_core.Online.facts publish) ()))
                 (Analysis.chain
                    (opt
                       (if lockset then
                          Some
                            (instr "lockset"
-                              (Coop_race.Lockset.analysis ~interner:itn ()))
+                              (Coop_race.Lockset.analysis ~interner:itn
+                                 ~witness ()))
                        else None))
                    (Analysis.chain
                       (instr "deadlock" (Coop_core.Deadlock.analysis ()))
@@ -160,7 +162,7 @@ let run_online ?(lockset = false) ?(atomize = false) ?(conflict = false)
    off the broadcast/aux sub-streams — so every checker still sees
    exactly the event sequence it would have seen sequentially. *)
 let run_sharded ?(lockset = false) ?(atomize = false) ?(conflict = false)
-    ~shards source =
+    ?witness ~shards source =
   let module Sharded = Coop_core.Sharded in
   let atom_driver =
     if atomize then Some (Coop_atomicity.Atomizer.Sharded_driver.create ())
@@ -188,7 +190,7 @@ let run_sharded ?(lockset = false) ?(atomize = false) ?(conflict = false)
   in
   let o =
     Sharded.run ~automaton:true ~lockset ~deadlock:true ~aux_access:conflict
-      ~client ~shards source
+      ?witness ~client ~shards source
   in
   {
     races = o.Sharded.races;
@@ -202,14 +204,16 @@ let run_sharded ?(lockset = false) ?(atomize = false) ?(conflict = false)
     events = o.Sharded.events;
   }
 
-let run ?lockset ?atomize ?conflict ?(two_pass = false) ?shards source =
+let run ?lockset ?atomize ?conflict ?(two_pass = false) ?shards ?witness
+    source =
   let shards =
     match shards with
     | Some k -> k
     | None -> Coop_core.Sharded.default_shards ()
   in
-  if two_pass then run_two_pass ?lockset ?atomize ?conflict source
-  else if shards > 1 then run_sharded ?lockset ?atomize ?conflict ~shards source
-  else run_online ?lockset ?atomize ?conflict source
+  if two_pass then run_two_pass ?lockset ?atomize ?conflict ?witness source
+  else if shards > 1 then
+    run_sharded ?lockset ?atomize ?conflict ?witness ~shards source
+  else run_online ?lockset ?atomize ?conflict ?witness source
 
 let cooperable r = r.violations = []

@@ -46,6 +46,7 @@ val run :
   ?conflict:bool ->
   ?two_pass:bool ->
   ?shards:int ->
+  ?witness:bool ->
   Source.t ->
   result
 (** [run source] drives the fused chain over [source] — one replay by
@@ -59,7 +60,12 @@ val run :
     variable/thread ownership, while deadlock and conflict-graph run at
     shard 0 on their globally-ordered sub-streams. [1] is the sequential
     chain; results are identical at every shard count
-    (property-tested). Ignored in two-pass mode. *)
+    (property-tested). Ignored in two-pass mode.
+
+    [witness] (default [false]) makes every FastTrack race and Eraser
+    warning carry a {!Coop_race.Report.witness} (see
+    {!Coop_provenance}), identical in all three modes; violations and
+    Atomizer warnings always carry their commit cause. *)
 
 val cooperable : result -> bool
 (** No cooperability violations. *)

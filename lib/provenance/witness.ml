@@ -1,0 +1,81 @@
+open Coop_trace
+module Json = Coop_util.Json
+
+type access = {
+  a_tid : int;
+  a_seq : int;
+  a_loc : Loc.t;
+}
+
+type race = {
+  r_first : access;
+  r_second : access;
+  r_first_clock : int;
+  r_second_sees : int;
+}
+
+type lockset = {
+  l_access : access;
+  l_prior : int list;
+  l_held : int list;
+}
+
+type t =
+  | Race of race
+  | Locks of lockset
+
+let pp_access ppf a =
+  Format.fprintf ppf "t%d#%d @%a" a.a_tid a.a_seq Loc.pp a.a_loc
+
+let pp_locks ppf ls =
+  let ppl ppf = function
+    | [] -> Format.pp_print_string ppf "{}"
+    | l ->
+        Format.fprintf ppf "{%s}"
+          (String.concat "," (List.map string_of_int l))
+  in
+  Format.fprintf ppf "%a holds %a, prior candidates %a: disjoint" pp_access
+    ls.l_access ppl ls.l_held ppl ls.l_prior
+
+let pp ppf = function
+  | Race r ->
+      Format.fprintf ppf "%a clock %d, %a sees %d: unordered" pp_access
+        r.r_first r.r_first_clock pp_access r.r_second r.r_second_sees
+  | Locks ls -> pp_locks ppf ls
+
+let schema = "coop-witness/v1"
+
+let access_json a =
+  Json.Obj
+    [ ("tid", Json.Int a.a_tid); ("seq", Json.Int a.a_seq);
+      ("loc", Json.String (Loc.to_string a.a_loc)) ]
+
+let race_json r =
+  Json.Obj
+    [ ("first", access_json r.r_first); ("second", access_json r.r_second);
+      ("first_clock", Json.Int r.r_first_clock);
+      ("second_sees", Json.Int r.r_second_sees) ]
+
+let lockset_json ls =
+  Json.Obj
+    [ ("access", access_json ls.l_access);
+      ("prior", Json.List (List.map (fun l -> Json.Int l) ls.l_prior));
+      ("held", Json.List (List.map (fun l -> Json.Int l) ls.l_held)) ]
+
+let to_json = function
+  | Race r -> Json.Obj [ ("race", race_json r) ]
+  | Locks ls -> Json.Obj [ ("locks", lockset_json ls) ]
+
+type mode =
+  | Text
+  | Json of string option
+
+let parse_mode s =
+  match s with
+  | "text" -> Some Text
+  | "json" -> Some (Json None)
+  | _ ->
+      let n = String.length s in
+      if n > 5 && String.sub s 0 5 = "json:" then
+        Some (Json (Some (String.sub s 5 (n - 5))))
+      else None

@@ -1,0 +1,92 @@
+(** First-class witnesses: the causal evidence behind a verdict.
+
+    Every verdict the toolchain emits — "these two accesses race", "this
+    variable has no consistent lock", "a yield is missing here" — is
+    backed by a small, machine-checkable record of {e why} it holds.
+    This module owns the shapes that only need trace vocabulary
+    (locations, variables, thread ids): the happens-before access pair
+    behind a FastTrack race and the divergent lock sets behind an Eraser
+    warning. Commit-point causes for mover violations live with the
+    transaction engine ([Coop_core.Online.cause]), which owns the mover
+    vocabulary.
+
+    Witnesses are plain data: capturing them is optional (detectors take
+    a [?witness] flag and pay nothing when it is off), comparing them is
+    structural, and serializing them is the [coop-witness/v1] JSON
+    schema emitted here and validated by [bench/main.exe json-verify].
+    The HB self-check that replays a race witness against the vector
+    clock oracle lives in [Coop_race.Witness_check] (it needs the
+    oracle). *)
+
+open Coop_trace
+
+type access = {
+  a_tid : int;  (** Original thread id of the access. *)
+  a_seq : int;  (** 1-based global position in the event stream. *)
+  a_loc : Loc.t;  (** Source location of the access. *)
+}
+(** One end of an evidence pair. [a_seq] indexes the stream the verdict
+    was produced from: event [a_seq - 1] of the materialized trace. *)
+
+type race = {
+  r_first : access;  (** The earlier conflicting access. *)
+  r_second : access;  (** The access that exposed the race. *)
+  r_first_clock : int;
+      (** The first thread's own clock component at its access (the
+          epoch FastTrack stored). *)
+  r_second_sees : int;
+      (** The second thread's view of the first thread's clock at the
+          second access. [r_second_sees < r_first_clock] is exactly
+          "first does not happen-before second"; trace order gives the
+          other direction, so the pair is concurrent. *)
+}
+(** Evidence for a happens-before race: the two conflicting accesses and
+    the clock comparison that proves them unordered. *)
+
+type lockset = {
+  l_access : access;  (** The access on which the candidate set died. *)
+  l_prior : int list;
+      (** Candidate locks (original handles, ascending) protecting the
+          variable before this access. *)
+  l_held : int list;
+      (** Locks held by the accessing thread at the access, ascending.
+          Disjoint from [l_prior] — that is the divergence. *)
+}
+(** Evidence for an Eraser warning: the two lock sets whose intersection
+    emptied the candidate set. *)
+
+type t =
+  | Race of race
+  | Locks of lockset
+
+val pp_access : Format.formatter -> access -> unit
+(** ["t1#20 @f0:pc3(line 7)"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line human-readable evidence, e.g.
+    ["t0#12 @.. clock 3, t1#20 @.. sees 2: unordered"]. *)
+
+val schema : string
+(** ["coop-witness/v1"] — the value of the ["schema"] field of every
+    witness JSON document. *)
+
+val access_json : access -> Coop_util.Json.t
+val race_json : race -> Coop_util.Json.t
+val lockset_json : lockset -> Coop_util.Json.t
+
+val to_json : t -> Coop_util.Json.t
+(** The witness under its variant tag, as embedded in [coop-witness/v1]
+    documents ([{"race": ...}] or [{"locks": ...}]). *)
+
+(** {2 CLI surface} *)
+
+type mode =
+  | Text  (** Append witness text to the human-readable report. *)
+  | Json of string option
+      (** Emit a [coop-witness/v1] document — to the named file, or to
+          stdout when [None]. *)
+
+val parse_mode : string -> mode option
+(** [parse_mode s] accepts ["text"], ["json"] and ["json:FILE"] (with a
+    non-empty [FILE]); anything else is [None]. CLIs reject [None] with
+    exit 2, mirroring the [--jobs]/[--shards] convention. *)

@@ -25,6 +25,18 @@ type facts = {
 
 let no_facts = { on_racy_var = (fun _ _ -> ()); on_shared_lock = (fun _ _ -> ()) }
 
+(* Witness side tables, maintained only with [~witness:true]: where (and
+   at which global position) the last write and the live reads of a
+   variable happened, so a firing race can name its {e first} access.
+   [readers] is only consulted in the promoted [Rvc] state. *)
+type wside = {
+  mutable lw_seq : int;  (* last write: global position, 0 = none *)
+  mutable lw_loc : Loc.t;
+  mutable lr_seq : int;  (* single live reader (Repoch state) *)
+  mutable lr_loc : Loc.t;
+  readers : (int, int * Loc.t) Hashtbl.t;  (* dense tid -> seq, loc *)
+}
+
 (* Never-mutated sentinels for unoccupied array slots. [dummy_clock] has
    zero capacity, so reading it as the all-zeros clock is sound as long as
    nothing writes through it. *)
@@ -32,12 +44,20 @@ let dummy_clock = Vclock.create ()
 
 let dummy_var = { w = Epoch.bottom; r = Repoch Epoch.bottom }
 
+let dummy_wside =
+  { lw_seq = 0; lw_loc = Loc.none; lr_seq = 0; lr_loc = Loc.none;
+    readers = Hashtbl.create 1 }
+
 type t = {
   itn : Interner.t;
   own_interner : bool;  (* [handle] notes events itself *)
+  witness : bool;  (* capture access-pair evidence per report *)
+  mutable seq : int;  (* 1-based global position of the current event *)
+  mutable ext_seq : bool;  (* seq injected via [set_seq], not counted *)
   mutable clocks : Vclock.t array;  (* dense tid -> thread clock *)
   mutable locks : Vclock.t array;  (* dense lock id -> release clock *)
   mutable vars : var_state array;  (* dense var id -> access metadata *)
+  mutable wsides : wside array;  (* dense var id -> witness side table *)
   mutable reports : Report.t list;  (* reversed *)
   facts : facts;
   mutable racy_fired : Bytes.t;  (* dense var id -> fact already fired *)
@@ -53,16 +73,22 @@ let no_owner = -1
 
 let shared_lock = -2
 
-let create ?(facts = no_facts) ?interner () =
+let create ?(facts = no_facts) ?interner ?(witness = false) () =
   let own_interner = interner = None in
   let itn = match interner with Some itn -> itn | None -> Interner.create () in
-  { itn; own_interner;
+  { itn; own_interner; witness;
+    seq = 0; ext_seq = false;
     clocks = Array.make 8 dummy_clock;
     locks = Array.make 8 dummy_clock;
     vars = Array.make 64 dummy_var;
+    wsides = (if witness then Array.make 64 dummy_wside else [||]);
     reports = []; facts;
     racy_fired = Bytes.make 64 '\000';
     lock_owner = Array.make 8 no_owner }
+
+let set_seq t s =
+  t.ext_seq <- true;
+  t.seq <- s
 
 let grown_slots a n ~fill =
   let bigger = Array.make (max n (2 * Array.length a)) fill in
@@ -121,6 +147,64 @@ let touch_lock t tid lid l =
 (* Dense tid back to the caller's thread id, for reports only. *)
 let orig_tid t tid = Interner.tid_of_id t.itn tid
 
+let wside_of t vid =
+  if vid >= Array.length t.wsides then
+    t.wsides <- grown_slots t.wsides (vid + 1) ~fill:dummy_wside;
+  let ws = t.wsides.(vid) in
+  if ws != dummy_wside then ws
+  else begin
+    let ws =
+      { lw_seq = 0; lw_loc = Loc.none; lr_seq = 0; lr_loc = Loc.none;
+        readers = Hashtbl.create 4 }
+    in
+    t.wsides.(vid) <- ws;
+    ws
+  end
+
+(* Evidence that the access recorded in [first] (first thread [ftid] at
+   its local clock [first_clock]) does not happen-before the current
+   event: the current thread's clock [c] carries only [second_sees] of
+   that thread, strictly less. Trace order rules out the other
+   direction, so the pair is concurrent — machine-checkable against the
+   HB oracle via the recorded global positions. *)
+let race_witness t c (e : Event.t) ~ftid ~first_seq ~first_loc ~first_clock =
+  Some
+    (Coop_provenance.Witness.Race
+       {
+         r_first =
+           { a_tid = orig_tid t ftid; a_seq = first_seq; a_loc = first_loc };
+         r_second = { a_tid = e.tid; a_seq = t.seq; a_loc = e.loc };
+         r_first_clock = first_clock;
+         r_second_sees = Vclock.get c ftid;
+       })
+
+let write_witness t vid c e =
+  if not t.witness then None
+  else
+    let ws = wside_of t vid in
+    let s = t.vars.(vid) in
+    race_witness t c e ~ftid:(Epoch.tid s.w) ~first_seq:ws.lw_seq
+      ~first_loc:ws.lw_loc ~first_clock:(Epoch.clock s.w)
+
+let read_epoch_witness t vid c e e0 =
+  if not t.witness then None
+  else
+    let ws = wside_of t vid in
+    race_witness t c e ~ftid:(Epoch.tid e0) ~first_seq:ws.lr_seq
+      ~first_loc:ws.lr_loc ~first_clock:(Epoch.clock e0)
+
+let read_vc_witness t vid c e offender =
+  if not t.witness then None
+  else
+    match offender with
+    | None -> None
+    | Some (u, n) -> (
+        match Hashtbl.find_opt (wside_of t vid).readers u with
+        | None -> None
+        | Some (seq, loc) ->
+            race_witness t c e ~ftid:u ~first_seq:seq ~first_loc:loc
+              ~first_clock:n)
+
 let on_read t tid vid v (e : Event.t) =
   let c = clock_of t tid in
   let s = var_state t vid in
@@ -135,19 +219,36 @@ let on_read t tid vid v (e : Event.t) =
       else
         [ { Report.var = v; kind = Report.Write_read;
             first_tid = orig_tid t (Epoch.tid s.w); second_tid = e.tid;
-            second_loc = e.loc } ]
+            second_loc = e.loc; witness = write_witness t vid c e } ]
     in
     (match s.r with
     | Repoch e0 ->
-        if Epoch.leq e0 c then s.r <- Repoch mine
+        if Epoch.leq e0 c then begin
+          s.r <- Repoch mine;
+          if t.witness then begin
+            let ws = wside_of t vid in
+            ws.lr_seq <- t.seq;
+            ws.lr_loc <- e.loc
+          end
+        end
         else begin
           (* Concurrent reads: promote to a read vector. *)
           let rc = Vclock.create ~capacity:(max tid (Epoch.tid e0) + 1) () in
           Vclock.set rc (Epoch.tid e0) (Epoch.clock e0);
           Vclock.set rc tid (Vclock.get c tid);
-          s.r <- Rvc rc
+          s.r <- Rvc rc;
+          if t.witness then begin
+            (* The displaced single reader moves into the per-reader
+               table alongside the new one. *)
+            let ws = wside_of t vid in
+            Hashtbl.replace ws.readers (Epoch.tid e0) (ws.lr_seq, ws.lr_loc);
+            Hashtbl.replace ws.readers tid (t.seq, e.loc)
+          end
         end
-    | Rvc rc -> Vclock.set rc tid (Vclock.get c tid));
+    | Rvc rc ->
+        Vclock.set rc tid (Vclock.get c tid);
+        if t.witness then
+          Hashtbl.replace (wside_of t vid).readers tid (t.seq, e.loc));
     List.iter (report t vid) races;
     races
   end
@@ -163,7 +264,7 @@ let on_write t tid vid v (e : Event.t) =
       races :=
         { Report.var = v; kind = Report.Write_write;
           first_tid = orig_tid t (Epoch.tid s.w); second_tid = e.tid;
-          second_loc = e.loc }
+          second_loc = e.loc; witness = write_witness t vid c e }
         :: !races;
     (match s.r with
     | Repoch e0 ->
@@ -171,7 +272,7 @@ let on_write t tid vid v (e : Event.t) =
           races :=
             { Report.var = v; kind = Report.Read_write;
               first_tid = orig_tid t (Epoch.tid e0); second_tid = e.tid;
-              second_loc = e.loc }
+              second_loc = e.loc; witness = read_epoch_witness t vid c e e0 }
             :: !races
     | Rvc rc ->
         if not (Vclock.leq rc c) then begin
@@ -184,11 +285,20 @@ let on_write t tid vid v (e : Event.t) =
           in
           races :=
             { Report.var = v; kind = Report.Read_write; first_tid;
-              second_tid = e.tid; second_loc = e.loc }
+              second_tid = e.tid; second_loc = e.loc;
+              witness = read_vc_witness t vid c e offender }
             :: !races
         end);
     s.w <- mine;
     s.r <- Repoch Epoch.bottom;
+    if t.witness then begin
+      let ws = wside_of t vid in
+      ws.lw_seq <- t.seq;
+      ws.lw_loc <- e.loc;
+      ws.lr_seq <- 0;
+      ws.lr_loc <- Loc.none;
+      Hashtbl.reset ws.readers
+    end;
     let races = List.rev !races in
     List.iter (report t vid) races;
     races
@@ -230,6 +340,7 @@ let on_join t tid child =
   []
 
 let handle t (e : Event.t) =
+  if not t.ext_seq then t.seq <- t.seq + 1;
   if t.own_interner then Interner.note t.itn e;
   let tid = Interner.cur_tid t.itn in
   let x = Interner.cur_operand t.itn in
@@ -250,8 +361,8 @@ let racy_vars t = Report.racy_vars t.reports
 
 let sink t : Trace.Sink.t = fun e -> ignore (handle t e)
 
-let analysis ?facts ?interner () =
-  let t = create ?facts ?interner () in
+let analysis ?facts ?interner ?witness () =
+  let t = create ?facts ?interner ?witness () in
   Analysis.make ~step:(sink t) ~finalize:(fun () -> races t)
 
 let run trace = Analysis.run (analysis ()) trace

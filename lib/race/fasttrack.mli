@@ -40,16 +40,29 @@ type facts = {
 val no_facts : facts
 (** Callbacks that ignore every fact (the default). *)
 
-val create : ?facts:facts -> ?interner:Interner.t -> unit -> t
+val create : ?facts:facts -> ?interner:Interner.t -> ?witness:bool -> unit -> t
 (** Fresh state: every thread clock starts at [<t:1>]. [facts] callbacks
     fire as knowledge is discovered; default {!no_facts}. With
     [~interner], {!handle} assumes each event has already been noted on
     that interner (chain use); without it the detector owns a private
-    interner and notes events itself. *)
+    interner and notes events itself. With [~witness:true] (default
+    [false]) every report carries a {!Coop_provenance.Witness.Race}: the
+    detector additionally tracks, per variable, where the last write and
+    the live reads happened (global position + location), at the cost of
+    a side-table update per access. *)
 
 val handle : t -> Event.t -> Report.t list
 (** [handle t e] advances the detector by one event and returns the races
-    that [e] exposes (empty for non-access events and race-free accesses). *)
+    that [e] exposes (empty for non-access events and race-free accesses).
+    Each call advances the detector's global position counter (witness
+    evidence is keyed by it), unless {!set_seq} took over. *)
+
+val set_seq : t -> int -> unit
+(** Override the global position of the next {!handle} call — and every
+    later one, disabling the internal counter for good. The sharded
+    router injects the true global position here, because an owner shard
+    only sees a sub-stream: with injection, witnesses are byte-identical
+    to the sequential detector's. *)
 
 val races : t -> Report.t list
 (** All races reported so far, in detection order. *)
@@ -60,10 +73,12 @@ val racy_vars : t -> Event.Var_set.t
 val sink : t -> Trace.Sink.t
 (** An event sink that feeds the detector (reports accumulate in [t]). *)
 
-val analysis : ?facts:facts -> ?interner:Interner.t -> unit -> Report.t list Analysis.t
+val analysis :
+  ?facts:facts -> ?interner:Interner.t -> ?witness:bool -> unit ->
+  Report.t list Analysis.t
 (** A fresh detector as a single-pass online analysis: O(threads·vars)
-    state, finalizes to the races in detection order. [facts] and
-    [interner] as in {!create}. *)
+    state, finalizes to the races in detection order. [facts], [interner]
+    and [witness] as in {!create}. *)
 
 val run : Trace.t -> Report.t list
 (** Run a fresh detector over a recorded trace (offline wrapper over

@@ -26,18 +26,26 @@ let dummy_info =
 type t = {
   itn : Interner.t;
   own_interner : bool;
+  witness : bool;  (* capture divergent-lock-set evidence per warning *)
+  mutable seq : int;  (* 1-based global position of the current event *)
+  mutable ext_seq : bool;  (* seq injected via [set_seq], not counted *)
   mutable held : Iset.t array;  (* dense tid -> locks currently held *)
   mutable vars : var_info array;  (* dense var id -> info *)
   mutable reports : Report.t list;  (* reversed *)
 }
 
-let create ?interner () =
+let create ?interner ?(witness = false) () =
   let own_interner = interner = None in
   let itn = match interner with Some itn -> itn | None -> Interner.create () in
-  { itn; own_interner;
+  { itn; own_interner; witness;
+    seq = 0; ext_seq = false;
     held = Array.make 8 Iset.empty;
     vars = Array.make 64 dummy_info;
     reports = [] }
+
+let set_seq t s =
+  t.ext_seq <- true;
+  t.seq <- s
 
 let grown_slots a n ~fill =
   let bigger = Array.make (max n (2 * Array.length a)) fill in
@@ -66,13 +74,13 @@ let info_of t vid =
     i
   end
 
-let warn t i tid v kind =
+let warn t i tid v kind w =
   if i.warned then []
   else begin
     i.warned <- true;
     let r =
       { Report.var = v; kind; first_tid = -1; second_tid = tid;
-        second_loc = Loc.none }
+        second_loc = Loc.none; witness = w }
     in
     t.reports <- r :: t.reports;
     [ r ]
@@ -91,9 +99,12 @@ let refine i locks =
     i.candidates <- locks
   end
 
-let access t tid vid v ~orig_tid ~is_write =
+let access t tid vid v ~orig_tid ~loc ~is_write =
   let i = info_of t vid in
   let locks = held_by t tid in
+  (* Snapshot the candidate set before this access refines it: the
+     warning's evidence is the divergence (prior ∩ held = ∅). *)
+  let prior = if t.witness then i.candidates else Iset.empty in
   refine i locks;
   if is_write then i.written <- true;
   match i.state with
@@ -105,20 +116,34 @@ let access t tid vid v ~orig_tid ~is_write =
       i.state <-
         (if is_write || i.state = Shared_modified then Shared_modified
          else Shared);
-      if i.written && Iset.is_empty i.candidates then
+      if i.written && Iset.is_empty i.candidates then begin
+        let w =
+          if t.witness then
+            Some
+              (Coop_provenance.Witness.Locks
+                 {
+                   l_access = { a_tid = orig_tid; a_seq = t.seq; a_loc = loc };
+                   l_prior = Iset.elements prior;
+                   l_held = Iset.elements locks;
+                 })
+          else None
+        in
         warn t i orig_tid v
           (if is_write then Report.Write_write else Report.Write_read)
+          w
+      end
       else []
 
 let handle t (e : Event.t) =
+  if not t.ext_seq then t.seq <- t.seq + 1;
   if t.own_interner then Interner.note t.itn e;
   let tid = Interner.cur_tid t.itn in
   match e.op with
   | Event.Read v ->
-      access t tid (Interner.cur_operand t.itn) v ~orig_tid:e.tid
+      access t tid (Interner.cur_operand t.itn) v ~orig_tid:e.tid ~loc:e.loc
         ~is_write:false
   | Event.Write v ->
-      access t tid (Interner.cur_operand t.itn) v ~orig_tid:e.tid
+      access t tid (Interner.cur_operand t.itn) v ~orig_tid:e.tid ~loc:e.loc
         ~is_write:true
   | Event.Acquire l ->
       set_held t tid (Iset.add l (held_by t tid));
@@ -149,8 +174,8 @@ let candidate_locks t v =
 
 let racy_vars t = Report.racy_vars t.reports
 
-let analysis ?interner () =
-  let t = create ?interner () in
+let analysis ?interner ?witness () =
+  let t = create ?interner ?witness () in
   Analysis.make
     ~step:(fun e -> ignore (handle t e))
     ~finalize:(fun () -> List.rev t.reports)

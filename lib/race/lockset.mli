@@ -31,15 +31,27 @@ type var_state =
 type t
 (** Mutable detector state. *)
 
-val create : ?interner:Interner.t -> unit -> t
+val create : ?interner:Interner.t -> ?witness:bool -> unit -> t
 (** Fresh detector. Per-thread and per-variable state lives in flat
     arrays indexed by an {!Interner}'s dense ids; with [~interner] the
     detector shares a chain's interner and assumes events are noted
-    upstream ({!Interner.analysis}), without it it notes events itself. *)
+    upstream ({!Interner.analysis}), without it it notes events itself.
+    With [~witness:true] (default [false]) every warning carries a
+    {!Coop_provenance.Witness.Locks}: the candidate set before the fatal
+    access and the lock set held at it — the two divergent sets whose
+    intersection emptied the candidates. *)
 
 val handle : t -> Event.t -> Report.t list
 (** Advance by one event; returns the races this event exposes (at most one
-    per variable — Eraser warns once per variable). *)
+    per variable — Eraser warns once per variable). Each call advances
+    the global position counter used by witness evidence, unless
+    {!set_seq} took over. *)
+
+val set_seq : t -> int -> unit
+(** Override the global position of the next {!handle} call (and disable
+    the internal counter), as in {!Fasttrack.set_seq}: the sharded
+    router injects true global positions so per-shard witnesses match
+    the sequential detector's. *)
 
 val state_of : t -> Event.var -> var_state
 (** Current state-machine state of a variable ([Virgin] if never seen). *)
@@ -51,9 +63,10 @@ val candidate_locks : t -> Event.var -> int list option
 val racy_vars : t -> Event.Var_set.t
 (** Variables warned about so far. *)
 
-val analysis : ?interner:Interner.t -> unit -> Report.t list Analysis.t
-(** A fresh detector as a single-pass online analysis. [interner] as in
-    {!create}. *)
+val analysis :
+  ?interner:Interner.t -> ?witness:bool -> unit -> Report.t list Analysis.t
+(** A fresh detector as a single-pass online analysis. [interner] and
+    [witness] as in {!create}. *)
 
 val run : Trace.t -> Report.t list
 (** Run a fresh detector over a recorded trace (offline wrapper over

@@ -11,6 +11,7 @@ type t = {
   first_tid : int;
   second_tid : int;
   second_loc : Loc.t;
+  witness : Coop_provenance.Witness.t option;
 }
 
 let pp_kind ppf = function

@@ -11,6 +11,11 @@ type t = {
   first_tid : int;  (** Thread of the earlier access. *)
   second_tid : int;  (** Thread of the later access. *)
   second_loc : Coop_trace.Loc.t;  (** Location of the access that exposed the race. *)
+  witness : Coop_provenance.Witness.t option;
+      (** Causal evidence, when the detector ran with [~witness:true]:
+          the unordered access pair (FastTrack) or the divergent lock
+          sets (Eraser). [None] otherwise — capture is opt-in so the
+          default hot path pays nothing. *)
 }
 
 val pp : Format.formatter -> t -> unit

@@ -36,6 +36,7 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("differential", Test_differential.suite);
       ("sharded", Test_sharded.suite);
+      ("witness", Test_witness.suite);
       ("static", Test_static.suite);
       ("workloads", Test_workloads.suite);
       ("fuzz", Test_fuzz.suite);
