@@ -200,6 +200,112 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
+(* --- trace files: formats, symbols, shared --trace plumbing ------------- *)
+
+module Symtab = Coop_trace.Symtab
+module Serialize = Coop_trace.Serialize
+module Source = Coop_trace.Source
+
+(* --format / --to share the --jobs raw-string funnel: any spelling
+   format_of_string rejects exits 2 with the same error shape. *)
+let bad_format_arg flag arg =
+  Printf.eprintf
+    "coopcheck: invalid format argument %S: %s wants text or binary\n" arg
+    flag;
+  exit 2
+
+let format_of flag = function
+  | None -> None
+  | Some s -> (
+      match Serialize.format_of_string s with
+      | Some f -> Some f
+      | None -> bad_format_arg flag s)
+
+let format_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Wire format for --save: $(b,text) (one event per line, \
+           greppable) or $(b,binary) (coop-trace/v1: length-prefixed \
+           chunks over interned ids — decodes several times faster in \
+           less than half the bytes). Every reader auto-detects, so the \
+           choice only matters when writing. Default text.")
+
+(* Saved traces carry the program's display names, so reports off a
+   trace file can name functions and locks like reports off a live
+   run. *)
+let symtab_of_program (prog : Coop_lang.Bytecode.program) =
+  let t = Symtab.create () in
+  Array.iteri
+    (fun i (f : Coop_lang.Bytecode.func) ->
+      Symtab.set t Symtab.Func i f.Coop_lang.Bytecode.name)
+    prog.Coop_lang.Bytecode.funcs;
+  Array.iteri
+    (fun i n -> Symtab.set t Symtab.Lock i n)
+    prog.Coop_lang.Bytecode.lock_names;
+  Array.iteri
+    (fun i n -> Symtab.set t Symtab.Global i n)
+    prog.Coop_lang.Bytecode.global_names;
+  Array.iteri
+    (fun i n -> Symtab.set t Symtab.Array i n)
+    prog.Coop_lang.Bytecode.array_names;
+  t
+
+let from_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Analyze a trace saved with `trace --save` — either format, \
+           auto-detected — instead of running the program (which is then \
+           ignored). The file is streamed incrementally, never loaded \
+           whole. Use `-` to read a trace from standard input \
+           (single-pass only).")
+
+let opt_prog_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"PROGRAM"
+        ~doc:
+          "A .coop file or a built-in workload name (optional when \
+           --trace is given).")
+
+let stdin_source ?syms () =
+  set_binary_mode_in stdin true;
+  Source.of_channel ?syms stdin
+
+(* The shared --trace resolution: a saved file (re-streamable, either
+   format), stdin (single-pass only — a pipe cannot be replayed), or a
+   re-execution of the program under a fresh identically seeded
+   scheduler. *)
+let source_of ?syms ~command ~two_pass ~threads ~size ~sched ~max_steps
+    ~from_trace spec =
+  match from_trace with
+  | Some "-" ->
+      if two_pass then begin
+        Printf.eprintf
+          "coopcheck: --two-pass needs a replayable input; a piped trace \
+           (--trace -) can only be read once\n";
+        exit 2
+      end;
+      stdin_source ?syms ()
+  | Some path -> Source.of_file ?syms path
+  | None -> (
+      match spec with
+      | Some spec ->
+          let prog = load ~threads ~size spec in
+          Runner.source ~max_steps
+            ~sched:(fun () -> scheduler_of sched)
+            prog
+      | None ->
+          Printf.eprintf "coopcheck: %s wants a PROGRAM or --trace FILE\n"
+            command;
+          exit 2)
+
 (* --- witnesses (the Coop_provenance surface) ---------------------------- *)
 
 module Witness = Coop_provenance.Witness
@@ -402,44 +508,75 @@ let run_cmd =
 (* --- trace ------------------------------------------------------------- *)
 
 let trace_cmd =
-  let action spec threads size sched max_steps limit save timeline =
-    let prog = load ~threads ~size spec in
-    (match save with
-    | Some path ->
-        (* Stream events straight to disk; the trace is never held in
-           memory. *)
-        let saved =
-          Coop_trace.Serialize.with_file_sink path (fun sink ->
-              let n = ref 0 in
-              let counting e = incr n; sink e in
-              ignore
-                (Runner.run ~max_steps ~sched:(scheduler_of sched)
-                   ~sink:counting prog);
-              !n)
+  let dump ~limit ~timeline trace =
+    if timeline then
+      print_string
+        (Coop_trace.Timeline.render_filtered ?max_events:limit
+           ~keep:(fun e ->
+             match e.Coop_trace.Event.op with
+             | Coop_trace.Event.Enter _ | Coop_trace.Event.Exit _ -> false
+             | _ -> true)
+           trace)
+    else begin
+      let n = Coop_trace.Trace.length trace in
+      let shown = match limit with Some l -> min l n | None -> n in
+      for i = 0 to shown - 1 do
+        Format.printf "%6d %a@." i Coop_trace.Event.pp
+          (Coop_trace.Trace.get trace i)
+      done;
+      if shown < n then Format.printf "... (%d more events)@." (n - shown)
+    end
+  in
+  let action spec threads size sched max_steps limit save timeline from_trace
+      format =
+    let format =
+      Option.value (format_of "--format" format) ~default:Serialize.Text
+    in
+    match from_trace with
+    | Some file ->
+        (* Offline mode: dump (or re-encode) a saved trace instead of
+           executing. *)
+        let syms = Symtab.create () in
+        let source =
+          if file = "-" then stdin_source ~syms ()
+          else Source.of_file ~syms file
         in
-        Format.printf "saved %d events to %s@." saved path
-    | None ->
-        let _, trace =
-          Runner.record ~max_steps ~sched:(scheduler_of sched) prog
+        let trace = Source.record source in
+        (match save with
+        | Some path ->
+            Serialize.save ~format ~syms path trace;
+            Format.printf "saved %d events to %s@."
+              (Coop_trace.Trace.length trace)
+              path
+        | None -> dump ~limit ~timeline trace)
+    | None -> (
+        let prog =
+          match spec with
+          | Some spec -> load ~threads ~size spec
+          | None ->
+              Printf.eprintf "coopcheck: trace wants a PROGRAM or --trace FILE\n";
+              exit 2
         in
-        if timeline then
-          print_string
-            (Coop_trace.Timeline.render_filtered
-               ?max_events:limit
-               ~keep:(fun e ->
-                 match e.Coop_trace.Event.op with
-                 | Coop_trace.Event.Enter _ | Coop_trace.Event.Exit _ -> false
-                 | _ -> true)
-               trace)
-        else begin
-          let n = Coop_trace.Trace.length trace in
-          let shown = match limit with Some l -> min l n | None -> n in
-          for i = 0 to shown - 1 do
-            Format.printf "%6d %a@." i Coop_trace.Event.pp
-              (Coop_trace.Trace.get trace i)
-          done;
-          if shown < n then Format.printf "... (%d more events)@." (n - shown)
-        end)
+        match save with
+        | Some path ->
+            (* Stream events straight to disk; the trace is never held in
+               memory. *)
+            let saved =
+              Serialize.with_file_sink ~format ~syms:(symtab_of_program prog)
+                path (fun sink ->
+                  let n = ref 0 in
+                  let counting e = incr n; sink e in
+                  ignore
+                    (Runner.run ~max_steps ~sched:(scheduler_of sched)
+                       ~sink:counting prog);
+                  !n)
+            in
+            Format.printf "saved %d events to %s@." saved path
+        | None ->
+            let _, trace =
+              Runner.record ~max_steps ~sched:(scheduler_of sched) prog
+            in
+            dump ~limit ~timeline trace)
   in
   let limit_arg =
     Arg.(
@@ -460,8 +597,90 @@ let trace_cmd =
       & info [ "timeline" ] ~doc:"Render per-thread swim lanes instead of a flat list.")
   in
   Cmd.v (Cmd.info "trace" ~doc:"Execute and dump the event trace.")
-    Term.(const action $ prog_arg $ threads_arg $ size_arg $ sched_arg
-          $ max_steps_arg $ limit_arg $ save_arg $ timeline_arg)
+    Term.(const action $ opt_prog_arg $ threads_arg $ size_arg $ sched_arg
+          $ max_steps_arg $ limit_arg $ save_arg $ timeline_arg
+          $ from_trace_arg $ format_arg)
+
+(* --- convert ------------------------------------------------------------ *)
+
+let convert_cmd =
+  let action src dst to_fmt =
+    let to_fmt = format_of "--to" to_fmt in
+    let syms = Symtab.create () in
+    (* Materialize: conversion needs the symbol table before the first
+       output byte (pragmas and name records lead), and src may be a
+       pipe readable only once. *)
+    let src_format, trace =
+      if src = "-" then begin
+        set_binary_mode_in stdin true;
+        Serialize.of_string_any ~syms (In_channel.input_all stdin)
+      end
+      else
+        let fmt = Source.format_of_file src in
+        (fmt, Source.record (Source.of_file ~syms src))
+    in
+    let dst_format =
+      match to_fmt with
+      | Some f -> f
+      | None -> (
+          (* Round-trip by default: convert twice and you are back. *)
+          match src_format with
+          | Serialize.Text -> Serialize.Binary
+          | Serialize.Binary -> Serialize.Text)
+    in
+    let summary oc =
+      Printf.fprintf oc "converted %d events (%s -> %s)\n"
+        (Coop_trace.Trace.length trace)
+        (Serialize.format_to_string src_format)
+        (Serialize.format_to_string dst_format)
+    in
+    if dst = "-" then begin
+      set_binary_mode_out stdout true;
+      print_string
+        (match dst_format with
+        | Serialize.Binary -> Coop_trace.Codec.to_string ~syms trace
+        | Serialize.Text -> Serialize.to_string ~syms trace);
+      (* stdout is the trace stream; the summary goes to stderr. *)
+      summary stderr
+    end
+    else begin
+      Serialize.save ~format:dst_format ~syms dst trace;
+      summary stdout
+    end
+  in
+  let src_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SRC"
+          ~doc:
+            "Trace file to read (either format, auto-detected), or `-` \
+             for standard input.")
+  in
+  let dst_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"DST"
+          ~doc:"File to write, or `-` for standard output.")
+  in
+  let to_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "to" ] ~docv:"FMT"
+          ~doc:
+            "Target format: $(b,text) or $(b,binary). Default: the \
+             opposite of the source's format, so a bare convert \
+             round-trips.")
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:
+         "Convert a saved trace between the text and coop-trace/v1 binary \
+          formats, display names included. Events and verdicts are \
+          identical across formats; only the bytes change.")
+    Term.(const action $ src_arg $ dst_arg $ to_arg)
 
 (* --- check ------------------------------------------------------------- *)
 
@@ -471,32 +690,10 @@ let check_cmd =
     profile_setup profile;
     let shards = shards_of shards in
     let wmode = witness_mode_of witness in
-    (* All inputs are streamed, never materialized: a saved trace comes
-       off disk line by line, `--trace -` reads a pipe (single-pass only
-       — a pipe cannot be replayed), and a program is re-executed under a
-       fresh identically seeded scheduler. *)
+    (* All inputs are streamed, never materialized. *)
     let source =
-      match from_trace with
-      | Some "-" ->
-          if two_pass then begin
-            Printf.eprintf
-              "coopcheck: --two-pass needs a replayable input; a piped \
-               trace (--trace -) can only be read once\n";
-            exit 2
-          end;
-          Coop_trace.Source.of_channel stdin
-      | Some path -> Coop_trace.Source.of_file path
-      | None -> (
-          match spec with
-          | Some spec ->
-              let prog = load ~threads ~size spec in
-              Runner.source ~max_steps
-                ~sched:(fun () -> scheduler_of sched)
-                prog
-          | None ->
-              Printf.eprintf
-                "coopcheck: check wants a PROGRAM or --trace FILE\n";
-              exit 2)
+      source_of ~command:"check" ~two_pass ~threads ~size ~sched ~max_steps
+        ~from_trace spec
     in
     let r =
       Coop_pipeline.run ~two_pass ~shards ~witness:(wmode <> None) source
@@ -545,26 +742,6 @@ let check_cmd =
     profile_emit profile;
     if vs <> [] then exit 1
   in
-  let from_trace_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace" ] ~docv:"FILE"
-          ~doc:
-            "Analyze a trace saved with `trace --save` instead of running \
-             the program (which is then ignored). The file is streamed \
-             incrementally, never loaded whole. Use `-` to read a \
-             serialized trace from standard input (single-pass only).")
-  in
-  let opt_prog_arg =
-    Arg.(
-      value
-      & pos 0 (some string) None
-      & info [] ~docv:"PROGRAM"
-          ~doc:
-            "A .coop file or a built-in workload name (optional when \
-             --trace is given).")
-  in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Race + cooperability check of one execution. Exits 1 on violations.")
@@ -579,13 +756,27 @@ let check_cmd =
    the vector-clock oracle — a verdict whose evidence fails there is a
    detector bug, and explain says so loudly. *)
 let explain_cmd =
-  let action spec threads size sched max_steps two_pass shards witness
-      profile =
+  let action spec threads size sched max_steps from_trace two_pass shards
+      witness profile =
     profile_setup profile;
     let shards = shards_of shards in
     let wmode = witness_mode_of witness in
-    let prog = load ~threads ~size spec in
-    let _, trace = Runner.record ~max_steps ~sched:(scheduler_of sched) prog in
+    (* The oracle replays the trace, so explain always materializes it —
+       which is also what lets a piped trace through: one read suffices. *)
+    let trace =
+      match from_trace with
+      | Some "-" -> Source.record (stdin_source ())
+      | Some path -> Source.record (Source.of_file path)
+      | None -> (
+          match spec with
+          | Some spec ->
+              let prog = load ~threads ~size spec in
+              snd (Runner.record ~max_steps ~sched:(scheduler_of sched) prog)
+          | None ->
+              Printf.eprintf
+                "coopcheck: explain wants a PROGRAM or --trace FILE\n";
+              exit 2)
+    in
     let r = Coop_core.Cooperability.check ~two_pass ~shards ~witness:true trace in
     (* One oracle replay serves every witness on this trace. *)
     let clocks = Coop_race.Witness_check.oracle trace in
@@ -668,17 +859,88 @@ let explain_cmd =
           happens-before oracle as a self-check — and the commit point \
           behind each violation. Exits 1 on violations or a failed \
           self-check.")
-    Term.(const action $ prog_arg $ threads_arg $ size_arg $ sched_arg
-          $ max_steps_arg $ two_pass_arg $ shards_arg $ witness_arg
-          $ profile_term)
+    Term.(const action $ opt_prog_arg $ threads_arg $ size_arg $ sched_arg
+          $ max_steps_arg $ from_trace_arg $ two_pass_arg $ shards_arg
+          $ witness_arg $ profile_term)
 
 (* --- infer ------------------------------------------------------------- *)
 
+(* Trace-mode inference: with no program to re-execute there is no
+   fixpoint — one single-pass analysis of the recorded execution, whose
+   distinct violation locations are exactly what round 0 of the full
+   inference would plant yields at. A lower bound on the final yield
+   set, reported as round 0 under schedule "trace"; the re-execution
+   metrics are unavailable and skipped. *)
+let infer_from_trace ~wmode file =
+  let syms = Symtab.create () in
+  let source =
+    if file = "-" then stdin_source ~syms () else Source.of_file ~syms file
+  in
+  let r = Coop_pipeline.run ~witness:(wmode <> None) source in
+  let vs = r.Coop_pipeline.violations in
+  let yields = Coop_core.Cooperability.violation_locs vs in
+  Format.printf "initial violations: %d@." (List.length vs);
+  Format.printf "inference rounds: 0 (trace mode: no re-execution)@.";
+  Format.printf "inferred yields: %d@." (Coop_trace.Loc.Set.cardinal yields);
+  let viol_at l =
+    List.find_opt
+      (fun (v : Coop_core.Automaton.violation) ->
+        Coop_trace.Loc.equal v.Coop_core.Automaton.loc l)
+      vs
+  in
+  Coop_trace.Loc.Set.iter
+    (fun l ->
+      let fname =
+        match Symtab.find syms Symtab.Func l.Coop_trace.Loc.func with
+        | Some name -> name
+        | None -> Printf.sprintf "f%d" l.Coop_trace.Loc.func
+      in
+      Format.printf "  yield before %s line %d (%a)@." fname
+        l.Coop_trace.Loc.line Coop_trace.Loc.pp l;
+      match (wmode, viol_at l) with
+      | Some Witness.Text, Some v ->
+          Format.printf "    forced by trace in round 0: %a@."
+            Coop_core.Automaton.pp_violation v;
+          print_cause wmode v.Coop_core.Automaton.cause
+      | _ -> ())
+    yields;
+  match wmode with
+  | Some (Witness.Json dest) ->
+      let yield_json l (v : Coop_core.Automaton.violation) =
+        Json.Obj
+          [ ("loc", Json.String (loc_string l));
+            ("round", Json.Int 0);
+            ("sched", Json.String "trace");
+            ("violation", violation_json v) ]
+      in
+      let yields_json =
+        Coop_trace.Loc.Set.fold
+          (fun l acc ->
+            match viol_at l with Some v -> yield_json l v :: acc | None -> acc)
+          yields []
+        |> List.rev
+      in
+      emit_witness_doc dest
+        (witness_doc ~command:"infer"
+           [ ("rounds", Json.Int 0); ("yields", Json.List yields_json) ])
+  | _ -> ()
+
 let infer_cmd =
-  let action spec threads size max_steps jobs witness profile =
+  let action spec threads size max_steps jobs witness profile from_trace =
     profile_setup profile;
     let wmode = witness_mode_of witness in
-    let prog = load ~threads ~size spec in
+    match from_trace with
+    | Some file ->
+        infer_from_trace ~wmode file;
+        profile_emit profile
+    | None ->
+    let prog =
+      match spec with
+      | Some spec -> load ~threads ~size spec
+      | None ->
+          Printf.eprintf "coopcheck: infer wants a PROGRAM or --trace FILE\n";
+          exit 2
+    in
     let pool = pool_of_jobs jobs in
     let inf = Coop_core.Infer.infer ~pool ~max_steps prog in
     Format.printf "initial violations: %d@."
@@ -733,21 +995,25 @@ let infer_cmd =
     profile_emit profile
   in
   Cmd.v
-    (Cmd.info "infer" ~doc:"Infer the yield set and report annotation metrics.")
-    Term.(const action $ prog_arg $ threads_arg $ size_arg $ max_steps_arg
-          $ jobs_arg $ witness_arg $ profile_term)
+    (Cmd.info "infer"
+       ~doc:
+         "Infer the yield set and report annotation metrics. With --trace, \
+          report the violation locations of the recorded execution as the \
+          round-0 yield set (no re-execution, so no fixpoint or metrics).")
+    Term.(const action $ opt_prog_arg $ threads_arg $ size_arg $ max_steps_arg
+          $ jobs_arg $ witness_arg $ profile_term $ from_trace_arg)
 
 (* --- atomize ------------------------------------------------------------ *)
 
 let atomize_cmd =
-  let action spec threads size sched max_steps two_pass shards witness
-      profile =
+  let action spec threads size sched max_steps from_trace two_pass shards
+      witness profile =
     profile_setup profile;
     let shards = shards_of shards in
     let wmode = witness_mode_of witness in
-    let prog = load ~threads ~size spec in
     let source =
-      Runner.source ~max_steps ~sched:(fun () -> scheduler_of sched) prog
+      source_of ~command:"atomize" ~two_pass ~threads ~size ~sched ~max_steps
+        ~from_trace spec
     in
     let p =
       Coop_pipeline.run ~atomize:true ~conflict:true ~two_pass ~shards
@@ -806,9 +1072,9 @@ let atomize_cmd =
   in
   Cmd.v
     (Cmd.info "atomize" ~doc:"Atomicity baseline (Atomizer + conflict graph).")
-    Term.(const action $ prog_arg $ threads_arg $ size_arg $ sched_arg
-          $ max_steps_arg $ two_pass_arg $ shards_arg $ witness_arg
-          $ profile_term)
+    Term.(const action $ opt_prog_arg $ threads_arg $ size_arg $ sched_arg
+          $ max_steps_arg $ from_trace_arg $ two_pass_arg $ shards_arg
+          $ witness_arg $ profile_term)
 
 (* --- explore ------------------------------------------------------------ *)
 
@@ -943,8 +1209,24 @@ let () =
     Cmd.info "coopcheck" ~version:"1.0.0"
       ~doc:"Cooperative reasoning for preemptive execution"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ run_cmd; trace_cmd; check_cmd; explain_cmd; infer_cmd; atomize_cmd;
-            explore_cmd; static_cmd; list_cmd; dump_cmd ]))
+  let group =
+    Cmd.group info
+      [ run_cmd; trace_cmd; convert_cmd; check_cmd; explain_cmd; infer_cmd;
+        atomize_cmd; explore_cmd; static_cmd; list_cmd; dump_cmd ]
+  in
+  (* Uniform trace-error surface: whatever subcommand touched a trace,
+     a malformed or truncated file exits 2 with the decoder's position
+     ("(line N)" for text, "(byte N)" for binary) rather than dying
+     with a backtrace. ~catch:false keeps cmdliner from eating the
+     exceptions first. *)
+  match Cmd.eval ~catch:false group with
+  | exception Coop_trace.Wire.Parse_error (msg, _) ->
+      Printf.eprintf "coopcheck: malformed trace: %s\n" msg;
+      exit 2
+  | exception Coop_trace.Wire.Encode_error msg ->
+      Printf.eprintf "coopcheck: %s\n" msg;
+      exit 2
+  | exception Sys_error msg ->
+      Printf.eprintf "coopcheck: %s\n" msg;
+      exit 2
+  | code -> exit code

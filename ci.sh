@@ -44,6 +44,31 @@ dune exec bin/coopcheck.exe -- trace philo -t 2 -s 2 \
 dune exec bin/coopcheck.exe -- check --trace - \
   < _build/ci-pipe-smoke.tr || [ $? -eq 1 ]
 
+echo "== codec differential (text vs binary traces, identical verdicts) =="
+# The same recording saved in both formats must produce byte-identical
+# verdicts and witness documents through every analysis configuration.
+# `check` exits 1 when it finds violations — identical in both runs by
+# construction; cmp is the gate.
+dune exec bin/coopcheck.exe -- trace tsp --save _build/ci-diff.tr
+dune exec bin/coopcheck.exe -- convert --to binary \
+  _build/ci-diff.tr _build/ci-diff.ctr
+dune exec bin/coopcheck.exe -- convert --to text \
+  _build/ci-diff.ctr _build/ci-diff-roundtrip.tr
+cmp _build/ci-diff.tr _build/ci-diff-roundtrip.tr
+for shards in 1 2 4; do
+  COOP_SHARDS=$shards dune exec bin/coopcheck.exe -- check \
+    --trace _build/ci-diff.tr --witness json:_build/ci-diff-text.json \
+    > _build/ci-diff-text.out || [ $? -eq 1 ]
+  COOP_SHARDS=$shards dune exec bin/coopcheck.exe -- check \
+    --trace _build/ci-diff.ctr --witness json:_build/ci-diff-bin.json \
+    > _build/ci-diff-bin.out || [ $? -eq 1 ]
+  cmp _build/ci-diff-text.out _build/ci-diff-bin.out
+  cmp _build/ci-diff-text.json _build/ci-diff-bin.json
+done
+dune exec bin/coopcheck.exe -- check --trace - \
+  < _build/ci-diff.ctr > _build/ci-diff-pipe.out || [ $? -eq 1 ]
+cmp _build/ci-diff-text.out _build/ci-diff-pipe.out
+
 echo "== bench smoke (table1) =="
 dune exec bench/main.exe -- table1
 
@@ -67,6 +92,11 @@ dune exec bench/main.exe -- json-verify _build/ci-scaling.json
 
 echo "== allocation-budget smoke (minor words/event vs recorded budget) =="
 dune exec bench/main.exe -- alloc-smoke
+
+echo "== codec bench smoke (text vs binary throughput, json-verified) =="
+dune exec bench/main.exe -- codec --only philo,crypt \
+  --json _build/ci-codec.json
+dune exec bench/main.exe -- json-verify _build/ci-codec.json
 
 echo "== profile smoke (--profile-json / --chrome-trace, 2 workloads) =="
 # coopcheck check exits 1 when the workload has violations; the profile

@@ -1,4 +1,20 @@
-exception Parse_error of string * int
+exception Parse_error = Wire.Parse_error
+exception Encode_error = Wire.Encode_error
+
+type format = Text | Binary
+
+let format_to_string = function Text -> "text" | Binary -> "binary"
+
+let format_of_string = function
+  | "text" -> Some Text
+  | "binary" -> Some Binary
+  | _ -> None
+
+(* Every parse failure names its line so the CLI can report a position
+   without re-deriving it; the line number also travels separately in
+   the exception for callers that want it structured. *)
+let fail lineno msg =
+  raise (Parse_error (Printf.sprintf "%s (line %d)" msg lineno, lineno))
 
 let var_to_string = function
   | Event.Global g -> Printf.sprintf "g%d" g
@@ -22,8 +38,38 @@ let event_to_string (e : Event.t) =
   Printf.sprintf "%d %s @ %d %d %d" e.tid (op_to_string e.op) e.loc.Loc.func
     e.loc.Loc.pc e.loc.Loc.line
 
-let to_string trace =
+(* The line grammar is whitespace-split tokens with '@' delimiting the
+   location, so a display name containing either would be sliced apart
+   on re-parse — silent corruption. Rejecting at encode time keeps
+   every text file re-readable; the binary format has no such limit. *)
+let text_name_ok name =
+  name <> ""
+  && String.for_all
+       (fun c -> not (c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = '@'))
+       name
+
+let check_text_name kind id name =
+  if not (text_name_ok name) then
+    raise
+      (Encode_error
+         (Printf.sprintf
+            "text format cannot encode %s %d display name %S: names with \
+             whitespace or '@' only round-trip in binary — keep the binary \
+             format, or see 'coopcheck convert'"
+            (Symtab.kind_to_string kind) id name))
+
+let pragma_line kind id name =
+  check_text_name kind id name;
+  Printf.sprintf "#%s %d %s" (Symtab.kind_to_string kind) id name
+
+let to_string ?syms trace =
   let buf = Buffer.create (Trace.length trace * 24) in
+  (match syms with
+  | Some t ->
+      Symtab.iter t (fun kind id name ->
+          Buffer.add_string buf (pragma_line kind id name);
+          Buffer.add_char buf '\n')
+  | None -> ());
   Trace.iter
     (fun e ->
       Buffer.add_string buf (event_to_string e);
@@ -32,13 +78,13 @@ let to_string trace =
   Buffer.contents buf
 
 let parse_var lineno s =
-  let fail () = raise (Parse_error ("bad variable " ^ s, lineno)) in
-  if String.length s < 2 then fail ();
+  let bad () = fail lineno ("bad variable " ^ s) in
+  if String.length s < 2 then bad ();
   match s.[0] with
   | 'g' -> (
       match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
       | Some g -> Event.Global g
-      | None -> fail ())
+      | None -> bad ())
   | 'a' -> (
       match String.index_opt s '.' with
       | Some dot -> (
@@ -46,14 +92,32 @@ let parse_var lineno s =
           let i = String.sub s (dot + 1) (String.length s - dot - 1) in
           match (int_of_string_opt a, int_of_string_opt i) with
           | Some a, Some i -> Event.Cell (a, i)
-          | _ -> fail ())
-      | None -> fail ())
-  | _ -> fail ()
+          | _ -> bad ())
+      | None -> bad ())
+  | _ -> bad ()
 
 let parse_int lineno s =
   match int_of_string_opt s with
   | Some n -> n
-  | None -> raise (Parse_error ("bad integer " ^ s, lineno))
+  | None -> fail lineno ("bad integer " ^ s)
+
+(* ["#kind id name"] binds a display name (see {!Symtab}); any other
+   '#' line is a comment. Files written before pragmas existed contain
+   no '#' lines, so the grammar extension is backward compatible. *)
+let parse_pragma ?syms lineno line =
+  let body = String.sub line 1 (String.length line - 1) in
+  match String.split_on_char ' ' body |> List.filter (fun w -> w <> "") with
+  | [ kind; id; name ] -> (
+      match Symtab.kind_of_string kind with
+      | None -> ()
+      | Some k -> (
+          let id =
+            match int_of_string_opt id with
+            | Some id when id >= 0 -> id
+            | _ -> fail lineno ("bad symbol id in pragma: " ^ line)
+          in
+          match syms with Some t -> Symtab.set t k id name | None -> ()))
+  | _ -> ()
 
 let parse_line lineno line =
   let words =
@@ -74,7 +138,7 @@ let parse_line lineno line =
       | "abegin" :: tl -> (Event.Atomic_begin, tl)
       | "aend" :: tl -> (Event.Atomic_end, tl)
       | "out" :: n :: tl -> (Event.Out (parse_int lineno n), tl)
-      | _ -> raise (Parse_error ("bad operation in: " ^ line, lineno))
+      | _ -> fail lineno ("bad operation in: " ^ line)
     in
     match loc_words with
     | [ "@"; func; pc; ln ] ->
@@ -82,55 +146,93 @@ let parse_line lineno line =
           ~loc:
             (Loc.make ~func:(parse_int lineno func) ~pc:(parse_int lineno pc)
                ~line:(parse_int lineno ln))
-    | _ -> raise (Parse_error ("bad location in: " ^ line, lineno))
+    | _ -> fail lineno ("bad location in: " ^ line)
   in
   match words with
   | tid :: rest -> op_and_loc (parse_int lineno tid) rest
-  | [] -> raise (Parse_error ("empty line", lineno))
+  | [] -> fail lineno "empty line"
 
-let iter_string s f =
+let handle_line ?syms lineno line f =
+  let line = String.trim line in
+  if line <> "" then
+    if line.[0] = '#' then parse_pragma ?syms lineno line
+    else f (parse_line lineno line)
+
+let iter_string ?syms s f =
   let lines = String.split_on_char '\n' s in
-  List.iteri
-    (fun i line ->
-      let line = String.trim line in
-      if line <> "" then f (parse_line (i + 1) line))
-    lines
+  List.iteri (fun i line -> handle_line ?syms (i + 1) line f) lines
 
-let of_string s =
+let of_string ?syms s =
   let trace = Trace.create () in
-  iter_string s (Trace.add trace);
+  iter_string ?syms s (Trace.add trace);
   trace
 
-let iter_channel ic f =
+(* [prefix] is whatever a format sniffer already pulled off the channel
+   (at most a handful of bytes, but possibly spanning newlines): its
+   complete lines are parsed here, its trailing fragment is glued onto
+   the first line read from the channel. *)
+let iter_channel_from ?syms ~prefix ic f =
   let lineno = ref 0 in
-  try
-    while true do
-      let line = String.trim (input_line ic) in
-      incr lineno;
-      if line <> "" then f (parse_line !lineno line)
-    done
-  with End_of_file -> ()
+  let handle line =
+    incr lineno;
+    handle_line ?syms !lineno line f
+  in
+  let frag = ref "" in
+  (let rec go = function
+     | [] -> ()
+     | [ last ] -> frag := last
+     | l :: tl ->
+         handle l;
+         go tl
+   in
+   go (String.split_on_char '\n' prefix));
+  (try
+     while true do
+       let rest = input_line ic in
+       let line = !frag ^ rest in
+       frag := "";
+       handle line
+     done
+   with End_of_file -> ());
+  if !frag <> "" then handle !frag
 
-let iter_file path f =
-  let ic = open_in path in
-  match iter_channel ic f with
+let iter_channel ?syms ic f = iter_channel_from ?syms ~prefix:"" ic f
+
+let iter_file ?syms path f =
+  let ic = open_in_bin path in
+  match iter_channel ?syms ic f with
   | () -> close_in ic
   | exception e ->
       close_in_noerr ic;
       raise e
 
-let save path trace =
-  let oc = open_out_bin path in
-  output_string oc (to_string trace);
-  close_out oc
+let save ?(format = Text) ?syms path trace =
+  match format with
+  | Binary -> Codec.save ?syms path trace
+  | Text ->
+      let oc = open_out_bin path in
+      (match output_string oc (to_string ?syms trace) with
+      | () -> close_out oc
+      | exception e ->
+          close_out_noerr oc;
+          raise e)
 
-let with_file_sink path k =
+let with_file_sink ?(format = Text) ?syms path k =
   let oc = open_out_bin path in
-  let sink e =
-    output_string oc (event_to_string e);
-    output_char oc '\n'
-  in
-  match k sink with
+  match
+    match format with
+    | Binary -> Codec.with_sink ?syms oc k
+    | Text ->
+        (match syms with
+        | Some t ->
+            Symtab.iter t (fun kind id name ->
+                output_string oc (pragma_line kind id name);
+                output_char oc '\n')
+        | None -> ());
+        k (fun e ->
+            output_string oc (event_to_string e);
+            output_char oc '\n')
+  with
   | r ->
       close_out oc;
       r
@@ -138,9 +240,27 @@ let with_file_sink path k =
       close_out_noerr oc;
       raise e
 
-let load path =
+let of_string_any ?syms s =
+  let n = String.length s in
+  let m = String.length Codec.magic in
+  if n >= m && String.sub s 0 m = Codec.magic then
+    (Binary, Codec.of_string ?syms s)
+  else if n > 0 && n < m && String.sub Codec.magic 0 n = s then
+    Wire.parse_error
+      (Printf.sprintf "truncated header: not a complete %s stream (byte %d)"
+         Codec.format_name n)
+      n
+  else (Text, of_string ?syms s)
+
+let load ?syms path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  of_string s
+  match
+    let n = in_channel_length ic in
+    snd (of_string_any ?syms (really_input_string ic n))
+  with
+  | t ->
+      close_in ic;
+      t
+  | exception e ->
+      close_in_noerr ic;
+      raise e

@@ -4,15 +4,105 @@ let of_trace trace : t = fun sink -> Trace.iter sink trace
 
 let of_list events : t = fun sink -> List.iter sink events
 
-let of_file path : t = fun sink -> Serialize.iter_file path sink
+(* ---- format auto-detection -------------------------------------------- *)
 
-let of_channel ic : t =
+(* Read up to |magic| bytes; a short read means the stream itself is
+   shorter than a binary header, which only a text (or empty) trace can
+   be. *)
+let read_head ic =
+  let n = String.length Codec.magic in
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then n
+    else
+      match input ic buf off (n - off) with 0 -> off | k -> go (off + k)
+  in
+  Bytes.sub_string buf 0 (go 0)
+
+let is_strict_magic_prefix head =
+  let n = String.length head in
+  n > 0
+  && n < String.length Codec.magic
+  && String.sub Codec.magic 0 n = head
+
+(* The first magic byte is non-ASCII, so no text trace can collide with
+   a binary header; a non-empty strict prefix of the magic can only be
+   a binary stream cut off mid-header, which deserves a truncation
+   error rather than a baffling text-parse one. *)
+let dispatch ?syms head ic sink =
+  if head = Codec.magic then
+    Codec.iter_channel_body ?syms ~offset:(String.length Codec.magic) ic sink
+  else if is_strict_magic_prefix head then
+    Wire.parse_error
+      (Printf.sprintf "truncated header: not a complete %s stream (byte %d)"
+         Codec.format_name (String.length head))
+      (String.length head)
+  else Serialize.iter_channel_from ?syms ~prefix:head ic sink
+
+let format_of_file path =
+  let ic = open_in_bin path in
+  let head =
+    match read_head ic with
+    | head ->
+        close_in_noerr ic;
+        head
+    | exception e ->
+        close_in_noerr ic;
+        raise e
+  in
+  if head = Codec.magic then Serialize.Binary
+  else if is_strict_magic_prefix head then
+    Wire.parse_error
+      (Printf.sprintf "truncated header: not a complete %s stream (byte %d)"
+         Codec.format_name (String.length head))
+      (String.length head)
+  else Serialize.Text
+
+(* ---- decode timing ---------------------------------------------------- *)
+
+(* Attribute to "trace/decode" the time a streaming pass spends between
+   sink callbacks — reading and parsing, whichever format — excluding
+   the sink's own (analysis) time, so --profile shows the parse share
+   honestly for text vs binary. Free when observability is off. *)
+let with_decode_timer f sink =
+  if not (Coop_obs.enabled ()) then f sink
+  else begin
+    let acc = ref 0.0 in
+    let calls = ref 0 in
+    let last = ref (Coop_obs.now_s ()) in
+    let sink' e =
+      acc := !acc +. (Coop_obs.now_s () -. !last);
+      incr calls;
+      sink e;
+      last := Coop_obs.now_s ()
+    in
+    let flush () = Coop_obs.timer_add "trace/decode" !acc !calls in
+    match f sink' with
+    | () -> flush ()
+    | exception e ->
+        flush ();
+        raise e
+  end
+
+(* ---- sources ---------------------------------------------------------- *)
+
+let of_file ?syms path : t =
+ fun sink ->
+  (* Re-open and re-sniff per replay: the source stays replayable no
+     matter which format the file holds. *)
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      with_decode_timer (fun sink -> dispatch ?syms (read_head ic) ic sink) sink)
+
+let of_channel ?syms ic : t =
   let consumed = ref false in
   fun sink ->
     if !consumed then
       invalid_arg "Source.of_channel: a channel source cannot be replayed";
     consumed := true;
-    Serialize.iter_channel ic sink
+    with_decode_timer (fun sink -> dispatch ?syms (read_head ic) ic sink) sink
 
 let replay source sink = source sink
 

@@ -2,12 +2,19 @@
 
     A source pushes the same totally ordered event sequence into a sink
     each time it is invoked, without the caller ever holding the events in
-    memory: a recorded trace, a serialized trace streamed off disk line by
-    line, or a deterministic re-execution of the program itself (see
+    memory: a recorded trace, a serialized trace streamed off disk, or a
+    deterministic re-execution of the program itself (see
     [Runner.source]). Multi-phase analyses (the racy set is only complete
     at the end of the stream) re-stream from the source instead of
     buffering events, which is what keeps the fused pipeline at
     O(threads·vars) memory.
+
+    File and channel sources are {e format-agnostic}: the first bytes are
+    sniffed and dispatched to the {!Codec} binary decoder (magic match)
+    or the {!Serialize} text parser (anything else — the magic's first
+    byte is non-ASCII, so the two cannot collide). Both decode paths
+    charge their time to the ["trace/decode"] timer when observability
+    is on, so [--profile] shows what share of a run is parsing.
 
     Replays must be deterministic: every invocation must produce the
     identical event sequence, or phase results cannot be combined. The
@@ -16,7 +23,9 @@
     it is the only consumer that needs each event once. *)
 
 type t = Trace.Sink.t -> unit
-(** [source sink] streams every event into [sink], in program order. *)
+(** [source sink] streams every event into [sink], in program order.
+    Events delivered by file/channel sources may be {e scratch} events
+    (see {!Event.copy}); sinks that retain them must copy. *)
 
 val of_trace : Trace.t -> t
 (** Stream a recorded trace (no copy). *)
@@ -24,14 +33,18 @@ val of_trace : Trace.t -> t
 val of_list : Event.t list -> t
 (** Stream a list of events. *)
 
-val of_file : string -> t
-(** Stream a trace saved by {!Serialize.save}, reading and parsing one
-    line at a time — the file is never loaded whole. Raises [Sys_error]
-    and {!Serialize.Parse_error} like {!Serialize.load}. *)
+val of_file : ?syms:Symtab.t -> string -> t
+(** Stream a trace file in either format, auto-detected per replay (the
+    file is re-opened and re-sniffed each invocation, so mixed-format
+    workflows just work and the source stays replayable; it is never
+    loaded whole). Display names found in the file populate [syms].
+    Raises [Sys_error] and {!Serialize.Parse_error}. *)
 
-val of_channel : in_channel -> t
+val of_channel : ?syms:Symtab.t -> in_channel -> t
 (** Stream a serialized trace from an open channel — stdin, a pipe, a
-    socket. Unlike every other constructor this source is {b not
+    socket — in either format, auto-detected. A binary stream is
+    consumed exactly to its end-of-stream marker (nothing read past
+    it). Unlike every other constructor this source is {b not
     replayable}: the underlying bytes are gone once read, so a second
     invocation raises [Invalid_argument] instead of silently producing
     an empty (and thus wrong) replay. Only single-pass consumers (the
@@ -39,6 +52,11 @@ val of_channel : in_channel -> t
     needs {!of_file} or {!of_trace}. Raises [Sys_error] and
     {!Serialize.Parse_error} while streaming. The channel is not
     closed. *)
+
+val format_of_file : string -> Serialize.format
+(** Which format a trace file holds, by its magic bytes (reads at most
+    8 bytes). Raises [Sys_error]; raises {!Serialize.Parse_error} on a
+    file that is a truncated binary header. *)
 
 val replay : t -> Trace.Sink.t -> unit
 (** [replay source sink] is [source sink]; the explicit name for call

@@ -1,0 +1,71 @@
+type kind = Func | Lock | Global | Array
+
+(* One int-keyed table per kind; ids are small and dense in practice
+   (they come from compiled programs), but a hashtable keeps hand-written
+   traces with sparse ids cheap too. *)
+type t = {
+  funcs : (int, string) Hashtbl.t;
+  locks : (int, string) Hashtbl.t;
+  globals : (int, string) Hashtbl.t;
+  arrays : (int, string) Hashtbl.t;
+}
+
+let create () =
+  {
+    funcs = Hashtbl.create 8;
+    locks = Hashtbl.create 8;
+    globals = Hashtbl.create 8;
+    arrays = Hashtbl.create 8;
+  }
+
+let table t = function
+  | Func -> t.funcs
+  | Lock -> t.locks
+  | Global -> t.globals
+  | Array -> t.arrays
+
+let set t kind id name =
+  if id < 0 then invalid_arg "Symtab.set: negative id";
+  Hashtbl.replace (table t kind) id name
+
+let find t kind id = Hashtbl.find_opt (table t kind) id
+
+let is_empty t =
+  Hashtbl.length t.funcs = 0
+  && Hashtbl.length t.locks = 0
+  && Hashtbl.length t.globals = 0
+  && Hashtbl.length t.arrays = 0
+
+let kinds = [ Func; Lock; Global; Array ]
+
+let iter t f =
+  List.iter
+    (fun kind ->
+      let tbl = table t kind in
+      Hashtbl.fold (fun id name acc -> (id, name) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      |> List.iter (fun (id, name) -> f kind id name))
+    kinds
+
+let equal a b =
+  List.for_all
+    (fun kind ->
+      let ta = table a kind and tb = table b kind in
+      Hashtbl.length ta = Hashtbl.length tb
+      && Hashtbl.fold
+           (fun id name ok -> ok && Hashtbl.find_opt tb id = Some name)
+           ta true)
+    kinds
+
+let kind_to_string = function
+  | Func -> "func"
+  | Lock -> "lock"
+  | Global -> "global"
+  | Array -> "array"
+
+let kind_of_string = function
+  | "func" -> Some Func
+  | "lock" -> Some Lock
+  | "global" -> Some Global
+  | "array" -> Some Array
+  | _ -> None

@@ -1,0 +1,51 @@
+(** Display names for the entities a trace mentions.
+
+    Events carry only numbers — function indices, lock handles, global
+    slots, array ids — because that is what the analyses index by. The
+    names the programmer wrote ([main], [bank.accounts], [grid]) live in
+    the compiled program, so a trace file on its own cannot print them
+    back. A symbol table carries that mapping alongside the events:
+    both serializers can embed one ([Serialize] as [#kind id name]
+    pragma lines, [Codec] as length-prefixed name records) and both
+    decoders can recover it, making a saved trace self-describing.
+
+    Names are advisory: analyses never consult them, so a trace without
+    a table (every file written before this layer existed) analyzes
+    identically. The text format constrains which names it can write —
+    see {!Serialize.to_string} — while the binary format round-trips
+    arbitrary bytes. *)
+
+type kind =
+  | Func  (** Function index, as in [Event.Enter]/[Exit] and [Loc.func]. *)
+  | Lock  (** Lock handle, as in [Event.Acquire]/[Release]. *)
+  | Global  (** Global slot, as in [Event.Global]. *)
+  | Array  (** Array id, as in [Event.Cell]. *)
+
+type t
+
+val create : unit -> t
+(** An empty table. *)
+
+val set : t -> kind -> int -> string -> unit
+(** [set t kind id name] binds [id]'s display name. Negative ids are
+    rejected ([Invalid_argument]); re-binding overwrites. *)
+
+val find : t -> kind -> int -> string option
+(** The bound name, if any. *)
+
+val is_empty : t -> bool
+(** No bindings at all (such a table serializes to nothing). *)
+
+val iter : t -> (kind -> int -> string -> unit) -> unit
+(** Visit every binding, kinds in declaration order, ids ascending —
+    the canonical serialization order, so equal tables serialize to
+    identical bytes. *)
+
+val equal : t -> t -> bool
+(** Same bindings. *)
+
+val kind_to_string : kind -> string
+(** ["func" | "lock" | "global" | "array"] — the text-format pragma
+    keyword. *)
+
+val kind_of_string : string -> kind option

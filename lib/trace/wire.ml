@@ -1,0 +1,110 @@
+exception Parse_error of string * int
+exception Encode_error of string
+
+let parse_error msg pos = raise (Parse_error (msg, pos))
+
+(* LEB128 over OCaml's 63-bit int. Encoding loops on logical shifts, so
+   negative bit patterns (produced by zigzag of large-magnitude values)
+   terminate after at most ceil(63/7) = 9 bytes. *)
+
+let add_uvarint buf n =
+  if n < 0 then invalid_arg "Wire.add_uvarint: negative";
+  let n = ref n in
+  let continue = ref true in
+  while !continue do
+    let b = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char buf (Char.chr b);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (b lor 0x80))
+  done
+
+(* Zigzag: interleave negatives so small magnitudes encode small. The
+   left shift may drop the top bit of [min_int]; the logical-shift
+   inverse below undoes exactly that, so the mapping is a bijection on
+   the whole 63-bit range. *)
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag z = (z lsr 1) lxor (- (z land 1))
+
+let add_svarint buf n =
+  (* The zigzagged value is re-interpreted as an unsigned bit pattern:
+     encode via logical shifts without the sign check. *)
+  let n = ref (zigzag n) in
+  let continue = ref true in
+  while !continue do
+    let b = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char buf (Char.chr b);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (b lor 0x80))
+  done
+
+let max_varint_bytes = 9
+
+(* The decode hot path: every event record reads at least two of these.
+   The loop is a top-level function over immediate ints — a local [rec]
+   closing over [s]/[pos] would cost a closure allocation per call in
+   classic ocamlopt — and the single-byte case (dense ids, small tids:
+   the overwhelming majority) returns before entering it. The caller's
+   [pos] ref is the only mutable state, written once on exit. *)
+let rec uvarint_loop s len pos base p acc shift =
+  if p >= len then
+    parse_error
+      (Printf.sprintf "truncated varint (byte %d)" (base + len))
+      (base + len);
+  if shift >= 7 * max_varint_bytes then
+    parse_error
+      (Printf.sprintf "over-long varint (byte %d)" (base + p))
+      (base + p);
+  let b = Char.code (String.unsafe_get s p) in
+  let acc = acc lor ((b land 0x7f) lsl shift) in
+  if b land 0x80 = 0 then begin
+    pos := p + 1;
+    acc
+  end
+  else uvarint_loop s len pos base (p + 1) acc (shift + 7)
+
+let read_uvarint s ~pos ~base =
+  let len = String.length s in
+  let p = !pos in
+  if p < len then begin
+    let b = Char.code (String.unsafe_get s p) in
+    if b < 0x80 then begin
+      pos := p + 1;
+      b
+    end
+    else uvarint_loop s len pos base (p + 1) (b land 0x7f) 7
+  end
+  else uvarint_loop s len pos base p 0 0
+
+let read_svarint s ~pos ~base = unzigzag (read_uvarint s ~pos ~base)
+
+let input_uvarint ic ~offset =
+  let rec go acc shift =
+    if shift >= 7 * max_varint_bytes then
+      parse_error
+        (Printf.sprintf "over-long varint (byte %d)" !offset)
+        !offset;
+    let b =
+      (* End_of_file on the first byte passes through untouched: the
+         caller decides whether a clean EOF is legal there. Mid-varint
+         it can only mean truncation. *)
+      if shift = 0 then input_byte ic
+      else begin
+        match input_byte ic with
+        | b -> b
+        | exception End_of_file ->
+            parse_error
+              (Printf.sprintf "stream truncated mid-varint (byte %d)" !offset)
+              !offset
+      end
+    in
+    incr offset;
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go acc (shift + 7)
+  in
+  go 0 0

@@ -1,0 +1,63 @@
+(** Shared wire-format plumbing for the trace codecs.
+
+    Both trace encodings — the line-oriented text format ({!Serialize})
+    and the length-prefixed binary format ({!Codec}) — report malformed
+    input through the one exception defined here, so every consumer
+    (the CLI, the pipeline, tests) can catch trace corruption uniformly
+    without caring which decoder hit it. The integer payload is the
+    {e position} of the failure: a 1-based line number for the text
+    format, an absolute byte offset for the binary one; the message
+    always spells out which it is (["... (line 12)"], ["... (byte
+    8201)"]), so the position is self-describing even through a bare
+    [Printexc] backtrace.
+
+    The varint helpers are the binary format's integer layer: LEB128
+    base-128 with the high bit as continuation, and zigzag mapping for
+    signed fields (small-magnitude negatives stay small). They work on
+    OCaml's native 63-bit [int] and round-trip every value, including
+    [min_int]/[max_int]. *)
+
+exception Parse_error of string * int
+(** [(message, position)] on malformed trace input. [position] is a line
+    number (text format) or a byte offset (binary format); the message
+    states which. Re-exported as [Serialize.Parse_error] and
+    [Codec.Parse_error]. *)
+
+exception Encode_error of string
+(** Raised when a trace cannot be faithfully written in the requested
+    format — e.g. a symbol name the text format would silently corrupt.
+    The message names the escape hatch (the binary format /
+    [coopcheck convert]). *)
+
+val parse_error : string -> int -> 'a
+(** [parse_error msg pos] raises {!Parse_error}. *)
+
+(** {1 Varints} *)
+
+val add_uvarint : Buffer.t -> int -> unit
+(** Append a non-negative int as LEB128 (7 bits per byte, high bit =
+    more). Raises [Invalid_argument] on negatives — those take
+    {!add_svarint}. *)
+
+val add_svarint : Buffer.t -> int -> unit
+(** Append any int, zigzag-mapped ([0, -1, 1, -2, ...] → [0, 1, 2, 3,
+    ...]) then LEB128-encoded, so small negatives cost one byte. *)
+
+val read_uvarint : string -> pos:int ref -> base:int -> int
+(** [read_uvarint s ~pos ~base] decodes the LEB128 int at [!pos],
+    advancing [pos]. [base] is the absolute stream offset of [s.[0]],
+    used only in {!Parse_error} positions. Raises {!Parse_error} on
+    overrun or an over-long (> 63-bit) encoding. *)
+
+val read_svarint : string -> pos:int ref -> base:int -> int
+(** {!read_uvarint} followed by the inverse zigzag mapping. *)
+
+val unzigzag : int -> int
+(** The inverse zigzag mapping on its own, for decoders that inline the
+    byte-fetch fast path and only need the final remap. *)
+
+val input_uvarint : in_channel -> offset:int ref -> int
+(** Read a LEB128 int straight off a channel, advancing [offset] by the
+    bytes consumed. Raises [End_of_file] if the channel ends {e before
+    the first byte}, and {!Parse_error} if it ends mid-varint (a
+    truncated stream) or the encoding is over-long. *)

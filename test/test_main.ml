@@ -12,6 +12,7 @@ let () =
       ("obs", Test_obs.suite);
       ("trace", Test_trace.suite);
       ("trace.serialize", Test_serialize.suite);
+      ("trace.codec", Test_codec.suite);
       ("race.vclock", Test_vclock.suite);
       ("race.detectors", Test_race.suite);
       ("race.lockset", Test_lockset.suite);
