@@ -1652,6 +1652,206 @@ let scaling () =
   Printf.printf "(wrote %s)\n" path
 
 (* ---------------------------------------------------------------------- *)
+(* replay: checkpointed prefix resumption vs the stateless oracles         *)
+(* ---------------------------------------------------------------------- *)
+
+(* Replay elision on the exploration/inference layer: DPOR with the
+   checkpoint store against the stateless `~no_cache:true` oracle
+   (identical behaviour sets, executions and novel steps; only the
+   prefix re-derivation work differs), plus the infer portfolio's shared
+   pre-divergence prefix against its stateless pass. Both engines run at
+   their default budgets. Writes BENCH_replay.json
+   (schema coop-replay/v1), shaped for json-verify, which re-asserts the
+   headline gates: suite-median total-steps reduction >= 3x and
+   wall-clock speedup >= 1.5x for DPOR, every row cross-checked against
+   its oracle. *)
+
+let replay_dpor_cases () =
+  let micro name src = (name, Compile.source src) in
+  let registry name ~threads ~size =
+    let e = Option.get (Registry.find name) in
+    ( Printf.sprintf "%s(t%d s%d)" name threads size,
+      Compile.source (e.Registry.source ~threads ~size) )
+  in
+  [ micro "racy_counter(2x2)" (Micro.racy_counter ~threads:2 ~incs:2);
+    micro "racy_counter(3x1)" (Micro.racy_counter ~threads:3 ~incs:1);
+    micro "locked_counter(2x3)"
+      (Micro.locked_counter ~threads:2 ~incs:3 ~yield_at_loop:false);
+    micro "check_then_act(2)" (Micro.check_then_act ~threads:2);
+    micro "single_transaction(3)" (Micro.single_transaction ~threads:3);
+    registry "bank" ~threads:2 ~size:2 ]
+
+let replay_infer_cases () =
+  let entry name ~threads ~size =
+    let e = Option.get (Registry.find name) in
+    ( Printf.sprintf "%s(t%d s%d)" name threads size,
+      Compile.source (e.Registry.source ~threads ~size) )
+  in
+  [ entry "bank" ~threads:2 ~size:2; entry "philo" ~threads:2 ~size:2 ]
+
+let replay_bench () =
+  let median_of xs =
+    let a = Array.of_list xs in
+    Stats.median a
+  in
+  let dpor_rows =
+    List.map
+      (fun (name, prog) ->
+        let cached = Dpor.run prog in
+        let stateless = Dpor.run ~no_cache:true prog in
+        let cached_s = time_median ~reps:3 (fun () -> Dpor.run prog) in
+        let stateless_s =
+          time_median ~reps:3 (fun () -> Dpor.run ~no_cache:true prog)
+        in
+        (* The oracle contract: the store only changes how prefix states
+           are re-derived, never what is explored. *)
+        let verified =
+          cached.Dpor.complete && stateless.Dpor.complete
+          && Behavior.Set.equal cached.Dpor.behaviors
+               stateless.Dpor.behaviors
+          && cached.Dpor.executions = stateless.Dpor.executions
+          && cached.Dpor.novel_steps = stateless.Dpor.novel_steps
+        in
+        let reduction =
+          float_of_int stateless.Dpor.steps /. float_of_int cached.Dpor.steps
+        in
+        let speedup = stateless_s /. cached_s in
+        Printf.printf
+          "replay dpor %-22s %8d execs, steps %9d -> %8d (%5.2fx), wall \
+           %6s -> %6s ms (%4.2fx)%s\n"
+          name cached.Dpor.executions stateless.Dpor.steps cached.Dpor.steps
+          reduction (ms stateless_s) (ms cached_s) speedup
+          (if verified then "" else "  ORACLE MISMATCH");
+        (name, cached, stateless, cached_s, stateless_s, reduction, speedup,
+         verified))
+      (replay_dpor_cases ())
+  in
+  let infer_rows =
+    List.map
+      (fun (name, prog) ->
+        let pool = Coop_util.Pool.shared () in
+        let cached = Coop_core.Infer.infer ~pool prog in
+        let stateless = Coop_core.Infer.infer ~pool ~no_cache:true prog in
+        let cached_s =
+          time_median ~reps:3 (fun () -> Coop_core.Infer.infer ~pool prog)
+        in
+        let stateless_s =
+          time_median ~reps:3 (fun () ->
+              Coop_core.Infer.infer ~pool ~no_cache:true prog)
+        in
+        let verified =
+          Coop_trace.Loc.Set.equal cached.Coop_core.Infer.yields
+            stateless.Coop_core.Infer.yields
+          && cached.Coop_core.Infer.rounds = stateless.Coop_core.Infer.rounds
+          && List.map
+               (fun (w : Coop_core.Infer.yield_witness) ->
+                 (w.Coop_core.Infer.yw_round, w.Coop_core.Infer.yw_sched))
+               cached.Coop_core.Infer.witnesses
+             = List.map
+                 (fun (w : Coop_core.Infer.yield_witness) ->
+                   (w.Coop_core.Infer.yw_round, w.Coop_core.Infer.yw_sched))
+                 stateless.Coop_core.Infer.witnesses
+        in
+        let speedup = stateless_s /. cached_s in
+        Printf.printf
+          "replay infer %-21s %2d rounds, %7d events (+%7d elided), wall \
+           %6s -> %6s ms (%4.2fx)%s\n"
+          name cached.Coop_core.Infer.rounds
+          cached.Coop_core.Infer.events_analyzed
+          cached.Coop_core.Infer.elided_events (ms stateless_s) (ms cached_s)
+          speedup
+          (if verified then "" else "  ORACLE MISMATCH");
+        (name, cached, stateless, cached_s, stateless_s, speedup, verified))
+      (replay_infer_cases ())
+  in
+  let table =
+    Table.create
+      ~headers:
+        [ ("workload", Table.Left); ("executions", Table.Right);
+          ("stateless steps", Table.Right); ("cached steps", Table.Right);
+          ("reduction", Table.Right); ("wall speedup", Table.Right);
+          ("oracle", Table.Right) ]
+  in
+  List.iter
+    (fun (name, (c : Dpor.result), (s : Dpor.result), _, _, red, sp, ok) ->
+      Table.add_row table
+        [ name; string_of_int c.Dpor.executions;
+          string_of_int s.Dpor.steps; string_of_int c.Dpor.steps;
+          Printf.sprintf "%.2fx" red; Printf.sprintf "%.2fx" sp;
+          (if ok then "ok" else "MISMATCH") ])
+    dpor_rows;
+  Table.print
+    ~title:"Replay elision: DPOR with checkpoints vs the stateless oracle"
+    table;
+  let median_reduction =
+    median_of
+      (List.map (fun (_, _, _, _, _, red, _, _) -> red) dpor_rows)
+  in
+  let median_speedup =
+    median_of (List.map (fun (_, _, _, _, _, _, sp, _) -> sp) dpor_rows)
+  in
+  Printf.printf
+    "replay: dpor suite median steps reduction %.2fx (gate 3x), median wall \
+     speedup %.2fx (gate 1.5x)\n"
+    median_reduction median_speedup;
+  let dpor_json =
+    List.map
+      (fun (name, (c : Dpor.result), (s : Dpor.result), cs, ss, red, sp, ok)
+         ->
+        Json.Obj
+          [ ("name", Json.String name);
+            ("executions", Json.Int c.Dpor.executions);
+            ("cached_steps", Json.Int c.Dpor.steps);
+            ("novel_steps", Json.Int c.Dpor.novel_steps);
+            ("replayed_steps", Json.Int c.Dpor.replayed_steps);
+            ("cache_hits", Json.Int c.Dpor.cache_hits);
+            ("stateless_steps", Json.Int s.Dpor.steps);
+            ("cached_seconds", Json.Float cs);
+            ("stateless_seconds", Json.Float ss);
+            ("steps_reduction", Json.Float red);
+            ("speedup", Json.Float sp);
+            ("verified", Json.Bool ok) ])
+      dpor_rows
+  in
+  let infer_json =
+    List.map
+      (fun ( name,
+             (c : Coop_core.Infer.result),
+             (s : Coop_core.Infer.result),
+             cs, ss, sp, ok ) ->
+        Json.Obj
+          [ ("name", Json.String name);
+            ("rounds", Json.Int c.Coop_core.Infer.rounds);
+            ("events_analyzed", Json.Int c.Coop_core.Infer.events_analyzed);
+            ("prefix_events", Json.Int c.Coop_core.Infer.prefix_events);
+            ("elided_events", Json.Int c.Coop_core.Infer.elided_events);
+            ("cache_hits", Json.Int c.Coop_core.Infer.cache_hits);
+            ("stateless_events", Json.Int s.Coop_core.Infer.events_analyzed);
+            ("cached_seconds", Json.Float cs);
+            ("stateless_seconds", Json.Float ss);
+            ("speedup", Json.Float sp);
+            ("verified", Json.Bool ok) ])
+      infer_rows
+  in
+  let json =
+    Json.Obj
+      [ ("experiment", Json.String "replay");
+        ("schema", Json.String "coop-replay/v1");
+        ("jobs", Json.Int (Coop_util.Pool.default_jobs ()));
+        ("dpor", Json.List dpor_json);
+        ("infer", Json.List infer_json);
+        ("summary",
+         Json.Obj
+           [ ("median_steps_reduction", Json.Float median_reduction);
+             ("median_speedup", Json.Float median_speedup) ]) ]
+  in
+  let path = match !json_out with Some p -> p | None -> "BENCH_replay.json" in
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  close_out oc;
+  Printf.printf "(wrote %s)\n" path
+
+(* ---------------------------------------------------------------------- *)
 (* JSON validation (the CI gate for the machine-readable output)           *)
 (* ---------------------------------------------------------------------- *)
 
@@ -2204,6 +2404,100 @@ let json_verify path =
     Printf.printf "json-verify: %s ok (coop-witness/v1 %s, %d witness(es))\n"
       path command counted
   in
+  (* coop-replay/v1: replay-elision results. Every DPOR row must be
+     verified against its stateless oracle and internally consistent
+     (cached steps = novel + replayed), and the suite medians must clear
+     the headline gates: total-steps reduction >= 3x and wall-clock
+     speedup >= 1.5x at default budgets. *)
+  let verify_replay () =
+    check_jobs ();
+    let rows field =
+      match Json.member field json with
+      | Some (Json.List (_ :: _ as rs)) -> rs
+      | Some (Json.List []) -> fail (Printf.sprintf "empty %S array" field)
+      | _ -> fail (Printf.sprintf "missing %S array" field)
+    in
+    let int_field ctx r field =
+      match Json.member field r with
+      | Some (Json.Int n) when n >= 0 -> n
+      | _ -> fail (Printf.sprintf "%s: missing non-negative %S" ctx field)
+    in
+    let float_field ctx r field =
+      match Option.bind (Json.member field r) Json.to_float with
+      | Some v when v > 0. && Float.is_finite v -> v
+      | _ -> fail (Printf.sprintf "%s: missing positive %S" ctx field)
+    in
+    let check_verified ctx r =
+      match Json.member "verified" r with
+      | Some (Json.Bool true) -> ()
+      | _ ->
+          fail (ctx ^ ": cached run not verified against its stateless oracle")
+    in
+    let dpor = rows "dpor" in
+    let measured =
+      List.map
+        (fun r ->
+          let ctx = "dpor " ^ name_of r in
+          check_verified ctx r;
+          let cached = int_field ctx r "cached_steps" in
+          let novel = int_field ctx r "novel_steps" in
+          let replayed = int_field ctx r "replayed_steps" in
+          if cached <> novel + replayed then
+            fail (ctx ^ ": cached_steps is not novel_steps + replayed_steps");
+          let stateless = int_field ctx r "stateless_steps" in
+          if cached < 1 || stateless < 1 then
+            fail (ctx ^ ": empty exploration");
+          ignore (int_field ctx r "executions");
+          ignore (int_field ctx r "cache_hits");
+          ignore (float_field ctx r "cached_seconds");
+          ignore (float_field ctx r "stateless_seconds");
+          let red = float_field ctx r "steps_reduction" in
+          if
+            Float.abs
+              (red -. (float_of_int stateless /. float_of_int cached))
+            > 1e-6
+          then fail (ctx ^ ": steps_reduction disagrees with the counters");
+          (red, float_field ctx r "speedup"))
+        dpor
+    in
+    List.iter
+      (fun r ->
+        let ctx = "infer " ^ name_of r in
+        check_verified ctx r;
+        ignore (int_field ctx r "events_analyzed");
+        ignore (int_field ctx r "prefix_events");
+        ignore (int_field ctx r "elided_events");
+        ignore (int_field ctx r "cache_hits");
+        ignore (float_field ctx r "cached_seconds");
+        ignore (float_field ctx r "stateless_seconds");
+        ignore (float_field ctx r "speedup"))
+      (rows "infer");
+    let median xs = Coop_util.Stats.median (Array.of_list xs) in
+    let mr = median (List.map fst measured) in
+    let msp = median (List.map snd measured) in
+    (match Json.member "summary" json with
+    | Some summary ->
+        List.iter
+          (fun (field, recomputed) ->
+            match Option.bind (Json.member field summary) Json.to_float with
+            | Some v when Float.abs (v -. recomputed) <= 1e-6 -> ()
+            | Some _ -> fail ("summary " ^ field ^ " disagrees with the rows")
+            | None -> fail ("summary without " ^ field))
+          [ ("median_steps_reduction", mr); ("median_speedup", msp) ]
+    | None -> fail "missing \"summary\" object");
+    if mr < 3.0 then
+      fail
+        (Printf.sprintf
+           "median steps reduction %.2fx below the 3x replay-elision gate" mr);
+    if msp < 1.5 then
+      fail
+        (Printf.sprintf
+           "median wall-clock speedup %.2fx below the 1.5x gate" msp);
+    Printf.printf
+      "json-verify: %s ok (coop-replay/v1, %d dpor rows, median reduction \
+       %.2fx, median speedup %.2fx)\n"
+      path (List.length dpor) mr msp
+  in
   match json with
   | Json.List events -> verify_chrome_trace events
   | _ -> (
@@ -2214,13 +2508,16 @@ let json_verify path =
       | Some (Json.String "pool"), _ -> verify_pool ()
       | Some (Json.String "analysis_scaling"), _ -> verify_scaling ()
       | Some (Json.String "codec"), _ -> verify_codec ()
+      | Some (Json.String "replay"), _ -> verify_replay ()
+      | _, Some (Json.String "coop-replay/v1") -> verify_replay ()
       | _, Some (Json.String "coop-obs/v1") -> verify_obs_snapshot ()
       | _, Some (Json.String "coop-witness/v1") -> verify_witness ()
       | _ ->
           fail
             "unrecognized document (want \
-             experiment=table3|profile|vclock|pool|analysis_scaling|codec, \
-             schema=coop-obs/v1|coop-witness/v1, or a trace_event array)")
+             experiment=table3|profile|vclock|pool|analysis_scaling|codec|replay, \
+             schema=coop-obs/v1|coop-witness/v1|coop-replay/v1, or a \
+             trace_event array)")
 
 (* ---------------------------------------------------------------------- *)
 (* Driver                                                                  *)
@@ -2231,7 +2528,7 @@ let all = [ ("table1", table1); ("table2", table2); ("table3", table3);
             ("fig3", fig3); ("ablations", ablations); ("micro", micro);
             ("vclock", vclock); ("pool", pool_bench);
             ("scaling", scaling); ("alloc-smoke", alloc_smoke);
-            ("codec", codec_bench) ]
+            ("codec", codec_bench); ("replay", replay_bench) ]
 
 let usage () =
   Printf.eprintf

@@ -103,10 +103,40 @@ let sched_arg =
         ~doc:
           "Scheduler: random[:seed], rr[:quantum], cooperative, sequential.")
 
+(* Exploration budgets (--max-steps, --max-states, --max-executions,
+   --max-depth, --max-segment) share the --jobs/--shards raw-string
+   funnel: 0, negatives and garbage all exit 2 with the same error shape
+   instead of cmdliner's own exit 124. *)
+let bad_budget_arg flag arg =
+  Printf.eprintf
+    "coopcheck: invalid %s argument %S: --%s wants a positive integer\n" flag
+    arg flag;
+  exit 2
+
+let parse_budget ~flag = function
+  | None -> None
+  | Some s -> (
+      match Coop_util.Pool.parse_jobs s with
+      | Some n -> Some n
+      | None -> bad_budget_arg flag s)
+
+(* A validated budget option as an [int Term.t] (or [int option Term.t]
+   without a default), so call sites stay oblivious to the raw-string
+   plumbing. *)
+let budget_opt_term ~flag ~doc =
+  let name = flag in
+  let arg =
+    Arg.(value & opt (some string) None & info [ name ] ~docv:"N" ~doc)
+  in
+  Term.(const (fun s -> parse_budget ~flag s) $ arg)
+
+let budget_term ~flag ~default ~doc =
+  Term.(
+    const (fun s -> Option.value s ~default) $ budget_opt_term ~flag ~doc)
+
 let max_steps_arg =
-  Arg.(
-    value & opt int 10_000_000
-    & info [ "max-steps" ] ~docv:"N" ~doc:"Step budget before giving up.")
+  budget_term ~flag:"max-steps" ~default:10_000_000
+    ~doc:"Step budget before giving up."
 
 let two_pass_arg =
   Arg.(
@@ -925,8 +955,58 @@ let infer_from_trace ~wmode file =
            [ ("rounds", Json.Int 0); ("yields", Json.List yields_json) ])
   | _ -> ()
 
+(* --no-cache / --stats are shared by explore and infer: both drive the
+   same replay-elision checkpoint machinery. *)
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the replay-elision checkpoint store and re-derive every \
+           prefix from the initial state (the stateless differential \
+           oracle). Identical results, more re-executed work.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "After the report, print a replay-elision table: executions, \
+           novel vs replayed steps, cache hit rate and peak checkpoint \
+           bytes.")
+
+(* The replay-elision statistics table. [rows] carries the command's own
+   counters; hit rate and peak bytes come from the checkpoint store
+   (when caching was on). *)
+let print_replay_stats ~title rows ckpt =
+  let t =
+    Coop_util.Table.create
+      ~headers:
+        [ ("metric", Coop_util.Table.Left); ("value", Coop_util.Table.Right) ]
+  in
+  List.iter (fun (k, v) -> Coop_util.Table.add_row t [ k; v ]) rows;
+  (match ckpt with
+  | None ->
+      Coop_util.Table.add_row t [ "cache hit rate"; "off" ];
+      Coop_util.Table.add_row t [ "peak checkpoint bytes"; "0" ]
+  | Some s ->
+      let total = s.Coop_util.Ckpt_cache.hits + s.Coop_util.Ckpt_cache.misses in
+      let rate =
+        if total = 0 then "n/a"
+        else
+          Printf.sprintf "%.1f%%"
+            (100. *. float_of_int s.Coop_util.Ckpt_cache.hits
+            /. float_of_int total)
+      in
+      Coop_util.Table.add_row t [ "cache hit rate"; rate ];
+      Coop_util.Table.add_row t
+        [ "peak checkpoint bytes";
+          string_of_int s.Coop_util.Ckpt_cache.peak_bytes ]);
+  Coop_util.Table.print ~title t
+
 let infer_cmd =
-  let action spec threads size max_steps jobs witness profile from_trace =
+  let action spec threads size max_steps max_executions max_depth max_segment
+      no_cache stats jobs witness profile from_trace =
     profile_setup profile;
     let wmode = witness_mode_of witness in
     match from_trace with
@@ -942,7 +1022,28 @@ let infer_cmd =
           exit 2
     in
     let pool = pool_of_jobs jobs in
-    let inf = Coop_core.Infer.infer ~pool ~max_steps prog in
+    (* Budget mapping for the inference engine: --max-executions caps the
+       total portfolio runs (rounded down to whole rounds, at least one);
+       --max-depth bounds the transitions of any single run, tightening
+       --max-steps. --max-segment has nothing to bound here — inference
+       streams at instruction granularity, so there is no invisible
+       prefix — but it is validated uniformly with explore. *)
+    ignore (max_segment : int option);
+    let max_rounds =
+      Option.map
+        (fun n ->
+          max 1 (n / List.length Coop_core.Infer.default_portfolio))
+        max_executions
+    in
+    let max_steps =
+      match max_depth with None -> max_steps | Some d -> min max_steps d
+    in
+    let ckpt =
+      if no_cache then None else Some (Coop_core.Infer.prefix_cache ())
+    in
+    let inf =
+      Coop_core.Infer.infer ~pool ?max_rounds ~max_steps ~no_cache ?ckpt prog
+    in
     Format.printf "initial violations: %d@."
       inf.Coop_core.Infer.initial_violations;
     Format.printf "inference rounds: %d@." inf.Coop_core.Infer.rounds;
@@ -992,6 +1093,20 @@ let infer_cmd =
         prog
     in
     Format.printf "%a@." Coop_core.Metrics.pp m;
+    if stats then begin
+      let executions =
+        inf.Coop_core.Infer.rounds
+        * List.length Coop_core.Infer.default_portfolio
+      in
+      print_replay_stats ~title:"replay elision (infer)"
+        [ ("rounds", string_of_int inf.Coop_core.Infer.rounds);
+          ("schedule executions", string_of_int executions);
+          ("events analyzed", string_of_int inf.Coop_core.Infer.events_analyzed);
+          ("prefix events", string_of_int inf.Coop_core.Infer.prefix_events);
+          ("elided events", string_of_int inf.Coop_core.Infer.elided_events);
+          ("cache hits", string_of_int inf.Coop_core.Infer.cache_hits) ]
+        (Option.map Coop_util.Ckpt_cache.stats ckpt)
+    end;
     profile_emit profile
   in
   Cmd.v
@@ -1001,7 +1116,21 @@ let infer_cmd =
           report the violation locations of the recorded execution as the \
           round-0 yield set (no re-execution, so no fixpoint or metrics).")
     Term.(const action $ opt_prog_arg $ threads_arg $ size_arg $ max_steps_arg
-          $ jobs_arg $ witness_arg $ profile_term $ from_trace_arg)
+          $ budget_opt_term ~flag:"max-executions"
+              ~doc:
+                "Cap the total portfolio schedule executions across \
+                 inference rounds (rounded down to whole rounds)."
+          $ budget_opt_term ~flag:"max-depth"
+              ~doc:
+                "Transition budget for any single portfolio run (tightens \
+                 --max-steps)."
+          $ budget_opt_term ~flag:"max-segment"
+              ~doc:
+                "Invisible-prefix fuel, validated uniformly with explore; \
+                 the inference engine streams at instruction granularity, \
+                 so the value is otherwise unused."
+          $ no_cache_arg $ stats_arg $ jobs_arg $ witness_arg $ profile_term
+          $ from_trace_arg)
 
 (* --- atomize ------------------------------------------------------------ *)
 
@@ -1079,7 +1208,8 @@ let atomize_cmd =
 (* --- explore ------------------------------------------------------------ *)
 
 let explore_cmd =
-  let action spec threads size max_states with_inferred use_dpor jobs profile =
+  let action spec threads size max_states max_executions max_depth max_segment
+      with_inferred use_dpor no_cache stats jobs profile =
     profile_setup profile;
     let prog = load ~threads ~size spec in
     let pool = pool_of_jobs jobs in
@@ -1088,30 +1218,68 @@ let explore_cmd =
         (Coop_core.Infer.infer ~pool prog).Coop_core.Infer.yields
       else Coop_trace.Loc.Set.empty
     in
+    (* One explicit store per invocation so --stats can read its counters
+       afterwards; omitted entirely when the oracle path is requested. *)
+    let ckpt = if no_cache then None else Some (Dpor.default_cache ()) in
     if use_dpor then begin
-      let r = Dpor.run ~pool ~yields ~max_executions:max_states prog in
+      (* DPOR counts executions, not states: --max-executions defaults to
+         the --max-states budget, as before the flags were split. *)
+      let max_executions = Option.value max_executions ~default:max_states in
+      let r =
+        Dpor.run ~pool ~yields ~max_executions ?max_depth ?max_segment
+          ~no_cache ?ckpt prog
+      in
       Format.printf "dpor: %d executions, %d transitions, complete=%b@."
         r.Dpor.executions r.Dpor.steps r.Dpor.complete;
       Behavior.Set.iter
         (fun b -> Format.printf "  %a@." Behavior.pp b)
-        r.Dpor.behaviors
+        r.Dpor.behaviors;
+      if stats then
+        print_replay_stats ~title:"replay elision (dpor)"
+          [ ("executions", string_of_int r.Dpor.executions);
+            ("novel steps", string_of_int r.Dpor.novel_steps);
+            ("replayed steps", string_of_int r.Dpor.replayed_steps);
+            ("total steps", string_of_int r.Dpor.steps);
+            ("cache hits", string_of_int r.Dpor.cache_hits) ]
+          (Option.map Coop_util.Ckpt_cache.stats ckpt)
     end
     else begin
-      let v = Coop_core.Equivalence.compare ~pool ~yields ~max_states prog in
+      ignore (max_executions : int option);
+      ignore (max_depth : int option);
+      let v =
+        Coop_core.Equivalence.compare ~pool ~yields ~max_states ?max_segment
+          ~no_cache ?ckpt prog
+      in
       Format.printf "%a@." Coop_core.Equivalence.pp v;
       Behavior.Set.iter
         (fun b -> Format.printf "  preemptive:  %a@." Behavior.pp b)
         v.Coop_core.Equivalence.preemptive.Explore.behaviors;
       Behavior.Set.iter
         (fun b -> Format.printf "  cooperative: %a@." Behavior.pp b)
-        v.Coop_core.Equivalence.cooperative.Explore.behaviors
+        v.Coop_core.Equivalence.cooperative.Explore.behaviors;
+      if stats then begin
+        let pre = v.Coop_core.Equivalence.preemptive in
+        let coop = v.Coop_core.Equivalence.cooperative in
+        print_replay_stats ~title:"replay elision (explore)"
+          [ ("states (preemptive)", string_of_int pre.Explore.states);
+            ("states (cooperative)", string_of_int coop.Explore.states);
+            ( "novel steps",
+              string_of_int
+                (pre.Explore.novel_steps + coop.Explore.novel_steps) );
+            ( "replayed steps",
+              string_of_int
+                (pre.Explore.replayed_steps + coop.Explore.replayed_steps) );
+            ( "cache hits",
+              string_of_int (pre.Explore.cache_hits + coop.Explore.cache_hits)
+            ) ]
+          (Option.map Coop_util.Ckpt_cache.stats ckpt)
+      end
     end;
     profile_emit profile
   in
   let max_states_arg =
-    Arg.(
-      value & opt int 200_000
-      & info [ "max-states" ] ~docv:"N" ~doc:"State budget for exploration.")
+    budget_term ~flag:"max-states" ~default:200_000
+      ~doc:"State budget for exploration."
   in
   let with_inferred_arg =
     Arg.(
@@ -1131,7 +1299,18 @@ let explore_cmd =
     (Cmd.info "explore"
        ~doc:"Enumerate behaviours under preemptive vs cooperative scheduling.")
     Term.(const action $ prog_arg $ threads_arg $ size_arg $ max_states_arg
-          $ with_inferred_arg $ dpor_arg $ jobs_arg $ profile_term)
+          $ budget_opt_term ~flag:"max-executions"
+              ~doc:
+                "Execution budget for the DPOR explorer (defaults to the \
+                 --max-states value)."
+          $ budget_opt_term ~flag:"max-depth"
+              ~doc:"Transition budget per DPOR execution (default 10_000)."
+          $ budget_opt_term ~flag:"max-segment"
+              ~doc:
+                "Invisible-instruction fuel per scheduling decision \
+                 (default 100_000)."
+          $ with_inferred_arg $ dpor_arg $ no_cache_arg $ stats_arg
+          $ jobs_arg $ profile_term)
 
 (* --- static ------------------------------------------------------------- *)
 

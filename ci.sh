@@ -69,6 +69,29 @@ dune exec bin/coopcheck.exe -- check --trace - \
   < _build/ci-diff.ctr > _build/ci-diff-pipe.out || [ $? -eq 1 ]
 cmp _build/ci-diff-text.out _build/ci-diff-pipe.out
 
+echo "== replay differential (checkpointed vs stateless, identical output) =="
+# Replay elision must not change what is explored or inferred: cached and
+# stateless (--no-cache) runs must produce identical behaviour sets,
+# yield sets and witness documents. Only explore's "dpor:" counter line
+# legitimately differs (the stateless oracle replays more transitions),
+# so it is stripped before the byte-for-byte compare.
+dune exec bin/coopcheck.exe -- explore bank -t 2 -s 2 --dpor \
+  > _build/ci-replay-cached.out
+dune exec bin/coopcheck.exe -- explore bank -t 2 -s 2 --dpor --no-cache \
+  > _build/ci-replay-stateless.out
+grep -v '^dpor:' _build/ci-replay-cached.out > _build/ci-replay-cached.cmp
+grep -v '^dpor:' _build/ci-replay-stateless.out \
+  > _build/ci-replay-stateless.cmp
+cmp _build/ci-replay-cached.cmp _build/ci-replay-stateless.cmp
+dune exec bin/coopcheck.exe -- infer philo -t 2 -s 2 \
+  --witness json:_build/ci-replay-infer-cached.json \
+  > _build/ci-replay-infer-cached.out
+dune exec bin/coopcheck.exe -- infer philo -t 2 -s 2 --no-cache \
+  --witness json:_build/ci-replay-infer-stateless.json \
+  > _build/ci-replay-infer-stateless.out
+cmp _build/ci-replay-infer-cached.out _build/ci-replay-infer-stateless.out
+cmp _build/ci-replay-infer-cached.json _build/ci-replay-infer-stateless.json
+
 echo "== bench smoke (table1) =="
 dune exec bench/main.exe -- table1
 
@@ -97,6 +120,10 @@ echo "== codec bench smoke (text vs binary throughput, json-verified) =="
 dune exec bench/main.exe -- codec --only philo,crypt \
   --json _build/ci-codec.json
 dune exec bench/main.exe -- json-verify _build/ci-codec.json
+
+echo "== replay bench smoke (checkpointed vs stateless dpor, json-verified) =="
+dune exec bench/main.exe -- replay --json _build/ci-replay.json
+dune exec bench/main.exe -- json-verify _build/ci-replay.json
 
 echo "== profile smoke (--profile-json / --chrome-trace, 2 workloads) =="
 # coopcheck check exits 1 when the workload has violations; the profile

@@ -97,6 +97,22 @@ let analysis ?local_locks ~racy () =
     ~step:(fun e -> ignore (step ?local_locks t ~racy e))
     ~finalize:(fun () -> violations t)
 
+(* Checkpoint of the online driver: the engine (live transactions keyed
+   by uid), the retired-violation accumulator, the open-transaction slot
+   per dense tid (as uids) and the position counter. The interner rides
+   along so the whole fused stack restores consistently even when this
+   component is resumed first. *)
+type online_snapshot = {
+  os_itn : Interner.snapshot;
+  os_eng : unit Online.snapshot;
+  os_acc : Online.viol list;
+  os_cur : int array;  (* dense tid -> open txn uid, -1 = none *)
+  os_seq : int;
+}
+
+let online_key : online_snapshot Analysis.Key.t =
+  Analysis.Key.create "automaton-online"
+
 (* Single-pass variant: each thread's yield-to-yield segment becomes one
    engine transaction, classified optimistically and repaired when facts
    arrive. Per-transaction machines starting in Pre are equivalent to the
@@ -154,7 +170,33 @@ let online_analysis ?mark ~interner ~subscribe () =
            { tid = v.vtid; loc = v.vloc; op = v.vop; mover = v.vmover;
              cause = v.vcause })
   in
-  Analysis.make ~step ~finalize
+  let save () =
+    let roots =
+      Array.to_list !current |> List.filter_map (fun slot -> slot)
+    in
+    {
+      os_itn = Interner.snapshot interner;
+      os_eng = Online.snapshot ~roots engine;
+      os_acc = !acc;
+      os_cur =
+        Array.map
+          (function Some txn -> Online.txn_uid txn | None -> -1)
+          !current;
+      os_seq = !seq;
+    }
+  in
+  let load s =
+    Interner.restore interner s.os_itn;
+    let tbl = Online.restore engine s.os_eng in
+    acc := s.os_acc;
+    seq := s.os_seq;
+    current :=
+      Array.map
+        (fun uid -> if uid < 0 then None else Hashtbl.find_opt tbl uid)
+        s.os_cur
+  in
+  Analysis.snapshottable ~key:online_key ~save ~load
+    (Analysis.make ~step ~finalize)
 
 let pp_violation ppf v =
   Format.fprintf ppf "t%d needs a yield before %a at %a (%a in post-commit)"

@@ -80,7 +80,11 @@ val online_analysis :
     knowledge, in trace order. [interner] must be the chain's shared
     interner — the same one the publishing race detector uses — and
     every event must be noted on it upstream ({!Interner.analysis}).
-    [mark] as in {!Online.create}. *)
+    [mark] as in {!Online.create}. Snapshottable via
+    {!Analysis.snapshot} / {!Analysis.resume}: the packet deep-copies
+    the engine, the open-transaction slots, the accumulator {e and} the
+    shared interner, so resuming restores the whole fused stack's id
+    space consistently. *)
 
 val pp_violation : Format.formatter -> violation -> unit
 (** Human-readable description, e.g.

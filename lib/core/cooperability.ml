@@ -111,6 +111,13 @@ let online_chain ?(witness = false) ~mark () =
 let result_of ((), ((races, events), violations)) =
   { violations; races; racy = Coop_race.Report.racy_vars races; events }
 
+(* Every component of the online chain — interner, detector, event
+   counter, engine-backed automaton — is snapshottable, so the mapped
+   analysis is too; replay elision leans on that to park a shared
+   prefix once and resume it per schedule. *)
+let online_analysis ?witness () =
+  Analysis.map result_of (online_chain ?witness ~mark:(ref 0.) ())
+
 let check_sharded ?witness ~shards source =
   let o = Sharded.run ?witness ~shards source in
   {

@@ -88,6 +88,16 @@ val violation_locs : Automaton.violation list -> Loc.Set.t
 val cooperable : result -> bool
 (** No violations. *)
 
+val online_analysis : ?witness:bool -> unit -> result Analysis.t
+(** The fused single-pass chain (interner, race detector, event counter,
+    fact-fed automaton) as one analysis finalizing to a {!result}.
+    Unlike {!online} it exposes the {!Analysis.t} itself, and every
+    component is snapshottable — {!Analysis.snapshot} on one instance
+    and {!Analysis.resume} on a fresh one restores the exact mid-stream
+    state (id space, clocks, open transactions, counters), which is what
+    lets inference analyze a shared schedule prefix once and fork the
+    checker per schedule. [witness] as in {!check_source}. *)
+
 val online : unit -> Trace.Sink.t * (unit -> result)
 (** A truly online variant of the single-pass engine: a sink to attach to
     a single live run and a function to finish the analysis. Each event

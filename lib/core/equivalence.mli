@@ -21,12 +21,17 @@ val compare :
   ?pool:Coop_util.Pool.t ->
   ?yields:Loc.Set.t ->
   ?max_states:int ->
+  ?max_segment:int ->
+  ?no_cache:bool ->
+  ?ckpt:Coop_runtime.Vm.state Coop_util.Ckpt_cache.t ->
   Coop_lang.Bytecode.program ->
   verdict
 (** [compare ?yields prog] explores both semantics with the same injected
     yield set. With a [pool] the two explorations run concurrently and
     each shards its frontier across the pool (see {!Explore.run}); the
-    verdict is unchanged. *)
+    verdict is unchanged. [max_segment], [no_cache] and [ckpt] are passed
+    through to both {!Explore.run} calls — a shared [ckpt] store lets the
+    caller read frontier-checkpoint statistics afterwards. *)
 
 val pp : Format.formatter -> verdict -> unit
 (** One-line summary with behaviour counts and state counts. *)

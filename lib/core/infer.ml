@@ -14,8 +14,140 @@ type result = {
   initial_violations : int;
   final_check_violations : int;
   events_analyzed : int;
+  prefix_events : int;
+  elided_events : int;
+  cache_hits : int;
   witnesses : yield_witness list;
 }
+
+(* The shared pre-divergence prefix of one round: as long as exactly one
+   thread is runnable the schedule cannot matter, so every portfolio
+   member executes the same step sequence and feeds the checker the same
+   events. The prefix is executed and analyzed once; each schedule then
+   fast-forwards a fresh scheduler over the recorded picks (restoring
+   its internal RNG/quantum/priority state), resumes a fresh checker
+   from the analysis snapshot and runs only the divergent tail. *)
+type prefix = {
+  ck_state : Vm.state;  (* state at the divergence point *)
+  ck_last : int option;  (* last tid picked in the prefix *)
+  ck_steps : int;  (* VM steps executed in the prefix *)
+  ck_events : int;  (* events the prefix fed the checker *)
+  ck_tids : int array;  (* the forced pick at each prefix step *)
+  ck_flags : bool array;  (* last_yielded visible at each pick *)
+  ck_snap : Analysis.snapshot;  (* checker state at the divergence point *)
+}
+
+let prefix_weight p =
+  (* The VM state plus the recorded picks; the analysis snapshot's
+     footprint scales with the same state, folded into the factor. *)
+  8 * ((2 * Vm.approx_words p.ck_state) + (2 * Array.length p.ck_tids) + 256)
+
+let prefix_cache () = Coop_util.Ckpt_cache.create ~weight:prefix_weight ()
+
+(* Distinguishes keys of infer calls sharing one store (the key proper
+   only encodes yields and the step budget, not the program). *)
+let infer_nonce = Atomic.make 0
+
+let yields_key yields =
+  Loc.Set.elements yields
+  |> List.map (fun l -> Format.asprintf "%a" Loc.pp l)
+  |> String.concat ","
+
+let compute_prefix ~yields ~max_steps prog =
+  let proto = Cooperability.online_analysis () in
+  let events = ref 0 in
+  let sink e =
+    incr events;
+    Analysis.step proto e
+  in
+  let tids = ref [] in
+  let flags = ref [] in
+  let rec go st last steps =
+    if steps >= max_steps then (st, last, steps)
+    else begin
+      match Vm.runnable st with
+      | [ tid ] ->
+          flags := Vm.last_step_yielded st :: !flags;
+          tids := tid :: !tids;
+          let st = Vm.step ~yields st tid ~sink in
+          go st (Some tid) (steps + 1)
+      | _ -> (st, last, steps)
+    end
+  in
+  let st, last, steps = go (Vm.init prog) None 0 in
+  Coop_obs.count "vm/steps" steps;
+  Coop_obs.count "vm/events" !events;
+  let snap =
+    match Analysis.snapshot proto with
+    | Some s -> s
+    | None -> assert false  (* the online chain is snapshottable *)
+  in
+  {
+    ck_state = st;
+    ck_last = last;
+    ck_steps = steps;
+    ck_events = !events;
+    ck_tids = Array.of_list (List.rev !tids);
+    ck_flags = Array.of_list (List.rev !flags);
+    ck_snap = snap;
+  }
+
+(* Replay the recorded prefix contexts through a fresh scheduler so its
+   internal state (RNG draws, quantum counters, PCT priorities) ends up
+   exactly as if it had scheduled the prefix itself. Sound because the
+   prefix's runnable set was a singleton at every pick — the recorded
+   context is the context the scheduler would have seen — and because no
+   built-in scheduler reads [ctx.state] (custom portfolio schedulers
+   that do must run with [~no_cache:true]). *)
+let fast_forward pre (sched : Sched.t) =
+  Array.iteri
+    (fun i tid ->
+      let ctx =
+        {
+          Sched.state = pre.ck_state;
+          runnable = [ tid ];
+          last = (if i = 0 then None else Some pre.ck_tids.(i - 1));
+          last_yielded = pre.ck_flags.(i);
+        }
+      in
+      ignore (sched.Sched.pick ctx))
+    pre.ck_tids
+
+(* The continuation of [Runner.run_raw] from the divergence point:
+   identical loop, started from the prefix's state, last pick and step
+   count, so prefix + tail reproduces the full run step for step. The
+   [vm/run:*] span and step/event counters mirror [Runner.run]'s, so the
+   "one VM execution per schedule" telemetry accounting still holds —
+   the tail is this schedule's (partial) execution. *)
+let run_tail ~yields ~max_steps ~sched ~sink pre =
+  let raw sink =
+    let rec loop st last steps =
+      if steps >= max_steps then steps
+      else begin
+        match Vm.runnable st with
+        | [] -> steps
+        | runnable ->
+            let ctx =
+              { Sched.state = st; runnable; last;
+                last_yielded = Vm.last_step_yielded st }
+            in
+            let tid = sched.Sched.pick ctx in
+            loop (Vm.step ~yields st tid ~sink) (Some tid) (steps + 1)
+      end
+    in
+    loop pre.ck_state pre.ck_last pre.ck_steps
+  in
+  if not (Coop_obs.enabled ()) then ignore (raw sink)
+  else
+    Coop_obs.span ("vm/run:" ^ sched.Sched.name) (fun () ->
+        let events = ref 0 in
+        let steps =
+          raw (fun e ->
+              incr events;
+              sink e)
+        in
+        Coop_obs.count "vm/steps" (steps - pre.ck_steps);
+        Coop_obs.count "vm/events" !events)
 
 (* Each entry is a factory minting a fresh, identically seeded scheduler
    instance per call. The single-pass checker consumes one execution, but
@@ -43,7 +175,8 @@ let default_portfolio =
    independent (fresh VM + fresh scheduler each), so they fan out across
    the pool; the merge below preserves run order, making the result
    bit-identical to the sequential pass. *)
-let portfolio_pass ?two_pass ~pool ~portfolio ~max_steps ~yields prog =
+let portfolio_pass ?two_pass ?cache ?(ckpt_base = "infer:") ~pool ~portfolio
+    ~max_steps ~yields prog =
   let factories = Array.of_list portfolio in
   let one i =
     (* A span per schedule, recorded on whichever pool domain ran it — the
@@ -59,28 +192,92 @@ let portfolio_pass ?two_pass ~pool ~portfolio ~max_steps ~yields prog =
         let r = Cooperability.check_source ?two_pass source in
         (name, r.Cooperability.violations, r.Cooperability.events))
   in
-  (* Each schedule is submitted as its own task (not a pre-sharded
-     batch), so a slow schedule re-balances across domains; awaiting in
-     index order keeps the merge deterministic. *)
-  let promises =
-    List.init (Array.length factories) (fun i ->
-        Coop_util.Pool.spawn pool (fun () -> one i))
-  in
-  List.map (Coop_util.Pool.await pool) promises
+  match cache with
+  | None ->
+      (* Stateless path: every schedule executes and analyzes the whole
+         run, including the shared prefix — the differential oracle.
+         Each schedule is submitted as its own task (not a pre-sharded
+         batch), so a slow schedule re-balances across domains; awaiting
+         in index order keeps the merge deterministic. *)
+      let promises =
+        List.init (Array.length factories) (fun i ->
+            Coop_util.Pool.spawn pool (fun () -> one i))
+      in
+      (List.map (Coop_util.Pool.await pool) promises, 0, 0)
+  | Some c ->
+      let steps_cap = Option.value max_steps ~default:10_000_000 in
+      let key =
+        ckpt_base ^ yields_key yields ^ ":steps=" ^ string_of_int steps_cap
+      in
+      let pre =
+        match Coop_util.Ckpt_cache.find c key with
+        | Some p -> p
+        | None ->
+            let p =
+              Coop_obs.span "infer/prefix" (fun () ->
+                  compute_prefix ~yields ~max_steps:steps_cap prog)
+            in
+            Coop_util.Ckpt_cache.add c key p;
+            p
+      in
+      let one_cached i =
+        (* Each task re-fetches the prefix from the store (counting the
+           hit that stands for an elided prefix re-execution), falling
+           back to the value the round computed if it was evicted. *)
+        let pre =
+          match Coop_util.Ckpt_cache.find c key with
+          | Some p -> p
+          | None -> pre
+        in
+        let sched = factories.(i) () in
+        let name = sched.Sched.name in
+        Coop_obs.span ("infer/schedule:" ^ name)
+          (fun () ->
+            fast_forward pre sched;
+            let a = Cooperability.online_analysis () in
+            Analysis.resume a pre.ck_snap;
+            run_tail ~yields ~max_steps:steps_cap ~sched
+              ~sink:(Analysis.sink a) pre;
+            let r = Analysis.finalize a in
+            (name, r.Cooperability.violations, r.Cooperability.events))
+      in
+      let promises =
+        List.init (Array.length factories) (fun i ->
+            Coop_util.Pool.spawn pool (fun () -> one_cached i))
+      in
+      let runs = List.map (Coop_util.Pool.await pool) promises in
+      (* The prefix's events were analyzed once instead of once per
+         schedule: every schedule after the first got them for free. *)
+      (runs, pre.ck_events, (Array.length factories - 1) * pre.ck_events)
 
 let infer ?pool ?(max_rounds = 20) ?(portfolio = default_portfolio) ?max_steps
-    ?(base_yields = Loc.Set.empty) ?two_pass prog =
+    ?(base_yields = Loc.Set.empty) ?two_pass ?(no_cache = false) ?ckpt prog =
   let pool =
     match pool with Some p -> p | None -> Coop_util.Pool.shared ()
   in
+  (* Replay elision needs the single-pass checker (the two-pass oracle
+     re-streams its source, which a resumed prefix cannot provide). *)
+  let cache =
+    if no_cache || two_pass = Some true then None
+    else Some (match ckpt with Some c -> c | None -> prefix_cache ())
+  in
+  let before = Option.map Coop_util.Ckpt_cache.stats cache in
+  let ckpt_base =
+    "infer" ^ string_of_int (Atomic.fetch_and_add infer_nonce 1) ^ ":"
+  in
   let events_total = ref 0 in
+  let prefix_total = ref 0 in
+  let elided_total = ref 0 in
   let rec loop yields round initial witnesses =
-    let runs =
+    let runs, prefix_events, elided_events =
       Coop_obs.span
         (Printf.sprintf "infer/round%d" round)
         (fun () ->
-          portfolio_pass ?two_pass ~pool ~portfolio ~max_steps ~yields prog)
+          portfolio_pass ?two_pass ?cache ~ckpt_base ~pool ~portfolio
+            ~max_steps ~yields prog)
     in
+    prefix_total := !prefix_total + prefix_events;
+    elided_total := !elided_total + elided_events;
     Coop_obs.count "infer/rounds" 1;
     let violations = List.concat_map (fun (_, vs, _) -> vs) runs in
     let events = List.fold_left (fun acc (_, _, e) -> acc + e) 0 runs in
@@ -121,12 +318,30 @@ let infer ?pool ?(max_rounds = 20) ?(portfolio = default_portfolio) ?max_steps
       let final_check_violations = List.length violations in
       Coop_obs.gauge "infer/yields"
         (float_of_int (Loc.Set.cardinal (Loc.Set.diff yields base_yields)));
+      let cache_hits =
+        match (cache, before) with
+        | Some c, Some b ->
+            let open Coop_util.Ckpt_cache in
+            let s = stats c in
+            if Coop_obs.enabled () then begin
+              Coop_obs.count "ckpt/hits" (s.hits - b.hits);
+              Coop_obs.count "ckpt/misses" (s.misses - b.misses);
+              Coop_obs.count "ckpt/evictions" (s.evictions - b.evictions);
+              Coop_obs.gauge "ckpt/bytes" (float_of_int s.bytes);
+              Coop_obs.gauge "ckpt/peak_bytes" (float_of_int s.peak_bytes)
+            end;
+            s.hits - b.hits
+        | _ -> 0
+      in
       {
         yields = Loc.Set.diff yields base_yields;
         rounds = round;
         initial_violations = (match initial with Some n -> n | None -> 0);
         final_check_violations;
         events_analyzed = !events_total;
+        prefix_events = !prefix_total;
+        elided_events = !elided_total;
+        cache_hits;
         witnesses;
       }
     end

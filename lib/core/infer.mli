@@ -47,10 +47,31 @@ type result = {
       (** Violations on a fresh portfolio after fixpoint; 0 when the
           inferred set is stable. *)
   events_analyzed : int;  (** Total events across all analysed runs. *)
+  prefix_events : int;
+      (** Events in the shared pre-divergence prefixes, analyzed once
+          per round instead of once per schedule ([0] when replay
+          elision is off). *)
+  elided_events : int;
+      (** Events spared re-execution and re-analysis by prefix sharing:
+          [(portfolio size - 1) * prefix_events] summed over rounds
+          ([0] when replay elision is off). *)
+  cache_hits : int;
+      (** Checkpoint-store hits — prefix re-executions elided ([0] when
+          replay elision is off). *)
   witnesses : yield_witness list;
       (** One per inferred yield, in inference order (round, then first
           occurrence). *)
 }
+
+type prefix
+(** A cached pre-divergence round prefix: the VM state, the recorded
+    forced scheduler picks and the checker's analysis snapshot at the
+    point where more than one thread first becomes runnable. *)
+
+val prefix_cache : unit -> prefix Coop_util.Ckpt_cache.t
+(** A fresh bounded store for round prefixes (64 MiB default cap),
+    suitable for passing to {!infer} as [?ckpt] — e.g. to read
+    {!Coop_util.Ckpt_cache.stats} afterwards. *)
 
 val default_portfolio : (unit -> Sched.t) list
 (** Five random seeds, round-robin with quanta 1, 3 and 17, and two PCT
@@ -65,6 +86,8 @@ val infer :
   ?max_steps:int ->
   ?base_yields:Loc.Set.t ->
   ?two_pass:bool ->
+  ?no_cache:bool ->
+  ?ckpt:prefix Coop_util.Ckpt_cache.t ->
   Coop_lang.Bytecode.program ->
   result
 (** [infer prog] runs the inference loop (at most [max_rounds], default 20).
@@ -73,4 +96,24 @@ val infer :
     portfolio out across [pool] (default: the shared pool, sized by
     [COOP_JOBS] or the machine); the violation merge preserves run order,
     so the result is bit-identical to a sequential pass — property-tested
-    for pool sizes 1, 2 and 4. *)
+    for pool sizes 1, 2 and 4.
+
+    {b Replay elision} (default on): within a round, every schedule
+    executes the same steps until a second thread becomes runnable — so
+    the shared prefix is executed and analyzed once, checkpointed
+    ([ckpt]; a fresh {!prefix_cache} per call by default), and each
+    schedule fast-forwards a fresh scheduler over the recorded picks,
+    resumes a fresh checker from the prefix's analysis snapshot and runs
+    only the divergent tail. Yields, violations, witnesses and
+    [events_analyzed] are identical to the stateless pass
+    (property-tested); only [prefix_events]/[elided_events]/[cache_hits]
+    differ from zero. [~no_cache:true] forces the stateless pass — the
+    differential oracle. The cached path always analyzes through the
+    sequential single-pass engine: [two_pass] forces it off (the oracle
+    re-streams its source, which a resumed prefix cannot provide), and
+    [COOP_SHARDS] is ignored for cached rounds (sharded and sequential
+    engines are result-identical, property-tested separately). Custom
+    [portfolio] schedulers must not read [Sched.context.state] to be
+    fast-forwardable; all built-ins qualify — use [~no_cache:true]
+    otherwise. Store counter deltas flush to [Coop_obs] ([ckpt/*]) when
+    telemetry is on. *)

@@ -368,3 +368,89 @@ let finalize t =
   t.parked <- [];
   if t.timed && t.repairs > 0 then
     Coop_obs.timer_add "checker/repair" t.repair_s t.repairs
+
+(* Checkpointing. The live-transaction graph is shared — a transaction
+   sits in [parked] and in one index bucket per pending assumption, and
+   the caller holds its open transactions — so copying works uid-wise:
+   collect every live transaction once, deep-copy it, and rebuild every
+   containing structure through a uid-to-copy table. [roots] are the
+   caller's open transactions (the engine has no handle on an open
+   transaction with no pending assumption). Retired transactions are
+   never reachable from engine structures, so they are not copied; their
+   violations already left through [on_retire]. *)
+type 'a snapshot = {
+  s_racy : Bytes.t;
+  s_shared : Bytes.t;
+  s_txns : 'a txn list;  (* private deep copies, one per live txn *)
+  s_index : (int * int list) list;  (* packed fact -> member uids *)
+  s_reg_stamp : int array;
+  s_parked : int list;  (* uids, insertion order preserved *)
+  s_next_uid : int;
+}
+
+let copy_txn txn =
+  {
+    uid = txn.uid;
+    tid = txn.tid;
+    data = txn.data;
+    seqs = Array.copy txn.seqs;
+    locs = Array.copy txn.locs;
+    ops = Array.copy txn.ops;
+    ids = Array.copy txn.ids;
+    len = txn.len;
+    phase = txn.phase;
+    cm_seq = txn.cm_seq;
+    cm_loc = txn.cm_loc;
+    cm_op = txn.cm_op;
+    cm_mover = txn.cm_mover;
+    viols = txn.viols;
+    pending = Hashtbl.copy txn.pending;
+    closed = txn.closed;
+    retired = txn.retired;
+  }
+
+let snapshot ~roots t =
+  let live : (int, 'a txn) Hashtbl.t = Hashtbl.create 64 in
+  let see txn = if not (Hashtbl.mem live txn.uid) then Hashtbl.add live txn.uid txn in
+  List.iter see roots;
+  List.iter see t.parked;
+  Array.iter (fun bucket -> List.iter see bucket) t.index;
+  {
+    s_racy = Bytes.copy t.knowledge.Knowledge.racy;
+    s_shared = Bytes.copy t.knowledge.Knowledge.shared;
+    s_txns = Hashtbl.fold (fun _ txn acc -> copy_txn txn :: acc) live [];
+    s_index =
+      Array.to_list t.index
+      |> List.mapi (fun packed bucket ->
+             (packed, List.map (fun txn -> txn.uid) bucket))
+      |> List.filter (fun (_, uids) -> uids <> []);
+    s_reg_stamp = Array.copy t.reg_stamp;
+    s_parked = List.map (fun txn -> txn.uid) t.parked;
+    s_next_uid = t.next_uid;
+  }
+
+let restore t s =
+  (* Copy again on load: the snapshot stays loadable into further
+     engines, and engines restored from one snapshot never share
+     transactions. *)
+  let tbl : (int, 'a txn) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun txn -> Hashtbl.replace tbl txn.uid (copy_txn txn)) s.s_txns;
+  let of_uid uid =
+    match Hashtbl.find_opt tbl uid with
+    | Some txn -> txn
+    | None -> invalid_arg "Online.restore: snapshot names an unknown txn"
+  in
+  t.knowledge.Knowledge.racy <- Bytes.copy s.s_racy;
+  t.knowledge.Knowledge.shared <- Bytes.copy s.s_shared;
+  let width =
+    List.fold_left (fun acc (packed, _) -> max acc (packed + 1)) 64 s.s_index
+  in
+  let index = Array.make width [] in
+  List.iter
+    (fun (packed, uids) -> index.(packed) <- List.map of_uid uids)
+    s.s_index;
+  t.index <- index;
+  t.reg_stamp <- Array.copy s.s_reg_stamp;
+  t.parked <- List.map of_uid s.s_parked;
+  t.next_uid <- s.s_next_uid;
+  tbl

@@ -148,3 +148,26 @@ val violations : 'a txn -> viol list
 val data : 'a txn -> 'a
 val txn_uid : 'a txn -> int
 (** Creation order: uid [a] < uid [b] iff [a] was opened first. *)
+
+(** {1 Checkpointing} *)
+
+type 'a snapshot
+(** A deep copy of the engine — knowledge bytes, every live (open or
+    parked) transaction's digest and pending set, the fact index and the
+    registration stamps. Payloads ([data]) and violation records are
+    immutable and shared. *)
+
+val snapshot : roots:'a txn list -> 'a t -> 'a snapshot
+(** [snapshot ~roots t] captures the engine between two events. [roots]
+    must list the caller's currently open transactions: an open
+    transaction with no pending assumption is reachable only from its
+    driver, so the engine cannot find it alone. Shares no mutable
+    structure with [t]. *)
+
+val restore : 'a t -> 'a snapshot -> (int, 'a txn) Hashtbl.t
+(** Overwrite [t]'s state with the snapshot (copying again, so the
+    snapshot stays reusable and two engines restored from it never share
+    a transaction). [t] keeps its own construction-time [on_retire],
+    interner and mark. Returns the uid-to-transaction table of the
+    private copies so the driver can re-point its open-transaction
+    slots. *)

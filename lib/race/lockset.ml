@@ -174,11 +174,53 @@ let candidate_locks t v =
 
 let racy_vars t = Report.racy_vars t.reports
 
+(* Checkpointing: held sets are immutable (array copy suffices), var
+   records are copied field-wise; the interner rides along so standalone
+   detectors restore their id assignments. *)
+type snapshot = {
+  s_itn : Interner.snapshot;
+  s_seq : int;
+  s_ext_seq : bool;
+  s_held : Iset.t array;
+  s_vars : var_info array;
+  s_reports : Report.t list;
+}
+
+let copy_info i =
+  if i == dummy_info then i
+  else
+    { state = i.state; candidates = i.candidates;
+      have_candidates = i.have_candidates; written = i.written;
+      warned = i.warned }
+
+let snapshot t =
+  {
+    s_itn = Interner.snapshot t.itn;
+    s_seq = t.seq;
+    s_ext_seq = t.ext_seq;
+    s_held = Array.copy t.held;
+    s_vars = Array.map copy_info t.vars;
+    s_reports = t.reports;
+  }
+
+let restore t s =
+  Interner.restore t.itn s.s_itn;
+  t.seq <- s.s_seq;
+  t.ext_seq <- s.s_ext_seq;
+  t.held <- Array.copy s.s_held;
+  t.vars <- Array.map copy_info s.s_vars;
+  t.reports <- s.s_reports
+
+let snap_key : snapshot Analysis.Key.t = Analysis.Key.create "lockset"
+
 let analysis ?interner ?witness () =
   let t = create ?interner ?witness () in
-  Analysis.make
-    ~step:(fun e -> ignore (handle t e))
-    ~finalize:(fun () -> List.rev t.reports)
+  Analysis.snapshottable ~key:snap_key
+    ~save:(fun () -> snapshot t)
+    ~load:(restore t)
+    (Analysis.make
+       ~step:(fun e -> ignore (handle t e))
+       ~finalize:(fun () -> List.rev t.reports))
 
 let run trace = Analysis.run (analysis ()) trace
 

@@ -63,10 +63,24 @@ val candidate_locks : t -> Event.var -> int list option
 val racy_vars : t -> Event.Var_set.t
 (** Variables warned about so far. *)
 
+type snapshot
+(** A deep copy of the detector — held sets, per-variable Eraser
+    records, warnings and the interner. *)
+
+val snapshot : t -> snapshot
+(** Capture the detector between two events; shares no mutable
+    structure with [t]. *)
+
+val restore : t -> snapshot -> unit
+(** Overwrite [t] (including its interner) with the snapshot, copying
+    again so the snapshot stays reusable. Resumed output equals the
+    full-stream run's (property-tested). *)
+
 val analysis :
   ?interner:Interner.t -> ?witness:bool -> unit -> Report.t list Analysis.t
 (** A fresh detector as a single-pass online analysis. [interner] and
-    [witness] as in {!create}. *)
+    [witness] as in {!create}. Snapshottable via {!Analysis.snapshot} /
+    {!Analysis.resume}. *)
 
 val run : Trace.t -> Report.t list
 (** Run a fresh detector over a recorded trace (offline wrapper over

@@ -5,7 +5,10 @@ module Iset = Set.Make (Int)
 type result = {
   behaviors : Behavior.Set.t;
   executions : int;
-  steps : int;
+  steps : int;  (* always novel_steps + replayed_steps *)
+  novel_steps : int;
+  replayed_steps : int;
+  cache_hits : int;
   complete : bool;
 }
 
@@ -100,8 +103,15 @@ let exec_transition ~yields ~max_segment st tid =
   in
   go st max_segment
 
+(* Frames no longer pin a [Vm.state]: a frame holds only the choice
+   bookkeeping plus its execution-tree prefix [key] ("<nonce>.t.t...",
+   one segment per taken tid). The state before the choice is fetched
+   from the shared checkpoint store and, on a miss, re-derived by
+   replaying the recorded path from the deepest cached ancestor — so
+   peak memory is the cache cap, not stack-depth states, and backtracked
+   executions skip re-running their shared prefix. *)
 type frame = {
-  state : Vm.state;  (* state before the choice at this depth *)
+  key : string;  (* checkpoint key of the state before this choice *)
   enabled : Iset.t;
   mutable backtrack : Iset.t;
   mutable tried : Iset.t;
@@ -110,6 +120,20 @@ type frame = {
       (* threads whose next transition was fully explored in a sibling
          subtree; skipped here, woken by dependent steps (sleep sets) *)
 }
+
+(* Distinguishes checkpoint keys of concurrent/successive runs sharing
+   one store; replay only ever hits keys written by the same run. *)
+let run_nonce = Atomic.make 0
+
+(* Checkpoint spacing: only every [ckpt_spacing]-th stack depth is parked
+   in the store (the root always is). Parking every level would pay the
+   store's weight estimate — an O(state) walk — on every novel step,
+   eating most of what elision saves; with spacing, a backtracked choice
+   at an unparked depth replays at most [ckpt_spacing - 1] transitions
+   from its nearest parked ancestor. Must be a power of two. *)
+let ckpt_spacing = 4
+
+let parked_depth i = i land (ckpt_spacing - 1) = 0
 
 (* One DPOR exploration. [root_only = Some p] restricts the root frame to
    the single first choice [p]: its siblings are pre-marked tried, so a
@@ -124,12 +148,14 @@ type frame = {
    shards lose the root-level sleep sets, so they may re-explore
    executions a sequential run would have pruned (counted in
    [executions]/[steps]), but the behaviour set is exact either way. *)
-let run_seq ?root_only ?root_notify ?(yields = Loc.Set.empty)
-    ?(max_executions = 50_000) ?(max_depth = 10_000) ?(max_segment = 100_000)
-    prog =
+let run_seq ?root_only ?root_notify ?cache ?(sleep_sets = true)
+    ?(yields = Loc.Set.empty) ?(max_executions = 50_000)
+    ?(max_depth = 10_000) ?(max_segment = 100_000) prog =
   let behaviors = ref Behavior.Set.empty in
   let executions = ref 0 in
-  let steps = ref 0 in
+  let novel = ref 0 in
+  let replayed = ref 0 in
+  let cache_hits = ref 0 in
   let complete = ref true in
   let record st =
     incr executions;
@@ -149,18 +175,58 @@ let run_seq ?root_only ?root_notify ?(yields = Loc.Set.empty)
     !stack.(!depth) <- frame;
     incr depth
   in
-  let make_frame ?(sleep = []) st =
+  let make_frame ?(sleep = []) ~key st =
     let enabled = Iset.of_list (Vm.runnable st) in
-    (* Prefer a first choice that is not asleep. *)
     let awake =
       Iset.filter (fun p -> not (List.mem_assoc p sleep)) enabled
     in
     let backtrack =
-      match Iset.min_elt_opt (if Iset.is_empty awake then enabled else awake) with
+      (* Textbook sleep sets: a frame whose every enabled transition is
+         asleep is sleep-blocked — each continuation was fully covered in
+         an earlier sibling subtree, so exploring any of them here would
+         only re-derive known behaviours. Leave the backtrack set empty
+         and the frame records nothing. *)
+      match Iset.min_elt_opt awake with
       | Some p -> Iset.singleton p
       | None -> Iset.empty
     in
-    { state = st; enabled; backtrack; tried = Iset.empty; taken = None; sleep }
+    { key; enabled; backtrack; tried = Iset.empty; taken = None; sleep }
+  in
+  (* State before the choice at depth [i]: cached checkpoint if present,
+     else re-derived by replaying the recorded step of the parent frame
+     onto the parent's state (recursively, from the deepest cached
+     ancestor). Replay is deterministic — same yields, same fuel — so a
+     transition that succeeded when first executed succeeds again. *)
+  let rec state_at i =
+    let fr = !stack.(i) in
+    let rederive () =
+      if i = 0 then Vm.init prog
+      else begin
+        let parent = state_at (i - 1) in
+        let info =
+          match !stack.(i - 1).taken with
+          | Some info -> info
+          | None -> assert false  (* ancestors always have a taken step *)
+        in
+        match exec_transition ~yields ~max_segment parent info.tid with
+        | Some (st, _) ->
+            incr replayed;
+            st
+        | None -> assert false  (* succeeded when first executed *)
+      end
+    in
+    match cache with
+    | None -> rederive ()
+    | Some c when parked_depth i -> (
+        match Coop_util.Ckpt_cache.find c fr.key with
+        | Some st ->
+            incr cache_hits;
+            st
+        | None ->
+            let st = rederive () in
+            Coop_util.Ckpt_cache.add c fr.key st;
+            st)
+    | Some _ -> rederive ()
   in
   (* After taking step [info] at depth d (from frame d), add backtrack
      points at the last earlier frame whose taken step is dependent. *)
@@ -183,13 +249,25 @@ let run_seq ?root_only ?root_notify ?(yields = Loc.Set.empty)
     in
     find upto
   in
-  let rec explore () =
+  (* [explore st_here] explores from the frame just pushed, whose
+     pre-choice state [st_here] the caller still holds — the first choice
+     costs no lookup; later (backtracked) choices re-fetch the frame's
+     state through [state_at]. *)
+  let rec explore st_here =
     if !executions >= max_executions then complete := false
     else begin
       let fr = !stack.(!depth - 1) in
-      if Iset.is_empty fr.enabled then record fr.state
+      if Iset.is_empty fr.enabled then record st_here
       else if !depth > max_depth then complete := false
       else begin
+        let fresh = ref (Some st_here) in
+        let frame_state () =
+          match !fresh with
+          | Some st ->
+              fresh := None;
+              st
+          | None -> state_at (!depth - 1)
+        in
         let continue_ = ref true in
         while !continue_ do
           match Iset.min_elt_opt (Iset.diff fr.backtrack fr.tried) with
@@ -201,22 +279,30 @@ let run_seq ?root_only ?root_notify ?(yields = Loc.Set.empty)
           | Some p -> (
               fr.tried <- Iset.add p fr.tried;
               match
-                exec_transition ~yields ~max_segment fr.state p
+                exec_transition ~yields ~max_segment (frame_state ()) p
               with
               | None -> complete := false
               | Some (st', info) ->
-                  incr steps;
+                  incr novel;
                   fr.taken <- Some info;
                   add_backtracks info (!depth - 2);
                   let child_sleep =
-                    List.filter
-                      (fun (_, i) -> not (dependent i info))
-                      fr.sleep
+                    if not sleep_sets then []
+                    else
+                      List.filter
+                        (fun (_, i) -> not (dependent i info))
+                        fr.sleep
                   in
-                  push (make_frame ~sleep:child_sleep st');
-                  explore ();
+                  let child_key = fr.key ^ "." ^ string_of_int p in
+                  (* The child frame lands at stack index [!depth]. *)
+                  (match cache with
+                  | Some c when parked_depth !depth ->
+                      Coop_util.Ckpt_cache.add c child_key st'
+                  | _ -> ());
+                  push (make_frame ~sleep:child_sleep ~key:child_key st');
+                  explore st';
                   decr depth;
-                  fr.sleep <- (p, info) :: fr.sleep;
+                  if sleep_sets then fr.sleep <- (p, info) :: fr.sleep;
                   if !executions >= max_executions then begin
                     (* Budget exhausted mid-frame: the remaining backtrack
                        choices stay unexplored. *)
@@ -228,26 +314,69 @@ let run_seq ?root_only ?root_notify ?(yields = Loc.Set.empty)
       end
     end
   in
-  let root = make_frame (Vm.init prog) in
+  let root_key =
+    "dpor" ^ string_of_int (Atomic.fetch_and_add run_nonce 1)
+  in
+  let st0 = Vm.init prog in
+  (match cache with
+  | Some c -> Coop_util.Ckpt_cache.add c root_key st0
+  | None -> ());
+  let root = make_frame ~key:root_key st0 in
   (match root_only with
   | Some p ->
       root.backtrack <- Iset.singleton p;
       root.tried <- Iset.remove p root.enabled
   | None -> ());
   push root;
-  explore ();
+  explore st0;
   {
     behaviors = !behaviors;
     executions = !executions;
-    steps = !steps;
+    steps = !novel + !replayed;
+    novel_steps = !novel;
+    replayed_steps = !replayed;
+    cache_hits = !cache_hits;
     complete = !complete;
   }
 
-let run ?pool ?yields ?max_executions ?max_depth ?max_segment prog =
+(* Flush the store's counter deltas attributable to one [run] into the
+   telemetry registers (the store itself has no Coop_obs dependency and
+   may be shared across runs, hence deltas). *)
+let flush_obs c (before : Coop_util.Ckpt_cache.stats) =
+  if Coop_obs.enabled () then begin
+    let open Coop_util.Ckpt_cache in
+    let s = stats c in
+    Coop_obs.count "ckpt/hits" (s.hits - before.hits);
+    Coop_obs.count "ckpt/misses" (s.misses - before.misses);
+    Coop_obs.count "ckpt/evictions" (s.evictions - before.evictions);
+    Coop_obs.gauge "ckpt/bytes" (float_of_int s.bytes);
+    Coop_obs.gauge "ckpt/peak_bytes" (float_of_int s.peak_bytes)
+  end
+
+let default_cache () =
+  Coop_util.Ckpt_cache.create
+    ~weight:(fun st -> 8 * Vm.approx_words st)
+    ()
+
+let run ?pool ?yields ?max_executions ?max_depth ?max_segment
+    ?(no_cache = false) ?(sleep_sets = true) ?ckpt prog =
+  let cache =
+    if no_cache then None
+    else Some (match ckpt with Some c -> c | None -> default_cache ())
+  in
+  let before = Option.map Coop_util.Ckpt_cache.stats cache in
+  let finish r =
+    (match (cache, before) with
+    | Some c, Some b -> flush_obs c b
+    | _ -> ());
+    r
+  in
   let jobs = match pool with Some p -> Coop_util.Pool.jobs p | None -> 1 in
   let roots = Vm.runnable (Vm.init prog) in
   if jobs <= 1 || List.length roots <= 1 then
-    run_seq ?yields ?max_executions ?max_depth ?max_segment prog
+    finish
+      (run_seq ?cache ~sleep_sets ?yields ?max_executions ?max_depth
+         ?max_segment prog)
   else begin
     let pool = Option.get pool in
     (* Dynamic root sharding: start from the root choice the sequential
@@ -268,8 +397,10 @@ let run ?pool ?yields ?max_executions ?max_depth ?max_segment prog =
         spawned := Iset.add p !spawned;
         let promise =
           Coop_util.Pool.spawn pool (fun () ->
-              run_seq ~root_only:p ~root_notify ?yields ?max_executions
-                ?max_depth ?max_segment prog)
+              (* Shards share the one store: checkpoint keys carry a
+                 per-run nonce, and the store is mutex-protected. *)
+              run_seq ~root_only:p ~root_notify ?cache ~sleep_sets ?yields
+                ?max_executions ?max_depth ?max_segment prog)
         in
         promises := (p, promise) :: !promises
       end
@@ -307,15 +438,20 @@ let run ?pool ?yields ?max_executions ?max_depth ?max_segment prog =
       List.sort (fun (a, _) (b, _) -> compare a b) !collected
       |> List.map snd
     in
-    List.fold_left
-      (fun acc r ->
-        {
-          behaviors = Behavior.Set.union acc.behaviors r.behaviors;
-          executions = acc.executions + r.executions;
-          steps = acc.steps + r.steps;
-          complete = acc.complete && r.complete;
-        })
-      { behaviors = Behavior.Set.empty; executions = 0; steps = 0;
-        complete = true }
-      shards
+    finish
+      (List.fold_left
+         (fun acc r ->
+           {
+             behaviors = Behavior.Set.union acc.behaviors r.behaviors;
+             executions = acc.executions + r.executions;
+             steps = acc.steps + r.steps;
+             novel_steps = acc.novel_steps + r.novel_steps;
+             replayed_steps = acc.replayed_steps + r.replayed_steps;
+             cache_hits = acc.cache_hits + r.cache_hits;
+             complete = acc.complete && r.complete;
+           })
+         { behaviors = Behavior.Set.empty; executions = 0; steps = 0;
+           novel_steps = 0; replayed_steps = 0; cache_hits = 0;
+           complete = true }
+         shards)
   end

@@ -1,39 +1,74 @@
-(** Stateless dynamic partial-order reduction (Flanagan-Godefroid 2005).
+(** Dynamic partial-order reduction (Flanagan-Godefroid 2005) with
+    sleep sets and checkpointed replay elision.
 
-    An alternative to {!Explore}'s stateful DFS: executions are replayed
-    from the initial state and backtrack points are added lazily, only where
-    a step is {e dependent} on an earlier step of another thread
-    (conflicting access, same-lock operation, fork/join of that thread).
-    Independent steps are never reordered, so the number of explored
-    executions tracks the number of Mazurkiewicz traces instead of the
-    number of interleavings.
+    An alternative to {!Explore}'s stateful DFS: backtrack points are
+    added lazily, only where a step is {e dependent} on an earlier step
+    of another thread (conflicting access, same-lock operation,
+    fork/join of that thread). Independent steps are never reordered, so
+    the number of explored executions tracks the number of Mazurkiewicz
+    traces instead of the number of interleavings. Textbook {b sleep
+    sets} prune on top of that: a transition fully explored in a sibling
+    subtree sleeps until a dependent step wakes it, and a state whose
+    every enabled transition is asleep is not explored at all — classic
+    DPOR + sleep sets, behaviour-preserving (property-tested against the
+    sleep-set-free run and against {!Explore}).
 
     Transitions are taken at {!Explore.Visible_only} granularity: one
     visible operation (plus its invisible prefix) per step. A scheduling
     attempt that parks on a lock counts as a transition dependent on that
     lock, which keeps blocking sound.
 
-    The implementation uses the textbook sound backtrack rule: when step
-    [s_n] of thread [p] is dependent with an earlier step [s_i], add [p] to
-    [backtrack(i)] if [p] was enabled there, otherwise add every thread
-    enabled at [i]. No sleep sets — some redundant executions are explored,
-    but the behaviour set is exact, which the test suite checks against
-    {!Explore}.
+    Historically this explorer was {e stateless}: every backtracked
+    execution re-ran from the initial state, so an exploration of [n]
+    executions of depth [d] cost O(n·d) transitions even though
+    consecutive executions share long prefixes. By default it now keeps
+    a bounded LRU {b checkpoint store} ({!Coop_util.Ckpt_cache}) of VM
+    states keyed by execution-tree prefix: a backtracked execution
+    resumes from the deepest cached ancestor of its divergence point and
+    only the divergent suffix is executed fresh. The VM's persistent
+    state makes checkpoints O(1) to take; the cap bounds what they can
+    pin, and an evicted checkpoint merely costs a (deterministic) replay
+    of the gap from its nearest cached ancestor. Checkpoints are parked
+    only at every fourth stack depth: taking one pays a state-size walk
+    for the store's weight accounting, so parking every level would tax
+    each novel transition, while an unparked backtrack replays at most
+    three transitions from the nearest parked ancestor. [~no_cache:true]
+    restores the stateless behaviour and is kept as the differential
+    oracle — both modes produce identical behaviour sets, executions and
+    novel steps; they differ only in how prefix states are re-derived.
 
-    Being stateless (no memoization), DPOR only terminates on programs all
-    of whose executions terminate; programs with yield-based spin loops have
-    unfair infinite executions and will exhaust [max_depth] (reported as
+    Termination is unchanged: the explorer memoizes prefixes, not
+    states, so programs with yield-based spin loops still have unfair
+    infinite executions and exhaust [max_depth] (reported as
     incomplete). The stateful {!Explore} handles those instead — the two
-    explorers are complementary, which is why both exist. *)
+    explorers remain complementary. *)
 
 open Coop_trace
 
 type result = {
   behaviors : Behavior.Set.t;  (** All behaviours of maximal executions. *)
   executions : int;  (** Maximal executions explored. *)
-  steps : int;  (** Total transitions taken (including replays). *)
+  steps : int;
+      (** Total transitions taken; always
+          [novel_steps + replayed_steps]. *)
+  novel_steps : int;
+      (** Transitions executed on the exploration frontier — fresh work
+          the reduction itself demands. Identical with the cache on or
+          off. *)
+  replayed_steps : int;
+      (** Transitions re-executed only to re-derive a prefix state
+          (from the root when stateless, from the deepest cached
+          ancestor otherwise). The replay-elision win is this number
+          shrinking. *)
+  cache_hits : int;  (** Checkpoint-store hits ([0] when stateless). *)
   complete : bool;  (** False when a budget was exhausted. *)
 }
+
+val default_cache : unit -> Vm.state Coop_util.Ckpt_cache.t
+(** A fresh checkpoint store with the default 64 MiB cap and a
+    [Vm.approx_words]-based weight — what {!run} creates when no [ckpt]
+    is passed. Create one explicitly to share it across runs or to read
+    {!Coop_util.Ckpt_cache.stats} afterwards. *)
 
 val run :
   ?pool:Coop_util.Pool.t ->
@@ -41,6 +76,9 @@ val run :
   ?max_executions:int ->
   ?max_depth:int ->
   ?max_segment:int ->
+  ?no_cache:bool ->
+  ?sleep_sets:bool ->
+  ?ckpt:Vm.state Coop_util.Ckpt_cache.t ->
   Coop_lang.Bytecode.program ->
   result
 (** [run prog] explores the program's preemptive behaviours.
@@ -48,6 +86,20 @@ val run :
     [max_depth] (default 10_000) bounds transitions per execution,
     [max_segment] (default 100_000) bounds each transition's invisible
     prefix.
+
+    [no_cache] (default [false]) disables the checkpoint store: every
+    backtracked execution replays from the initial state — the
+    stateless differential oracle. [ckpt] supplies the store to use
+    (shared stores are mutex-protected and keys carry a per-run nonce,
+    so concurrent runs may share one); without it a fresh store with the
+    default 64 MiB cap and a [Vm.approx_words]-based weight is created
+    per call. Cumulative counter deltas are flushed to [Coop_obs]
+    ([ckpt/hits], [ckpt/misses], [ckpt/evictions], [ckpt/bytes],
+    [ckpt/peak_bytes]) when telemetry is on.
+
+    [sleep_sets] (default [true]) toggles sleep-set pruning;
+    [~sleep_sets:false] is the plain-DPOR oracle — same behaviour set,
+    more executions (property-tested).
 
     With a [pool] of more than one domain and at least two threads
     runnable initially, the root choice is sharded {e dynamically}: the
@@ -57,9 +109,9 @@ val run :
     spawned set is the least fixpoint of those requests — a superset of
     the lazy sequential root backtrack set, hence sound, and independent
     of pool size or scheduling, so results merge deterministically in
-    root-tid order. On complete explorations the merged [behaviors] set
-    is identical to the sequential run's (property-tested);
-    [executions]/[steps] may be larger because root-level sleep sets do
-    not prune across shards, and each shard gets the full
-    [max_executions] budget. Without [pool] (or with one of size 1) the
-    sequential path runs — the default. *)
+    root-tid order. Shards share one checkpoint store. On complete
+    explorations the merged [behaviors] set is identical to the
+    sequential run's (property-tested); [executions]/[steps] may be
+    larger because root-level sleep sets do not prune across shards, and
+    each shard gets the full [max_executions] budget. Without [pool] (or
+    with one of size 1) the sequential path runs — the default. *)

@@ -167,6 +167,32 @@ let steps_taken st = st.steps
 
 let last_step_yielded st = st.last_yielded
 
+(* Rough retained size in words, for checkpoint-cache budgeting. Map
+   nodes are priced at ~5 words per binding; structural sharing between
+   derived states is invisible here, so per-state figures over-count and
+   a byte cap computed from them is conservative. The program and the
+   event caches are shared by every state of a run and excluded. *)
+let approx_words st =
+  let node = 5 in
+  let frame_words (f : frame) =
+    6 + (node * Imap.cardinal f.locals) + (3 * List.length f.stack)
+  in
+  let thread_words (t : thread) =
+    8 + List.fold_left (fun acc f -> acc + frame_words f) 0 t.frames
+  in
+  (node * Imap.cardinal st.globals)
+  + Imap.fold
+      (fun _ m acc -> acc + node + (node * Imap.cardinal m))
+      st.arrays 0
+  + ((node + 3) * Imap.cardinal st.locks)
+  + Imap.fold
+      (fun _ ws acc -> acc + node + (3 * List.length ws))
+      st.conditions 0
+  + Imap.fold (fun _ t acc -> acc + node + thread_words t) st.threads 0
+  + (3 * List.length st.output_rev)
+  + (6 * List.length st.failures_rev)
+  + 16
+
 let peek_instr st tid =
   match Imap.find_opt tid st.threads with
   | None -> None

@@ -86,6 +86,13 @@ val failures : state -> (int * string) list
 val steps_taken : state -> int
 (** Total instructions executed so far. *)
 
+val approx_words : state -> int
+(** Rough retained size of the configuration in machine words, excluding
+    the per-run shared program and event caches. Used to budget the
+    checkpoint cache; structural sharing between derived states is not
+    deducted, so summing it over cached states over-counts — the cache's
+    byte cap is therefore a conservative bound. *)
+
 val key : state -> string
 (** A canonical serialization of the configuration, equal for semantically
     identical states — used for memoization during schedule exploration. *)

@@ -16,9 +16,55 @@
 type 'r t
 (** An online analysis producing a result of type ['r]. *)
 
+type snapshot
+(** A deep copy of a snapshottable analysis's internal state, taken
+    between two events. Snapshots are ordered lists of per-component
+    packets; {!resume} matches them component-wise against the target's
+    composition, so a snapshot can only be resumed into an analysis with
+    the {e same shape} (the same chain of the same checkers) — typically
+    a fresh instance built by the same constructor call. *)
+
+module Key : sig
+  type 'a t
+  (** The identity of one snapshottable component {e kind}. Create the
+      key once, at the defining module's toplevel, so every instance of
+      that checker shares it — that sharing is what lets a packet saved
+      from one instance load into another without untyped casts. *)
+
+  val create : string -> 'a t
+  (** [create name] mints a key. [name] labels the component in
+      mismatch errors; it also participates in shape checking, so use
+      one fixed name per checker kind. *)
+end
+
 val make : step:(Event.t -> unit) -> finalize:(unit -> 'r) -> 'r t
 (** Build an analysis from its two operations. [step] is the hot path; it
-    must be safe to call [finalize] at any point (end of stream). *)
+    must be safe to call [finalize] at any point (end of stream). The
+    result is not snapshottable; see {!snapshottable}. *)
+
+val snapshottable :
+  key:'s Key.t -> save:(unit -> 's) -> load:('s -> unit) -> 'r t -> 'r t
+(** [snapshottable ~key ~save ~load a] declares [a] checkpointable.
+
+    The deep-copy contract: [save ()] must return a value sharing {e no
+    mutable structure} with the live analysis, and [load s] must install
+    a state sharing no mutable structure with [s] (copy again on load),
+    so one snapshot can be loaded into many instances and every instance
+    diverges independently afterwards. Under that contract, an instance
+    that loads a snapshot taken after streaming a prefix is
+    observationally identical to one that streamed the full prefix —
+    the law the replay-elision layer relies on (property-tested). *)
+
+val snapshot : _ t -> snapshot option
+(** Capture the analysis's state between two events; [None] when any
+    component lacks {!snapshottable} support. *)
+
+val resume : _ t -> snapshot -> unit
+(** Install a snapshot into an analysis of the same shape, replacing its
+    state as if it had streamed the snapshot's prefix. Raises
+    [Invalid_argument] when the shapes disagree (missing, surplus or
+    differently-keyed components). Domain-safe: concurrent resumes of
+    the same component kind serialize on the key. *)
 
 val step : _ t -> Event.t -> unit
 (** Feed one event. *)
@@ -65,7 +111,8 @@ val const : 'r -> 'r t
     sinks, placeholders in heterogeneous chains). *)
 
 val count : unit -> int t
-(** Counts events. *)
+(** Counts events. Snapshottable (as is {!const}), so counters survive
+    prefix-resume in fused chains. *)
 
 val fold : ('a -> Event.t -> 'a) -> 'a -> 'a t
 (** A left fold over the stream as an analysis. *)

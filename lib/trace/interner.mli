@@ -43,7 +43,25 @@ val cur_operand : t -> int
 val analysis : t -> unit Analysis.t
 (** The note stage: an analysis whose step is [note]. Place it at the
     head of a fused chain so every [~interner] checker downstream reads
-    {!cur_tid} / {!cur_operand} instead of re-hashing. *)
+    {!cur_tid} / {!cur_operand} instead of re-hashing. Snapshottable:
+    its packet is {!snapshot} of the interner, restored with
+    {!restore}. *)
+
+(** {2 Checkpointing} *)
+
+type snapshot
+(** A deep copy of every assignment table. *)
+
+val snapshot : t -> snapshot
+(** Capture the interner. The copy shares no mutable structure with
+    [t]; one snapshot may be restored into many interners. *)
+
+val restore : t -> snapshot -> unit
+(** Overwrite [t] with the snapshot's assignments. Because ids are
+    assigned in first-touch order, a restored interner hands a resumed
+    event stream exactly the ids a full-stream run would have — and
+    forgets ids minted after the snapshot, so id-indexed consumer state
+    restored alongside it can never be read through stale ids. *)
 
 (** {2 Router-fed mode (sharded chains)}
 

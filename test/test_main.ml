@@ -42,5 +42,6 @@ let () =
       ("workloads", Test_workloads.suite);
       ("fuzz", Test_fuzz.suite);
       ("parallel", Test_parallel.suite);
+      ("replay", Test_replay.suite);
       ("sample-programs", Test_programs.suite);
     ]

@@ -1,0 +1,298 @@
+(* Replay-elision equivalence suites. Three families of laws:
+
+   - cached DPOR (checkpoint store, with and without sleep sets, at pool
+     sizes 1/2/4) is observationally identical to the stateless oracle —
+     same behaviour sets, executions and novel steps; only the prefix
+     re-derivation work ([replayed_steps]) differs;
+   - every snapshottable analysis obeys the snapshot/resume law: an
+     instance resumed from a mid-stream snapshot finalizes exactly like
+     one that streamed the full trace (including witnesses), and one
+     snapshot serves many independent resumes (the deep-copy contract);
+   - inference is cache-oblivious: yield sets, rounds, violation counts
+     and witness chains are identical with replay elision on and off. *)
+
+(* Bind before [open QCheck2] shadows the module name (same dance as
+   test_parallel.ml). *)
+let gen_program = Gen.gen_concurrent_program
+
+open QCheck2
+open Coop_util
+open Coop_trace
+open Coop_race
+open Coop_lang
+open Coop_runtime
+open Coop_core
+open Coop_workloads
+
+let pool2 = Pool.create ~jobs:2 ()
+let pool4 = Pool.create ~jobs:4 ()
+let pools = [ (1, Pool.create ~jobs:1 ()); (2, pool2); (4, pool4) ]
+
+(* Terminating micro programs only: DPOR diverges on spin loops. *)
+let micro_programs =
+  [ ("racy_counter 2x2", Micro.racy_counter ~threads:2 ~incs:2);
+    ("racy_counter 3x1", Micro.racy_counter ~threads:3 ~incs:1);
+    ("check_then_act 2", Micro.check_then_act ~threads:2);
+    ("single_transaction 3", Micro.single_transaction ~threads:3) ]
+  |> List.map (fun (name, src) -> (name, Compile.source src))
+
+(* --- the bugfix satellite: steps = novel + replayed ------------------ *)
+
+let test_dpor_counter_split () =
+  List.iter
+    (fun (name, prog) ->
+      let c = Dpor.run prog in
+      let s = Dpor.run ~no_cache:true prog in
+      Alcotest.(check int)
+        (name ^ ": cached steps = novel + replayed")
+        (c.Dpor.novel_steps + c.Dpor.replayed_steps)
+        c.Dpor.steps;
+      Alcotest.(check int)
+        (name ^ ": stateless steps = novel + replayed")
+        (s.Dpor.novel_steps + s.Dpor.replayed_steps)
+        s.Dpor.steps;
+      Alcotest.(check int)
+        (name ^ ": novel steps cache-independent")
+        s.Dpor.novel_steps c.Dpor.novel_steps;
+      Alcotest.(check int)
+        (name ^ ": executions cache-independent")
+        s.Dpor.executions c.Dpor.executions;
+      (* The point of the store: strictly less re-derivation work on any
+         program with more than one execution. *)
+      Alcotest.(check bool)
+        (name ^ ": elision reduces replayed steps")
+        true
+        (c.Dpor.replayed_steps < s.Dpor.replayed_steps);
+      Alcotest.(check bool)
+        (name ^ ": checkpoints actually hit")
+        true (c.Dpor.cache_hits > 0);
+      Alcotest.(check int)
+        (name ^ ": stateless path never hits")
+        0 s.Dpor.cache_hits)
+    micro_programs
+
+(* --- snapshot/resume law --------------------------------------------- *)
+
+let law_traces =
+  [ ("racy_counter 2x2", Micro.racy_counter ~threads:2 ~incs:2);
+    ("check_then_act 2", Micro.check_then_act ~threads:2);
+    ("single_transaction 2", Micro.single_transaction ~threads:2);
+    ("monitor_cell 2", Micro.monitor_cell ~items:2) ]
+  |> List.map (fun (name, src) ->
+         let prog = Compile.source src in
+         let _, tr =
+           Runner.record ~max_steps:200_000
+             ~sched:(Sched.random ~seed:11 ())
+             prog
+         in
+         (name, prog, tr))
+
+let feed a tr lo hi =
+  for i = lo to hi - 1 do
+    Analysis.step a (Trace.get tr i)
+  done
+
+(* [check_law name make show tr]: for several split points, a fresh
+   instance resumed from a snapshot of the prefix and streamed the tail
+   must finalize exactly like the full-stream run. The same snapshot is
+   loaded into two instances streamed one after the other — if [load]
+   shared mutable state between them (or with the packet), the second
+   would see the first's tail and diverge. The donor instance must also
+   be undisturbed by [save]. *)
+let check_law name make show tr =
+  let n = Trace.length tr in
+  let full =
+    let a = make () in
+    feed a tr 0 n;
+    show (Analysis.finalize a)
+  in
+  List.iter
+    (fun frac ->
+      let k = n * frac / 4 in
+      let ctx = Printf.sprintf "%s @%d/%d" name k n in
+      let donor = make () in
+      feed donor tr 0 k;
+      match Analysis.snapshot donor with
+      | None -> Alcotest.fail (ctx ^ ": analysis not snapshottable")
+      | Some snap ->
+          let a1 = make () in
+          let a2 = make () in
+          Analysis.resume a1 snap;
+          Analysis.resume a2 snap;
+          feed a1 tr k n;
+          Alcotest.(check string)
+            (ctx ^ ": resumed = full stream")
+            full
+            (show (Analysis.finalize a1));
+          feed a2 tr k n;
+          Alcotest.(check string)
+            (ctx ^ ": second resume from the same snapshot = full stream")
+            full
+            (show (Analysis.finalize a2));
+          feed donor tr k n;
+          Alcotest.(check string)
+            (ctx ^ ": donor undisturbed by save")
+            full
+            (show (Analysis.finalize donor)))
+    [ 0; 1; 2; 3; 4 ]
+
+let show_reports rs =
+  String.concat "\n" (List.map (Format.asprintf "%a" Report.pp) rs)
+
+let show_coop (r : Cooperability.result) =
+  Format.asprintf "%s|%s|%s|%d"
+    (String.concat ";"
+       (List.map
+          (Format.asprintf "%a" Automaton.pp_violation)
+          r.Cooperability.violations))
+    (show_reports r.Cooperability.races)
+    (String.concat ","
+       (List.map
+          (Format.asprintf "%a" Event.pp_var)
+          (Event.Var_set.elements r.Cooperability.racy)))
+    r.Cooperability.events
+
+let test_snapshot_resume_law () =
+  List.iter
+    (fun (name, prog, tr) ->
+      check_law
+        (name ^ "/fasttrack+witness")
+        (fun () -> Fasttrack.analysis ~witness:true ())
+        show_reports tr;
+      check_law
+        (name ^ "/lockset+witness")
+        (fun () -> Lockset.analysis ~witness:true ())
+        show_reports tr;
+      check_law
+        (name ^ "/online chain+witness")
+        (fun () -> Cooperability.online_analysis ~witness:true ())
+        show_coop tr;
+      check_law (name ^ "/metrics")
+        (fun () -> Metrics.analysis prog ~inferred:Loc.Set.empty ())
+        (Format.asprintf "%a" Metrics.pp)
+        tr)
+    law_traces
+
+(* --- qcheck equivalence suites --------------------------------------- *)
+
+let prop name count f =
+  QCheck_alcotest.to_alcotest
+    (Test.make ~name ~count ~print:Pretty.program gen_program f)
+
+(* Cached and stateless DPOR explore the same tree in the same order, so
+   even budget-truncated runs must agree on everything but
+   [replayed_steps]/[cache_hits]; behaviour sets across the sleep-set
+   toggle additionally agree when both runs are complete, and pruning
+   never explores more. The budget is deliberately small: the stateless
+   oracle replays every prefix from the root, so its cost grows
+   quadratically with depth. *)
+let dpor_budget = 4_000
+
+let dpor_cached_matches_stateless =
+  prop "qcheck: cached dpor = stateless dpor (+/- sleep sets)" 6 (fun p ->
+      let prog = Compile.program p in
+      let runs =
+        List.map
+          (fun sleep_sets ->
+            ( Dpor.run ~sleep_sets ~max_executions:dpor_budget prog,
+              Dpor.run ~sleep_sets ~no_cache:true ~max_executions:dpor_budget
+                prog ))
+          [ true; false ]
+      in
+      let pairwise_ok =
+        List.for_all
+          (fun ((c : Dpor.result), (s : Dpor.result)) ->
+            c.Dpor.complete = s.Dpor.complete
+            && c.Dpor.executions = s.Dpor.executions
+            && c.Dpor.novel_steps = s.Dpor.novel_steps
+            && c.Dpor.steps = c.Dpor.novel_steps + c.Dpor.replayed_steps
+            && s.Dpor.steps = s.Dpor.novel_steps + s.Dpor.replayed_steps
+            && Behavior.Set.equal c.Dpor.behaviors s.Dpor.behaviors)
+          runs
+      in
+      match runs with
+      | [ (sleep, _); (plain, _) ] ->
+          pairwise_ok
+          && (not (sleep.Dpor.complete && plain.Dpor.complete)
+             || Behavior.Set.equal sleep.Dpor.behaviors plain.Dpor.behaviors
+                && sleep.Dpor.executions <= plain.Dpor.executions)
+      | _ -> false)
+
+let dpor_cached_parallel_matches =
+  prop "qcheck: cached dpor at pools 1/2/4 = stateless" 4 (fun p ->
+      let prog = Compile.program p in
+      let seq = Dpor.run ~no_cache:true ~max_executions:dpor_budget prog in
+      (not seq.Dpor.complete)
+      || List.for_all
+           (fun (_, pool) ->
+             let r = Dpor.run ~pool ~max_executions:dpor_budget prog in
+             r.Dpor.complete
+             && Behavior.Set.equal seq.Dpor.behaviors r.Dpor.behaviors
+             && r.Dpor.steps = r.Dpor.novel_steps + r.Dpor.replayed_steps)
+           pools)
+
+let explore_cached_matches =
+  prop "qcheck: cached explore frontier = capture-by-closure" 4 (fun p ->
+      let prog = Compile.program p in
+      List.for_all
+        (fun pool ->
+          let c = Explore.run ~pool ~max_states:20_000 Explore.Preemptive prog in
+          let s =
+            Explore.run ~pool ~no_cache:true ~max_states:20_000
+              Explore.Preemptive prog
+          in
+          c.Explore.complete = s.Explore.complete
+          && Behavior.Set.equal c.Explore.behaviors s.Explore.behaviors
+          && c.Explore.states = s.Explore.states
+          && c.Explore.deadlocks = s.Explore.deadlocks)
+        [ pool2; pool4 ])
+
+let witness_key (w : Infer.yield_witness) =
+  ( Format.asprintf "%a" Loc.pp w.Infer.yw_loc,
+    w.Infer.yw_round,
+    w.Infer.yw_sched )
+
+let infer_cache_oblivious =
+  prop "qcheck: infer identical with cache on/off" 6 (fun p ->
+      let prog = Compile.program p in
+      List.for_all
+        (fun (_, pool) ->
+          let c = Infer.infer ~pool ~max_steps:300_000 prog in
+          let s =
+            Infer.infer ~pool ~no_cache:true ~max_steps:300_000 prog
+          in
+          Loc.Set.equal c.Infer.yields s.Infer.yields
+          && c.Infer.rounds = s.Infer.rounds
+          && c.Infer.initial_violations = s.Infer.initial_violations
+          && c.Infer.events_analyzed = s.Infer.events_analyzed
+          && List.map witness_key c.Infer.witnesses
+             = List.map witness_key s.Infer.witnesses
+          && s.Infer.prefix_events = 0
+          && s.Infer.cache_hits = 0)
+        pools)
+
+(* Elision accounting: with the default 10-schedule portfolio, every
+   prefix event analyzed once spares the other nine re-executions. *)
+let test_infer_elision_accounting () =
+  List.iter
+    (fun (name, prog) ->
+      let c = Infer.infer ~max_steps:300_000 prog in
+      Alcotest.(check int)
+        (name ^ ": elided = (portfolio - 1) * prefix events")
+        ((List.length Infer.default_portfolio - 1) * c.Infer.prefix_events)
+        c.Infer.elided_events)
+    micro_programs
+
+let suite =
+  [
+    Alcotest.test_case "dpor counter split (novel/replayed/steps)" `Quick
+      test_dpor_counter_split;
+    Alcotest.test_case "snapshot/resume law per analysis" `Quick
+      test_snapshot_resume_law;
+    Alcotest.test_case "infer elision accounting" `Quick
+      test_infer_elision_accounting;
+    dpor_cached_matches_stateless;
+    dpor_cached_parallel_matches;
+    explore_cached_matches;
+    infer_cache_oblivious;
+  ]
